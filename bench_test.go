@@ -1,0 +1,204 @@
+// Benchmarks regenerating every experiment of the paper (one per
+// table/figure; see DESIGN.md §3 and EXPERIMENTS.md), plus micro-benchmarks
+// of the core primitives. Run with:
+//
+//	go test -bench=. -benchmem
+package fattree_test
+
+import (
+	"io"
+	"testing"
+
+	"fattree"
+	"fattree/internal/experiments"
+)
+
+// benchExperiment runs one experiment per iteration at quick sizes.
+func benchExperiment(b *testing.B, id string) {
+	e, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.RunAndPrint(io.Discard, experiments.Options{Quick: true, Seed: 1})
+	}
+}
+
+func BenchmarkE1Topology(b *testing.B)        { benchExperiment(b, "E1") }
+func BenchmarkE2Concentrator(b *testing.B)    { benchExperiment(b, "E2") }
+func BenchmarkE3OfflineSchedule(b *testing.B) { benchExperiment(b, "E3") }
+func BenchmarkE4BigChannels(b *testing.B)     { benchExperiment(b, "E4") }
+func BenchmarkE5Hardware(b *testing.B)        { benchExperiment(b, "E5") }
+func BenchmarkE6Decomposition(b *testing.B)   { benchExperiment(b, "E6") }
+func BenchmarkE7Balanced(b *testing.B)        { benchExperiment(b, "E7") }
+func BenchmarkE8Universality(b *testing.B)    { benchExperiment(b, "E8") }
+func BenchmarkE9NonUniversal(b *testing.B)    { benchExperiment(b, "E9") }
+func BenchmarkE10Locality(b *testing.B)       { benchExperiment(b, "E10") }
+func BenchmarkE11Permutation(b *testing.B)    { benchExperiment(b, "E11") }
+func BenchmarkE12BitSerial(b *testing.B)      { benchExperiment(b, "E12") }
+func BenchmarkE13Online(b *testing.B)         { benchExperiment(b, "E13") }
+func BenchmarkE14CCC(b *testing.B)            { benchExperiment(b, "E14") }
+func BenchmarkE15Layout(b *testing.B)         { benchExperiment(b, "E15") }
+func BenchmarkE16Applications(b *testing.B)   { benchExperiment(b, "E16") }
+func BenchmarkE17Faults(b *testing.B)         { benchExperiment(b, "E17") }
+func BenchmarkE18Mesh3D(b *testing.B)         { benchExperiment(b, "E18") }
+func BenchmarkE19Buffered(b *testing.B)       { benchExperiment(b, "E19") }
+func BenchmarkE20Online(b *testing.B)         { benchExperiment(b, "E20") }
+func BenchmarkE21ExternalIO(b *testing.B)     { benchExperiment(b, "E21") }
+func BenchmarkE22Clos(b *testing.B)           { benchExperiment(b, "E22") }
+func BenchmarkE23Portability(b *testing.B)    { benchExperiment(b, "E23") }
+func BenchmarkE24AreaUniversal(b *testing.B)  { benchExperiment(b, "E24") }
+func BenchmarkE25Saturation(b *testing.B)     { benchExperiment(b, "E25") }
+func BenchmarkA1ProfileAblation(b *testing.B) { benchExperiment(b, "A1") }
+func BenchmarkA2SwitchAblation(b *testing.B)  { benchExperiment(b, "A2") }
+
+// Micro-benchmarks of the primitives the experiments are built from.
+
+func BenchmarkLoadFactor(b *testing.B) {
+	ft := fattree.NewUniversal(1024, 256)
+	ms := fattree.Random(1024, 4096, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if fattree.LoadFactor(ft, ms) <= 0 {
+			b.Fatal("bad load factor")
+		}
+	}
+}
+
+func BenchmarkEvenBisect(b *testing.B) {
+	ft := fattree.NewConstant(1024, 1)
+	// Root-crossing messages.
+	var ms fattree.MessageSet
+	for p := 0; p < 512; p++ {
+		ms = append(ms, fattree.Message{Src: p, Dst: 1023 - p})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a, c := fattree.EvenBisect(ft, 1, ms)
+		if len(a)+len(c) != len(ms) {
+			b.Fatal("bisect lost messages")
+		}
+	}
+}
+
+func BenchmarkScheduleOffline(b *testing.B) {
+	for _, n := range []int{256, 1024} {
+		ft := fattree.NewUniversal(n, n/4)
+		ms := fattree.Random(n, 4*n, 1)
+		b.Run("n="+itoa(n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				s := fattree.ScheduleOffline(ft, ms)
+				if s.Length() == 0 {
+					b.Fatal("empty schedule")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkScheduleOfflineParallel(b *testing.B) {
+	n := 1024
+	ft := fattree.NewUniversal(n, n/4)
+	ms := fattree.Random(n, 4*n, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := fattree.ScheduleOfflineParallel(ft, ms)
+		if s.Length() == 0 {
+			b.Fatal("empty schedule")
+		}
+	}
+}
+
+func BenchmarkCompact(b *testing.B) {
+	n := 1024
+	ft := fattree.NewUniversal(n, n/4)
+	ms := fattree.Random(n, 4*n, 1)
+	s := fattree.ScheduleOffline(ft, ms)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if fattree.CompactSchedule(s).Length() == 0 {
+			b.Fatal("empty schedule")
+		}
+	}
+}
+
+func BenchmarkRunBuffered(b *testing.B) {
+	ft := fattree.NewUniversal(256, 64)
+	ms := fattree.RandomPermutation(256, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if fattree.RunBuffered(ft, ms, 4).Delivered != len(ms) {
+			b.Fatal("incomplete")
+		}
+	}
+}
+
+func BenchmarkScheduleOfflineBig(b *testing.B) {
+	n := 256
+	ft := fattree.NewConstant(n, 2*fattree.Lg(n))
+	ms := fattree.Random(n, 8*n, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := fattree.ScheduleOfflineBig(ft, ms)
+		if s.Length() == 0 {
+			b.Fatal("empty schedule")
+		}
+	}
+}
+
+func BenchmarkEngineCycle(b *testing.B) {
+	ft := fattree.NewUniversal(256, 64)
+	ms := fattree.RandomPermutation(256, 1)
+	e := fattree.NewEngine(ft, fattree.SwitchIdeal, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fattree.RunOnline(e, ms)
+	}
+}
+
+func BenchmarkDeliverHypercube(b *testing.B) {
+	net := fattree.NewHypercube(256)
+	ms := fattree.BitReversal(256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := fattree.DeliverOnNetwork(net, ms)
+		if r.Cycles == 0 {
+			b.Fatal("no cycles")
+		}
+	}
+}
+
+func BenchmarkTheorem10Pipeline(b *testing.B) {
+	net := fattree.NewHypercube(64)
+	ms := fattree.RandomPermutation(64, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := fattree.SimulateOnFatTree(net, ms, 1)
+		if r.FatTreeCycles == 0 {
+			b.Fatal("no cycles")
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

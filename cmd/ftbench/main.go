@@ -1,0 +1,107 @@
+// Command ftbench regenerates every experiment table of EXPERIMENTS.md: one
+// experiment per theorem, lemma, corollary and figure of the paper, plus the
+// design ablations. Run it with no arguments for the full suite, or select
+// experiments by id.
+//
+// Usage:
+//
+//	ftbench                 # full suite
+//	ftbench -quick          # smaller sizes
+//	ftbench -run E8,E9      # selected experiments
+//	ftbench -list           # list experiment ids
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"fattree/internal/experiments"
+	"fattree/internal/metrics"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run with reduced problem sizes")
+	run := flag.String("run", "", "comma-separated experiment ids (default all)")
+	list := flag.Bool("list", false, "list experiments and exit")
+	seed := flag.Int64("seed", 1, "random seed for all experiments")
+	asJSON := flag.Bool("json", false, "emit results as JSON")
+	parallel := flag.Bool("parallel", false, "run experiments concurrently (results print in order)")
+	flag.Parse()
+
+	all := experiments.All()
+	if *list {
+		for _, e := range all {
+			fmt.Printf("%-4s %s (%s)\n", e.ID, e.Title, e.Source)
+		}
+		return
+	}
+
+	selected := all
+	if *run != "" {
+		selected = nil
+		for _, id := range strings.Split(*run, ",") {
+			e, ok := experiments.ByID(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "ftbench: unknown experiment %q (use -list)\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	opts := experiments.Options{Quick: *quick, Seed: *seed}
+	if *asJSON {
+		type jsonExperiment struct {
+			ID     string           `json:"id"`
+			Title  string           `json:"title"`
+			Source string           `json:"source"`
+			Tables []*metrics.Table `json:"tables"`
+		}
+		out := make([]jsonExperiment, 0, len(selected))
+		for _, e := range selected {
+			out = append(out, jsonExperiment{
+				ID: e.ID, Title: e.Title, Source: e.Source, Tables: e.Run(opts),
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(os.Stderr, "ftbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	start := time.Now()
+	if *parallel {
+		outputs := make([]string, len(selected))
+		var wg sync.WaitGroup
+		for i, e := range selected {
+			wg.Add(1)
+			go func(i int, e experiments.Experiment) {
+				defer wg.Done()
+				var b strings.Builder
+				t0 := time.Now()
+				e.RunAndPrint(&b, opts)
+				fmt.Fprintf(&b, "(%s took %v)\n\n", e.ID, time.Since(t0).Round(time.Millisecond))
+				outputs[i] = b.String()
+			}(i, e)
+		}
+		wg.Wait()
+		for _, out := range outputs {
+			fmt.Print(out)
+		}
+	} else {
+		for _, e := range selected {
+			t0 := time.Now()
+			e.RunAndPrint(os.Stdout, opts)
+			fmt.Printf("(%s took %v)\n\n", e.ID, time.Since(t0).Round(time.Millisecond))
+		}
+	}
+	fmt.Printf("suite complete: %d experiments in %v\n", len(selected), time.Since(start).Round(time.Millisecond))
+}

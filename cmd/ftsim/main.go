@@ -1,0 +1,164 @@
+// Command ftsim runs a single delivery experiment on a fat-tree: choose a
+// topology, a workload, a scheduling policy and a switch implementation, and
+// it reports delivery cycles, drops, load factor, the theoretical bounds, and
+// the bit-serial time.
+//
+// Usage examples:
+//
+//	ftsim -n 256 -w 64 -workload bitrev -policy offline
+//	ftsim -n 1024 -w 1024 -workload perm -policy online -switches partial
+//	ftsim -n 256 -w 32 -workload local -k 2048 -radius 4 -policy offlinebig
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fattree"
+	"fattree/internal/viz"
+)
+
+func main() {
+	n := flag.Int("n", 256, "number of processors (power of two)")
+	w := flag.Int("w", 0, "root capacity (default n/4)")
+	workloadName := flag.String("workload", "perm", "workload: perm|random|bitrev|transpose|shuffle|reversal|local|hotspot|nn|alltoall")
+	k := flag.Int("k", 0, "message count for random/local/hotspot (default 4n)")
+	radius := flag.Int("radius", 4, "radius for -workload local")
+	seed := flag.Int64("seed", 1, "random seed")
+	policy := flag.String("policy", "offline", "delivery policy: offline|offlinebig|greedy|online")
+	switches := flag.String("switches", "ideal", "concentrator kind: ideal|partial")
+	payload := flag.Int("payload", 32, "payload bits per message (bit-serial timing)")
+	showViz := flag.Bool("viz", false, "render per-level utilization bars and schedule occupancy")
+	saveSchedule := flag.String("save-schedule", "", "write the compiled schedule to this file (JSON)")
+	loadSchedule := flag.String("load-schedule", "", "load a precompiled schedule instead of scheduling")
+	flag.Parse()
+
+	if *n < 2 || *n&(*n-1) != 0 {
+		fail("-n must be a power of two >= 2 (got %d)", *n)
+	}
+	if *w == 0 {
+		*w = *n / 4
+		if *w < 1 {
+			*w = 1
+		}
+	}
+	if *k == 0 {
+		*k = 4 * *n
+	}
+
+	ft := fattree.NewUniversal(*n, *w)
+	ms := buildWorkload(*workloadName, *n, *k, *radius, *seed)
+	lam := fattree.LoadFactor(ft, ms)
+	fmt.Printf("fat-tree n=%d w=%d   workload %s: %d messages, λ = %.2f (lower bound on cycles)\n",
+		*n, ft.RootCapacity(), *workloadName, len(ms), lam)
+	if *showViz {
+		viz.Utilization(os.Stdout, ft, ms)
+	}
+
+	kind := fattree.SwitchIdeal
+	if *switches == "partial" {
+		kind = fattree.SwitchPartial
+	} else if *switches != "ideal" {
+		fail("unknown -switches %q", *switches)
+	}
+	engine := fattree.NewEngine(ft, kind, *seed)
+
+	var stats fattree.Stats
+	var cycles []fattree.MessageSet
+	switch *policy {
+	case "offline", "offlinebig", "greedy":
+		var s *fattree.Schedule
+		if *loadSchedule != "" {
+			f, err := os.Open(*loadSchedule)
+			if err != nil {
+				fail("%v", err)
+			}
+			s, err = fattree.ReadSchedule(f, ft)
+			f.Close()
+			if err != nil {
+				fail("%v", err)
+			}
+			fmt.Printf("loaded precompiled schedule from %s\n", *loadSchedule)
+		} else {
+			switch *policy {
+			case "offline":
+				s = fattree.ScheduleOffline(ft, ms)
+			case "offlinebig":
+				s = fattree.ScheduleOfflineBig(ft, ms)
+			default:
+				s = fattree.ScheduleGreedy(ft, ms)
+			}
+		}
+		if err := s.Verify(ms); err != nil {
+			fail("schedule invalid: %v", err)
+		}
+		if *saveSchedule != "" {
+			f, err := os.Create(*saveSchedule)
+			if err != nil {
+				fail("%v", err)
+			}
+			if _, err := s.WriteTo(f); err != nil {
+				fail("writing schedule: %v", err)
+			}
+			f.Close()
+			fmt.Printf("schedule written to %s\n", *saveSchedule)
+		}
+		fmt.Printf("schedule: %d delivery cycles (bound %.1f, utilization %.2f)\n",
+			s.Length(), s.Bound, s.Utilization())
+		if *showViz {
+			viz.ScheduleGantt(os.Stdout, ft, s.Cycles)
+		}
+		stats = fattree.RunSchedule(engine, s)
+		cycles = s.Cycles
+	case "online":
+		stats = fattree.RunOnline(engine, ms)
+		if *showViz {
+			viz.CycleProfile(os.Stdout, stats.PerCycle)
+		}
+	default:
+		fail("unknown -policy %q", *policy)
+	}
+
+	fmt.Printf("delivered %d/%d in %d cycles, %d drops, %d deferrals\n",
+		stats.Delivered, len(ms), stats.Cycles, stats.Drops, stats.Deferrals)
+	if cycles != nil {
+		fmt.Printf("bit-serial time: %d ticks total (payload %d bits, max cycle %d ticks)\n",
+			fattree.ScheduleTicks(ft, cycles, *payload), *payload, fattree.MaxCycleTicks(ft, *payload))
+	} else {
+		fmt.Printf("bit-serial time: <= %d ticks (%d cycles × %d ticks/cycle)\n",
+			stats.Cycles*fattree.MaxCycleTicks(ft, *payload), stats.Cycles, fattree.MaxCycleTicks(ft, *payload))
+	}
+}
+
+func buildWorkload(name string, n, k, radius int, seed int64) fattree.MessageSet {
+	switch name {
+	case "perm":
+		return fattree.RandomPermutation(n, seed)
+	case "random":
+		return fattree.Random(n, k, seed)
+	case "bitrev":
+		return fattree.BitReversal(n)
+	case "transpose":
+		return fattree.Transpose(n)
+	case "shuffle":
+		return fattree.Shuffle(n)
+	case "reversal":
+		return fattree.Reversal(n)
+	case "local":
+		return fattree.KLocal(n, k, radius, seed)
+	case "hotspot":
+		return fattree.HotSpot(n, k, seed)
+	case "nn":
+		return fattree.NearestNeighbor(n)
+	case "alltoall":
+		return fattree.AllToAll(n)
+	}
+	fail("unknown -workload %q", name)
+	return nil
+}
+
+func fail(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "ftsim: "+format+"\n", args...)
+	os.Exit(2)
+}

@@ -1,0 +1,81 @@
+// Command fttopo inspects fat-tree topologies and hardware costs: given a
+// processor count and either a root capacity or a physical volume budget, it
+// prints the per-level channel capacities, wiring totals, component counts,
+// and the Theorem 4 volume next to the competing networks' figures.
+//
+// Usage:
+//
+//	fttopo -n 1024 -w 256
+//	fttopo -n 4096 -volume 1e6
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fattree"
+	"fattree/internal/metrics"
+	"fattree/internal/viz"
+)
+
+func main() {
+	n := flag.Int("n", 256, "number of processors (power of two)")
+	w := flag.Int("w", 0, "root capacity (default n^(2/3) when volume unset)")
+	volume := flag.Float64("volume", 0, "volume budget; sets the root capacity via Theorem 4's inverse")
+	flag.Parse()
+
+	if *n < 2 || *n&(*n-1) != 0 {
+		fmt.Fprintf(os.Stderr, "fttopo: -n must be a power of two >= 2 (got %d)\n", *n)
+		os.Exit(2)
+	}
+	rootCap := *w
+	switch {
+	case *volume > 0 && *w > 0:
+		fmt.Fprintln(os.Stderr, "fttopo: give either -w or -volume, not both")
+		os.Exit(2)
+	case *volume > 0:
+		rootCap = fattree.RootCapacityForVolume(*n, *volume)
+		fmt.Printf("volume budget %.3g -> root capacity %d\n\n", *volume, rootCap)
+	case rootCap == 0:
+		// Default: the planar-friendly w = n^(2/3) scale.
+		for rootCap*rootCap*rootCap < (*n)*(*n) {
+			rootCap++
+		}
+	}
+
+	ft := fattree.NewUniversal(*n, rootCap)
+	fmt.Printf("universal fat-tree: n=%d processors, root capacity w=%d, %d switches\n\n",
+		*n, ft.RootCapacity(), ft.InternalNodes())
+
+	viz.Silhouette(os.Stdout, ft)
+	fmt.Println()
+
+	prof := metrics.NewTable("Channel capacities by level",
+		"level", "nodes", "capacity", "wires at level")
+	for k := 0; k <= ft.Levels(); k++ {
+		nodes := 1 << uint(k)
+		cap := ft.CapacityAtLevel(k)
+		prof.AddRow(k, nodes, cap, 2*nodes*cap)
+	}
+	fmt.Print(prof.String())
+
+	cost := metrics.NewTable("\nHardware cost (3-D VLSI model, Theorem 4)",
+		"quantity", "fat-tree", "hypercube", "mesh", "binary tree")
+	cost.AddRow("volume",
+		fattree.UniversalVolume(*n, ft.RootCapacity()),
+		fattree.HypercubeVolume(*n), fattree.MeshVolume(*n), fattree.TreeVolume(*n))
+	cost.AddRow("components", fattree.UniversalComponents(*n, ft.RootCapacity()), "-", "-", "-")
+	cost.AddRow("total wires", ft.TotalWires(), "-", "-", "-")
+	cost.AddRow("bisection (wires)", ft.CapacityAtLevel(1)*2, *n/2, isqrt(*n), 1)
+	fmt.Print(cost.String())
+}
+
+// isqrt returns floor(sqrt(n)).
+func isqrt(n int) int {
+	k := 0
+	for (k+1)*(k+1) <= n {
+		k++
+	}
+	return k
+}

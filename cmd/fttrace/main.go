@@ -1,0 +1,71 @@
+// Command fttrace runs a whole-application communication trace on a fat-tree
+// and prints the per-phase cost breakdown — delivery cycles and bit-serial
+// ticks per phase, with load factors showing where the application stresses
+// the tree.
+//
+// Usage:
+//
+//	fttrace -trace fft -n 1024 -w 256
+//	fttrace -trace multigrid -k 32 -w 64
+//	fttrace -trace femsolve -k 16 -iters 5
+//	fttrace -trace samplesort -n 256 -w 64
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fattree"
+	"fattree/internal/metrics"
+)
+
+func main() {
+	traceName := flag.String("trace", "fft", "trace: fft|multigrid|femsolve|samplesort")
+	n := flag.Int("n", 256, "processors for fft/samplesort (power of two)")
+	k := flag.Int("k", 16, "grid side for multigrid/femsolve (power of two for multigrid)")
+	iters := flag.Int("iters", 3, "iterations for femsolve")
+	w := flag.Int("w", 0, "root capacity (default n/4)")
+	payload := flag.Int("payload", 32, "payload bits")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	var tr *fattree.Trace
+	switch *traceName {
+	case "fft":
+		tr = fattree.FFTTrace(*n)
+	case "multigrid":
+		tr = fattree.MultiGridTrace(*k)
+	case "femsolve":
+		tr = fattree.FEMSolveTrace(*k, *iters)
+	case "samplesort":
+		tr = fattree.SampleSortTrace(*n, 4, *seed)
+	default:
+		fmt.Fprintf(os.Stderr, "fttrace: unknown trace %q\n", *traceName)
+		os.Exit(2)
+	}
+
+	procs := 2
+	for procs < tr.Procs {
+		procs *= 2
+	}
+	if *w == 0 {
+		*w = procs / 4
+		if *w < 1 {
+			*w = 1
+		}
+	}
+	ft := fattree.NewUniversal(procs, *w)
+	fmt.Printf("trace %s: %d phases, %d messages, on %v\n\n",
+		tr.Name, len(tr.Phases), tr.Messages(), ft)
+
+	res := fattree.RunTrace(ft, tr, *payload)
+	tab := metrics.NewTable("per-phase cost",
+		"phase", "repeat", "messages", "λ", "cycles", "ticks", "total ticks")
+	for i, pr := range res.PerPhase {
+		tab.AddRow(pr.Name, pr.Repeat, len(tr.Phases[i].Messages), pr.Lambda,
+			pr.Cycles, pr.Ticks, pr.TotalTicks)
+	}
+	fmt.Print(tab.String())
+	fmt.Printf("\ntotal: %d delivery cycles, %d ticks\n", res.TotalCycles, res.TotalTicks)
+}

@@ -1,0 +1,91 @@
+package fattree_test
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// Smoke tests for the command-line tools and example programs: each is run
+// end-to-end via `go run` at small sizes, and its output is checked for the
+// landmark lines. Skipped under -short (each invocation pays a build).
+
+// runGo executes `go run <target> <args...>` and returns combined output.
+func runGo(t *testing.T, target string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command("go", append([]string{"run", target}, args...)...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go run %s %v: %v\n%s", target, args, err, out)
+	}
+	return string(out)
+}
+
+func TestSmokeCmds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smoke test")
+	}
+	cases := []struct {
+		target string
+		args   []string
+		want   []string
+	}{
+		{"./cmd/fttopo", []string{"-n", "64", "-w", "16"},
+			[]string{"universal fat-tree", "silhouette", "Hardware cost"}},
+		{"./cmd/ftsim", []string{"-n", "64", "-w", "16", "-workload", "bitrev", "-policy", "offline", "-viz"},
+			[]string{"schedule:", "delivered 56/56", "0 drops", "occupancy"}},
+		{"./cmd/ftsim", []string{"-n", "32", "-workload", "perm", "-policy", "online"},
+			[]string{"delivered", "bit-serial"}},
+		{"./cmd/ftbench", []string{"-quick", "-run", "E1"},
+			[]string{"E1", "Per-level channel capacities", "suite complete"}},
+		{"./cmd/ftbench", []string{"-quick", "-run", "E12", "-json"},
+			[]string{`"id": "E12"`, `"rows"`}},
+		{"./cmd/ftbench", []string{"-list"},
+			[]string{"E1", "E25", "A2"}},
+		{"./cmd/ftbench", []string{"-quick", "-parallel", "-run", "E1,E12"},
+			[]string{"E1", "E12", "suite complete"}},
+		{"./cmd/fttrace", []string{"-trace", "fft", "-n", "64"},
+			[]string{"per-phase cost", "total:"}},
+		{"./cmd/fttrace", []string{"-trace", "multigrid", "-k", "8"},
+			[]string{"smooth 8x8", "prolong"}},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(strings.Join(append([]string{c.target}, c.args...), " "), func(t *testing.T) {
+			t.Parallel()
+			out := runGo(t, c.target, c.args...)
+			for _, want := range c.want {
+				if !strings.Contains(out, want) {
+					t.Errorf("missing %q in output:\n%s", want, out)
+				}
+			}
+		})
+	}
+}
+
+func TestSmokeExamples(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smoke test")
+	}
+	cases := []struct {
+		target string
+		want   string
+	}{
+		{"./examples/quickstart", "0 drops"},
+		{"./examples/finiteelement", "bisection width"},
+		{"./examples/netsim", "Theorem 10"},
+		{"./examples/permutation", "Beneš"},
+		{"./examples/apps", "fft"},
+		{"./examples/io", "overlapped"},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.target, func(t *testing.T) {
+			t.Parallel()
+			out := runGo(t, c.target)
+			if !strings.Contains(out, c.want) {
+				t.Errorf("missing %q in output:\n%s", c.want, out)
+			}
+		})
+	}
+}

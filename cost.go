@@ -1,0 +1,62 @@
+package fattree
+
+import "fattree/internal/vlsi"
+
+// This file re-exports the three-dimensional VLSI cost model of Section IV.
+
+// Box is a rectangular box in unit cells of the 3-D VLSI model.
+type Box = vlsi.Box
+
+// NodeBox returns the Lemma 3 box housing a node with m incident wires:
+// volume O(m^(3/2)) with aspect parameter h in [1, sqrt m].
+func NodeBox(m int, h float64) Box { return vlsi.NodeBox(m, h) }
+
+// UniversalComponents counts the switching components of a universal fat-tree
+// (proportional to incident wires per node).
+func UniversalComponents(n, w int) int { return vlsi.UniversalComponents(n, w) }
+
+// ComponentsBound is Theorem 4's Θ(n·lg(w³/n²)) component figure.
+func ComponentsBound(n, w int) float64 { return vlsi.ComponentsBound(n, w) }
+
+// UniversalVolume is Theorem 4's Θ((w·lg(n/w))^(3/2)) volume figure.
+func UniversalVolume(n, w int) float64 { return vlsi.UniversalVolume(n, w) }
+
+// RootCapacityForVolume inverts UniversalVolume: the root capacity
+// Θ(v^(2/3)/lg(n/v^(2/3))) of the universal fat-tree of volume v.
+func RootCapacityForVolume(n int, v float64) int { return vlsi.RootCapacityForVolume(n, v) }
+
+// NewUniversalOfVolume builds the universal fat-tree of volume v on n
+// processors.
+func NewUniversalOfVolume(n int, v float64) *FatTree { return vlsi.NewUniversalOfVolume(n, v) }
+
+// HypercubeVolume is the Θ(n^(3/2)) hypercube volume.
+func HypercubeVolume(n int) float64 { return vlsi.HypercubeVolume(n) }
+
+// MeshVolume is the Θ(n) two-dimensional mesh volume.
+func MeshVolume(n int) float64 { return vlsi.MeshVolume(n) }
+
+// TreeVolume is the Θ(n) plain binary tree volume.
+func TreeVolume(n int) float64 { return vlsi.TreeVolume(n) }
+
+// ButterflyVolume is the butterfly's max(n·lg n, (n/lg n)^(3/2)) volume.
+func ButterflyVolume(n int) float64 { return vlsi.ButterflyVolume(n) }
+
+// VolumeLowerBoundFromBisection is the generic 3-D bound
+// max(n, bisection^(3/2)).
+func VolumeLowerBoundFromBisection(n, b int) float64 {
+	return vlsi.VolumeLowerBoundFromBisection(n, b)
+}
+
+// UniversalArea is the 2-D Thompson-model Θ((w·lg(n/w))²) area of an
+// area-universal fat-tree.
+func UniversalArea(n, w int) float64 { return vlsi.UniversalArea(n, w) }
+
+// RootCapacityForArea inverts UniversalArea: the root capacity of the
+// area-universal fat-tree of area A.
+func RootCapacityForArea(n int, area float64) int { return vlsi.RootCapacityForArea(n, area) }
+
+// NewUniversal2DOfArea builds the area-universal fat-tree of area A.
+func NewUniversal2DOfArea(n int, area float64) *FatTree { return vlsi.NewUniversal2DOfArea(n, area) }
+
+// MeshArea is the Θ(n) area of the planar mesh.
+func MeshArea(n int) float64 { return vlsi.MeshArea(n) }

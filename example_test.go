@@ -1,0 +1,102 @@
+package fattree_test
+
+import (
+	"fmt"
+
+	"fattree"
+)
+
+// Building a universal fat-tree and reading its capacity profile.
+func ExampleNewUniversal() {
+	ft := fattree.NewUniversal(64, 16)
+	for k := 0; k <= ft.Levels(); k++ {
+		fmt.Printf("level %d: %d wires\n", k, ft.CapacityAtLevel(k))
+	}
+	// Output:
+	// level 0: 16 wires
+	// level 1: 11 wires
+	// level 2: 7 wires
+	// level 3: 4 wires
+	// level 4: 3 wires
+	// level 5: 2 wires
+	// level 6: 1 wires
+}
+
+// Load factors lower-bound delivery time: the mirror permutation pushes
+// everything across the root.
+func ExampleLoadFactor() {
+	ft := fattree.NewConstant(8, 1)
+	ms := fattree.Reversal(8)
+	fmt.Printf("λ = %.0f\n", fattree.LoadFactor(ft, ms))
+	// Output:
+	// λ = 4
+}
+
+// Scheduling off-line (Theorem 1) and playing the schedule through the
+// simulated switch hardware: nothing is dropped.
+func ExampleScheduleOffline() {
+	ft := fattree.NewUniversal(64, 16)
+	ms := fattree.BitReversal(64)
+	s := fattree.ScheduleOffline(ft, ms)
+	if err := s.Verify(ms); err != nil {
+		panic(err)
+	}
+	stats := fattree.RunSchedule(fattree.NewEngine(ft, fattree.SwitchIdeal, 0), s)
+	fmt.Printf("delivered %d messages in %d cycles with %d drops\n",
+		stats.Delivered, stats.Cycles, stats.Drops)
+	// Output:
+	// delivered 56 messages in 4 cycles with 0 drops
+}
+
+// The even-bisection primitive from the proof of Theorem 1: splitting
+// root-crossing messages so every channel's load halves.
+func ExampleEvenBisect() {
+	ft := fattree.NewConstant(8, 1)
+	q := fattree.MessageSet{
+		{Src: 0, Dst: 4}, {Src: 1, Dst: 5}, {Src: 2, Dst: 6}, {Src: 3, Dst: 7},
+	}
+	a, b := fattree.EvenBisect(ft, 1, q)
+	fmt.Printf("%d + %d messages\n", len(a), len(b))
+	// Output:
+	// 2 + 2 messages
+}
+
+// Hardware cost in the 3-D VLSI model: a fat-tree scaled for planar traffic
+// versus a hypercube.
+func ExampleUniversalVolume() {
+	n := 4096
+	planar := fattree.UniversalVolume(n, 256) // w = n^(2/3)
+	cube := fattree.HypercubeVolume(n)
+	fmt.Printf("fat-tree/hypercube volume = %.2f\n", planar/cube)
+	// Output:
+	// fat-tree/hypercube volume = 0.13
+}
+
+// External I/O through the root interface: throughput scales with the root
+// capacity.
+func ExampleExternalIO() {
+	ft := fattree.NewUniversal(64, 8)
+	io := fattree.ExternalIO(64, 16, 16, 1) // 16 reads + 16 writes
+	s := fattree.ScheduleOffline(ft, io)
+	fmt.Printf("32 I/O messages through a w=8 root: %d cycles\n", s.Length())
+	// Output:
+	// 32 I/O messages through a w=8 root: 4 cycles
+}
+
+// Simulating a hypercube on an equal-volume fat-tree (Theorem 10).
+func ExampleSimulateOnFatTree() {
+	r := fattree.SimulateOnFatTree(fattree.NewHypercube(64), fattree.BitReversal(64), 1)
+	fmt.Printf("within polylog envelope: %v\n", r.Slowdown <= r.PolylogBound)
+	// Output:
+	// within polylog envelope: true
+}
+
+// Running a whole-application trace phase by phase.
+func ExampleRunTrace() {
+	ft := fattree.NewUniversal(64, 64)
+	res := fattree.RunTrace(ft, fattree.FFTTrace(64), 0)
+	fmt.Printf("fft on the full-bandwidth tree: %d phases, %d total cycles\n",
+		len(res.PerPhase), res.TotalCycles)
+	// Output:
+	// fft on the full-bandwidth tree: 6 phases, 6 total cycles
+}

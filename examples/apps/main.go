@@ -1,0 +1,64 @@
+// Application traces: Section VII argues a supercomputer "should have the
+// powers to efficiently execute many different parallel algorithms", and that
+// with a fat-tree "one should build the biggest fat-tree that one can afford,
+// and the architecture automatically ensures that communication bandwidth is
+// effectively utilized". This example runs four whole-application
+// communication traces — multigrid V-cycle, finite-element solve, FFT, and
+// sample sort — on three fat-trees of different hardware budgets and shows
+// which applications notice the difference.
+//
+//	go run ./examples/apps
+package main
+
+import (
+	"fmt"
+
+	"fattree"
+)
+
+func main() {
+	const k = 32 // 32×32 problem grid => n = 1024 processors
+	n := k * k
+
+	trees := []struct {
+		label string
+		ft    *fattree.FatTree
+	}{
+		{"budget (w=2√n)", fattree.NewUniversal(n, 2*k)},
+		{"mid (w=n^2/3)", fattree.NewUniversal(n, 102)},
+		{"full (w=n)", fattree.NewUniversal(n, n)},
+	}
+	traces := []*fattree.Trace{
+		fattree.MultiGridTrace(k),
+		fattree.FEMSolveTrace(k, 1),
+		fattree.FFTTrace(n),
+		fattree.SampleSortTrace(n, 4, 7),
+	}
+
+	fmt.Printf("n = %d processors; volumes: budget %.0f, mid %.0f, full %.0f\n\n",
+		n,
+		fattree.UniversalVolume(n, 2*k),
+		fattree.UniversalVolume(n, 102),
+		fattree.UniversalVolume(n, n))
+
+	for _, tr := range traces {
+		fmt.Printf("=== %s (%d messages over %d phases) ===\n",
+			tr.Name, tr.Messages(), len(tr.Phases))
+		full := fattree.RunTrace(trees[2].ft, tr, 32)
+		for _, tc := range trees {
+			res := fattree.RunTrace(tc.ft, tr, 32)
+			fmt.Printf("  %-16s %6d cycles  %8d ticks  (%.2fx the full machine)\n",
+				tc.label, res.TotalCycles, res.TotalTicks,
+				float64(res.TotalTicks)/float64(full.TotalTicks))
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("reading the table: an 8x volume cut costs multigrid and FEM only ~2.3x —")
+	fmt.Println("their traffic is local at every scale. FFT pays ~7.5x: it is the genuinely")
+	fmt.Println("global communicator that consumes the full machine's root bandwidth. Sample")
+	fmt.Println("sort is insensitive for the opposite reason: its serial gather into one")
+	fmt.Println("processor saturates a single leaf channel, which no network width can fix.")
+	fmt.Println("One fat-tree architecture spans this spectrum; you buy the bandwidth your")
+	fmt.Println("applications actually use.")
+}

@@ -1,0 +1,3 @@
+module fattree
+
+go 1.22

@@ -1,0 +1,244 @@
+package baseline
+
+import (
+	"math/bits"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fattree/internal/core"
+	"fattree/internal/workload"
+)
+
+func allNetworks(n int) []Network {
+	return []Network{
+		NewHypercube(n),
+		NewMesh(n),
+		NewBinaryTree(n),
+		NewButterfly(n),
+		NewShuffleExchange(n),
+	}
+}
+
+func TestRoutesValidEverywhere(t *testing.T) {
+	n := 64
+	ms := core.Concat(
+		workload.RandomPermutation(n, 1),
+		workload.Random(n, 200, 2),
+		workload.BitReversal(n),
+	)
+	for _, net := range allNetworks(n) {
+		if err := ValidateRoutes(net, ms); err != nil {
+			t.Errorf("%s: %v", net.Name(), err)
+		}
+	}
+}
+
+func TestRouteAdjacency(t *testing.T) {
+	// Every hop must follow a physical link of the topology.
+	n := 32
+	adjacent := map[string]func(u, v int) bool{
+		"hypercube": func(u, v int) bool { return bits.OnesCount(uint(u^v)) == 1 },
+		"tree": func(u, v int) bool {
+			return u == v/2 || v == u/2
+		},
+		"shuffle-exchange": func(u, v int) bool {
+			d := 5
+			sh := func(r int) int { return ((r << 1) | (r >> uint(d-1))) & (n - 1) }
+			return v == u^1 || v == sh(u) || u == sh(v)
+		},
+	}
+	nets := map[string]Network{
+		"hypercube":        NewHypercube(n),
+		"tree":             NewBinaryTree(n),
+		"shuffle-exchange": NewShuffleExchange(n),
+	}
+	rng := rand.New(rand.NewSource(4))
+	for name, net := range nets {
+		adj := adjacent[name]
+		for trial := 0; trial < 200; trial++ {
+			s, d := rng.Intn(n), rng.Intn(n)
+			if s == d {
+				continue
+			}
+			path := net.Route(s, d)
+			for i := 1; i < len(path); i++ {
+				if !adj(path[i-1], path[i]) {
+					t.Fatalf("%s: route %d->%d uses non-link %d-%d (path %v)",
+						name, s, d, path[i-1], path[i], path)
+				}
+			}
+		}
+	}
+}
+
+func TestMeshRouteAdjacency(t *testing.T) {
+	m := NewMesh(64) // 8x8
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 200; trial++ {
+		s, d := rng.Intn(64), rng.Intn(64)
+		if s == d {
+			continue
+		}
+		path := m.Route(s, d)
+		for i := 1; i < len(path); i++ {
+			u, v := path[i-1], path[i]
+			ur, uc := u/8, u%8
+			vr, vc := v/8, v%8
+			manhattan := abs(ur-vr) + abs(uc-vc)
+			if manhattan != 1 {
+				t.Fatalf("mesh hop %d-%d not adjacent", u, v)
+			}
+		}
+		if len(path)-1 != abs(s/8-d/8)+abs(s%8-d%8) {
+			t.Fatalf("mesh path %d->%d not shortest", s, d)
+		}
+	}
+}
+
+func TestButterflyRouteShape(t *testing.T) {
+	b := NewButterfly(16) // d=4
+	path := b.Route(3, 12)
+	// Ascend 4 levels, descend 4 levels: 9 nodes.
+	if len(path) != 9 {
+		t.Fatalf("butterfly path length %d, want 9", len(path))
+	}
+	if path[0] != 3 || path[len(path)-1] != 12 {
+		t.Fatalf("butterfly endpoints wrong: %v", path)
+	}
+	// Middle node is (d, dst-row).
+	if path[4] != 4*16+12 {
+		t.Errorf("turnaround node %d, want %d", path[4], 4*16+12)
+	}
+}
+
+func TestHypercubePathLengthIsHammingDistance(t *testing.T) {
+	h := NewHypercube(128)
+	f := func(a, b uint8) bool {
+		s, d := int(a)%128, int(b)%128
+		if s == d {
+			return true
+		}
+		return len(h.Route(s, d))-1 == bits.OnesCount(uint(s^d))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShuffleExchangePathLength(t *testing.T) {
+	// At most 2d hops (one exchange + one shuffle per round).
+	s := NewShuffleExchange(64)
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 300; trial++ {
+		a, b := rng.Intn(64), rng.Intn(64)
+		if a == b {
+			continue
+		}
+		path := s.Route(a, b)
+		if len(path)-1 > 12 {
+			t.Fatalf("SE path %d->%d has %d hops (> 2d)", a, b, len(path)-1)
+		}
+		if path[len(path)-1] != b {
+			t.Fatalf("SE path ends at %d, want %d", path[len(path)-1], b)
+		}
+	}
+}
+
+func TestDeliverCompletesAndRespectsLowerBounds(t *testing.T) {
+	n := 64
+	for _, net := range allNetworks(n) {
+		for _, ms := range []core.MessageSet{
+			workload.RandomPermutation(n, 3),
+			workload.BitReversal(n),
+			workload.Random(n, 150, 4),
+		} {
+			res := Deliver(net, ms)
+			if res.Cycles < res.Congestion {
+				t.Errorf("%s: cycles %d < congestion %d", net.Name(), res.Cycles, res.Congestion)
+			}
+			if res.Cycles < res.MaxPathLen {
+				t.Errorf("%s: cycles %d < max path %d", net.Name(), res.Cycles, res.MaxPathLen)
+			}
+		}
+	}
+}
+
+func TestDeliverEmptySet(t *testing.T) {
+	res := Deliver(NewHypercube(8), nil)
+	if res.Cycles != 0 || res.Congestion != 0 {
+		t.Errorf("empty delivery: %+v", res)
+	}
+}
+
+func TestDeliverSingleMessage(t *testing.T) {
+	h := NewHypercube(16)
+	res := Deliver(h, core.MessageSet{{Src: 0, Dst: 15}})
+	if res.Cycles != 4 {
+		t.Errorf("single message across 4 dimensions took %d cycles, want 4", res.Cycles)
+	}
+}
+
+func TestTreeRootCongestion(t *testing.T) {
+	// Bit reversal on the plain tree: n/2 messages cross the root links in
+	// each direction — congestion Θ(n).
+	n := 64
+	tr := NewBinaryTree(n)
+	res := Deliver(tr, workload.Reversal(n))
+	if res.Congestion < n/2 {
+		t.Errorf("tree congestion %d, want >= %d", res.Congestion, n/2)
+	}
+	if res.Cycles < n/2 {
+		t.Errorf("tree cycles %d below congestion bound", res.Cycles)
+	}
+}
+
+func TestMeshSlowOnBitReversal(t *testing.T) {
+	// Mesh bisection sqrt(n) forces Ω(sqrt n) cycles on cross traffic, while
+	// the hypercube finishes in O(lg n + congestion)-ish time. This is the
+	// polynomial-vs-logarithmic separation of Section VI.
+	n := 64
+	mesh := Deliver(NewMesh(n), workload.BitReversal(n))
+	cube := Deliver(NewHypercube(n), workload.BitReversal(n))
+	if mesh.Cycles <= cube.Cycles {
+		t.Errorf("mesh (%d) should be slower than hypercube (%d) on bit reversal",
+			mesh.Cycles, cube.Cycles)
+	}
+}
+
+func TestBisectionAndVolume(t *testing.T) {
+	n := 256
+	h, m, tr := NewHypercube(n), NewMesh(n), NewBinaryTree(n)
+	if h.BisectionWidth() != n/2 {
+		t.Errorf("hypercube bisection %d", h.BisectionWidth())
+	}
+	if m.BisectionWidth() != 16 {
+		t.Errorf("mesh bisection %d, want 16", m.BisectionWidth())
+	}
+	if tr.BisectionWidth() != 1 {
+		t.Errorf("tree bisection %d, want 1", tr.BisectionWidth())
+	}
+	if h.Volume() <= m.Volume() || m.Volume() < float64(n) {
+		t.Errorf("volume ordering wrong: cube %.0f mesh %.0f", h.Volume(), m.Volume())
+	}
+}
+
+func TestLayoutsAreValid(t *testing.T) {
+	for _, net := range allNetworks(64) {
+		l := net.Layout()
+		if err := l.Validate(); err != nil {
+			t.Errorf("%s layout: %v", net.Name(), err)
+		}
+		if len(l.Pos) != net.Procs() {
+			t.Errorf("%s layout has %d positions for %d processors",
+				net.Name(), len(l.Pos), net.Procs())
+		}
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,79 @@
+package baseline
+
+import (
+	"math/bits"
+
+	"fattree/internal/decomp"
+	"fattree/internal/vlsi"
+)
+
+// Butterfly is the d-dimensional butterfly on n = 2^d rows and d+1 levels:
+// node (l, r) for level l in 0..d and row r connects to (l+1, r) (straight)
+// and (l+1, r ^ 2^l) (cross). Processors sit at level 0, one per row.
+// Messages ascend from (0, src) to (d, dst), correcting one address bit per
+// level, then descend to (0, dst) along straight links.
+type Butterfly struct {
+	n, d int
+}
+
+// NewButterfly builds a butterfly with n = 2^d processors (rows).
+func NewButterfly(n int) *Butterfly {
+	requirePow2("butterfly", n)
+	return &Butterfly{n: n, d: bits.Len(uint(n)) - 1}
+}
+
+// Name returns "butterfly".
+func (b *Butterfly) Name() string { return "butterfly" }
+
+// node maps (level, row) to a node id.
+func (b *Butterfly) node(level, row int) int { return level*b.n + row }
+
+// Nodes returns n(d+1).
+func (b *Butterfly) Nodes() int { return b.n * (b.d + 1) }
+
+// Procs returns n.
+func (b *Butterfly) Procs() int { return b.n }
+
+// ProcNode returns the level-0 node of row p.
+func (b *Butterfly) ProcNode(p int) int { return b.node(0, p) }
+
+// Degree returns 4 (two links up, two down, at interior levels).
+func (b *Butterfly) Degree() int { return 4 }
+
+// BisectionWidth returns Θ(n/lg n) — the classic butterfly bisection; we use
+// the standard n/(2·lg n) figure rounded up.
+func (b *Butterfly) BisectionWidth() int {
+	w := b.n / (2 * b.d)
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Volume returns max(n·lg n, bisection^(3/2)).
+func (b *Butterfly) Volume() float64 { return vlsi.ButterflyVolume(b.n) }
+
+// Layout places the processors on a grid filling the butterfly's volume.
+func (b *Butterfly) Layout() *decomp.Layout { return decomp.GridLayout(b.n, b.Volume()) }
+
+// Route ascends correcting address bits toward dst, turning around at the
+// level just above the highest differing bit (ascending further would only
+// retrace straight links), then descends straight to the destination's
+// level-0 node.
+func (b *Butterfly) Route(src, dst int) []int {
+	turn := bits.Len(uint(src ^ dst)) // highest differing bit + 1
+	path := []int{b.ProcNode(src)}
+	row := src
+	for l := 0; l < turn; l++ {
+		bit := 1 << uint(l)
+		if row&bit != dst&bit {
+			row ^= bit
+		}
+		path = append(path, b.node(l+1, row))
+	}
+	// row == dst at level turn; descend straight.
+	for l := turn - 1; l >= 0; l-- {
+		path = append(path, b.node(l, dst))
+	}
+	return path
+}

@@ -1,0 +1,109 @@
+package baseline
+
+import (
+	"fmt"
+
+	"fattree/internal/decomp"
+	"fattree/internal/vlsi"
+)
+
+// CCC is the cube-connected-cycles network of Preparata and Vuillemin — the
+// constant-degree substitute for the hypercube that Galil and Paul's
+// general-purpose parallel processor (cited in Section VII) builds on. Each
+// hypercube corner c of a d-cube is replaced by a cycle of d nodes; node
+// (c, i) connects to its cycle neighbours (c, i±1) and across dimension i to
+// (c ^ 2^i, i). One processor sits on every node, so n = d·2^d.
+type CCC struct {
+	d       int // cube dimension
+	corners int // 2^d
+}
+
+// NewCCC builds the cube-connected cycles on n = d·2^d processors. n must be
+// exactly d·2^d for some d >= 3 (the smallest proper CCC); NewCCC panics
+// otherwise.
+func NewCCC(n int) *CCC {
+	for d := 3; d <= 30; d++ {
+		if d*(1<<uint(d)) == n {
+			return &CCC{d: d, corners: 1 << uint(d)}
+		}
+		if d*(1<<uint(d)) > n {
+			break
+		}
+	}
+	panic(fmt.Sprintf("baseline: CCC needs n = d·2^d (24, 64, 160, 384, ...), got %d", n))
+}
+
+// Name returns "ccc".
+func (c *CCC) Name() string { return "ccc" }
+
+// Nodes returns d·2^d.
+func (c *CCC) Nodes() int { return c.d * c.corners }
+
+// Procs returns d·2^d (one processor per node).
+func (c *CCC) Procs() int { return c.Nodes() }
+
+// ProcNode is the identity.
+func (c *CCC) ProcNode(p int) int { return p }
+
+// Degree returns 3 (two cycle links, one cube link).
+func (c *CCC) Degree() int { return 3 }
+
+// node maps (corner, position) to a node id.
+func (c *CCC) node(corner, pos int) int { return corner*c.d + pos }
+
+// split maps a node id to (corner, position).
+func (c *CCC) split(v int) (corner, pos int) { return v / c.d, v % c.d }
+
+// BisectionWidth returns Θ(2^d) = Θ(n/lg n): the CCC inherits the
+// hypercube's dimension-(d-1) cut of 2^(d-1) cube links.
+func (c *CCC) BisectionWidth() int { return c.corners / 2 }
+
+// Volume returns the 3-D VLSI volume: constant degree keeps the switch count
+// at n, but the bisection forces max(n, (2^(d-1))^(3/2)).
+func (c *CCC) Volume() float64 {
+	return vlsi.VolumeLowerBoundFromBisection(c.Nodes(), c.BisectionWidth())
+}
+
+// Layout places the processors on a grid filling the CCC's volume.
+func (c *CCC) Layout() *decomp.Layout { return decomp.GridLayout(c.Nodes(), c.Volume()) }
+
+// Route walks the cycle at the source corner, crossing cube dimensions where
+// the corners differ (the standard CCC embedding of e-cube routing), then
+// walks the destination cycle to the target position.
+func (c *CCC) Route(src, dst int) []int {
+	sc, sp := c.split(src)
+	dc, dp := c.split(dst)
+	path := []int{src}
+	corner, pos := sc, sp
+	// Pass over dimensions pos, pos+1, ..., pos+d-1 cyclically, crossing
+	// where needed. This fixes all differing bits in at most 2d hops.
+	for i := 0; i < c.d; i++ {
+		if corner&(1<<uint(pos)) != dc&(1<<uint(pos)) {
+			corner ^= 1 << uint(pos)
+			path = append(path, c.node(corner, pos))
+		}
+		if corner == dc && pos == dp {
+			return path
+		}
+		// Advance along the cycle toward the next dimension, unless we are
+		// done crossing and should head straight for dp.
+		if corner == dc {
+			break
+		}
+		pos = (pos + 1) % c.d
+		path = append(path, c.node(corner, pos))
+	}
+	// Same corner: walk the cycle the short way to dp.
+	for pos != dp {
+		forward := (dp - pos + c.d) % c.d
+		if forward <= c.d-forward {
+			pos = (pos + 1) % c.d
+		} else {
+			pos = (pos - 1 + c.d) % c.d
+		}
+		path = append(path, c.node(corner, pos))
+	}
+	return path
+}
+
+var _ Network = (*CCC)(nil)

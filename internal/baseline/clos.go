@@ -1,0 +1,136 @@
+package baseline
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fattree/internal/decomp"
+	"fattree/internal/vlsi"
+)
+
+// Clos is the k-ary folded-Clos "fat-tree" that Leiserson's construction
+// evolved into in datacenter networks (Al-Fares et al. style): k pods, each
+// with k/2 edge and k/2 aggregation switches, (k/2)² core switches, and
+// n = k³/4 processors — constant-radix switches everywhere, full bisection
+// bandwidth, and multipath routing collapsed here to a deterministic
+// destination-based path choice. It plays the role of a modern comparator:
+// the binary fat-tree with w = n root capacity offers the same bisection
+// from variable-width switches, and Theorem 10 covers both.
+type Clos struct {
+	k    int // switch radix (even, >= 4)
+	n    int // processors = k³/4
+	half int // k/2
+	// ecmp, when non-nil, randomizes the upward path choice per message
+	// (ECMP-style multipath); nil keeps the deterministic destination-based
+	// choice.
+	ecmp *rand.Rand
+}
+
+// NewClos builds the k-ary folded-Clos network on n = k³/4 processors
+// (k = 4 → 16, k = 8 → 128, k = 16 → 1024). It panics unless n matches some
+// even k >= 4.
+func NewClos(n int) *Clos {
+	for k := 4; k <= 64; k += 2 {
+		if k*k*k/4 == n {
+			return &Clos{k: k, n: n, half: k / 2}
+		}
+		if k*k*k/4 > n {
+			break
+		}
+	}
+	panic(fmt.Sprintf("baseline: Clos needs n = k³/4 for even k >= 4 (16, 54, 128, 250, ...), got %d", n))
+}
+
+// NewClosECMP builds the same fabric with randomized upward path selection:
+// each message independently picks its aggregation and core switch among the
+// valid choices (any core reaches any pod in a folded Clos). This is the
+// equal-cost multipath load balancing real deployments use; the seeded
+// generator keeps runs reproducible.
+func NewClosECMP(n int, seed int64) *Clos {
+	c := NewClos(n)
+	c.ecmp = rand.New(rand.NewSource(seed))
+	return c
+}
+
+// Name returns "clos".
+func (c *Clos) Name() string { return "clos" }
+
+// Radix returns the switch radix k.
+func (c *Clos) Radix() int { return c.k }
+
+// Node numbering: processors [0, n), then edge switches (k·k/2), then
+// aggregation switches (k·k/2), then core switches ((k/2)²).
+func (c *Clos) edgeNode(pod, e int) int { return c.n + pod*c.half + e }
+func (c *Clos) aggNode(pod, a int) int  { return c.n + c.k*c.half + pod*c.half + a }
+func (c *Clos) coreNode(a, j int) int   { return c.n + 2*c.k*c.half + a*c.half + j }
+
+// Nodes returns processors plus switches.
+func (c *Clos) Nodes() int { return c.n + 2*c.k*c.half + c.half*c.half }
+
+// Procs returns n = k³/4.
+func (c *Clos) Procs() int { return c.n }
+
+// ProcNode is the identity for processors.
+func (c *Clos) ProcNode(p int) int { return p }
+
+// Degree returns the switch radix k.
+func (c *Clos) Degree() int { return c.k }
+
+// BisectionWidth returns n/2: full bisection bandwidth, the headline feature
+// of the folded Clos.
+func (c *Clos) BisectionWidth() int { return c.n / 2 }
+
+// Volume returns Θ(n^(3/2)), forced by the full bisection exactly as for the
+// hypercube and the w = n binary fat-tree.
+func (c *Clos) Volume() float64 { return vlsi.HypercubeVolume(c.n) }
+
+// Layout places the processors on a grid filling the Clos volume.
+func (c *Clos) Layout() *decomp.Layout { return decomp.GridLayout(c.n, c.Volume()) }
+
+// coords decomposes a processor id into (pod, edge, position).
+func (c *Clos) coords(p int) (pod, edge, pos int) {
+	perPod := c.half * c.half
+	return p / perPod, (p % perPod) / c.half, p % c.half
+}
+
+// Route is destination-based deterministic multipath: the aggregation switch
+// is chosen by the destination's position and the core switch by the
+// destination's edge index, so down-paths are unique and up-traffic to
+// different destinations spreads over the fabric.
+func (c *Clos) Route(src, dst int) []int {
+	sPod, sEdge, _ := c.coords(src)
+	dPod, dEdge, dPos := c.coords(dst)
+	path := []int{src, c.edgeNode(sPod, sEdge)}
+	switch {
+	case sPod == dPod && sEdge == dEdge:
+		// Same edge switch.
+	case sPod == dPod:
+		// Same pod: up to an aggregation switch (destination-chosen, or any
+		// under ECMP), down to the destination edge.
+		a := dPos
+		if c.ecmp != nil {
+			a = c.ecmp.Intn(c.half)
+		}
+		path = append(path, c.aggNode(sPod, a), c.edgeNode(dPod, dEdge))
+	default:
+		// Cross-pod: up to aggregation a, core (a, j), down into the
+		// destination pod. Any (a, j) reaches any pod in a folded Clos, so
+		// ECMP may pick both freely.
+		a, j := dPos, dEdge
+		if c.ecmp != nil {
+			a, j = c.ecmp.Intn(c.half), c.ecmp.Intn(c.half)
+		}
+		path = append(path,
+			c.aggNode(sPod, a),
+			c.coreNode(a, j),
+			c.aggNode(dPod, a),
+			c.edgeNode(dPod, dEdge))
+	}
+	return append(path, dst)
+}
+
+var _ Network = (*Clos)(nil)
+
+// SwitchCount returns the number of switches (edge + aggregation + core),
+// for the hardware comparison tables.
+func (c *Clos) SwitchCount() int { return 2*c.k*c.half + c.half*c.half }

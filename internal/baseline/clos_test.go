@@ -1,0 +1,143 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+
+	"fattree/internal/core"
+	"fattree/internal/vlsi"
+	"fattree/internal/workload"
+)
+
+func TestClosSizes(t *testing.T) {
+	if c := NewClos(16); c.Radix() != 4 || c.SwitchCount() != 20 {
+		t.Errorf("Clos(16): radix %d switches %d", c.Radix(), c.SwitchCount())
+	}
+	if c := NewClos(128); c.Radix() != 8 || c.SwitchCount() != 80 {
+		t.Errorf("Clos(128): radix %d switches %d", c.Radix(), c.SwitchCount())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Errorf("Clos(100) should panic")
+		}
+	}()
+	NewClos(100)
+}
+
+func TestClosRouteShapes(t *testing.T) {
+	c := NewClos(128) // k=8
+	// Same edge switch: 3 nodes.
+	if path := c.Route(0, 1); len(path) != 3 {
+		t.Errorf("same-edge path %v", path)
+	}
+	// Same pod, different edge: 5 nodes.
+	if path := c.Route(0, 5); len(path) != 5 {
+		t.Errorf("same-pod path %v", path)
+	}
+	// Cross pod: 7 nodes.
+	if path := c.Route(0, 127); len(path) != 7 {
+		t.Errorf("cross-pod path %v", path)
+	}
+}
+
+func TestClosRoutesValid(t *testing.T) {
+	c := NewClos(128)
+	ms := workload.Random(128, 500, 1)
+	if err := ValidateRoutes(c, ms); err != nil {
+		t.Fatalf("%v", err)
+	}
+	// Node id ranges respected.
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 300; trial++ {
+		s, d := rng.Intn(128), rng.Intn(128)
+		if s == d {
+			continue
+		}
+		for _, v := range c.Route(s, d) {
+			if v < 0 || v >= c.Nodes() {
+				t.Fatalf("node %d out of range", v)
+			}
+		}
+	}
+}
+
+func TestClosDownPathsUnique(t *testing.T) {
+	// From any core switch, the path to a destination is unique: two routes
+	// to the same destination must coincide from their first shared node on.
+	c := NewClos(128)
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		dst := rng.Intn(128)
+		s1, s2 := rng.Intn(128), rng.Intn(128)
+		if s1 == dst || s2 == dst {
+			continue
+		}
+		p1, p2 := c.Route(s1, dst), c.Route(s2, dst)
+		// Compare suffixes after the first common node.
+		common := map[int]int{}
+		for i, v := range p1 {
+			common[v] = i
+		}
+		for j, v := range p2 {
+			if i, ok := common[v]; ok {
+				// Suffixes must match.
+				for a, b := i, j; a < len(p1) && b < len(p2); a, b = a+1, b+1 {
+					if p1[a] != p2[b] {
+						t.Fatalf("down paths diverge after shared node %d", v)
+					}
+				}
+				break
+			}
+		}
+	}
+}
+
+func TestClosDelivery(t *testing.T) {
+	c := NewClos(128)
+	ms := workload.RandomPermutation(128, 5)
+	res := Deliver(c, ms)
+	if res.Cycles < res.MaxPathLen {
+		t.Errorf("cycles %d below path bound %d", res.Cycles, res.MaxPathLen)
+	}
+	// Full-bisection fabric: random permutations should not congest badly.
+	if res.Congestion > 8 {
+		t.Errorf("unexpectedly high congestion %d on a full-bisection Clos", res.Congestion)
+	}
+}
+
+func TestClosFullBisection(t *testing.T) {
+	c := NewClos(128)
+	if c.BisectionWidth() != 64 {
+		t.Errorf("bisection %d, want 64", c.BisectionWidth())
+	}
+	if c.Volume() != vlsi.HypercubeVolume(128) {
+		t.Errorf("volume should match the full-bisection figure")
+	}
+	if err := c.Layout().Validate(); err != nil {
+		t.Errorf("layout: %v", err)
+	}
+}
+
+func TestClosECMPSpreadsLoad(t *testing.T) {
+	// Adversarial pattern for the deterministic choice: every processor of
+	// pod 0 sends to the (edge 0, pos 0) processor of a distinct other pod —
+	// all deterministic routes share aggregation position 0, while ECMP
+	// spreads them over all k/2 aggregation switches.
+	n := 128 // k = 8, 16 procs/pod, 7 other pods
+	var ms core.MessageSet
+	perPod := 16
+	for i := 0; i < 7; i++ {
+		src := i                // a processor in pod 0
+		dst := (i + 1) * perPod // (edge 0, pos 0) of pod i+1
+		ms = append(ms, core.Message{Src: src, Dst: dst})
+		ms = append(ms, core.Message{Src: src + 8, Dst: dst})
+	}
+	det := Deliver(NewClos(n), ms)
+	ecmp := Deliver(NewClosECMP(n, 7), ms)
+	if ecmp.Congestion >= det.Congestion {
+		t.Errorf("ECMP congestion %d not below deterministic %d", ecmp.Congestion, det.Congestion)
+	}
+	if err := ValidateRoutes(NewClosECMP(n, 9), ms); err != nil {
+		t.Fatalf("ECMP routes invalid: %v", err)
+	}
+}

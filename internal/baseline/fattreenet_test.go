@@ -1,0 +1,58 @@
+package baseline
+
+import (
+	"testing"
+
+	"fattree/internal/core"
+	"fattree/internal/workload"
+)
+
+func TestFatTreeNetworkRoutes(t *testing.T) {
+	ft := core.NewUniversal(64, 16)
+	net := NewFatTreeNetwork(ft)
+	ms := core.Concat(workload.RandomPermutation(64, 1), workload.KLocal(64, 100, 4, 2))
+	if err := ValidateRoutes(net, ms); err != nil {
+		t.Fatalf("%v", err)
+	}
+	// Sibling route: leaf, parent, leaf.
+	path := net.Route(0, 1)
+	if len(path) != 3 || path[0] != 64 || path[1] != 32 || path[2] != 65 {
+		t.Errorf("sibling route %v", path)
+	}
+	// Cross-root route touches the root (node 1).
+	path = net.Route(0, 63)
+	touchedRoot := false
+	for _, v := range path {
+		if v == 1 {
+			touchedRoot = true
+		}
+	}
+	if !touchedRoot {
+		t.Errorf("cross-root route misses the root: %v", path)
+	}
+}
+
+func TestFatTreeNetworkDelivery(t *testing.T) {
+	net := NewFatTreeNetwork(core.NewUniversal(32, 8))
+	res := Deliver(net, workload.RandomPermutation(32, 5))
+	if res.Cycles < res.MaxPathLen {
+		t.Errorf("cycles %d below path bound %d", res.Cycles, res.MaxPathLen)
+	}
+}
+
+func TestFatTreeNetworkGeometry(t *testing.T) {
+	ft := core.NewUniversal(64, 16)
+	net := NewFatTreeNetwork(ft)
+	if net.Volume() <= 0 {
+		t.Fatalf("non-positive volume")
+	}
+	if err := net.Layout().Validate(); err != nil {
+		t.Fatalf("layout: %v", err)
+	}
+	if net.BisectionWidth() != 2*core.UniversalCapacity(64, 16, 1) {
+		t.Errorf("bisection %d", net.BisectionWidth())
+	}
+	if net.Procs() != 64 || net.ProcNode(3) != 67 {
+		t.Errorf("processor mapping wrong")
+	}
+}

@@ -1,0 +1,60 @@
+package baseline
+
+import (
+	"math/bits"
+
+	"fattree/internal/decomp"
+	"fattree/internal/vlsi"
+)
+
+// Hypercube is the Boolean d-cube on n = 2^d processors, one processor per
+// node, with e-cube (dimension-ordered) routing. Its bisection width is n/2,
+// which is what makes it powerful and also what costs it Θ(n^(3/2)) physical
+// volume — the wirability and packaging problem the paper opens with.
+type Hypercube struct {
+	n, d int
+}
+
+// NewHypercube builds a hypercube on n = 2^d processors.
+func NewHypercube(n int) *Hypercube {
+	requirePow2("hypercube", n)
+	return &Hypercube{n: n, d: bits.Len(uint(n)) - 1}
+}
+
+// Name returns "hypercube".
+func (h *Hypercube) Name() string { return "hypercube" }
+
+// Nodes returns n (every node is a processor).
+func (h *Hypercube) Nodes() int { return h.n }
+
+// Procs returns n.
+func (h *Hypercube) Procs() int { return h.n }
+
+// ProcNode is the identity: processor p is node p.
+func (h *Hypercube) ProcNode(p int) int { return p }
+
+// Degree returns d = lg n.
+func (h *Hypercube) Degree() int { return h.d }
+
+// BisectionWidth returns n/2 (the dimension-d/2 cut).
+func (h *Hypercube) BisectionWidth() int { return h.n / 2 }
+
+// Volume returns Θ(n^(3/2)).
+func (h *Hypercube) Volume() float64 { return vlsi.HypercubeVolume(h.n) }
+
+// Layout places the processors on a grid filling the hypercube's volume.
+func (h *Hypercube) Layout() *decomp.Layout { return decomp.GridLayout(h.n, h.Volume()) }
+
+// Route performs e-cube routing: correct the differing address bits from
+// least significant to most significant.
+func (h *Hypercube) Route(src, dst int) []int {
+	path := []int{src}
+	cur := src
+	for cur != dst {
+		diff := cur ^ dst
+		bit := diff & -diff // lowest set bit
+		cur ^= bit
+		path = append(path, cur)
+	}
+	return path
+}

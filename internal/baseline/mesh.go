@@ -1,0 +1,79 @@
+package baseline
+
+import (
+	"fmt"
+
+	"fattree/internal/decomp"
+	"fattree/internal/vlsi"
+)
+
+// Mesh is the k×k two-dimensional array on n = k² processors with XY
+// (dimension-ordered) routing: first along the row, then along the column.
+// Its bisection width is k = sqrt(n) and its volume Θ(n) — the hardware-cheap
+// but non-universal network of Section VI, which exhibits polynomial slowdown
+// when simulating other networks.
+type Mesh struct {
+	k int
+}
+
+// NewMesh builds a k×k mesh on n = k² processors; n must be a perfect square
+// with k >= 2.
+func NewMesh(n int) *Mesh {
+	k := 1
+	for k*k < n {
+		k++
+	}
+	if k*k != n || k < 2 {
+		panic(fmt.Sprintf("baseline: mesh needs a perfect-square n >= 4, got %d", n))
+	}
+	return &Mesh{k: k}
+}
+
+// Name returns "mesh".
+func (m *Mesh) Name() string { return "mesh" }
+
+// Nodes returns k².
+func (m *Mesh) Nodes() int { return m.k * m.k }
+
+// Procs returns k².
+func (m *Mesh) Procs() int { return m.k * m.k }
+
+// ProcNode is the identity.
+func (m *Mesh) ProcNode(p int) int { return p }
+
+// Degree returns 4.
+func (m *Mesh) Degree() int { return 4 }
+
+// BisectionWidth returns k.
+func (m *Mesh) BisectionWidth() int { return m.k }
+
+// Volume returns Θ(n).
+func (m *Mesh) Volume() float64 { return vlsi.MeshVolume(m.k * m.k) }
+
+// Layout places the processors on a grid filling the mesh's volume.
+func (m *Mesh) Layout() *decomp.Layout { return decomp.GridLayout(m.k*m.k, m.Volume()) }
+
+// Route performs XY routing from src to dst (row-major node numbering).
+func (m *Mesh) Route(src, dst int) []int {
+	sr, sc := src/m.k, src%m.k
+	dr, dc := dst/m.k, dst%m.k
+	path := []int{src}
+	r, c := sr, sc
+	for c != dc {
+		if c < dc {
+			c++
+		} else {
+			c--
+		}
+		path = append(path, r*m.k+c)
+	}
+	for r != dr {
+		if r < dr {
+			r++
+		} else {
+			r--
+		}
+		path = append(path, r*m.k+c)
+	}
+	return path
+}

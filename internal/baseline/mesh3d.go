@@ -1,0 +1,85 @@
+package baseline
+
+import (
+	"fmt"
+
+	"fattree/internal/decomp"
+)
+
+// Mesh3D is the k×k×k three-dimensional array — the direct network that makes
+// fullest use of the paper's 3-D VLSI model: n processors in Θ(n) volume with
+// bisection Θ(n^(2/3)), the same order as the root capacity of the
+// volume-matched universal fat-tree. It is the strongest "cheap" competitor:
+// matched bandwidth at scale, but Θ(k) = Θ(n^(1/3)) latency on global
+// traffic where the fat-tree pays only O(lg n).
+type Mesh3D struct {
+	k int
+}
+
+// NewMesh3D builds a k×k×k mesh on n = k³ processors.
+func NewMesh3D(n int) *Mesh3D {
+	k := 1
+	for k*k*k < n {
+		k++
+	}
+	if k*k*k != n || k < 2 {
+		panic(fmt.Sprintf("baseline: 3-D mesh needs a perfect-cube n >= 8, got %d", n))
+	}
+	return &Mesh3D{k: k}
+}
+
+// Name returns "mesh3d".
+func (m *Mesh3D) Name() string { return "mesh3d" }
+
+// Nodes returns k³.
+func (m *Mesh3D) Nodes() int { return m.k * m.k * m.k }
+
+// Procs returns k³.
+func (m *Mesh3D) Procs() int { return m.Nodes() }
+
+// ProcNode is the identity.
+func (m *Mesh3D) ProcNode(p int) int { return p }
+
+// Degree returns 6.
+func (m *Mesh3D) Degree() int { return 6 }
+
+// BisectionWidth returns k² = n^(2/3).
+func (m *Mesh3D) BisectionWidth() int { return m.k * m.k }
+
+// Volume returns Θ(n): the mesh embeds isometrically in its own cube.
+func (m *Mesh3D) Volume() float64 { return float64(m.Nodes()) }
+
+// Layout is the identity embedding: processor (x, y, z) at that grid cell.
+func (m *Mesh3D) Layout() *decomp.Layout {
+	return decomp.GridLayout(m.Nodes(), m.Volume())
+}
+
+// Route performs XYZ dimension-ordered routing.
+func (m *Mesh3D) Route(src, dst int) []int {
+	k := m.k
+	sx, sy, sz := src%k, (src/k)%k, src/(k*k)
+	dx, dy, dz := dst%k, (dst/k)%k, dst/(k*k)
+	path := []int{src}
+	x, y, z := sx, sy, sz
+	step := func(cur, target int) int {
+		if cur < target {
+			return cur + 1
+		}
+		return cur - 1
+	}
+	for x != dx {
+		x = step(x, dx)
+		path = append(path, z*k*k+y*k+x)
+	}
+	for y != dy {
+		y = step(y, dy)
+		path = append(path, z*k*k+y*k+x)
+	}
+	for z != dz {
+		z = step(z, dz)
+		path = append(path, z*k*k+y*k+x)
+	}
+	return path
+}
+
+var _ Network = (*Mesh3D)(nil)

@@ -1,0 +1,199 @@
+// Package baseline implements the fixed-connection networks the paper
+// measures fat-trees against: the Boolean hypercube (the basis of "most
+// networks that have been proposed for parallel processing"), the
+// two-dimensional mesh and the simple binary tree (the non-universal networks
+// of Section VI), the butterfly, and the shuffle-exchange network of
+// Schwartz's ultracomputer. Each network knows its routing paths, bisection
+// width, 3-D VLSI volume, and a physical layout for the Section V
+// decomposition machinery; a store-and-forward simulator delivers message
+// sets under per-link contention to obtain the time t that Theorem 10
+// compares against.
+package baseline
+
+import (
+	"fmt"
+
+	"fattree/internal/core"
+	"fattree/internal/decomp"
+)
+
+// Network is a fixed-connection routing network. Graph nodes are numbered
+// 0..Nodes()-1; processors are a subset of the nodes (for processor-per-node
+// networks the two coincide). Routing is deterministic and oblivious: every
+// (source, destination) pair has one path.
+type Network interface {
+	// Name identifies the topology ("hypercube", "mesh", ...).
+	Name() string
+	// Nodes returns the number of graph nodes (switches and processors).
+	Nodes() int
+	// Procs returns the number of processors.
+	Procs() int
+	// ProcNode returns the graph node hosting processor p.
+	ProcNode(p int) int
+	// Route returns the node path of a message from processor src to
+	// processor dst, inclusive of both endpoints. Consecutive nodes are
+	// physically linked.
+	Route(src, dst int) []int
+	// Degree returns the maximum node degree.
+	Degree() int
+	// BisectionWidth returns the number of links crossing a halving of the
+	// processors.
+	BisectionWidth() int
+	// Volume returns the network's 3-D VLSI volume (normalized units).
+	Volume() float64
+	// Layout places the processors in a cube of the network's volume.
+	Layout() *decomp.Layout
+}
+
+// Result summarizes a store-and-forward delivery of a message set.
+type Result struct {
+	// Cycles is the number of unit-time steps until every message arrived,
+	// with each directed link carrying at most one message per step.
+	Cycles int
+	// Congestion is the maximum number of routes sharing one directed link —
+	// a lower bound on Cycles.
+	Congestion int
+	// MaxPathLen is the longest route, in hops — also a lower bound.
+	MaxPathLen int
+	// TotalHops is the sum of route lengths.
+	TotalHops int
+}
+
+// link is a directed physical link.
+type link struct{ from, to int }
+
+// Deliver simulates store-and-forward delivery of ms on net: each message
+// follows its deterministic route; in each cycle every directed link moves at
+// most one queued message (FIFO). It returns the cycle count and congestion
+// statistics. Deliver panics if a route is malformed (self-link or empty) or
+// if delivery exceeds a generous livelock bound, which a correct FIFO network
+// cannot reach.
+func Deliver(net Network, ms core.MessageSet) Result {
+	type flight struct {
+		path []int
+		hop  int // next link to traverse is path[hop] -> path[hop+1]
+	}
+	flights := make([]flight, 0, len(ms))
+	res := Result{}
+	linkLoad := make(map[link]int)
+	queues := make(map[link][]int) // FIFO of flight indices
+
+	for _, m := range ms {
+		if m.IsExternal() {
+			panic(fmt.Sprintf("baseline: %v: fixed-connection networks have no external interface", m))
+		}
+		path := net.Route(m.Src, m.Dst)
+		if len(path) < 2 {
+			panic(fmt.Sprintf("baseline: route %v for %v too short", path, m))
+		}
+		for i := 0; i+1 < len(path); i++ {
+			if path[i] == path[i+1] {
+				panic(fmt.Sprintf("baseline: self-link in route for %v", m))
+			}
+			linkLoad[link{path[i], path[i+1]}]++
+		}
+		if len(path)-1 > res.MaxPathLen {
+			res.MaxPathLen = len(path) - 1
+		}
+		res.TotalHops += len(path) - 1
+		flights = append(flights, flight{path: path})
+	}
+	for _, c := range linkLoad {
+		if c > res.Congestion {
+			res.Congestion = c
+		}
+	}
+	if len(flights) == 0 {
+		return res
+	}
+
+	// Register every link used by some route in deterministic (first-seen)
+	// order, so the per-cycle sweep below is reproducible.
+	var linkOrder []link
+	for i := range flights {
+		f := &flights[i]
+		for h := 0; h+1 < len(f.path); h++ {
+			l := link{f.path[h], f.path[h+1]}
+			if _, seen := queues[l]; !seen {
+				queues[l] = nil
+				linkOrder = append(linkOrder, l)
+			}
+		}
+	}
+	// Seed the queues.
+	for i := range flights {
+		f := &flights[i]
+		l := link{f.path[0], f.path[1]}
+		queues[l] = append(queues[l], i)
+	}
+
+	remaining := len(flights)
+	// Livelock bound: every cycle at least one message advances in a FIFO
+	// store-and-forward network, so total hops cycles suffice.
+	bound := res.TotalHops + 1
+	for cycle := 1; cycle <= bound; cycle++ {
+		type arrival struct {
+			idx int
+			l   link
+		}
+		var arrivals []arrival
+		for _, l := range linkOrder {
+			q := queues[l]
+			if len(q) == 0 {
+				continue
+			}
+			idx := q[0]
+			queues[l] = q[1:]
+			f := &flights[idx]
+			f.hop++
+			if f.hop+1 < len(f.path) {
+				arrivals = append(arrivals, arrival{idx, link{f.path[f.hop], f.path[f.hop+1]}})
+			} else {
+				remaining--
+			}
+		}
+		for _, a := range arrivals {
+			queues[a.l] = append(queues[a.l], a.idx)
+		}
+		if remaining == 0 {
+			res.Cycles = cycle
+			return res
+		}
+	}
+	panic("baseline: delivery exceeded the livelock bound (simulator bug)")
+}
+
+// ValidateRoutes checks, for every message of ms, that the network's route
+// starts at the source's node, ends at the destination's node, and contains
+// no self-hops. Immediate backtracking (a→b→a) is permitted because some
+// oblivious schedules — shuffle-exchange routing across a stalled shuffle of
+// the all-zeros or all-ones address — legitimately revisit a node.
+func ValidateRoutes(net Network, ms core.MessageSet) error {
+	for _, m := range ms {
+		path := net.Route(m.Src, m.Dst)
+		if len(path) == 0 {
+			return fmt.Errorf("baseline: empty route for %v", m)
+		}
+		if path[0] != net.ProcNode(m.Src) {
+			return fmt.Errorf("baseline: route for %v starts at node %d, not processor node %d",
+				m, path[0], net.ProcNode(m.Src))
+		}
+		if path[len(path)-1] != net.ProcNode(m.Dst) {
+			return fmt.Errorf("baseline: route for %v ends at node %d, not processor node %d",
+				m, path[len(path)-1], net.ProcNode(m.Dst))
+		}
+		for i := 1; i < len(path); i++ {
+			if path[i] == path[i-1] {
+				return fmt.Errorf("baseline: route for %v stalls at hop %d", m, i)
+			}
+		}
+	}
+	return nil
+}
+
+// requirePow2 panics unless n is a power of two >= 2.
+func requirePow2(who string, n int) {
+	if n < 2 || n&(n-1) != 0 {
+		panic(fmt.Sprintf("baseline: %s needs a power-of-two size >= 2, got %d", who, n))
+	}
+}

@@ -1,0 +1,100 @@
+package baseline
+
+import (
+	"math/bits"
+
+	"fattree/internal/decomp"
+	"fattree/internal/vlsi"
+)
+
+// ShuffleExchange is Stone's perfect-shuffle network on n = 2^d processors:
+// each node r links to shuffle(r) (cyclic left rotation of the address bits)
+// and to exchange(r) = r ^ 1. It underlies Schwartz's ultracomputer, whose
+// "very large number of intercabinet wires" the paper quotes as the wiring
+// problem fat-trees address. Routing uses the standard d-step
+// shuffle-then-maybe-exchange schedule.
+type ShuffleExchange struct {
+	n, d int
+}
+
+// NewShuffleExchange builds the network on n = 2^d processors.
+func NewShuffleExchange(n int) *ShuffleExchange {
+	requirePow2("shuffle-exchange", n)
+	return &ShuffleExchange{n: n, d: bits.Len(uint(n)) - 1}
+}
+
+// Name returns "shuffle-exchange".
+func (s *ShuffleExchange) Name() string { return "shuffle-exchange" }
+
+// Nodes returns n.
+func (s *ShuffleExchange) Nodes() int { return s.n }
+
+// Procs returns n.
+func (s *ShuffleExchange) Procs() int { return s.n }
+
+// ProcNode is the identity.
+func (s *ShuffleExchange) ProcNode(p int) int { return p }
+
+// Degree returns 3 (shuffle out, shuffle in, exchange).
+func (s *ShuffleExchange) Degree() int { return 3 }
+
+// BisectionWidth returns Θ(n/lg n), the known shuffle-exchange bisection.
+func (s *ShuffleExchange) BisectionWidth() int {
+	w := s.n / (2 * s.d)
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Volume returns the same wiring-dominated figure as the butterfly:
+// max(n·lg n switches are not needed here, so n, and bisection^(3/2)).
+func (s *ShuffleExchange) Volume() float64 {
+	v := vlsi.VolumeLowerBoundFromBisection(s.n, s.BisectionWidth())
+	return v
+}
+
+// Layout places the processors on a grid filling the network's volume.
+func (s *ShuffleExchange) Layout() *decomp.Layout { return decomp.GridLayout(s.n, s.Volume()) }
+
+// shuffle rotates the d address bits left by one.
+func (s *ShuffleExchange) shuffle(r int) int {
+	return ((r << 1) | (r >> uint(s.d-1))) & (s.n - 1)
+}
+
+// Route uses the classical schedule: d rounds, each an optional exchange (to
+// set the low bit) followed by a shuffle. The bit written at round i is then
+// rotated left d-i times, ending at position (d-i) mod d, so it must equal
+// that bit of the destination; no later round clobbers it because a written
+// bit only returns to position 0 at the very end.
+func (s *ShuffleExchange) Route(src, dst int) []int {
+	path := []int{src}
+	cur := src
+	for i := 0; i < s.d; i++ {
+		want := (dst >> uint((s.d-i)%s.d)) & 1
+		if cur&1 != want {
+			cur ^= 1
+			path = append(path, cur)
+		}
+		cur = s.shuffle(cur)
+		path = append(path, cur)
+	}
+	// Remove a possible duplicate tail when cur revisits dst consecutively
+	// (cannot happen: shuffle always moves unless cur is 00..0 or 11..1).
+	if cur != dst {
+		panic("baseline: shuffle-exchange routing failed (bug)")
+	}
+	return compressStalls(path)
+}
+
+// compressStalls removes consecutive duplicate nodes from a path (shuffling
+// the all-zeros or all-ones address is a self-loop).
+func compressStalls(path []int) []int {
+	out := path[:1]
+	for _, v := range path[1:] {
+		if v != out[len(out)-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}

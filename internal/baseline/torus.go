@@ -1,0 +1,80 @@
+package baseline
+
+import (
+	"fmt"
+
+	"fattree/internal/decomp"
+	"fattree/internal/vlsi"
+)
+
+// Torus is the k×k two-dimensional torus (wraparound mesh): the mesh's
+// boundary problem fixed at the cost of long wraparound wires. Bisection is
+// 2k; volume stays Θ(n) in the 3-D model (wraparound links fold into the
+// third dimension).
+type Torus struct {
+	k int
+}
+
+// NewTorus builds a k×k torus on n = k² processors.
+func NewTorus(n int) *Torus {
+	k := 1
+	for k*k < n {
+		k++
+	}
+	if k*k != n || k < 3 {
+		panic(fmt.Sprintf("baseline: torus needs a perfect-square n >= 9, got %d", n))
+	}
+	return &Torus{k: k}
+}
+
+// Name returns "torus".
+func (t *Torus) Name() string { return "torus" }
+
+// Nodes returns k².
+func (t *Torus) Nodes() int { return t.k * t.k }
+
+// Procs returns k².
+func (t *Torus) Procs() int { return t.k * t.k }
+
+// ProcNode is the identity.
+func (t *Torus) ProcNode(p int) int { return p }
+
+// Degree returns 4.
+func (t *Torus) Degree() int { return 4 }
+
+// BisectionWidth returns 2k (each of the k rows contributes two crossing
+// links thanks to the wraparound).
+func (t *Torus) BisectionWidth() int { return 2 * t.k }
+
+// Volume returns Θ(n).
+func (t *Torus) Volume() float64 { return 1.5 * vlsi.MeshVolume(t.k*t.k) }
+
+// Layout places the processors on a grid filling the torus's volume.
+func (t *Torus) Layout() *decomp.Layout { return decomp.GridLayout(t.k*t.k, t.Volume()) }
+
+// Route performs dimension-ordered routing along the shorter way around each
+// ring.
+func (t *Torus) Route(src, dst int) []int {
+	sr, sc := src/t.k, src%t.k
+	dr, dc := dst/t.k, dst%t.k
+	path := []int{src}
+	r, c := sr, sc
+	stepRing := func(cur, target int) int {
+		forward := (target - cur + t.k) % t.k
+		if forward != 0 && forward <= t.k-forward {
+			return (cur + 1) % t.k
+		}
+		return (cur - 1 + t.k) % t.k
+	}
+	for c != dc {
+		c = stepRing(c, dc)
+		path = append(path, r*t.k+c)
+	}
+	for r != dr {
+		r = stepRing(r, dr)
+		path = append(path, r*t.k+c)
+	}
+	return path
+}
+
+var _ Network = (*Torus)(nil)

@@ -1,0 +1,130 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+
+	"fattree/internal/workload"
+)
+
+func TestTorusRouteShortestRing(t *testing.T) {
+	to := NewTorus(64) // 8x8
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 300; trial++ {
+		s, d := rng.Intn(64), rng.Intn(64)
+		if s == d {
+			continue
+		}
+		path := to.Route(s, d)
+		if path[0] != s || path[len(path)-1] != d {
+			t.Fatalf("endpoints wrong for %d->%d: %v", s, d, path)
+		}
+		// Ring distance per dimension.
+		ringDist := func(a, b int) int {
+			f := (b - a + 8) % 8
+			if f > 8-f {
+				return 8 - f
+			}
+			return f
+		}
+		want := ringDist(s%8, d%8) + ringDist(s/8, d/8)
+		if len(path)-1 != want {
+			t.Fatalf("%d->%d: %d hops, want %d", s, d, len(path)-1, want)
+		}
+		// Adjacency: each hop moves one step in exactly one ring.
+		for i := 1; i < len(path); i++ {
+			ur, uc := path[i-1]/8, path[i-1]%8
+			vr, vc := path[i]/8, path[i]%8
+			rowStep := ringDist(ur, vr)
+			colStep := ringDist(uc, vc)
+			if rowStep+colStep != 1 {
+				t.Fatalf("non-adjacent torus hop %d->%d", path[i-1], path[i])
+			}
+		}
+	}
+}
+
+func TestTorusBeatsMeshOnWraparound(t *testing.T) {
+	// Corner-to-corner traffic: torus halves the distance.
+	torus := NewTorus(64)
+	mesh := NewMesh(64)
+	tPath := torus.Route(0, 63)
+	mPath := mesh.Route(0, 63)
+	if len(tPath) >= len(mPath) {
+		t.Errorf("torus path %d not shorter than mesh %d", len(tPath), len(mPath))
+	}
+	if torus.BisectionWidth() != 2*mesh.BisectionWidth() {
+		t.Errorf("torus bisection should double the mesh's")
+	}
+}
+
+func TestMesh3DRoute(t *testing.T) {
+	m := NewMesh3D(64) // 4x4x4
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 300; trial++ {
+		s, d := rng.Intn(64), rng.Intn(64)
+		if s == d {
+			continue
+		}
+		path := m.Route(s, d)
+		if path[0] != s || path[len(path)-1] != d {
+			t.Fatalf("endpoints wrong")
+		}
+		// Manhattan distance in 3-D.
+		abs3 := func(a, b int) int {
+			if a > b {
+				return a - b
+			}
+			return b - a
+		}
+		want := abs3(s%4, d%4) + abs3((s/4)%4, (d/4)%4) + abs3(s/16, d/16)
+		if len(path)-1 != want {
+			t.Fatalf("%d->%d: %d hops, want %d", s, d, len(path)-1, want)
+		}
+	}
+}
+
+func TestMesh3DBisectionMatchesFatTreeRootScale(t *testing.T) {
+	// The 3-D mesh's bisection is n^(2/3) — the same order as the root
+	// capacity of the volume-matched universal fat-tree (before the lg
+	// division). This is why it is the strongest cheap competitor.
+	m := NewMesh3D(512) // 8x8x8
+	if m.BisectionWidth() != 64 {
+		t.Errorf("bisection %d, want 64 = n^(2/3)", m.BisectionWidth())
+	}
+	if m.Volume() != 512 {
+		t.Errorf("volume %v, want 512", m.Volume())
+	}
+}
+
+func TestNewNetworksDeliver(t *testing.T) {
+	for _, net := range []Network{NewTorus(64), NewMesh3D(64)} {
+		ms := workload.RandomPermutation(64, 3)
+		if err := ValidateRoutes(net, ms); err != nil {
+			t.Fatalf("%s: %v", net.Name(), err)
+		}
+		res := Deliver(net, ms)
+		if res.Cycles < res.MaxPathLen {
+			t.Errorf("%s: cycles below path bound", net.Name())
+		}
+		if err := net.Layout().Validate(); err != nil {
+			t.Errorf("%s layout: %v", net.Name(), err)
+		}
+	}
+}
+
+func TestNewNetworksRejectBadSizes(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewTorus(10) },
+		func() { NewMesh3D(100) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("bad size accepted")
+				}
+			}()
+			f()
+		}()
+	}
+}

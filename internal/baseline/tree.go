@@ -1,0 +1,68 @@
+package baseline
+
+import (
+	"math/bits"
+
+	"fattree/internal/decomp"
+	"fattree/internal/vlsi"
+)
+
+// BinaryTree is the plain complete binary tree on n = 2^L leaf processors
+// with capacity-1 channels — a fat-tree that never got fat, and the paper's
+// canonical non-universal network: all cross-root traffic squeezes through
+// two links. Graph nodes are heap-indexed 1..2n-1 (node 0 unused); leaves are
+// n..2n-1.
+type BinaryTree struct {
+	n int
+}
+
+// NewBinaryTree builds the tree on n = 2^L processors.
+func NewBinaryTree(n int) *BinaryTree {
+	requirePow2("binary tree", n)
+	return &BinaryTree{n: n}
+}
+
+// Name returns "tree".
+func (t *BinaryTree) Name() string { return "tree" }
+
+// Nodes returns 2n (heap slots; slot 0 unused).
+func (t *BinaryTree) Nodes() int { return 2 * t.n }
+
+// Procs returns n.
+func (t *BinaryTree) Procs() int { return t.n }
+
+// ProcNode returns the leaf heap index n+p.
+func (t *BinaryTree) ProcNode(p int) int { return t.n + p }
+
+// Degree returns 3 (parent plus two children).
+func (t *BinaryTree) Degree() int { return 3 }
+
+// BisectionWidth returns 1: cutting below the root separates the halves with
+// a single link.
+func (t *BinaryTree) BisectionWidth() int { return 1 }
+
+// Volume returns Θ(n).
+func (t *BinaryTree) Volume() float64 { return vlsi.TreeVolume(t.n) }
+
+// Layout places the processors on a grid filling the tree's volume.
+func (t *BinaryTree) Layout() *decomp.Layout { return decomp.GridLayout(t.n, t.Volume()) }
+
+// Route climbs from the source leaf to the least common ancestor and descends
+// to the destination leaf.
+func (t *BinaryTree) Route(src, dst int) []int {
+	a, b := t.ProcNode(src), t.ProcNode(dst)
+	lca := a >> uint(bits.Len(uint(a^b)))
+	path := []int{}
+	for v := a; v != lca; v >>= 1 {
+		path = append(path, v)
+	}
+	path = append(path, lca)
+	var down []int
+	for v := b; v != lca; v >>= 1 {
+		down = append(down, v)
+	}
+	for i := len(down) - 1; i >= 0; i-- {
+		path = append(path, down[i])
+	}
+	return path
+}

@@ -1,0 +1,94 @@
+package concentrator
+
+import "fmt"
+
+// Cascade pastes several partial concentrator graphs together, outputs to
+// inputs, to obtain an arbitrary concentration ratio in constant depth ("by
+// pasting several of these graphs together, outputs to inputs, any constant
+// ratio of concentration can be obtained in constant depth"). Each stage
+// shrinks the wire count by the canonical factor 2/3 until the target output
+// count is reached; the final stage is built directly at the needed ratio.
+type Cascade struct {
+	stages []*Partial
+	r, s   int
+}
+
+// NewCascade builds a cascade concentrating r inputs onto s <= r outputs.
+// Stage i is a partial concentrator from w_i wires to max(s, 2w_i/3) wires.
+func NewCascade(r, s int, seed int64) *Cascade {
+	if r < 1 || s < 1 || s > r {
+		panic(fmt.Sprintf("concentrator: invalid cascade (r=%d, s=%d)", r, s))
+	}
+	c := &Cascade{r: r, s: s}
+	w := r
+	stage := int64(0)
+	for w > s {
+		next := 2 * w / 3
+		if next < s {
+			next = s
+		}
+		c.stages = append(c.stages, NewPartial(w, next, seed+stage))
+		w = next
+		stage++
+	}
+	if len(c.stages) == 0 {
+		// r == s: a single identity-capable stage keeps Route well-defined.
+		c.stages = append(c.stages, NewPartial(r, s, seed))
+	}
+	return c
+}
+
+// Inputs returns r.
+func (c *Cascade) Inputs() int { return c.r }
+
+// Outputs returns s.
+func (c *Cascade) Outputs() int { return c.s }
+
+// Depth returns the number of stages — constant for any fixed concentration
+// ratio.
+func (c *Cascade) Depth() int { return len(c.stages) }
+
+// Components sums the component counts of the stages; still O(r) because the
+// stage widths form a geometric series.
+func (c *Cascade) Components() int {
+	total := 0
+	for _, st := range c.stages {
+		total += st.Components()
+	}
+	return total
+}
+
+// Route pushes the active inputs through the stages. A message lost at any
+// stage is lost overall. It returns the final output wire per active input
+// (-1 if lost) and the total number lost.
+func (c *Cascade) Route(active []int) ([]int, int) {
+	// cur[i] = wire currently carrying active[i], or -1 once lost.
+	cur := make([]int, len(active))
+	copy(cur, active)
+	for _, st := range c.stages {
+		// Collect live wires (they are distinct by induction).
+		live := make([]int, 0, len(cur))
+		idxOf := make([]int, 0, len(cur))
+		for i, w := range cur {
+			if w >= 0 {
+				live = append(live, w)
+				idxOf = append(idxOf, i)
+			}
+		}
+		out, _ := st.Route(live)
+		for j, i := range idxOf {
+			cur[i] = out[j]
+		}
+	}
+	lost := 0
+	for _, w := range cur {
+		if w < 0 {
+			lost++
+		}
+	}
+	return cur, lost
+}
+
+var _ Concentrator = (*Ideal)(nil)
+var _ Concentrator = (*Partial)(nil)
+var _ Concentrator = (*Cascade)(nil)

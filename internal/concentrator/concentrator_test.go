@@ -1,0 +1,341 @@
+package concentrator
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestIdealNoCongestionNoLoss(t *testing.T) {
+	c := NewIdeal(12, 8)
+	out, lost := c.Route([]int{0, 3, 5, 7, 11})
+	if lost != 0 {
+		t.Fatalf("lost %d without congestion", lost)
+	}
+	seen := map[int]bool{}
+	for _, o := range out {
+		if o < 0 || o >= 8 || seen[o] {
+			t.Fatalf("bad output assignment %v", out)
+		}
+		seen[o] = true
+	}
+}
+
+func TestIdealCongestionLosesExactExcess(t *testing.T) {
+	c := NewIdeal(10, 4)
+	active := []int{0, 1, 2, 3, 4, 5, 6}
+	_, lost := c.Route(active)
+	if lost != 3 {
+		t.Fatalf("lost %d, want 3", lost)
+	}
+}
+
+func TestIdealPanicsOnBadInput(t *testing.T) {
+	c := NewIdeal(4, 2)
+	defer func() {
+		if recover() == nil {
+			t.Errorf("expected panic for out-of-range input")
+		}
+	}()
+	c.Route([]int{5})
+}
+
+func TestPartialDegreeBounds(t *testing.T) {
+	for _, r := range []int{9, 30, 90, 300} {
+		s := 2 * r / 3
+		c := NewPartial(r, s, 42)
+		if got := c.MaxInputDegree(); got > MaxInDegree {
+			t.Errorf("r=%d: input degree %d > %d", r, got, MaxInDegree)
+		}
+		if got := c.MaxOutputDegree(); got > MaxOutDegree {
+			t.Errorf("r=%d: output degree %d > %d", r, got, MaxOutDegree)
+		}
+		if c.Components() > (MaxInDegree+2)*r+2*s {
+			t.Errorf("r=%d: components %d not O(r)", r, c.Components())
+		}
+	}
+}
+
+func TestPartialConcentrationAlpha(t *testing.T) {
+	// The measured concentration constant should be comfortably positive —
+	// Pippenger's existence proof promises α = 3/4 for large r; our seeded
+	// graphs should concentrate at least half of s on these sizes.
+	for _, r := range []int{30, 90, 240} {
+		s := 2 * r / 3
+		c := NewPartial(r, s, 7)
+		alpha := c.MeasureAlpha(40, 11)
+		if alpha < 0.5 {
+			t.Errorf("r=%d: measured α = %.2f < 0.5", r, alpha)
+		}
+	}
+}
+
+func TestPartialRouteVertexDisjoint(t *testing.T) {
+	r := 60
+	c := NewPartial(r, 40, 3)
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 20; trial++ {
+		k := 1 + rng.Intn(30)
+		active := rng.Perm(r)[:k]
+		out, lost := c.Route(active)
+		used := map[int]bool{}
+		routed := 0
+		for i, o := range out {
+			if o == -1 {
+				continue
+			}
+			routed++
+			if used[o] {
+				t.Fatalf("output %d used twice", o)
+			}
+			used[o] = true
+			// The assignment must follow a real edge of the graph.
+			found := false
+			for _, v := range c.adj[active[i]] {
+				if v == o {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("input %d routed to non-adjacent output %d", active[i], o)
+			}
+		}
+		if routed+lost != k {
+			t.Fatalf("routed %d + lost %d != active %d", routed, lost, k)
+		}
+	}
+}
+
+func TestPartialRejectsDuplicates(t *testing.T) {
+	c := NewPartial(10, 7, 1)
+	defer func() {
+		if recover() == nil {
+			t.Errorf("expected panic for duplicate active input")
+		}
+	}()
+	c.Route([]int{3, 3})
+}
+
+func TestPartialSmallSizes(t *testing.T) {
+	// Degenerate sizes must not panic and must still concentrate.
+	for _, rs := range [][2]int{{1, 1}, {2, 1}, {3, 2}, {5, 5}} {
+		c := NewPartial(rs[0], rs[1], 9)
+		active := make([]int, rs[0])
+		for i := range active {
+			active[i] = i
+		}
+		out, lost := c.Route(active)
+		if len(out) != rs[0] {
+			t.Errorf("r=%d s=%d: wrong output length", rs[0], rs[1])
+		}
+		if lost > rs[0]-1 && rs[1] >= 1 {
+			t.Errorf("r=%d s=%d: everything lost", rs[0], rs[1])
+		}
+	}
+}
+
+func TestCascadeRatioAndDepth(t *testing.T) {
+	c := NewCascade(81, 16, 2)
+	if c.Inputs() != 81 || c.Outputs() != 16 {
+		t.Fatalf("cascade dims wrong: %d->%d", c.Inputs(), c.Outputs())
+	}
+	// Depth must be logarithmic in the ratio (constant for constant ratio):
+	// 81 -> 54 -> 36 -> 24 -> 16 is 4 stages.
+	if c.Depth() != 4 {
+		t.Errorf("depth = %d, want 4", c.Depth())
+	}
+	if c.Components() > 20*81 {
+		t.Errorf("cascade components %d not O(r)", c.Components())
+	}
+}
+
+func TestCascadeRoutesUnderAlphaFraction(t *testing.T) {
+	c := NewCascade(60, 20, 4)
+	rng := rand.New(rand.NewSource(8))
+	// Requesting well under the output count should mostly succeed.
+	totalLost, totalSent := 0, 0
+	for trial := 0; trial < 30; trial++ {
+		k := 1 + rng.Intn(10) // k <= 10 = s/2
+		active := rng.Perm(60)[:k]
+		out, lost := c.Route(active)
+		totalLost += lost
+		totalSent += k
+		for i, o := range out {
+			if o != -1 && (o < 0 || o >= 20) {
+				t.Fatalf("trial %d: active %d routed to invalid wire %d", trial, active[i], o)
+			}
+		}
+		// Outputs must be distinct.
+		used := map[int]bool{}
+		for _, o := range out {
+			if o == -1 {
+				continue
+			}
+			if used[o] {
+				t.Fatalf("output wire %d reused", o)
+			}
+			used[o] = true
+		}
+	}
+	if totalLost*10 > totalSent {
+		t.Errorf("cascade lost %d of %d under light load", totalLost, totalSent)
+	}
+}
+
+func TestCascadeIdentitySize(t *testing.T) {
+	c := NewCascade(8, 8, 1)
+	out, lost := c.Route([]int{0, 1, 2, 3, 4, 5, 6, 7})
+	if lost != 0 {
+		t.Errorf("r==s cascade lost %d of 8", lost)
+	}
+	_ = out
+}
+
+func TestSwitchRouting(t *testing.T) {
+	// Node with parent channels of width 4 and child channels of width 2.
+	sw := NewSwitch(4, 2, KindIdeal, 0)
+	reqs := []Request{
+		{In: Left, InWire: 0, Out: Parent},
+		{In: Left, InWire: 1, Out: Right},
+		{In: Right, InWire: 0, Out: Parent},
+		{In: Parent, InWire: 2, Out: Left},
+	}
+	out, lost := sw.Route(reqs)
+	if lost != 0 {
+		t.Fatalf("lost %d without congestion", lost)
+	}
+	for i, o := range out {
+		if o < 0 {
+			t.Errorf("request %d lost", i)
+		}
+	}
+	// The two parent-bound messages must land on distinct up wires.
+	if out[0] == out[2] {
+		t.Errorf("parent-bound messages share wire %d", out[0])
+	}
+}
+
+func TestSwitchCongestion(t *testing.T) {
+	// Parent channel width 1; both children send up: one must be lost.
+	sw := NewSwitch(1, 1, KindIdeal, 0)
+	reqs := []Request{
+		{In: Left, InWire: 0, Out: Parent},
+		{In: Right, InWire: 0, Out: Parent},
+	}
+	_, lost := sw.Route(reqs)
+	if lost != 1 {
+		t.Fatalf("lost %d, want 1", lost)
+	}
+}
+
+func TestSwitchInvariantsEnforced(t *testing.T) {
+	sw := NewSwitch(2, 2, KindIdeal, 0)
+	bad := [][]Request{
+		{{In: Left, InWire: 0, Out: Left}},                                      // turn-back
+		{{In: Left, InWire: 5, Out: Parent}},                                    // wire range
+		{{In: Left, InWire: 0, Out: Parent}, {In: Left, InWire: 0, Out: Right}}, // duplicate wire
+	}
+	for i, reqs := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			sw.Route(reqs)
+		}()
+	}
+}
+
+func TestSwitchComponentsLinear(t *testing.T) {
+	// Components must scale linearly with incident wires (Section IV: a node
+	// with m incident wires has O(m) components).
+	prev := 0
+	for _, w := range []int{4, 8, 16, 32, 64} {
+		sw := NewSwitch(w, w/2, KindPartial, 13)
+		m := sw.IncidentWires()
+		comp := sw.Components()
+		if comp > 25*m {
+			t.Errorf("w=%d: %d components for %d wires — not O(m)", w, comp, m)
+		}
+		if comp <= prev {
+			t.Errorf("components should grow with node size")
+		}
+		prev = comp
+	}
+}
+
+func TestSwitchPartialKind(t *testing.T) {
+	sw := NewSwitch(8, 4, KindPartial, 21)
+	// Light load through a partial-concentrator switch should mostly succeed.
+	reqs := []Request{
+		{In: Left, InWire: 0, Out: Parent},
+		{In: Right, InWire: 1, Out: Parent},
+		{In: Parent, InWire: 3, Out: Left},
+	}
+	out, _ := sw.Route(reqs)
+	routed := 0
+	for _, o := range out {
+		if o >= 0 {
+			routed++
+		}
+	}
+	if routed < 2 {
+		t.Errorf("partial switch routed only %d of 3 under light load", routed)
+	}
+}
+
+func TestHopcroftKarpMatchesGreedyLowerBound(t *testing.T) {
+	// Property: maximum matching size is at least any greedy matching size.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nIn, nOut := 8+rng.Intn(8), 6+rng.Intn(8)
+		adj := make([][]int, nIn)
+		for i := range adj {
+			for v := 0; v < nOut; v++ {
+				if rng.Intn(3) == 0 {
+					adj[i] = append(adj[i], v)
+				}
+			}
+		}
+		_, size := hopcroftKarp(nIn, nOut, adj)
+		// Greedy matching.
+		used := make([]bool, nOut)
+		greedy := 0
+		for _, a := range adj {
+			for _, v := range a {
+				if !used[v] {
+					used[v] = true
+					greedy++
+					break
+				}
+			}
+		}
+		return size >= greedy && size <= nIn && size <= nOut
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHopcroftKarpPerfectMatching(t *testing.T) {
+	// Complete bipartite graph K_{n,n} has a perfect matching.
+	n := 10
+	adj := make([][]int, n)
+	for i := range adj {
+		for v := 0; v < n; v++ {
+			adj[i] = append(adj[i], v)
+		}
+	}
+	matchIn, size := hopcroftKarp(n, n, adj)
+	if size != n {
+		t.Fatalf("matching size %d, want %d", size, n)
+	}
+	seen := map[int]bool{}
+	for _, v := range matchIn {
+		if v == -1 || seen[v] {
+			t.Fatalf("invalid perfect matching %v", matchIn)
+		}
+		seen[v] = true
+	}
+}

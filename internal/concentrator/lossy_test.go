@@ -1,0 +1,80 @@
+package concentrator
+
+import "testing"
+
+func TestLossyZeroRatePassesEverything(t *testing.T) {
+	inner := NewIdeal(8, 8)
+	l := NewLossy(inner, 0, 1)
+	if l.Inputs() != 8 || l.Outputs() != 8 || l.Components() != inner.Components() {
+		t.Errorf("lossy wrapper changed dimensions")
+	}
+	out, lost := l.Route([]int{0, 1, 2, 3})
+	if lost != 0 {
+		t.Errorf("zero-rate lossy lost %d", lost)
+	}
+	for i, o := range out {
+		if o < 0 {
+			t.Errorf("message %d lost at rate 0", i)
+		}
+	}
+}
+
+func TestLossyDropsAboutRate(t *testing.T) {
+	inner := NewIdeal(16, 16)
+	l := NewLossy(inner, 0.3, 7)
+	active := make([]int, 16)
+	for i := range active {
+		active[i] = i
+	}
+	totalLost, totalSent := 0, 0
+	for trial := 0; trial < 200; trial++ {
+		_, lost := l.Route(active)
+		totalLost += lost
+		totalSent += 16
+	}
+	rate := float64(totalLost) / float64(totalSent)
+	if rate < 0.2 || rate > 0.4 {
+		t.Errorf("observed loss rate %.3f, want ~0.3", rate)
+	}
+}
+
+func TestLossyRejectsBadRate(t *testing.T) {
+	for _, rate := range []float64{-0.1, 1.0, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("rate %v accepted", rate)
+				}
+			}()
+			NewLossy(NewIdeal(4, 4), rate, 1)
+		}()
+	}
+}
+
+func TestSwitchInjectLoss(t *testing.T) {
+	sw := NewSwitch(4, 2, KindIdeal, 0)
+	sw.InjectLoss(0.99, 3)
+	// At 99% corruption, most requests are lost.
+	reqs := []Request{
+		{In: Left, InWire: 0, Out: Parent},
+		{In: Right, InWire: 1, Out: Parent},
+		{In: Parent, InWire: 0, Out: Left},
+	}
+	lostTotal := 0
+	for trial := 0; trial < 50; trial++ {
+		_, lost := sw.Route(reqs)
+		lostTotal += lost
+	}
+	if lostTotal < 100 { // 150 requests total; expect ~148 lost
+		t.Errorf("only %d of 150 lost at 99%% corruption", lostTotal)
+	}
+}
+
+func TestPortString(t *testing.T) {
+	if Parent.String() != "parent" || Left.String() != "left" || Right.String() != "right" {
+		t.Errorf("port names wrong")
+	}
+	if Port(9).String() == "" {
+		t.Errorf("unknown port should still render")
+	}
+}

@@ -1,0 +1,91 @@
+// Package concentrator implements the switching circuitry inside a fat-tree
+// node (Section IV of the paper): (r,s) concentrator and (r,s,α) partial
+// concentrator graphs with the degree bounds of Pippenger's construction
+// (inputs of degree at most 6, outputs of degree at most 9), cascades of
+// partial concentrators achieving any constant concentration ratio in
+// constant depth, and the three-concentrator node switch of Fig. 3.
+//
+// The paper's concentrators are probabilistic existence results; here they
+// are seeded pseudo-random bipartite graphs whose concentration quality α is
+// *measured* by sampling rather than assumed, and routing through a
+// concentrator is maximum bipartite matching (the paper suggests network-flow
+// or per-level matchings for the off-line setting).
+package concentrator
+
+// hopcroftKarp computes a maximum matching in a bipartite graph given as
+// adjacency lists from the nInputs left vertices to right vertices
+// 0..nOutputs-1. It returns matchIn (input -> matched output or -1) and the
+// matching size. Runs in O(E·sqrt(V)).
+func hopcroftKarp(nInputs, nOutputs int, adj [][]int) (matchIn []int, size int) {
+	const inf = int(^uint(0) >> 1)
+	matchIn = make([]int, nInputs)
+	matchOut := make([]int, nOutputs)
+	for i := range matchIn {
+		matchIn[i] = -1
+	}
+	for i := range matchOut {
+		matchOut[i] = -1
+	}
+	dist := make([]int, nInputs)
+	queue := make([]int, 0, nInputs)
+
+	bfs := func() bool {
+		queue = queue[:0]
+		for u := 0; u < nInputs; u++ {
+			if matchIn[u] == -1 {
+				dist[u] = 0
+				queue = append(queue, u)
+			} else {
+				dist[u] = inf
+			}
+		}
+		found := false
+		for qi := 0; qi < len(queue); qi++ {
+			u := queue[qi]
+			for _, v := range adj[u] {
+				w := matchOut[v]
+				if w == -1 {
+					found = true
+				} else if dist[w] == inf {
+					dist[w] = dist[u] + 1
+					queue = append(queue, w)
+				}
+			}
+		}
+		return found
+	}
+
+	var dfs func(u int) bool
+	dfs = func(u int) bool {
+		for _, v := range adj[u] {
+			w := matchOut[v]
+			if w == -1 || (dist[w] == dist[u]+1 && dfs(w)) {
+				matchIn[u] = v
+				matchOut[v] = u
+				return true
+			}
+		}
+		dist[u] = inf
+		return false
+	}
+
+	for bfs() {
+		for u := 0; u < nInputs; u++ {
+			if matchIn[u] == -1 && dfs(u) {
+				size++
+			}
+		}
+	}
+	return matchIn, size
+}
+
+// maxMatchingSubset computes a maximum matching restricted to the given
+// subset of inputs. It returns the matched output for each element of subset
+// (parallel slice, -1 if unmatched) and the matching size.
+func maxMatchingSubset(subset []int, nOutputs int, adj [][]int) (matched []int, size int) {
+	sub := make([][]int, len(subset))
+	for i, u := range subset {
+		sub[i] = adj[u]
+	}
+	return hopcroftKarp(len(subset), nOutputs, sub)
+}

@@ -1,0 +1,221 @@
+package concentrator
+
+import "fmt"
+
+// This file implements the internal structure of a fat-tree node (Fig. 3 of
+// the paper). A node has three input ports and three output ports connected
+// to the channels of the surrounding tree edges. A wire from an input port is
+// fanned out toward the two opposite output ports; a selector ANDs the M bit
+// with the leading address bit (or its complement) to determine which output
+// port the message wants, and a concentrator switch at each output port
+// establishes disjoint electrical paths for as many of those messages as
+// possible.
+
+// Port names the three bidirectional port positions of a node.
+type Port int
+
+const (
+	// Parent is the port facing the node's parent (the Up output channel and
+	// the Down input channel).
+	Parent Port = iota
+	// Left is the port facing the left child.
+	Left
+	// Right is the port facing the right child.
+	Right
+)
+
+// String returns "parent", "left" or "right".
+func (p Port) String() string {
+	switch p {
+	case Parent:
+		return "parent"
+	case Left:
+		return "left"
+	case Right:
+		return "right"
+	}
+	return fmt.Sprintf("port(%d)", int(p))
+}
+
+// Kind selects the concentrator implementation inside a switch.
+type Kind int
+
+const (
+	// KindIdeal uses ideal concentrators: no message is lost unless an output
+	// channel is congested (more messages than wires). This is the assumption
+	// of Section III.
+	KindIdeal Kind = iota
+	// KindPartial uses Pippenger-style partial concentrators; a message can
+	// occasionally be lost even without congestion, when the active set
+	// exceeds the measured α fraction. Section IV's remedy — treating the
+	// effective capacity as α times the wire count — is applied by callers.
+	KindPartial
+)
+
+// Request is one message entering a node during a delivery cycle: it occupies
+// wire InWire of input port In, and its leading address bit directs it to
+// output port Out. In == Out is invalid: a message never turns back on the
+// port it arrived on (paths in the tree are simple).
+type Request struct {
+	In     Port
+	InWire int
+	Out    Port
+}
+
+// Switch is the switching circuitry of one fat-tree node: one concentrator
+// per output port, each fed by the two input ports that can reach it.
+type Switch struct {
+	capParent int // width of the parent-side channels (up and down)
+	capChild  int // width of each child-side channel
+	toParent  Concentrator
+	toLeft    Concentrator
+	toRight   Concentrator
+}
+
+// NewSwitch builds the switch for a node whose parent-side channels have
+// capParent wires and whose child-side channels have capChild wires each.
+// kind selects ideal or partial concentrators; seed feeds the partial
+// constructions.
+func NewSwitch(capParent, capChild int, kind Kind, seed int64) *Switch {
+	if capParent < 1 || capChild < 1 {
+		panic(fmt.Sprintf("concentrator: invalid switch widths parent=%d child=%d", capParent, capChild))
+	}
+	build := func(r, s int, stage int64) Concentrator {
+		if s >= r {
+			return passThrough{r: r, s: s}
+		}
+		if kind == KindIdeal {
+			return NewIdeal(r, s)
+		}
+		return NewCascade(r, s, seed+stage)
+	}
+	return &Switch{
+		capParent: capParent,
+		capChild:  capChild,
+		// To the parent: candidates come from both children.
+		toParent: build(2*capChild, capParent, 0),
+		// To a child: candidates come from the parent and the other child.
+		toLeft:  build(capParent+capChild, capChild, 1),
+		toRight: build(capParent+capChild, capChild, 2),
+	}
+}
+
+// passThrough is the degenerate "concentrator" used when an output port has
+// at least as many wires as its candidate inputs: every message passes.
+type passThrough struct{ r, s int }
+
+func (p passThrough) Inputs() int     { return p.r }
+func (p passThrough) Outputs() int    { return p.s }
+func (p passThrough) Components() int { return p.r }
+func (p passThrough) Route(active []int) ([]int, int) {
+	out := make([]int, len(active))
+	for i := range active {
+		out[i] = active[i]
+	}
+	return out, 0
+}
+
+// Components returns the total number of switching components in the node,
+// which is O(m) for m incident wires (Section IV).
+func (s *Switch) Components() int {
+	return s.toParent.Components() + s.toLeft.Components() + s.toRight.Components()
+}
+
+// IncidentWires returns m, the number of wires incident on the node (both
+// directions of all three ports).
+func (s *Switch) IncidentWires() int {
+	return 2 * (s.capParent + 2*s.capChild)
+}
+
+// Route performs one delivery cycle's switching: each request is assigned an
+// output wire on its requested port, or -1 if the concentrator loses it. It
+// returns the per-request assignments and the total number lost. Requests
+// must be well-formed (valid wire ranges, In != Out, no two requests on the
+// same input wire); Route panics otherwise, as the caller (the simulator)
+// owns those invariants.
+func (s *Switch) Route(reqs []Request) (outWires []int, lost int) {
+	// Partition the requests by output port, mapping each to its index in the
+	// concatenated input numbering of that port's concentrator.
+	type pending struct {
+		reqIdx int
+		wire   int
+	}
+	var byOut [3][]pending
+	seen := make(map[[2]int]bool, len(reqs))
+	for i, r := range reqs {
+		if r.In == r.Out {
+			panic(fmt.Sprintf("concentrator: request %d turns back on port %v", i, r.In))
+		}
+		if r.InWire < 0 || r.InWire >= s.portWidth(r.In) {
+			panic(fmt.Sprintf("concentrator: request %d wire %d out of range on port %v", i, r.InWire, r.In))
+		}
+		key := [2]int{int(r.In), r.InWire}
+		if seen[key] {
+			panic(fmt.Sprintf("concentrator: two requests on input wire %d of port %v", r.InWire, r.In))
+		}
+		seen[key] = true
+		byOut[r.Out] = append(byOut[r.Out], pending{reqIdx: i, wire: s.concentratorInput(r.In, r.Out, r.InWire)})
+	}
+
+	outWires = make([]int, len(reqs))
+	for i := range outWires {
+		outWires[i] = -1
+	}
+	for out := Parent; out <= Right; out++ {
+		ps := byOut[out]
+		if len(ps) == 0 {
+			continue
+		}
+		active := make([]int, len(ps))
+		for j, p := range ps {
+			active[j] = p.wire
+		}
+		assigned, l := s.concentratorFor(out).Route(active)
+		lost += l
+		for j, p := range ps {
+			outWires[p.reqIdx] = assigned[j]
+		}
+	}
+	return outWires, lost
+}
+
+// portWidth returns the wire count of a port (per direction).
+func (s *Switch) portWidth(p Port) int {
+	if p == Parent {
+		return s.capParent
+	}
+	return s.capChild
+}
+
+// concentratorFor returns the concentrator serving output port out.
+func (s *Switch) concentratorFor(out Port) Concentrator {
+	switch out {
+	case Parent:
+		return s.toParent
+	case Left:
+		return s.toLeft
+	case Right:
+		return s.toRight
+	}
+	panic("concentrator: bad output port")
+}
+
+// concentratorInput maps (input port, wire) to the concatenated input index
+// of the concentrator at output port out. For the parent concentrator the
+// order is (left wires, right wires); for a child concentrator it is
+// (parent wires, other-child wires).
+func (s *Switch) concentratorInput(in, out Port, wire int) int {
+	switch out {
+	case Parent:
+		if in == Left {
+			return wire
+		}
+		return s.capChild + wire
+	case Left, Right:
+		if in == Parent {
+			return wire
+		}
+		return s.capParent + wire
+	}
+	panic("concentrator: bad output port")
+}

@@ -1,0 +1,97 @@
+package core
+
+import "testing"
+
+func TestExternalValidate(t *testing.T) {
+	ft := NewUniversal(8, 4)
+	good := MessageSet{
+		{Src: 3, Dst: External},
+		{Src: External, Dst: 5},
+	}
+	if err := good.Validate(ft); err != nil {
+		t.Fatalf("valid external set rejected: %v", err)
+	}
+	bad := []MessageSet{
+		{{Src: External, Dst: External}},
+		{{Src: External, Dst: 8}},
+		{{Src: -2, Dst: 3}},
+	}
+	for i, ms := range bad {
+		if err := ms.Validate(ft); err == nil {
+			t.Errorf("bad external set %d accepted", i)
+		}
+	}
+}
+
+func TestExternalPath(t *testing.T) {
+	ft := NewUniversal(8, 4)
+	// Output from processor 5: up channels leaf(5)=13, 6, 3, 1.
+	out := ft.Path(Message{Src: 5, Dst: External}, nil)
+	wantOut := []Channel{{13, Up}, {6, Up}, {3, Up}, {1, Up}}
+	if len(out) != len(wantOut) {
+		t.Fatalf("output path %v", out)
+	}
+	for i := range out {
+		if out[i] != wantOut[i] {
+			t.Errorf("output path[%d] = %v, want %v", i, out[i], wantOut[i])
+		}
+	}
+	// Input to processor 2: down channels 1, 2, 5, leaf(2)=10.
+	in := ft.Path(Message{Src: External, Dst: 2}, nil)
+	wantIn := []Channel{{1, Down}, {2, Down}, {5, Down}, {10, Down}}
+	for i := range in {
+		if in[i] != wantIn[i] {
+			t.Errorf("input path[%d] = %v, want %v", i, in[i], wantIn[i])
+		}
+	}
+	// Path length is lg n + 1.
+	if got := ft.PathLength(Message{Src: 5, Dst: External}); got != 4 {
+		t.Errorf("external path length %d, want 4", got)
+	}
+}
+
+func TestExternalLoads(t *testing.T) {
+	ft := NewUniversal(8, 4)
+	ms := MessageSet{
+		{Src: 0, Dst: External},
+		{Src: 1, Dst: External},
+		{Src: External, Dst: 7},
+	}
+	loads := NewLoads(ft, ms)
+	// Both outputs cross the root up channel.
+	if got := loads.Load(Channel{1, Up}); got != 2 {
+		t.Errorf("root up load %d, want 2", got)
+	}
+	if got := loads.Load(Channel{1, Down}); got != 1 {
+		t.Errorf("root down load %d, want 1", got)
+	}
+	// Add/Remove symmetry.
+	loads.Remove(ms[0])
+	if got := loads.Load(Channel{1, Up}); got != 1 {
+		t.Errorf("after remove, root up load %d, want 1", got)
+	}
+}
+
+func TestExternalLoadFactorLimitedByRoot(t *testing.T) {
+	// k outputs through a root of capacity w: λ >= k/w.
+	ft := NewUniversal(64, 16)
+	var ms MessageSet
+	for p := 0; p < 64; p++ {
+		ms = append(ms, Message{Src: p, Dst: External})
+	}
+	lam := LoadFactor(ft, ms)
+	if lam < 4 { // 64/16
+		t.Errorf("λ = %v, want >= 4 (root-limited)", lam)
+	}
+}
+
+func TestExternalOneCycle(t *testing.T) {
+	ft := NewUniversal(8, 4)
+	ms := MessageSet{
+		{Src: 0, Dst: External}, {Src: 2, Dst: External},
+		{Src: External, Dst: 5}, {Src: External, Dst: 7},
+	}
+	if !IsOneCycle(ft, ms) {
+		t.Errorf("4 I/O messages on a w=4 tree should be one-cycle")
+	}
+}

@@ -1,0 +1,280 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewRejectsBadSizes(t *testing.T) {
+	for _, n := range []int{0, 1, 3, 6, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d) did not panic", n)
+				}
+			}()
+			New(n, func(int) int { return 1 })
+		}()
+	}
+}
+
+func TestNewRejectsBadCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("New with zero capacity did not panic")
+		}
+	}()
+	New(8, func(k int) int { return 0 })
+}
+
+func TestLevelsAndNodes(t *testing.T) {
+	cases := []struct {
+		n, levels, nodes, internal int
+	}{
+		{2, 1, 3, 1},
+		{4, 2, 7, 3},
+		{64, 6, 127, 63},
+		{1024, 10, 2047, 1023},
+	}
+	for _, c := range cases {
+		ft := NewConstant(c.n, 1)
+		if got := ft.Levels(); got != c.levels {
+			t.Errorf("n=%d: Levels=%d want %d", c.n, got, c.levels)
+		}
+		if got := ft.Nodes(); got != c.nodes {
+			t.Errorf("n=%d: Nodes=%d want %d", c.n, got, c.nodes)
+		}
+		if got := ft.InternalNodes(); got != c.internal {
+			t.Errorf("n=%d: InternalNodes=%d want %d", c.n, got, c.internal)
+		}
+	}
+}
+
+func TestLevelOfNodes(t *testing.T) {
+	ft := NewConstant(8, 1)
+	want := map[int]int{1: 0, 2: 1, 3: 1, 4: 2, 7: 2, 8: 3, 15: 3}
+	for v, lv := range want {
+		if got := ft.Level(v); got != lv {
+			t.Errorf("Level(%d)=%d want %d", v, got, lv)
+		}
+	}
+}
+
+func TestLeafAndProcessorOf(t *testing.T) {
+	ft := NewConstant(16, 1)
+	for p := 0; p < 16; p++ {
+		leaf := ft.Leaf(p)
+		if got := ft.ProcessorOf(leaf); got != p {
+			t.Errorf("ProcessorOf(Leaf(%d))=%d", p, got)
+		}
+		if ft.Level(leaf) != ft.Levels() {
+			t.Errorf("leaf %d not at leaf level", leaf)
+		}
+	}
+	if ft.ProcessorOf(1) != -1 || ft.ProcessorOf(7) != -1 {
+		t.Errorf("internal nodes should map to processor -1")
+	}
+}
+
+func TestUniversalCapacityProfile(t *testing.T) {
+	n, w := 4096, 1024 // n^(2/3) = 256 <= w <= n
+	ft := NewUniversal(n, w)
+	if got := ft.RootCapacity(); got != w {
+		t.Errorf("root capacity = %d, want %d", got, w)
+	}
+	// Leaf channels have capacity 1 when w <= n.
+	if got := ft.CapacityAtLevel(ft.Levels()); got != 1 {
+		t.Errorf("leaf capacity = %d, want 1", got)
+	}
+	// Capacities must be non-increasing going down the tree.
+	for k := 1; k <= ft.Levels(); k++ {
+		if ft.CapacityAtLevel(k) > ft.CapacityAtLevel(k-1) {
+			t.Errorf("capacity increases going down: level %d: %d > %d",
+				k, ft.CapacityAtLevel(k), ft.CapacityAtLevel(k-1))
+		}
+	}
+	// Near the leaves, capacities double per level (the n/2^k regime).
+	crossover := 3 * Lg(n/w) // = 6 here
+	for k := ft.Levels(); k > crossover+1; k-- {
+		lower, upper := ft.CapacityAtLevel(k), ft.CapacityAtLevel(k-1)
+		if upper != 2*lower && upper != 2*lower-1 { // ceil effects
+			t.Errorf("expected doubling at level %d: %d -> %d", k, lower, upper)
+		}
+	}
+	// Near the root, growth rate should be ~4^(1/3) per level.
+	ratio := float64(ft.CapacityAtLevel(0)) / float64(ft.CapacityAtLevel(1))
+	want := math.Pow(2, 2.0/3.0)
+	if math.Abs(ratio-want) > 0.1 {
+		t.Errorf("near-root growth ratio = %.3f, want ~%.3f", ratio, want)
+	}
+}
+
+func TestUniversalCapacityCrossover(t *testing.T) {
+	// At k = 3 lg(n/w) the two regimes agree: n/2^k == w/2^(2k/3).
+	n, w := 1<<12, 1<<9
+	k := 3 * (12 - 9)
+	doubling := float64(n) / math.Pow(2, float64(k))
+	rootRegime := float64(w) / math.Pow(2, 2*float64(k)/3)
+	if math.Abs(doubling-rootRegime) > 1e-9 {
+		t.Fatalf("regimes disagree at crossover: %v vs %v", doubling, rootRegime)
+	}
+}
+
+func TestDoublingProfile(t *testing.T) {
+	ft := NewDoubling(64)
+	if ft.RootCapacity() != 64 {
+		t.Errorf("doubling root capacity = %d, want 64", ft.RootCapacity())
+	}
+	for k := 0; k <= ft.Levels(); k++ {
+		want := 64 >> uint(k)
+		if got := ft.CapacityAtLevel(k); got != want {
+			t.Errorf("level %d capacity = %d, want %d", k, got, want)
+		}
+	}
+}
+
+func TestSetChannelCapacity(t *testing.T) {
+	ft := NewConstant(8, 4)
+	ft.SetChannelCapacity(2, 9)
+	if got := ft.Capacity(Channel{Node: 2, Dir: Up}); got != 9 {
+		t.Errorf("override not applied: got %d", got)
+	}
+	if got := ft.Capacity(Channel{Node: 2, Dir: Down}); got != 9 {
+		t.Errorf("override must cover both directions: got %d", got)
+	}
+	if got := ft.Capacity(Channel{Node: 3, Dir: Up}); got != 4 {
+		t.Errorf("override leaked to other channel: got %d", got)
+	}
+}
+
+func TestSubtreeLeaves(t *testing.T) {
+	ft := NewConstant(8, 1)
+	cases := []struct{ v, lo, hi int }{
+		{1, 0, 8}, {2, 0, 4}, {3, 4, 8}, {4, 0, 2}, {7, 6, 8}, {8, 0, 1}, {15, 7, 8},
+	}
+	for _, c := range cases {
+		lo, hi := ft.SubtreeLeaves(c.v)
+		if lo != c.lo || hi != c.hi {
+			t.Errorf("SubtreeLeaves(%d) = [%d,%d), want [%d,%d)", c.v, lo, hi, c.lo, c.hi)
+		}
+	}
+}
+
+func TestContains(t *testing.T) {
+	ft := NewConstant(16, 1)
+	if !ft.Contains(2, 3) || ft.Contains(2, 8) {
+		t.Errorf("Contains wrong for node 2")
+	}
+	for p := 0; p < 16; p++ {
+		if !ft.Contains(1, p) {
+			t.Errorf("root must contain every processor")
+		}
+	}
+}
+
+func TestTotalWires(t *testing.T) {
+	ft := NewConstant(4, 3)
+	// 7 nodes × 2 directions × capacity 3 = 42.
+	if got := ft.TotalWires(); got != 42 {
+		t.Errorf("TotalWires = %d, want 42", got)
+	}
+}
+
+func TestChannelsEnumeration(t *testing.T) {
+	ft := NewConstant(8, 1)
+	count := 0
+	seen := map[Channel]bool{}
+	ft.Channels(func(c Channel) {
+		if seen[c] {
+			t.Errorf("channel %v enumerated twice", c)
+		}
+		seen[c] = true
+		count++
+	})
+	if count != 2*ft.Nodes() {
+		t.Errorf("enumerated %d channels, want %d", count, 2*ft.Nodes())
+	}
+}
+
+func TestLg(t *testing.T) {
+	cases := map[int]int{1: 1, 2: 1, 3: 2, 4: 2, 5: 3, 8: 3, 9: 4, 1024: 10, 1025: 11}
+	for x, want := range cases {
+		if got := Lg(x); got != want {
+			t.Errorf("Lg(%d)=%d want %d", x, got, want)
+		}
+	}
+}
+
+func TestUniversalCapacityMonotoneInW(t *testing.T) {
+	// Property: for fixed n and level, capacity is nondecreasing in w.
+	n := 1 << 10
+	f := func(wRaw, kRaw uint16) bool {
+		w := int(wRaw)%n + 1
+		k := int(kRaw) % 11
+		return UniversalCapacity(n, w, k) <= UniversalCapacity(n, w+1, k)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMessageSetValidate(t *testing.T) {
+	ft := NewConstant(8, 1)
+	if err := (MessageSet{{0, 7}, {3, 4}}).Validate(ft); err != nil {
+		t.Errorf("valid set rejected: %v", err)
+	}
+	bad := []MessageSet{
+		{{0, 8}},  // dst out of range
+		{{-3, 2}}, // src out of range (-1 is the External pseudo-processor)
+		{{3, 3}},  // self-loop
+	}
+	for i, ms := range bad {
+		if err := ms.Validate(ft); err == nil {
+			t.Errorf("bad set %d accepted", i)
+		}
+	}
+}
+
+func TestMessageSetEqualAndConcat(t *testing.T) {
+	a := MessageSet{{0, 1}, {2, 3}}
+	b := MessageSet{{2, 3}, {0, 1}}
+	if !a.Equal(b) {
+		t.Errorf("multiset equality failed")
+	}
+	c := Concat(a, MessageSet{{4, 5}})
+	if len(c) != 3 {
+		t.Errorf("Concat length = %d", len(c))
+	}
+	if a.Equal(c) {
+		t.Errorf("unequal sets reported equal")
+	}
+	// Duplicates matter.
+	if (MessageSet{{0, 1}, {0, 1}}).Equal(MessageSet{{0, 1}}) {
+		t.Errorf("multiset multiplicity ignored")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	a := MessageSet{{0, 1}}
+	b := a.Clone()
+	b[0] = Message{5, 6}
+	if a[0] != (Message{0, 1}) {
+		t.Errorf("Clone aliased the original")
+	}
+}
+
+func TestRandomTreesHaveValidCaps(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 << (1 + rng.Intn(10))
+		w := 1 + rng.Intn(n)
+		ft := NewUniversal(n, w)
+		for k := 0; k <= ft.Levels(); k++ {
+			if ft.CapacityAtLevel(k) < 1 {
+				t.Fatalf("n=%d w=%d level %d: capacity < 1", n, w, k)
+			}
+		}
+	}
+}

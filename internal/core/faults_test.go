@@ -1,0 +1,86 @@
+package core
+
+import "testing"
+
+func TestDegradeChannels(t *testing.T) {
+	ft := NewUniversal(64, 32)
+	before := ft.TotalWires()
+	degraded := DegradeChannels(ft, 0.5, 0.5, 1)
+	if degraded == 0 {
+		t.Fatalf("nothing degraded at probability 0.5")
+	}
+	if ft.TotalWires() >= before {
+		t.Errorf("wires did not shrink: %d -> %d", before, ft.TotalWires())
+	}
+	// Capacities never drop below 1.
+	ft.Channels(func(c Channel) {
+		if ft.Capacity(c) < 1 {
+			t.Errorf("channel %v has capacity %d", c, ft.Capacity(c))
+		}
+	})
+}
+
+func TestDegradeChannelsZeroProbability(t *testing.T) {
+	ft := NewUniversal(64, 32)
+	before := ft.TotalWires()
+	if got := DegradeChannels(ft, 0, 0.9, 1); got != 0 {
+		t.Errorf("degraded %d edges at probability 0", got)
+	}
+	if ft.TotalWires() != before {
+		t.Errorf("wires changed with no degradation")
+	}
+}
+
+func TestDegradeChannelsDeterministic(t *testing.T) {
+	a := NewUniversal(64, 32)
+	b := NewUniversal(64, 32)
+	DegradeChannels(a, 0.3, 0.5, 42)
+	DegradeChannels(b, 0.3, 0.5, 42)
+	a.Channels(func(c Channel) {
+		if a.Capacity(c) != b.Capacity(c) {
+			t.Fatalf("channel %v differs across identical seeds", c)
+		}
+	})
+}
+
+func TestDegradeChannelsRejectsBadArgs(t *testing.T) {
+	ft := NewConstant(8, 2)
+	for _, args := range [][2]float64{{-0.1, 0.5}, {0.5, 1.5}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("args %v accepted", args)
+				}
+			}()
+			DegradeChannels(ft, args[0], args[1], 1)
+		}()
+	}
+}
+
+func TestFailNode(t *testing.T) {
+	ft := NewUniversal(64, 32)
+	FailNode(ft, 2)
+	for _, v := range []int{2, 4, 5} {
+		if got := ft.Capacity(Channel{Node: v, Dir: Up}); got != 1 {
+			t.Errorf("node %d channel capacity %d after failure, want 1", v, got)
+		}
+	}
+	// Unrelated channels untouched.
+	if ft.Capacity(Channel{Node: 3, Dir: Up}) == 1 {
+		t.Errorf("sibling channel degraded")
+	}
+}
+
+func TestDegradedTreeStillRoutes(t *testing.T) {
+	// Load computation and one-cycle checks keep working after degradation —
+	// the scheduler sees only capacities.
+	ft := NewUniversal(64, 32)
+	DegradeChannels(ft, 0.5, 0.8, 7)
+	ms := MessageSet{{Src: 0, Dst: 63}, {Src: 5, Dst: 40}}
+	if LoadFactor(ft, ms) <= 0 {
+		t.Errorf("load factor broken on degraded tree")
+	}
+	if !IsOneCycle(ft, MessageSet{{Src: 0, Dst: 1}}) {
+		t.Errorf("single sibling message must fit even fully degraded")
+	}
+}

@@ -1,0 +1,180 @@
+package core
+
+// This file implements the load machinery of Section III: load(M, c) is the
+// number of messages of a message set M that must pass through channel c, the
+// load factor λ(M, c) = load(M, c)/cap(c), and the load factor of the whole
+// fat-tree λ(M) = max over channels. λ(M) is a lower bound on the number of
+// delivery cycles needed to deliver M, and Theorem 1/Corollary 2 show it is
+// nearly achievable.
+
+// Loads records, for every edge of a fat-tree, how many messages of some
+// message set traverse its Up and Down channels. Index by node heap id.
+type Loads struct {
+	tree *FatTree
+	up   []int // up[v] = messages using channel (v, Up)
+	down []int // down[v] = messages using channel (v, Down)
+}
+
+// NewLoads computes the per-channel loads of ms on t in O(|ms|·lg n) time:
+// the up channel above node v carries the messages whose source lies in v's
+// subtree and whose destination does not; symmetrically for down.
+func NewLoads(t *FatTree, ms MessageSet) *Loads {
+	l := &Loads{
+		tree: t,
+		up:   make([]int, 2*t.n),
+		down: make([]int, 2*t.n),
+	}
+	for _, m := range ms {
+		l.Add(m)
+	}
+	return l
+}
+
+// Add accounts one message's path into the load table.
+func (l *Loads) Add(m Message) {
+	if m.IsExternal() {
+		l.addExternal(m, 1)
+		return
+	}
+	t := l.tree
+	lca := t.LCA(m.Src, m.Dst)
+	for v := t.Leaf(m.Src); v != lca; v >>= 1 {
+		l.up[v]++
+	}
+	for v := t.Leaf(m.Dst); v != lca; v >>= 1 {
+		l.down[v]++
+	}
+}
+
+// Remove un-accounts one message's path. Removing a message that was never
+// added produces negative loads; callers own that invariant.
+func (l *Loads) Remove(m Message) {
+	if m.IsExternal() {
+		l.addExternal(m, -1)
+		return
+	}
+	t := l.tree
+	lca := t.LCA(m.Src, m.Dst)
+	for v := t.Leaf(m.Src); v != lca; v >>= 1 {
+		l.up[v]--
+	}
+	for v := t.Leaf(m.Dst); v != lca; v >>= 1 {
+		l.down[v]--
+	}
+}
+
+// Load returns load(M, c) for the channel c.
+func (l *Loads) Load(c Channel) int {
+	if c.Dir == Up {
+		return l.up[c.Node]
+	}
+	return l.down[c.Node]
+}
+
+// MaxLoad returns the maximum load over all channels.
+func (l *Loads) MaxLoad() int {
+	max := 0
+	for v := 1; v < 2*l.tree.n; v++ {
+		if l.up[v] > max {
+			max = l.up[v]
+		}
+		if l.down[v] > max {
+			max = l.down[v]
+		}
+	}
+	return max
+}
+
+// Factor returns the load factor λ(M, c) of channel c: load divided by
+// capacity.
+func (l *Loads) Factor(c Channel) float64 {
+	return float64(l.Load(c)) / float64(l.tree.Capacity(c))
+}
+
+// MaxFactor returns λ(M) = max over channels of λ(M, c), together with a
+// channel achieving it. For an empty message set it returns 0 and the root
+// channel.
+func (l *Loads) MaxFactor() (float64, Channel) {
+	best := 0.0
+	arg := Channel{Node: 1, Dir: Up}
+	for v := 1; v < 2*l.tree.n; v++ {
+		for _, c := range [2]Channel{{Node: v, Dir: Up}, {Node: v, Dir: Down}} {
+			f := l.Factor(c)
+			if f > best {
+				best, arg = f, c
+			}
+		}
+	}
+	return best, arg
+}
+
+// Fits reports whether the loads respect every channel capacity, i.e. whether
+// the accounted message set is a one-cycle message set (λ(M) <= 1): a fat-tree
+// with ideal concentrator switches routes such a set in a single delivery
+// cycle.
+func (l *Loads) Fits() bool {
+	for v := 1; v < 2*l.tree.n; v++ {
+		if l.up[v] > l.tree.Capacity(Channel{Node: v, Dir: Up}) {
+			return false
+		}
+		if l.down[v] > l.tree.Capacity(Channel{Node: v, Dir: Down}) {
+			return false
+		}
+	}
+	return true
+}
+
+// FitsWithSlack reports whether load(c) <= cap(c) - slack for every channel
+// whose capacity exceeds slack, and load(c) <= cap(c) otherwise. It implements
+// the fictitious capacities cap'(c) = cap(c) - lg n of Corollary 2.
+func (l *Loads) FitsWithSlack(slack int) bool {
+	for v := 1; v < 2*l.tree.n; v++ {
+		capUp := l.tree.Capacity(Channel{Node: v, Dir: Up})
+		capDown := l.tree.Capacity(Channel{Node: v, Dir: Down})
+		if l.up[v] > fictitious(capUp, slack) {
+			return false
+		}
+		if l.down[v] > fictitious(capDown, slack) {
+			return false
+		}
+	}
+	return true
+}
+
+// fictitious returns max(1, cap-slack) — a channel always admits at least one
+// message per cycle.
+func fictitious(cap, slack int) int {
+	f := cap - slack
+	if f < 1 {
+		f = 1
+	}
+	return f
+}
+
+// LoadFactor is a convenience wrapper: it computes λ(M) for ms on t.
+func LoadFactor(t *FatTree, ms MessageSet) float64 {
+	f, _ := NewLoads(t, ms).MaxFactor()
+	return f
+}
+
+// IsOneCycle reports whether ms is a one-cycle message set on t
+// (load(M,c) <= cap(c) for every channel).
+func IsOneCycle(t *FatTree, ms MessageSet) bool {
+	return NewLoads(t, ms).Fits()
+}
+
+// LoadFactorWithSlack computes the load factor λ'(M) under the fictitious
+// capacities cap'(c) = max(1, cap(c) - slack) used in Corollary 2.
+func LoadFactorWithSlack(t *FatTree, ms MessageSet, slack int) float64 {
+	l := NewLoads(t, ms)
+	best := 0.0
+	for v := 1; v < 2*t.n; v++ {
+		for _, c := range [2]Channel{{Node: v, Dir: Up}, {Node: v, Dir: Down}} {
+			f := float64(l.Load(c)) / float64(fictitious(t.Capacity(c), slack))
+			if f > best {
+				best = f
+			}
+		}
+	}
+	return best
+}

@@ -1,0 +1,187 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// bruteLoad counts messages through channel c by checking every message's
+// explicit path.
+func bruteLoad(t *FatTree, ms MessageSet, c Channel) int {
+	count := 0
+	for _, m := range ms {
+		for _, pc := range t.Path(m, nil) {
+			if pc == c {
+				count++
+			}
+		}
+	}
+	return count
+}
+
+func randomSet(n, k int, seed int64) MessageSet {
+	rng := rand.New(rand.NewSource(seed))
+	ms := make(MessageSet, 0, k)
+	for len(ms) < k {
+		s, d := rng.Intn(n), rng.Intn(n)
+		if s != d {
+			ms = append(ms, Message{s, d})
+		}
+	}
+	return ms
+}
+
+func TestLoadsAgainstBruteForce(t *testing.T) {
+	ft := NewConstant(32, 2)
+	ms := randomSet(32, 100, 1)
+	loads := NewLoads(ft, ms)
+	ft.Channels(func(c Channel) {
+		if got, want := loads.Load(c), bruteLoad(ft, ms, c); got != want {
+			t.Errorf("load(%v)=%d want %d", c, got, want)
+		}
+	})
+}
+
+func TestLoadsAddRemove(t *testing.T) {
+	ft := NewConstant(16, 1)
+	loads := NewLoads(ft, nil)
+	m := Message{0, 15}
+	loads.Add(m)
+	loads.Add(m)
+	loads.Remove(m)
+	// After add,add,remove the counts must equal a single message's path.
+	single := NewLoads(ft, MessageSet{m})
+	ft.Channels(func(c Channel) {
+		if loads.Load(c) != single.Load(c) {
+			t.Errorf("channel %v: %d != %d", c, loads.Load(c), single.Load(c))
+		}
+	})
+}
+
+func TestRootChannelUnusedByInternalTraffic(t *testing.T) {
+	ft := NewConstant(16, 1)
+	loads := NewLoads(ft, randomSet(16, 200, 2))
+	for _, dir := range []Direction{Up, Down} {
+		if got := loads.Load(Channel{1, dir}); got != 0 {
+			t.Errorf("root external channel %v carries %d internal messages", dir, got)
+		}
+	}
+}
+
+func TestLoadFactorPermutation(t *testing.T) {
+	// A permutation places load exactly 1 on each leaf channel; on a constant
+	// capacity-1 tree, λ is driven by the most congested internal channel.
+	ft := NewConstant(8, 1)
+	// The "reversal" permutation sends everything across the root: each of the
+	// root's two child edges carries 4 messages in each direction.
+	var ms MessageSet
+	for p := 0; p < 8; p++ {
+		ms = append(ms, Message{p, 7 - p})
+	}
+	f, arg := NewLoads(ft, ms).MaxFactor()
+	if f != 4 {
+		t.Errorf("λ = %v, want 4 (channel %v)", f, arg)
+	}
+	if ft.Level(arg.Node) != 1 {
+		t.Errorf("max-load channel should be at level 1, got %v", arg)
+	}
+}
+
+func TestLoadFactorOnUniversalTree(t *testing.T) {
+	// On a w=n universal fat-tree, the reversal permutation is one-cycle:
+	// every channel has capacity >= its load.
+	n := 64
+	ft := NewUniversal(n, n)
+	var ms MessageSet
+	for p := 0; p < n; p++ {
+		ms = append(ms, Message{p, n - 1 - p})
+	}
+	if !IsOneCycle(ft, ms) {
+		f, arg := NewLoads(ft, ms).MaxFactor()
+		t.Errorf("reversal should be one-cycle on full-bandwidth tree; λ=%v at %v", f, arg)
+	}
+}
+
+func TestLocalTrafficLoadsOnlyLowLevels(t *testing.T) {
+	// Nearest-neighbour traffic within pairs never crosses above level
+	// lg n - 1: upper channels carry zero load. This is the locality property
+	// motivating fat-trees (telephone-exchange analogy in Section II).
+	n := 64
+	ft := NewConstant(n, 1)
+	var ms MessageSet
+	for p := 0; p < n; p += 2 {
+		ms = append(ms, Message{p, p + 1}, Message{p + 1, p})
+	}
+	loads := NewLoads(ft, ms)
+	ft.Channels(func(c Channel) {
+		if ft.Level(c.Node) < ft.Levels() && loads.Load(c) != 0 {
+			t.Errorf("pairwise traffic leaked to channel %v (level %d)", c, ft.Level(c.Node))
+		}
+	})
+}
+
+func TestFitsAndSlack(t *testing.T) {
+	ft := NewConstant(8, 2)
+	// Two messages across one leaf channel: load 2, capacity 2 — fits.
+	ms := MessageSet{{0, 1}, {0, 2}}
+	loads := NewLoads(ft, ms)
+	if !loads.Fits() {
+		t.Errorf("load 2 on capacity 2 should fit")
+	}
+	// With slack 1, fictitious capacity is 1, so it no longer fits.
+	if loads.FitsWithSlack(1) {
+		t.Errorf("load 2 on fictitious capacity 1 should not fit")
+	}
+	// A single message always fits (fictitious capacity is at least 1).
+	if !NewLoads(ft, MessageSet{{0, 1}}).FitsWithSlack(10) {
+		t.Errorf("single message should fit under any slack")
+	}
+}
+
+func TestMaxLoad(t *testing.T) {
+	ft := NewConstant(8, 1)
+	ms := MessageSet{{0, 7}, {1, 6}, {2, 5}}
+	loads := NewLoads(ft, ms)
+	// All three messages cross the root's left child edge upward.
+	if got := loads.MaxLoad(); got != 3 {
+		t.Errorf("MaxLoad = %d, want 3", got)
+	}
+}
+
+func TestLoadFactorWithSlackHelper(t *testing.T) {
+	ft := NewConstant(8, 4)
+	ms := MessageSet{{0, 7}, {1, 6}} // load 2 on level-1 channels
+	lam := LoadFactor(ft, ms)
+	if lam != 0.5 {
+		t.Errorf("λ = %v, want 0.5", lam)
+	}
+	lamSlack := LoadFactorWithSlack(ft, ms, 2) // fictitious cap 2
+	if lamSlack != 1.0 {
+		t.Errorf("λ' = %v, want 1.0", lamSlack)
+	}
+}
+
+func TestEmptySetLoadFactor(t *testing.T) {
+	ft := NewConstant(8, 1)
+	if f := LoadFactor(ft, nil); f != 0 {
+		t.Errorf("empty set λ = %v", f)
+	}
+	if !IsOneCycle(ft, nil) {
+		t.Errorf("empty set must be one-cycle")
+	}
+}
+
+func TestLoadsLinearity(t *testing.T) {
+	// Property: loads are additive — NewLoads(A ∪ B) equals NewLoads(A) plus
+	// NewLoads(B) on every channel, including external traffic.
+	ft := NewUniversal(32, 8)
+	a := randomSet(32, 40, 1)
+	b := append(randomSet(32, 40, 2), Message{Src: 3, Dst: External}, Message{Src: External, Dst: 9})
+	la, lb := NewLoads(ft, a), NewLoads(ft, b)
+	lab := NewLoads(ft, Concat(a, b))
+	ft.Channels(func(c Channel) {
+		if lab.Load(c) != la.Load(c)+lb.Load(c) {
+			t.Fatalf("channel %v: %d != %d + %d", c, lab.Load(c), la.Load(c), lb.Load(c))
+		}
+	})
+}

@@ -1,0 +1,190 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// bruteLCA climbs both leaves one level at a time.
+func bruteLCA(t *FatTree, p, q int) int {
+	a, b := t.Leaf(p), t.Leaf(q)
+	for a != b {
+		a >>= 1
+		b >>= 1
+	}
+	return a
+}
+
+func TestLCAAgainstBruteForce(t *testing.T) {
+	ft := NewConstant(64, 1)
+	for p := 0; p < 64; p++ {
+		for q := 0; q < 64; q++ {
+			if got, want := ft.LCA(p, q), bruteLCA(ft, p, q); got != want {
+				t.Fatalf("LCA(%d,%d)=%d want %d", p, q, got, want)
+			}
+		}
+	}
+}
+
+func TestLCAExamples(t *testing.T) {
+	ft := NewConstant(8, 1)
+	cases := []struct{ p, q, lca int }{
+		{0, 1, 4},  // siblings under node 4
+		{0, 3, 2},  // within left half
+		{0, 7, 1},  // across the root
+		{4, 6, 3},  // within right half
+		{5, 5, 13}, // same leaf: LCA is the leaf itself
+	}
+	for _, c := range cases {
+		if got := ft.LCA(c.p, c.q); got != c.lca {
+			t.Errorf("LCA(%d,%d)=%d want %d", c.p, c.q, got, c.lca)
+		}
+	}
+}
+
+func TestPathStructure(t *testing.T) {
+	ft := NewConstant(8, 1)
+	path := ft.Path(Message{Src: 0, Dst: 7}, nil)
+	// 0 -> 7 crosses the root: 3 up channels then 3 down channels.
+	if len(path) != 6 {
+		t.Fatalf("path length = %d, want 6", len(path))
+	}
+	wantNodes := []Channel{
+		{8, Up}, {4, Up}, {2, Up},
+		{3, Down}, {7, Down}, {15, Down},
+	}
+	for i, c := range path {
+		if c != wantNodes[i] {
+			t.Errorf("path[%d] = %v, want %v", i, c, wantNodes[i])
+		}
+	}
+}
+
+func TestPathLengthMatchesPath(t *testing.T) {
+	ft := NewConstant(128, 1)
+	rng := rand.New(rand.NewSource(3))
+	buf := make([]Channel, 0, 32)
+	for trial := 0; trial < 500; trial++ {
+		src, dst := rng.Intn(128), rng.Intn(128)
+		if src == dst {
+			continue
+		}
+		m := Message{src, dst}
+		buf = ft.Path(m, buf[:0])
+		if len(buf) != ft.PathLength(m) {
+			t.Fatalf("PathLength(%v)=%d but Path has %d channels", m, ft.PathLength(m), len(buf))
+		}
+	}
+}
+
+func TestPathUpThenDown(t *testing.T) {
+	// Property: every path is a (possibly empty) run of Up channels followed
+	// by a run of Down channels, levels strictly decreasing then increasing.
+	ft := NewConstant(256, 1)
+	f := func(a, b uint8) bool {
+		src, dst := int(a), int(b)
+		if src == dst {
+			return true
+		}
+		path := ft.Path(Message{src, dst}, nil)
+		phase := Up
+		prevLevel := ft.Levels() + 1
+		for _, c := range path {
+			if c.Dir == Down {
+				if phase == Up {
+					phase = Down
+					prevLevel = ft.Level(c.Node) - 1
+				}
+			} else if phase == Down {
+				return false // Up after Down
+			}
+			lv := ft.Level(c.Node)
+			if phase == Up && lv != prevLevel-1 && prevLevel != ft.Levels()+1 {
+				return false
+			}
+			prevLevel = lv
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPathEndpoints(t *testing.T) {
+	ft := NewConstant(64, 1)
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		src, dst := rng.Intn(64), rng.Intn(64)
+		if src == dst {
+			continue
+		}
+		path := ft.Path(Message{src, dst}, nil)
+		if path[0] != (Channel{ft.Leaf(src), Up}) {
+			t.Fatalf("path must start at source leaf: %v", path[0])
+		}
+		if path[len(path)-1] != (Channel{ft.Leaf(dst), Down}) {
+			t.Fatalf("path must end at destination leaf: %v", path[len(path)-1])
+		}
+	}
+}
+
+func TestAddressBits(t *testing.T) {
+	ft := NewConstant(8, 1)
+	if got := ft.AddressBits(Message{0, 1}); got != 1 {
+		t.Errorf("siblings need 1 address bit, got %d", got)
+	}
+	if got := ft.AddressBits(Message{0, 7}); got != 3 {
+		t.Errorf("cross-root needs lg n = 3 bits, got %d", got)
+	}
+	// The paper's bound: at most 2 lg n bits suffice for any message.
+	for p := 0; p < 8; p++ {
+		for q := 0; q < 8; q++ {
+			if p == q {
+				continue
+			}
+			if ft.AddressBits(Message{p, q}) > 2*Lg(8) {
+				t.Errorf("address bits exceed 2 lg n for %d->%d", p, q)
+			}
+		}
+	}
+}
+
+func TestCrossesNode(t *testing.T) {
+	ft := NewConstant(8, 1)
+	m := Message{0, 3} // path: leaf 8 up to node 2, down to leaf 11
+	wantTrue := []int{8, 4, 2, 5, 11}
+	wantFalse := []int{1, 3, 6, 7, 9, 10, 12, 13, 14, 15}
+	for _, v := range wantTrue {
+		if !ft.CrossesNode(v, m) {
+			t.Errorf("message %v should cross node %d", m, v)
+		}
+	}
+	for _, v := range wantFalse {
+		if ft.CrossesNode(v, m) {
+			t.Errorf("message %v should not cross node %d", m, v)
+		}
+	}
+}
+
+func TestCrossesNodeMatchesPath(t *testing.T) {
+	ft := NewConstant(32, 1)
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 200; trial++ {
+		src, dst := rng.Intn(32), rng.Intn(32)
+		if src == dst {
+			continue
+		}
+		m := Message{src, dst}
+		onPath := map[int]bool{ft.LCA(src, dst): true}
+		for _, c := range ft.Path(m, nil) {
+			onPath[c.Node] = true
+		}
+		for v := 1; v < ft.Nodes()+1; v++ {
+			if got := ft.CrossesNode(v, m); got != onPath[v] {
+				t.Fatalf("CrossesNode(%d, %v)=%v, path says %v", v, m, got, onPath[v])
+			}
+		}
+	}
+}

@@ -1,0 +1,45 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// The paper's hardware model extends Thompson's two-dimensional VLSI model to
+// three dimensions; this file provides the two-dimensional (area-universal)
+// fat-tree family for comparison — the regime of Leiserson's companion
+// results, where bandwidth through a closed curve is proportional to its
+// perimeter. A region of area A has perimeter Θ(sqrt A), so halving a layout
+// area scales bandwidth by 2^(1/2) per level instead of the volume model's
+// 4^(1/3).
+
+// Universal2DCapacity returns the channel capacity at a level of an
+// area-universal fat-tree on n processors with root capacity w:
+//
+//	cap(c at level k) = min( ceil(n / 2^k), ceil(w / 2^(k/2)) ), at least 1.
+//
+// Near the leaves capacities double per level going up; within 2·lg(n/w)
+// levels of the root they grow at rate 2^(1/2), the perimeter-supported rate.
+// The regimes cross at k = 2·lg(n/w). The meaningful root range is
+// sqrt(n) <= w <= n.
+func Universal2DCapacity(n, w, level int) int {
+	doubling := ceilDiv(n, 1<<uint(level))
+	root := int(math.Ceil(float64(w) / math.Pow(2, float64(level)/2)))
+	c := doubling
+	if root < c {
+		c = root
+	}
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// NewUniversal2D builds an area-universal fat-tree on n processors with root
+// capacity w.
+func NewUniversal2D(n, w int) *FatTree {
+	if w < 1 {
+		panic(fmt.Sprintf("core: root capacity w = %d must be >= 1", w))
+	}
+	return New(n, func(k int) int { return Universal2DCapacity(n, w, k) })
+}

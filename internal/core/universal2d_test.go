@@ -1,0 +1,53 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestUniversal2DProfile(t *testing.T) {
+	n, w := 4096, 64 // w = sqrt n
+	ft := NewUniversal2D(n, w)
+	if ft.RootCapacity() != w {
+		t.Errorf("root capacity %d, want %d", ft.RootCapacity(), w)
+	}
+	if ft.CapacityAtLevel(ft.Levels()) != 1 {
+		t.Errorf("leaf capacity %d", ft.CapacityAtLevel(ft.Levels()))
+	}
+	// Non-increasing toward the leaves.
+	for k := 1; k <= ft.Levels(); k++ {
+		if ft.CapacityAtLevel(k) > ft.CapacityAtLevel(k-1) {
+			t.Errorf("capacity increases at level %d", k)
+		}
+	}
+	// Near the root, growth rate ~ sqrt(2) per level.
+	ratio := float64(ft.CapacityAtLevel(0)) / float64(ft.CapacityAtLevel(2))
+	if math.Abs(ratio-2) > 0.35 {
+		t.Errorf("two-level near-root growth %v, want ~2 (sqrt2 per level)", ratio)
+	}
+}
+
+func TestUniversal2DCrossover(t *testing.T) {
+	// The regimes cross at k = 2·lg(n/w): n/2^k == w/2^(k/2).
+	n, w := 1<<12, 1<<8
+	k := 2 * (12 - 8)
+	doubling := float64(n) / math.Pow(2, float64(k))
+	rootRegime := float64(w) / math.Pow(2, float64(k)/2)
+	if math.Abs(doubling-rootRegime) > 1e-9 {
+		t.Fatalf("regimes disagree at crossover: %v vs %v", doubling, rootRegime)
+	}
+}
+
+func TestUniversal2DFatterBelowRootFor3D(t *testing.T) {
+	// For equal root capacity, the 2-D profile decays *slower* going down
+	// (perimeter scales as sqrt(area) per halving = 2^(1/2) per level versus
+	// the 3-D surface's 2^(2/3)), so 2-D capacities dominate level by level.
+	// The 2-D model's penalty is in hardware cost — the same w costs
+	// quadratic area versus the 3-D (w·lg)^(3/2) volume — not in the profile.
+	n, w := 1024, 64
+	for k := 0; k <= Lg(n); k++ {
+		if Universal2DCapacity(n, w, k) < UniversalCapacity(n, w, k) {
+			t.Errorf("level %d: 2-D cap below 3-D cap", k)
+		}
+	}
+}

@@ -1,0 +1,173 @@
+package decomp
+
+import "fmt"
+
+// This file implements Theorem 8: from any [w0, ..., wr] decomposition tree a
+// *balanced* decomposition tree can be produced, in which the number of
+// processors on either side of every partition is equal to within one, at the
+// cost of a constant-factor bandwidth increase: the level-j bandwidth becomes
+// w'_j <= 4·Σ_{i>=j} w_i (Corollary 9: 4a/(a-1)·w_j for a (w, a) tree).
+// Each balanced node corresponds to at most two strings of consecutive leaves
+// of the original tree, split recursively with Lemma 6.
+
+// BNode is a node of a balanced decomposition tree. Leaves have at most one
+// processor.
+type BNode struct {
+	// Strings are the (at most two) runs of consecutive original-tree leaves
+	// making up this node's region.
+	Strings []Interval
+	// Procs is the number of processors in the region.
+	Procs int
+	// Bandwidth is the node's external bandwidth, computed from the Lemma 7
+	// forests of its strings.
+	Bandwidth float64
+	// Level is the node's distance from the balanced root.
+	Level int
+
+	Left, Right *BNode
+}
+
+// IsLeaf reports whether the node is a balanced-tree leaf (<= 1 processor).
+func (b *BNode) IsLeaf() bool { return b.Left == nil && b.Right == nil }
+
+// Balance builds the balanced decomposition tree of Theorem 8 from t.
+// Considering the line of leaves as a string of black (processor) and white
+// (empty) pearls, Lemma 6 cuts the string into two sets of at most two
+// strings each with half the pearls of each color; recursing balances every
+// level, and at level ceil(lg n) each set contains at most one processor.
+func Balance(t *Tree) *BNode {
+	isBlack := func(pos int) bool { return t.LeafProc[pos] >= 0 }
+	root := &BNode{
+		Strings: []Interval{{0, t.Leaves()}},
+		Procs:   t.Procs(),
+		Level:   0,
+	}
+	root.Bandwidth = StringsBandwidth(t, root.Strings)
+	balanceRec(t, isBlack, root)
+	return root
+}
+
+func balanceRec(t *Tree, isBlack func(int) bool, node *BNode) {
+	if node.Procs <= 1 {
+		return
+	}
+	aStrs, bStrs := SplitPearls(isBlack, node.Strings)
+	aProcs := countBlacks(isBlack, aStrs)
+	node.Left = &BNode{
+		Strings:   aStrs,
+		Procs:     aProcs,
+		Bandwidth: StringsBandwidth(t, aStrs),
+		Level:     node.Level + 1,
+	}
+	node.Right = &BNode{
+		Strings:   bStrs,
+		Procs:     node.Procs - aProcs,
+		Bandwidth: StringsBandwidth(t, bStrs),
+		Level:     node.Level + 1,
+	}
+	balanceRec(t, isBlack, node.Left)
+	balanceRec(t, isBlack, node.Right)
+}
+
+// Walk visits every node of the balanced tree in pre-order.
+func (b *BNode) Walk(fn func(*BNode)) {
+	fn(b)
+	if b.Left != nil {
+		b.Left.Walk(fn)
+	}
+	if b.Right != nil {
+		b.Right.Walk(fn)
+	}
+}
+
+// Height returns the height of the balanced tree.
+func (b *BNode) Height() int {
+	if b.IsLeaf() {
+		return 0
+	}
+	lh, rh := b.Left.Height(), b.Right.Height()
+	if lh > rh {
+		return lh + 1
+	}
+	return rh + 1
+}
+
+// LeafOrder returns the processors in the in-order sequence of the balanced
+// tree's occupied leaves. This ordering is the "identification of the
+// processors of FT with the processors of R" used by Theorem 10: processor
+// LeafOrder[i] of the network is identified with fat-tree processor i.
+func (b *BNode) LeafOrder(t *Tree) []int {
+	var order []int
+	var rec func(n *BNode)
+	rec = func(n *BNode) {
+		if n.IsLeaf() {
+			for _, s := range n.Strings {
+				for pos := s.Lo; pos < s.Hi; pos++ {
+					if p := t.LeafProc[pos]; p >= 0 {
+						order = append(order, p)
+					}
+				}
+			}
+			return
+		}
+		rec(n.Left)
+		rec(n.Right)
+	}
+	rec(b)
+	return order
+}
+
+// Validate checks the Theorem 8 invariants throughout the balanced tree:
+// every node has at most two strings; children's processor counts are equal
+// to within one and sum to the parent's; string lengths also split to within
+// one (both pearl colors are balanced). maxBandwidthAtLevel returns, per
+// balanced level, the maximum node bandwidth, for comparison against the
+// Corollary 9 bound.
+func (b *BNode) Validate() error {
+	var err error
+	b.Walk(func(n *BNode) {
+		if err != nil {
+			return
+		}
+		if len(n.Strings) > 2 {
+			err = fmt.Errorf("decomp: node at level %d has %d strings", n.Level, len(n.Strings))
+			return
+		}
+		if n.IsLeaf() {
+			if n.Procs > 1 {
+				err = fmt.Errorf("decomp: leaf at level %d holds %d processors", n.Level, n.Procs)
+			}
+			return
+		}
+		l, r := n.Left, n.Right
+		if l.Procs+r.Procs != n.Procs {
+			err = fmt.Errorf("decomp: level %d: children procs %d+%d != %d", n.Level, l.Procs, r.Procs, n.Procs)
+			return
+		}
+		if d := l.Procs - r.Procs; d < -1 || d > 1 {
+			err = fmt.Errorf("decomp: level %d: unbalanced procs %d vs %d", n.Level, l.Procs, r.Procs)
+			return
+		}
+		if d := totalLen(l.Strings) - totalLen(r.Strings); d < -1 || d > 1 {
+			err = fmt.Errorf("decomp: level %d: unbalanced lengths %d vs %d",
+				n.Level, totalLen(l.Strings), totalLen(r.Strings))
+			return
+		}
+	})
+	return err
+}
+
+// MaxBandwidthAtLevel returns, for each balanced level j, the maximum
+// bandwidth of any node at that level.
+func (b *BNode) MaxBandwidthAtLevel() []float64 {
+	var levels []float64
+	b.Walk(func(n *BNode) {
+		for len(levels) <= n.Level {
+			levels = append(levels, 0)
+		}
+		if n.Bandwidth > levels[n.Level] {
+			levels[n.Level] = n.Bandwidth
+		}
+	})
+	return levels
+}

@@ -1,0 +1,162 @@
+package decomp
+
+import (
+	"fmt"
+	"math"
+)
+
+// CutLines is the two-dimensional analog of CutPlanes (Theorem 5 in
+// Thompson's planar model): a network occupying a square of area A is cut by
+// alternating vertical and horizontal lines into equal halves; the bandwidth
+// in or out of a region is gamma times its perimeter, so the per-level
+// bandwidth ratio is 2^(1/2). Layouts must be planar: every point at Z = 0.
+func CutLines(l *Layout, gamma float64) *Tree {
+	if err := l.Validate(); err != nil {
+		panic(err)
+	}
+	for p, pt := range l.Pos {
+		if pt.Z != 0 {
+			panic(fmt.Sprintf("decomp: CutLines needs a planar layout; processor %d has Z=%g", p, pt.Z))
+		}
+	}
+	n := len(l.Pos)
+	r := requiredDepth2D(l)
+	size := 1 << uint(r)
+
+	t := &Tree{
+		Depth:    r,
+		W:        make([]float64, r+1),
+		LeafProc: make([]int, size),
+		ProcLeaf: make([]int, n),
+	}
+	for i := range t.LeafProc {
+		t.LeafProc[i] = -1
+	}
+
+	// Per-level bandwidth from rectangle perimeters: all rectangles at a
+	// level share dimensions because cuts are at midpoints with a fixed
+	// alternation.
+	wDim, hDim := l.Side, l.Side
+	for i := 0; i <= r; i++ {
+		t.W[i] = gamma * 2 * (wDim + hDim)
+		if i%2 == 0 {
+			wDim /= 2
+		} else {
+			hDim /= 2
+		}
+	}
+
+	procs := make([]int, n)
+	for i := range procs {
+		procs[i] = i
+	}
+	type rect struct{ x0, y0, x1, y1 float64 }
+	var rec func(b rect, procs []int, depth, leafBase int)
+	rec = func(b rect, procs []int, depth, leafBase int) {
+		if depth == r {
+			if len(procs) > 1 {
+				panic("decomp: 2-D depth exhausted with multiple processors in one cell")
+			}
+			if len(procs) == 1 {
+				t.LeafProc[leafBase] = procs[0]
+				t.ProcLeaf[procs[0]] = leafBase
+			}
+			return
+		}
+		var lo, hi rect
+		var inLo func(Point) bool
+		if depth%2 == 0 {
+			mid := (b.x0 + b.x1) / 2
+			lo, hi = rect{b.x0, b.y0, mid, b.y1}, rect{mid, b.y0, b.x1, b.y1}
+			inLo = func(p Point) bool { return p.X < mid }
+		} else {
+			mid := (b.y0 + b.y1) / 2
+			lo, hi = rect{b.x0, b.y0, b.x1, mid}, rect{b.x0, mid, b.x1, b.y1}
+			inLo = func(p Point) bool { return p.Y < mid }
+		}
+		var left, right []int
+		for _, p := range procs {
+			if inLo(l.Pos[p]) {
+				left = append(left, p)
+			} else {
+				right = append(right, p)
+			}
+		}
+		half := 1 << uint(r-depth-1)
+		rec(lo, left, depth+1, leafBase)
+		rec(hi, right, depth+1, leafBase+half)
+	}
+	rec(rect{0, 0, l.Side, l.Side}, procs, 0, 0)
+	return t
+}
+
+// GridLayout2D places n processors on a regular grid filling a square of the
+// given area (all points at Z = 0).
+func GridLayout2D(n int, area float64) *Layout {
+	if n < 1 || area <= 0 {
+		panic(fmt.Sprintf("decomp: invalid 2-D grid layout n=%d area=%g", n, area))
+	}
+	side := math.Sqrt(area)
+	k := 1
+	for k*k < n {
+		k++
+	}
+	l := &Layout{Side: side, Pos: make([]Point, n)}
+	step := side / float64(k)
+	for p := 0; p < n; p++ {
+		l.Pos[p] = Point{
+			X: (float64(p%k) + 0.293) * step,
+			Y: (float64(p/k) + 0.293) * step,
+			Z: 0,
+		}
+	}
+	return l
+}
+
+// requiredDepth2D finds the cut depth separating all points in the plane.
+func requiredDepth2D(l *Layout) int {
+	maxDepth := 0
+	procs := make([]int, len(l.Pos))
+	for i := range procs {
+		procs[i] = i
+	}
+	type rect struct{ x0, y0, x1, y1 float64 }
+	var rec func(b rect, procs []int, depth int)
+	rec = func(b rect, procs []int, depth int) {
+		if len(procs) <= 1 {
+			if depth > maxDepth {
+				maxDepth = depth
+			}
+			return
+		}
+		if depth > maxCutDepth {
+			panic(fmt.Sprintf("decomp: 2-D cut recursion exceeds depth %d; positions too clustered", maxCutDepth))
+		}
+		var left, right []int
+		if depth%2 == 0 {
+			mid := (b.x0 + b.x1) / 2
+			for _, p := range procs {
+				if l.Pos[p].X < mid {
+					left = append(left, p)
+				} else {
+					right = append(right, p)
+				}
+			}
+			rec(rect{b.x0, b.y0, mid, b.y1}, left, depth+1)
+			rec(rect{mid, b.y0, b.x1, b.y1}, right, depth+1)
+			return
+		}
+		mid := (b.y0 + b.y1) / 2
+		for _, p := range procs {
+			if l.Pos[p].Y < mid {
+				left = append(left, p)
+			} else {
+				right = append(right, p)
+			}
+		}
+		rec(rect{b.x0, b.y0, b.x1, mid}, left, depth+1)
+		rec(rect{b.x0, mid, b.x1, b.y1}, right, depth+1)
+	}
+	rec(rect{0, 0, l.Side, l.Side}, procs, 0)
+	return maxDepth
+}

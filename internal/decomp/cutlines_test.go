@@ -1,0 +1,59 @@
+package decomp
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCutLinesBasics(t *testing.T) {
+	l := GridLayout2D(64, 256) // square side 16
+	tree := CutLines(l, 1)
+	if err := tree.Validate(); err != nil {
+		t.Fatalf("%v", err)
+	}
+	if tree.Procs() != 64 {
+		t.Errorf("procs %d", tree.Procs())
+	}
+	// Root bandwidth = perimeter of the square = 4·16 = 64.
+	if math.Abs(tree.W[0]-64) > 1e-9 {
+		t.Errorf("W0 = %v, want 64", tree.W[0])
+	}
+	// Per-level ratio sqrt(2).
+	if r := tree.Ratio(); math.Abs(r-math.Sqrt2) > 0.05 {
+		t.Errorf("ratio %v, want sqrt2", r)
+	}
+}
+
+func TestCutLinesRejectsNonPlanar(t *testing.T) {
+	l := &Layout{Side: 10, Pos: []Point{{1, 1, 1}}}
+	defer func() {
+		if recover() == nil {
+			t.Errorf("non-planar layout accepted")
+		}
+	}()
+	CutLines(l, 1)
+}
+
+func TestCutLinesBalances(t *testing.T) {
+	l := GridLayout2D(100, 400)
+	tree := CutLines(l, 1)
+	bt := Balance(tree)
+	if err := bt.Validate(); err != nil {
+		t.Fatalf("%v", err)
+	}
+	if got := len(bt.LeafOrder(tree)); got != 100 {
+		t.Errorf("leaf order %d", got)
+	}
+}
+
+func TestGridLayout2DPlanar(t *testing.T) {
+	l := GridLayout2D(50, 100)
+	if err := l.Validate(); err != nil {
+		t.Fatalf("%v", err)
+	}
+	for p, pt := range l.Pos {
+		if pt.Z != 0 {
+			t.Fatalf("processor %d not planar", p)
+		}
+	}
+}

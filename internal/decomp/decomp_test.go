@@ -1,0 +1,393 @@
+package decomp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGridLayoutValid(t *testing.T) {
+	for _, n := range []int{1, 8, 27, 64, 100} {
+		l := GridLayout(n, 1000)
+		if err := l.Validate(); err != nil {
+			t.Errorf("n=%d: %v", n, err)
+		}
+		if len(l.Pos) != n {
+			t.Errorf("n=%d: %d positions", n, len(l.Pos))
+		}
+	}
+}
+
+func TestLayoutValidateCatchesDuplicates(t *testing.T) {
+	l := &Layout{Side: 10, Pos: []Point{{1, 1, 1}, {1, 1, 1}}}
+	if err := l.Validate(); err == nil {
+		t.Errorf("duplicate positions accepted")
+	}
+	l2 := &Layout{Side: 10, Pos: []Point{{11, 1, 1}}}
+	if err := l2.Validate(); err == nil {
+		t.Errorf("out-of-cube position accepted")
+	}
+}
+
+func TestCutPlanesBasics(t *testing.T) {
+	l := GridLayout(64, 4096) // cube side 16
+	tree := CutPlanes(l, 1)
+	if err := tree.Validate(); err != nil {
+		t.Fatalf("invalid tree: %v", err)
+	}
+	if tree.Procs() != 64 {
+		t.Errorf("procs = %d", tree.Procs())
+	}
+	// Every processor must appear exactly once on the leaf line.
+	seen := make([]bool, 64)
+	for _, p := range tree.LeafProc {
+		if p >= 0 {
+			if seen[p] {
+				t.Fatalf("processor %d on two leaves", p)
+			}
+			seen[p] = true
+		}
+	}
+}
+
+func TestCutPlanesTheorem5Shape(t *testing.T) {
+	// Theorem 5: a network in a cube of volume v has an (O(v^(2/3)), 4^(1/3))
+	// decomposition tree. Check the root bandwidth and the level ratio.
+	vol := 32768.0 // side 32
+	l := GridLayout(512, vol)
+	tree := CutPlanes(l, 1)
+	wantRoot := 6 * math.Pow(vol, 2.0/3.0) // surface area of the cube
+	if math.Abs(tree.W[0]-wantRoot) > 1e-6*wantRoot {
+		t.Errorf("root bandwidth %.1f, want %.1f", tree.W[0], wantRoot)
+	}
+	ratio := tree.Ratio()
+	want := math.Pow(4, 1.0/3.0)
+	if math.Abs(ratio-want) > 0.15 {
+		t.Errorf("bandwidth ratio %.3f, want ~%.3f", ratio, want)
+	}
+}
+
+func TestCutPlanesGammaScales(t *testing.T) {
+	l := GridLayout(8, 512)
+	a := CutPlanes(l, 1)
+	b := CutPlanes(l, 2.5)
+	for i := range a.W {
+		if math.Abs(b.W[i]-2.5*a.W[i]) > 1e-9*b.W[i] {
+			t.Errorf("gamma scaling broken at level %d", i)
+		}
+	}
+}
+
+func TestCutPlanesSeparatesClusteredPoints(t *testing.T) {
+	// Two moderately tight clusters force deeper cuts than a uniform grid;
+	// the recursion must still terminate and separate all points.
+	l := &Layout{Side: 100, Pos: []Point{
+		{1, 1, 1}, {4, 1, 1}, {1, 4, 1}, {1, 1, 4},
+		{90, 90, 90}, {94, 90, 90},
+	}}
+	tree := CutPlanes(l, 1)
+	if err := tree.Validate(); err != nil {
+		t.Fatalf("%v", err)
+	}
+	if tree.Procs() != 6 {
+		t.Errorf("procs = %d", tree.Procs())
+	}
+}
+
+func TestCutPlanesRejectsPathologicalClusters(t *testing.T) {
+	// Points closer than the dense leaf line can resolve must panic with a
+	// clear message rather than exhaust memory.
+	l := &Layout{Side: 100, Pos: []Point{{1, 1, 1}, {1.0000001, 1, 1}}}
+	defer func() {
+		if recover() == nil {
+			t.Errorf("expected panic for pathological cluster")
+		}
+	}()
+	CutPlanes(l, 1)
+}
+
+func TestNewRegular(t *testing.T) {
+	tr := NewRegular(4, 16, 2)
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("%v", err)
+	}
+	if tr.W[0] != 16 || tr.W[4] != 1 {
+		t.Errorf("bandwidths wrong: %v", tr.W)
+	}
+	if r := tr.Ratio(); math.Abs(r-2) > 1e-9 {
+		t.Errorf("ratio %v", r)
+	}
+}
+
+func TestMaximalSubtrees(t *testing.T) {
+	cases := []struct {
+		iv      Interval
+		heights []int
+	}{
+		{Interval{0, 8}, []int{3}},
+		{Interval{0, 7}, []int{2, 1, 0}},
+		{Interval{1, 8}, []int{0, 1, 2}},
+		{Interval{3, 11}, []int{0, 2, 1, 0}},
+		{Interval{5, 6}, []int{0}},
+		{Interval{2, 6}, []int{1, 1}},
+	}
+	for _, c := range cases {
+		got := MaximalSubtrees(c.iv)
+		if len(got) != len(c.heights) {
+			t.Errorf("%+v: got %v want %v", c.iv, got, c.heights)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.heights[i] {
+				t.Errorf("%+v: got %v want %v", c.iv, got, c.heights)
+				break
+			}
+		}
+	}
+}
+
+func TestMaximalSubtreesProperties(t *testing.T) {
+	// Lemma 7: the forest covers the interval exactly, has at most two trees
+	// of any height, and the largest height is at most lg k.
+	f := func(loRaw, lenRaw uint16) bool {
+		lo := int(loRaw) % 1000
+		k := int(lenRaw)%1000 + 1
+		iv := Interval{lo, lo + k}
+		heights := MaximalSubtrees(iv)
+		covered := 0
+		countAt := map[int]int{}
+		maxH := 0
+		for _, h := range heights {
+			covered += 1 << uint(h)
+			countAt[h]++
+			if h > maxH {
+				maxH = h
+			}
+		}
+		if covered != k {
+			return false
+		}
+		for _, c := range countAt {
+			if c > 2 {
+				return false
+			}
+		}
+		return maxH <= int(math.Ceil(math.Log2(float64(k))))+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSplitPearlsOneString(t *testing.T) {
+	// BBWW: exact halving needs one black and one white per side.
+	colors := []bool{true, true, false, false}
+	isBlack := func(i int) bool { return colors[i] }
+	a, b := SplitPearls(isBlack, []Interval{{0, 4}})
+	if countBlacks(isBlack, a) != 1 || countBlacks(isBlack, b) != 1 {
+		t.Errorf("BBWW split blacks %d/%d, want 1/1", countBlacks(isBlack, a), countBlacks(isBlack, b))
+	}
+	if totalLen(a) != 2 || totalLen(b) != 2 {
+		t.Errorf("BBWW split lengths %d/%d", totalLen(a), totalLen(b))
+	}
+	if len(a) > 2 || len(b) > 2 {
+		t.Errorf("too many strings: %d, %d", len(a), len(b))
+	}
+}
+
+func TestSplitPearlsAdversarialTwoStrings(t *testing.T) {
+	// Blacks hidden at the far ends: prefix-only families fail, the full
+	// valid space must find the split. S1 = WWWWWWBBBB, S2 = BBWW.
+	colors := []bool{
+		false, false, false, false, false, false, true, true, true, true, // [0,10)
+		true, true, false, false, // [20,24)
+	}
+	pos := func(i int) bool {
+		if i < 10 {
+			return colors[i]
+		}
+		return colors[10+i-20]
+	}
+	a, b := SplitPearls(pos, []Interval{{0, 10}, {20, 24}})
+	ba, bb := countBlacks(pos, a), countBlacks(pos, b)
+	if d := ba - bb; d < -1 || d > 1 {
+		t.Errorf("blacks split %d/%d", ba, bb)
+	}
+	if d := totalLen(a) - totalLen(b); d < -1 || d > 1 {
+		t.Errorf("lengths split %d/%d", totalLen(a), totalLen(b))
+	}
+	if len(a) > 2 || len(b) > 2 {
+		t.Errorf("too many strings: a=%v b=%v", a, b)
+	}
+}
+
+func TestSplitPearlsProperty(t *testing.T) {
+	// Property over random colorings and random one-or-two-string inputs:
+	// blacks within 1, lengths within 1, at most two strings per side, exact
+	// partition of positions.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		len1 := 1 + rng.Intn(40)
+		len2 := rng.Intn(40)
+		colors := make(map[int]bool)
+		for i := 0; i < len1; i++ {
+			colors[i] = rng.Intn(2) == 0
+		}
+		for i := 0; i < len2; i++ {
+			colors[100+i] = rng.Intn(2) == 0
+		}
+		isBlack := func(i int) bool { return colors[i] }
+		strs := []Interval{{0, len1}}
+		if len2 > 0 {
+			strs = append(strs, Interval{100, 100 + len2})
+		}
+		a, b := SplitPearls(isBlack, strs)
+		if len(a) > 2 || len(b) > 2 {
+			return false
+		}
+		if d := countBlacks(isBlack, a) - countBlacks(isBlack, b); d < -1 || d > 1 {
+			return false
+		}
+		if d := totalLen(a) - totalLen(b); d < -1 || d > 1 {
+			return false
+		}
+		// Exact partition: every position in exactly one side.
+		seen := map[int]int{}
+		for _, s := range append(append([]Interval{}, a...), b...) {
+			for i := s.Lo; i < s.Hi; i++ {
+				seen[i]++
+			}
+		}
+		if len(seen) != len1+len2 {
+			return false
+		}
+		for _, c := range seen {
+			if c != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBalanceRegularTree(t *testing.T) {
+	tr := NewRegular(6, 64, math.Pow(4, 1.0/3.0))
+	bt := Balance(tr)
+	if err := bt.Validate(); err != nil {
+		t.Fatalf("%v", err)
+	}
+	if bt.Procs != 64 {
+		t.Errorf("root procs %d", bt.Procs)
+	}
+	// Balanced to within one at every level means height = lg n = 6.
+	if h := bt.Height(); h != 6 {
+		t.Errorf("height %d, want 6", h)
+	}
+	// Every processor appears exactly once in leaf order.
+	order := bt.LeafOrder(tr)
+	if len(order) != 64 {
+		t.Fatalf("leaf order has %d processors", len(order))
+	}
+	seen := make([]bool, 64)
+	for _, p := range order {
+		if seen[p] {
+			t.Fatalf("processor %d twice in leaf order", p)
+		}
+		seen[p] = true
+	}
+}
+
+func TestCorollary9BandwidthBound(t *testing.T) {
+	// For a (w, a) decomposition tree, the balanced tree's level-j bandwidth
+	// is at most 4a/(a-1)·w_{j-1} (one extra level of slack covers the ±1
+	// string-length accumulation). Verify on regular trees for a = 2 and
+	// a = 4^(1/3).
+	for _, a := range []float64{2, math.Pow(4, 1.0/3.0)} {
+		depth := 8
+		w := math.Pow(a, float64(depth)) // leaf bandwidth 1
+		tr := NewRegular(depth, w, a)
+		bt := Balance(tr)
+		if err := bt.Validate(); err != nil {
+			t.Fatalf("a=%.2f: %v", a, err)
+		}
+		maxBW := bt.MaxBandwidthAtLevel()
+		factor := 4 * a / (a - 1)
+		for j, bw := range maxBW {
+			wj := w / math.Pow(a, float64(j))
+			bound := factor * wj * a // one level of slack
+			if bw > bound+1e-6 {
+				t.Errorf("a=%.2f level %d: bandwidth %.1f exceeds Corollary 9 bound %.1f",
+					a, j, bw, bound)
+			}
+		}
+	}
+}
+
+func TestBalanceSparseTree(t *testing.T) {
+	// A tree where only a quarter of the leaves hold processors, clustered at
+	// one end — balancing must still split processors evenly.
+	depth := 6
+	size := 1 << depth
+	tr := &Tree{Depth: depth, W: make([]float64, depth+1), LeafProc: make([]int, size)}
+	for i := range tr.W {
+		tr.W[i] = float64(int(1) << uint(depth-i))
+	}
+	for i := range tr.LeafProc {
+		tr.LeafProc[i] = -1
+	}
+	nproc := size / 4
+	tr.ProcLeaf = make([]int, nproc)
+	for p := 0; p < nproc; p++ {
+		tr.LeafProc[p] = p // all clustered at the left end
+		tr.ProcLeaf[p] = p
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("%v", err)
+	}
+	bt := Balance(tr)
+	if err := bt.Validate(); err != nil {
+		t.Fatalf("%v", err)
+	}
+	if got := len(bt.LeafOrder(tr)); got != nproc {
+		t.Errorf("leaf order %d, want %d", got, nproc)
+	}
+}
+
+func TestBalanceFromCutPlanes(t *testing.T) {
+	// End-to-end Section V: layout -> decomposition tree -> balanced tree.
+	l := GridLayout(128, 8000)
+	tr := CutPlanes(l, 1)
+	bt := Balance(tr)
+	if err := bt.Validate(); err != nil {
+		t.Fatalf("%v", err)
+	}
+	if bt.Procs != 128 {
+		t.Errorf("procs %d", bt.Procs)
+	}
+	order := bt.LeafOrder(tr)
+	if len(order) != 128 {
+		t.Errorf("leaf order %d", len(order))
+	}
+}
+
+func TestIntervalBandwidthMonotone(t *testing.T) {
+	// Wider intervals cannot have less bandwidth on a regular tree.
+	tr := NewRegular(8, 256, 2)
+	prev := 0.0
+	for k := 1; k <= 256; k *= 2 {
+		bw := IntervalBandwidth(tr, Interval{0, k})
+		if bw < prev {
+			t.Errorf("bandwidth decreased at width %d", k)
+		}
+		prev = bw
+	}
+	// An aligned block of 2^h leaves is a single subtree: bandwidth is
+	// exactly W[depth-h].
+	if bw := IntervalBandwidth(tr, Interval{0, 16}); bw != tr.W[4] {
+		t.Errorf("aligned block bandwidth %.1f, want %.1f", bw, tr.W[4])
+	}
+}

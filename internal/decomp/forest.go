@@ -1,0 +1,59 @@
+package decomp
+
+import "math/bits"
+
+// This file implements Lemma 7: for a complete binary tree drawn with leaves
+// on a line, any string of k consecutive leaves is covered by a forest of
+// maximal complete subtrees with at most two trees of any given height and
+// largest height at most lg k. All external communication of a complete
+// subtree of a decomposition tree occurs through the surface corresponding to
+// its root, so the bandwidth available to a leaf interval is the sum of its
+// forest roots' bandwidths.
+
+// MaximalSubtrees decomposes the leaf interval [iv.Lo, iv.Hi) of a complete
+// binary tree into the maximal aligned complete subtrees whose leaves lie
+// only in the interval, returning the heights of their roots in left-to-right
+// order. A subtree of height h covers an aligned block of 2^h leaves.
+func MaximalSubtrees(iv Interval) []int {
+	var heights []int
+	lo, hi := iv.Lo, iv.Hi
+	for lo < hi {
+		// The largest aligned block starting at lo: limited by lo's
+		// alignment and by the remaining length.
+		maxH := bits.Len(uint(hi-lo)) - 1 // largest 2^h <= hi-lo
+		h := bits.TrailingZeros(uint(lo))
+		if lo == 0 || h > maxH {
+			h = maxH
+		}
+		heights = append(heights, h)
+		lo += 1 << uint(h)
+	}
+	return heights
+}
+
+// IntervalBandwidth returns the total external bandwidth of the leaf interval
+// under a decomposition tree with per-level bandwidths W (level 0 = root,
+// level depth = leaves): the sum over the Lemma 7 forest of each root's
+// bandwidth W[depth - height].
+func IntervalBandwidth(t *Tree, iv Interval) float64 {
+	total := 0.0
+	for _, h := range MaximalSubtrees(iv) {
+		level := t.Depth - h
+		if level < 0 {
+			level = 0
+		}
+		total += t.W[level]
+	}
+	return total
+}
+
+// StringsBandwidth sums IntervalBandwidth over a set of strings — the
+// external bandwidth of a balanced-decomposition-tree node per the proof of
+// Theorem 8.
+func StringsBandwidth(t *Tree, strs []Interval) float64 {
+	total := 0.0
+	for _, s := range strs {
+		total += IntervalBandwidth(t, s)
+	}
+	return total
+}

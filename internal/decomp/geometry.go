@@ -1,0 +1,231 @@
+// Package decomp implements the decomposition-tree machinery of Section V of
+// the paper: cut-plane decomposition trees of physical network layouts
+// (Theorem 5), the strings-of-pearls partitioning lemma (Lemma 6), the
+// forest-of-complete-subtrees lemma (Lemma 7), and balanced decomposition
+// trees (Theorem 8 / Corollary 9). These bring the single physical assumption
+// of the universality theorem — at most O(a) bits per unit time through a
+// closed surface of area a — to bear on an arbitrary routing network.
+package decomp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is a position in three-dimensional space, in the unit cells of the
+// VLSI model.
+type Point struct {
+	X, Y, Z float64
+}
+
+// Layout is a physical arrangement of processors inside a cube of side Side:
+// processor p sits at Pos[p]. Positions must be pairwise distinct and lie in
+// [0, Side)^3 for CutPlanes to terminate.
+type Layout struct {
+	Side float64
+	Pos  []Point
+}
+
+// Volume returns the volume of the enclosing cube.
+func (l *Layout) Volume() float64 { return l.Side * l.Side * l.Side }
+
+// Validate checks that positions are in range and pairwise distinct.
+func (l *Layout) Validate() error {
+	seen := make(map[Point]int, len(l.Pos))
+	for p, pt := range l.Pos {
+		if pt.X < 0 || pt.X >= l.Side || pt.Y < 0 || pt.Y >= l.Side || pt.Z < 0 || pt.Z >= l.Side {
+			return fmt.Errorf("decomp: processor %d at %v outside cube of side %g", p, pt, l.Side)
+		}
+		if q, dup := seen[pt]; dup {
+			return fmt.Errorf("decomp: processors %d and %d share position %v", q, p, pt)
+		}
+		seen[pt] = p
+	}
+	return nil
+}
+
+// GridLayout places n processors on a regular 3-D grid filling a cube of the
+// given volume — the generic layout used for baseline networks whose precise
+// floorplan the paper abstracts away. Grid points are offset off cut
+// boundaries so median cuts separate them cleanly.
+func GridLayout(n int, volume float64) *Layout {
+	if n < 1 || volume <= 0 {
+		panic(fmt.Sprintf("decomp: invalid grid layout n=%d volume=%g", n, volume))
+	}
+	side := math.Cbrt(volume)
+	k := 1
+	for k*k*k < n {
+		k++
+	}
+	l := &Layout{Side: side, Pos: make([]Point, n)}
+	step := side / float64(k)
+	for p := 0; p < n; p++ {
+		x := p % k
+		y := (p / k) % k
+		z := p / (k * k)
+		l.Pos[p] = Point{
+			X: (float64(x) + 0.293) * step,
+			Y: (float64(y) + 0.293) * step,
+			Z: (float64(z) + 0.293) * step,
+		}
+	}
+	return l
+}
+
+// box is an axis-aligned region of the layout cube.
+type box struct {
+	min, max Point
+}
+
+func (b box) surfaceArea() float64 {
+	dx, dy, dz := b.max.X-b.min.X, b.max.Y-b.min.Y, b.max.Z-b.min.Z
+	return 2 * (dx*dy + dy*dz + dz*dx)
+}
+
+// CutPlanes builds the decomposition tree of Theorem 5 for the layout: a
+// rectilinearly oriented plane splits the cube into two equal boxes, the next
+// level cuts perpendicular to the first, the third dimension follows, and the
+// procedure repeats until each box contains at most one processor. gamma is
+// the constant relating surface area to bandwidth (bits per unit time through
+// a surface of area a is at most gamma·a).
+//
+// The returned Tree has uniform depth r (boxes with zero or one processors
+// are split down to the bottom so all leaves align), per-level bandwidths
+// W[i] = gamma · (surface area of a level-i box), and the leaf line in cut
+// order. Theorem 5's statement follows: W[0] = O(v^(2/3)) and the bandwidths
+// shrink by 4^(1/3) per level (exactly by 2^(2/3) every cut once the box
+// aspect cycle repeats).
+func CutPlanes(l *Layout, gamma float64) *Tree {
+	if err := l.Validate(); err != nil {
+		panic(err)
+	}
+	n := len(l.Pos)
+	// Depth: enough cuts that every processor is alone. Each triple of cuts
+	// halves every box dimension, so distinct points separate once box
+	// diagonals shrink below the minimum pairwise gap; grow depth adaptively
+	// by first computing it via a trial recursion.
+	r := requiredDepth(l)
+	size := 1 << uint(r)
+
+	t := &Tree{
+		Depth:    r,
+		W:        make([]float64, r+1),
+		LeafProc: make([]int, size),
+		ProcLeaf: make([]int, n),
+	}
+	for i := range t.LeafProc {
+		t.LeafProc[i] = -1
+	}
+
+	// Per-level bandwidth from box geometry: every box at a level has the
+	// same dimensions because cuts are at midpoints with a fixed axis cycle.
+	b := box{max: Point{l.Side, l.Side, l.Side}}
+	for i := 0; i <= r; i++ {
+		t.W[i] = gamma * b.surfaceArea()
+		b = halveBox(b, i%3).a
+	}
+
+	procs := make([]int, n)
+	for i := range procs {
+		procs[i] = i
+	}
+	var rec func(b box, procs []int, depth, leafBase int)
+	rec = func(b box, procs []int, depth, leafBase int) {
+		if depth == r {
+			if len(procs) > 1 {
+				panic("decomp: depth exhausted with multiple processors in one box")
+			}
+			if len(procs) == 1 {
+				t.LeafProc[leafBase] = procs[0]
+				t.ProcLeaf[procs[0]] = leafBase
+			}
+			return
+		}
+		halves := halveBox(b, depth%3)
+		var left, right []int
+		for _, p := range procs {
+			if inBox(halves.a, l.Pos[p]) {
+				left = append(left, p)
+			} else {
+				right = append(right, p)
+			}
+		}
+		half := 1 << uint(r-depth-1)
+		rec(halves.a, left, depth+1, leafBase)
+		rec(halves.b, right, depth+1, leafBase+half)
+	}
+	rec(box{max: Point{l.Side, l.Side, l.Side}}, procs, 0, 0)
+	return t
+}
+
+// boxPair is the two halves of a cut box.
+type boxPair struct{ a, b box }
+
+// halveBox splits b in two equal boxes by a plane perpendicular to the given
+// axis (0 = X, 1 = Y, 2 = Z).
+func halveBox(b box, axis int) boxPair {
+	lo, hi := b, b
+	switch axis {
+	case 0:
+		mid := (b.min.X + b.max.X) / 2
+		lo.max.X, hi.min.X = mid, mid
+	case 1:
+		mid := (b.min.Y + b.max.Y) / 2
+		lo.max.Y, hi.min.Y = mid, mid
+	default:
+		mid := (b.min.Z + b.max.Z) / 2
+		lo.max.Z, hi.min.Z = mid, mid
+	}
+	return boxPair{a: lo, b: hi}
+}
+
+// inBox reports whether the point lies in the half-open box [min, max).
+func inBox(b box, p Point) bool {
+	return p.X >= b.min.X && p.X < b.max.X &&
+		p.Y >= b.min.Y && p.Y < b.max.Y &&
+		p.Z >= b.min.Z && p.Z < b.max.Z
+}
+
+// maxCutDepth bounds the decomposition depth: the leaf line is stored
+// densely, so 2^maxCutDepth is the largest affordable leaf count. Layouts
+// whose closest pair is within ~side/2^(maxCutDepth/3) of each other exceed
+// it.
+const maxCutDepth = 22
+
+// requiredDepth runs the cut recursion without building leaves to find the
+// depth at which every box holds at most one processor. It panics past
+// maxCutDepth, which only duplicate or extremely clustered points reach.
+func requiredDepth(l *Layout) int {
+	maxDepth := 0
+	procs := make([]int, len(l.Pos))
+	for i := range procs {
+		procs[i] = i
+	}
+	var rec func(b box, procs []int, depth int)
+	rec = func(b box, procs []int, depth int) {
+		if len(procs) <= 1 {
+			if depth > maxDepth {
+				maxDepth = depth
+			}
+			return
+		}
+		if depth > maxCutDepth {
+			panic(fmt.Sprintf("decomp: cut recursion exceeds depth %d (2^%d leaves); "+
+				"positions are too clustered for the dense leaf-line representation",
+				maxCutDepth, maxCutDepth))
+		}
+		halves := halveBox(b, depth%3)
+		var left, right []int
+		for _, p := range procs {
+			if inBox(halves.a, l.Pos[p]) {
+				left = append(left, p)
+			} else {
+				right = append(right, p)
+			}
+		}
+		rec(halves.a, left, depth+1)
+		rec(halves.b, right, depth+1)
+	}
+	rec(box{max: Point{l.Side, l.Side, l.Side}}, procs, 0)
+	return maxDepth
+}

@@ -1,0 +1,267 @@
+package decomp
+
+import "fmt"
+
+// This file implements the strings-of-pearls partitioning of Lemma 6: given
+// at most two strings of black and white pearls, cut them so that the pearls
+// divide into two sets, each containing at most two strings, with each set
+// holding (as near as possible) half the pearls of each color. Black pearls
+// are processors, white pearls are empty leaves of a decomposition tree, and
+// a "string" is a run of consecutive leaves.
+//
+// The implementation enumerates the complete space of valid configurations —
+// a set's intersection with each input string must be a prefix or a suffix of
+// it (anything else leaves the complement in three or more pieces) — and
+// picks a configuration with minimum color imbalance. Lemma 6's rotation
+// argument (Fig. 4) walks a connected path through exactly this space, so for
+// even color counts an exact halving always exists and the enumeration finds
+// it; with odd counts the split is balanced to within one, which is what
+// Theorem 8 needs.
+
+// Interval is a half-open run [Lo, Hi) of leaf positions.
+type Interval struct {
+	Lo, Hi int
+}
+
+// Len returns the number of positions in the interval.
+func (iv Interval) Len() int { return iv.Hi - iv.Lo }
+
+// SplitPearls divides the pearls of the given strings (at most two disjoint
+// intervals, at least one pearl) into two sets A and B of at most two strings
+// each, such that the black pearls (positions where isBlack is true) split to
+// within one and so do the total pearls (hence the whites split to within
+// two). It panics if given more than two strings, mirroring the lemma's
+// precondition.
+func SplitPearls(isBlack func(pos int) bool, strs []Interval) (a, b []Interval) {
+	strs = normalizeStrings(strs)
+	switch len(strs) {
+	case 0:
+		return nil, nil
+	case 1:
+		return splitOneString(isBlack, strs[0])
+	case 2:
+		return splitTwoStrings(isBlack, strs[0], strs[1])
+	}
+	panic(fmt.Sprintf("decomp: SplitPearls on %d strings; the invariant allows at most 2", len(strs)))
+}
+
+// normalizeStrings drops empty intervals and orders the rest by position.
+func normalizeStrings(strs []Interval) []Interval {
+	out := make([]Interval, 0, len(strs))
+	for _, s := range strs {
+		if s.Len() < 0 {
+			panic(fmt.Sprintf("decomp: negative interval %+v", s))
+		}
+		if s.Len() > 0 {
+			out = append(out, s)
+		}
+	}
+	if len(out) == 2 && out[0].Lo > out[1].Lo {
+		out[0], out[1] = out[1], out[0]
+	}
+	if len(out) == 2 && out[0].Hi > out[1].Lo {
+		panic(fmt.Sprintf("decomp: overlapping strings %+v", out))
+	}
+	return out
+}
+
+// prefixBlacks returns P where P[i] = number of blacks among the first i
+// positions of the interval.
+func prefixBlacks(isBlack func(int) bool, s Interval) []int {
+	p := make([]int, s.Len()+1)
+	for i := 0; i < s.Len(); i++ {
+		p[i+1] = p[i]
+		if isBlack(s.Lo + i) {
+			p[i+1]++
+		}
+	}
+	return p
+}
+
+// splitOneString handles the single-string case: the circle has one junction,
+// so the valid configurations are exactly the circular windows of half the
+// length — an infix (complement = prefix ∪ suffix) or a wrap-around
+// prefix ∪ suffix (complement = infix). A window with ceil(B/2) or floor(B/2)
+// blacks always exists by discrete continuity: the window and its complement
+// partition B, and one step moves the count by at most one.
+func splitOneString(isBlack func(int) bool, s Interval) (a, b []Interval) {
+	length := s.Len()
+	if length == 1 {
+		return []Interval{s}, nil
+	}
+	p := prefixBlacks(isBlack, s)
+	total := p[length]
+	half := length / 2
+	target := total / 2
+
+	blacksIn := func(i, j int) int { return p[j] - p[i] } // window [Lo+i, Lo+j)
+	for start := 0; start < length; start++ {
+		end := start + half
+		var blacks int
+		if end <= length {
+			blacks = blacksIn(start, end)
+		} else {
+			blacks = blacksIn(start, length) + blacksIn(0, end-length)
+		}
+		if blacks == target || blacks == (total+1)/2 {
+			if end <= length {
+				a = []Interval{{s.Lo + start, s.Lo + end}}
+				b = []Interval{{s.Lo, s.Lo + start}, {s.Lo + end, s.Hi}}
+			} else {
+				a = []Interval{{s.Lo + start, s.Hi}, {s.Lo, s.Lo + end - length}}
+				b = []Interval{{s.Lo + end - length, s.Lo + start}}
+			}
+			return normalizeStrings(a), normalizeStrings(b)
+		}
+	}
+	panic("decomp: no balanced window found — discrete continuity violated (bug)")
+}
+
+// splitTwoStrings handles the two-string case by enumerating the complete
+// space of valid configurations with |A| = half the pearls:
+//
+//   - end families: A ∩ s_i is a prefix or suffix of s_i for both strings
+//     (four combinations);
+//   - infix families: A is an infix of one string together with all of the
+//     other (the complement is the two outer pieces of the first string);
+//   - outer families: A is a prefix plus a suffix of one string (the
+//     complement is that string's infix together with all of the other).
+//
+// Every division of the pearls into two sets of at most two line-strings each
+// falls into one of these shapes (an infix on one side forces the whole other
+// string onto the same side, else the complement has three pieces). For the
+// longer string s1, the end family prefix(s1)∪prefix(s2) connects to the
+// infix family infix(s1)∪s2 at prefix(s1, half−|s2|)∪s2 and the infix slides
+// to suffix(s1, half−|s2|)∪s2, which is exactly the complement of
+// prefix(s1, half); along this path the black count changes by at most one
+// per step and covers [x, B−x], so a count of floor(B/2) or ceil(B/2) is
+// always reached — the discrete form of Lemma 6's continuity argument.
+func splitTwoStrings(isBlack func(int) bool, s1, s2 Interval) (a, b []Interval) {
+	l1, l2 := s1.Len(), s2.Len()
+	p1 := prefixBlacks(isBlack, s1)
+	p2 := prefixBlacks(isBlack, s2)
+	total := p1[l1] + p2[l2]
+	length := l1 + l2
+	half := length / 2
+
+	// pieceBlacks returns the black count of a prefix (kind 0) or suffix
+	// (kind 1) of the string with prefix sums p.
+	pieceBlacks := func(p []int, kind, pieceLen int) int {
+		if kind == 0 {
+			return p[pieceLen]
+		}
+		return p[len(p)-1] - p[len(p)-1-pieceLen]
+	}
+	infixBlacks := func(p []int, lo, hi int) int { return p[hi] - p[lo] }
+	makePiece := func(s Interval, kind, pieceLen int) Interval {
+		if kind == 0 {
+			return Interval{s.Lo, s.Lo + pieceLen}
+		}
+		return Interval{s.Hi - pieceLen, s.Hi}
+	}
+	complementPiece := func(s Interval, kind, pieceLen int) Interval {
+		if kind == 0 {
+			return Interval{s.Lo + pieceLen, s.Hi}
+		}
+		return Interval{s.Lo, s.Hi - pieceLen}
+	}
+
+	bestImb := 2*length + 1
+	var bestA, bestB []Interval
+	record := func(blacks int, aStrs, bStrs []Interval) bool {
+		imb := 2*blacks - total
+		if imb < 0 {
+			imb = -imb
+		}
+		if imb < bestImb {
+			bestImb = imb
+			bestA = normalizeStrings(aStrs)
+			bestB = normalizeStrings(bStrs)
+		}
+		return bestImb <= 1
+	}
+
+	// End families.
+	for k1 := 0; k1 < 2; k1++ {
+		for k2 := 0; k2 < 2; k2++ {
+			loA := half - l2
+			if loA < 0 {
+				loA = 0
+			}
+			hiA := half
+			if hiA > l1 {
+				hiA = l1
+			}
+			for a1 := loA; a1 <= hiA; a1++ {
+				a2 := half - a1
+				blacks := pieceBlacks(p1, k1, a1) + pieceBlacks(p2, k2, a2)
+				if record(blacks,
+					[]Interval{makePiece(s1, k1, a1), makePiece(s2, k2, a2)},
+					[]Interval{complementPiece(s1, k1, a1), complementPiece(s2, k2, a2)}) {
+					return bestA, bestB
+				}
+			}
+		}
+	}
+
+	// Infix and outer families, for each orientation (sI carries the infix,
+	// sO rides along whole).
+	type oriented struct {
+		sI, sO Interval
+		pI     []int
+		bO     int // blacks of the whole other string
+	}
+	for _, o := range []oriented{
+		{s1, s2, p1, p2[l2]},
+		{s2, s1, p2, p1[l1]},
+	} {
+		lI := o.sI.Len()
+		// Infix family: A = infix(sI, t) ∪ all(sO), t = half - |sO|.
+		if t := half - o.sO.Len(); t >= 0 && t <= lI {
+			for i := 0; i+t <= lI; i++ {
+				blacks := infixBlacks(o.pI, i, i+t) + o.bO
+				if record(blacks,
+					[]Interval{{o.sI.Lo + i, o.sI.Lo + i + t}, o.sO},
+					[]Interval{{o.sI.Lo, o.sI.Lo + i}, {o.sI.Lo + i + t, o.sI.Hi}}) {
+					return bestA, bestB
+				}
+			}
+		}
+		// Outer family: A = prefix(sI, p) ∪ suffix(sI, half-p); the
+		// complement is sI's middle plus all of sO.
+		if lI >= half {
+			for p := 0; p <= half; p++ {
+				q := half - p
+				blacks := o.pI[p] + (o.pI[lI] - o.pI[lI-q])
+				if record(blacks,
+					[]Interval{{o.sI.Lo, o.sI.Lo + p}, {o.sI.Hi - q, o.sI.Hi}},
+					[]Interval{{o.sI.Lo + p, o.sI.Hi - q}, o.sO}) {
+					return bestA, bestB
+				}
+			}
+		}
+	}
+	return bestA, bestB
+}
+
+// countBlacks tallies blacks across a set of intervals.
+func countBlacks(isBlack func(int) bool, strs []Interval) int {
+	count := 0
+	for _, s := range strs {
+		for i := s.Lo; i < s.Hi; i++ {
+			if isBlack(i) {
+				count++
+			}
+		}
+	}
+	return count
+}
+
+// totalLen tallies positions across a set of intervals.
+func totalLen(strs []Interval) int {
+	n := 0
+	for _, s := range strs {
+		n += s.Len()
+	}
+	return n
+}

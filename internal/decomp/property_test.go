@@ -1,0 +1,84 @@
+package decomp
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomLayout places n processors at random distinct grid-snapped positions
+// in a cube — arbitrary geometry, unlike the regular grids of the baselines.
+func randomLayout(n int, side float64, seed int64) *Layout {
+	rng := rand.New(rand.NewSource(seed))
+	l := &Layout{Side: side, Pos: make([]Point, 0, n)}
+	seen := map[Point]bool{}
+	// Snap to a fine grid so positions stay separable by median cuts within
+	// the depth budget.
+	cells := 64
+	for len(l.Pos) < n {
+		p := Point{
+			X: (float64(rng.Intn(cells)) + 0.37) * side / float64(cells),
+			Y: (float64(rng.Intn(cells)) + 0.37) * side / float64(cells),
+			Z: (float64(rng.Intn(cells)) + 0.37) * side / float64(cells),
+		}
+		if !seen[p] {
+			seen[p] = true
+			l.Pos = append(l.Pos, p)
+		}
+	}
+	return l
+}
+
+// TestPipelineOnRandomLayouts fuzzes the whole Section V pipeline on
+// irregular geometry: cut-plane tree valid, balanced tree valid, every
+// processor identified exactly once.
+func TestPipelineOnRandomLayouts(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(96)
+		l := randomLayout(n, 100, seed)
+		if err := l.Validate(); err != nil {
+			t.Logf("seed %d: layout: %v", seed, err)
+			return false
+		}
+		tree := CutPlanes(l, 1)
+		if err := tree.Validate(); err != nil {
+			t.Logf("seed %d: tree: %v", seed, err)
+			return false
+		}
+		bt := Balance(tree)
+		if err := bt.Validate(); err != nil {
+			t.Logf("seed %d: balance: %v", seed, err)
+			return false
+		}
+		order := bt.LeafOrder(tree)
+		if len(order) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, p := range order {
+			if p < 0 || p >= n || seen[p] {
+				return false
+			}
+			seen[p] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBandwidthsNonincreasingOnRandomLayouts checks the (w, a) structure
+// survives irregular geometry: level bandwidths never increase with depth.
+func TestBandwidthsNonincreasingOnRandomLayouts(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		l := randomLayout(50, 64, seed)
+		tree := CutPlanes(l, 1)
+		for i := 1; i <= tree.Depth; i++ {
+			if tree.W[i] > tree.W[i-1]+1e-9 {
+				t.Fatalf("seed %d: bandwidth increases at level %d", seed, i)
+			}
+		}
+	}
+}

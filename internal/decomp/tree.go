@@ -1,0 +1,104 @@
+package decomp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Tree is a [w0, w1, ..., wr] decomposition tree of a routing network R on a
+// set of processors: the amount of information that can enter or leave the
+// whole processor set is at most W[0] bits per unit time; R can be
+// partitioned into two sets each with bandwidth at most W[1]; each of those
+// into two with bandwidth at most W[2]; and so on, until every set at the
+// r-th level has either zero or one processors in it.
+//
+// The tree is complete with 2^Depth leaves; LeafProc records which processor
+// (if any) occupies each leaf of the drawing with leaves on a line, and
+// ProcLeaf is the inverse map.
+type Tree struct {
+	Depth    int       // r
+	W        []float64 // W[i] = bandwidth bound at level i, len Depth+1
+	LeafProc []int     // leaf position -> processor or -1, len 2^Depth
+	ProcLeaf []int     // processor -> leaf position
+}
+
+// Leaves returns the number of leaf positions, 2^Depth.
+func (t *Tree) Leaves() int { return 1 << uint(t.Depth) }
+
+// Procs returns the number of processors in the tree.
+func (t *Tree) Procs() int { return len(t.ProcLeaf) }
+
+// Ratio returns the per-level bandwidth decrease factor a of a (w, a)
+// decomposition tree, estimated as the geometric mean of successive W ratios.
+// Theorem 5's cut-plane trees have a = 4^(1/3).
+func (t *Tree) Ratio() float64 {
+	if t.Depth == 0 {
+		return 1
+	}
+	product := 1.0
+	for i := 1; i <= t.Depth; i++ {
+		product *= t.W[i-1] / t.W[i]
+	}
+	return math.Pow(product, 1.0/float64(t.Depth))
+}
+
+// Validate checks structural invariants: bandwidths positive and
+// non-increasing, maps mutually inverse.
+func (t *Tree) Validate() error {
+	if len(t.W) != t.Depth+1 {
+		return fmt.Errorf("decomp: %d bandwidth levels for depth %d", len(t.W), t.Depth)
+	}
+	for i, w := range t.W {
+		if w <= 0 {
+			return fmt.Errorf("decomp: non-positive bandwidth %g at level %d", w, i)
+		}
+		if i > 0 && w > t.W[i-1] {
+			return fmt.Errorf("decomp: bandwidth increases from level %d to %d", i-1, i)
+		}
+	}
+	if len(t.LeafProc) != t.Leaves() {
+		return fmt.Errorf("decomp: %d leaves, want %d", len(t.LeafProc), t.Leaves())
+	}
+	for p, leaf := range t.ProcLeaf {
+		if leaf < 0 || leaf >= len(t.LeafProc) || t.LeafProc[leaf] != p {
+			return fmt.Errorf("decomp: processor %d mapped to leaf %d inconsistently", p, leaf)
+		}
+	}
+	count := 0
+	for _, p := range t.LeafProc {
+		if p >= 0 {
+			count++
+		}
+	}
+	if count != len(t.ProcLeaf) {
+		return fmt.Errorf("decomp: %d occupied leaves for %d processors", count, len(t.ProcLeaf))
+	}
+	return nil
+}
+
+// NewRegular builds a synthetic (w, a) decomposition tree of the given depth
+// with every leaf occupied: W[i] = w/a^i and processor p at leaf p. It is the
+// shape Theorem 5 produces for a fully populated cube and is used directly in
+// tests and benchmarks of the balancing machinery.
+func NewRegular(depth int, w, a float64) *Tree {
+	if depth < 0 || w <= 0 || a < 1 {
+		panic(fmt.Sprintf("decomp: invalid regular tree depth=%d w=%g a=%g", depth, w, a))
+	}
+	size := 1 << uint(depth)
+	t := &Tree{
+		Depth:    depth,
+		W:        make([]float64, depth+1),
+		LeafProc: make([]int, size),
+		ProcLeaf: make([]int, size),
+	}
+	bw := w
+	for i := 0; i <= depth; i++ {
+		t.W[i] = bw
+		bw /= a
+	}
+	for i := 0; i < size; i++ {
+		t.LeafProc[i] = i
+		t.ProcLeaf[i] = i
+	}
+	return t
+}

@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"fattree/internal/concentrator"
+	"fattree/internal/core"
+	"fattree/internal/metrics"
+	"fattree/internal/sched"
+	"fattree/internal/sim"
+	"fattree/internal/workload"
+)
+
+// A1Profile ablates the Section IV capacity profile: the pure-doubling
+// profile (root capacity n) ignores the 3-D volume constraint; the universal
+// profile gives up a little scheduling performance near the root in exchange
+// for physically realizable wiring. The table reports wires (hardware) and
+// delivery cycles (performance) side by side.
+func A1Profile(o Options) []*metrics.Table {
+	sizes := pick(o, []int{64}, []int{64, 256, 1024})
+	tab := metrics.NewTable(
+		"Ablation: universal profile (w = n^(2/3)) vs pure doubling",
+		"n", "workload", "wires univ", "wires dbl", "d univ", "d dbl")
+	for _, n := range sizes {
+		w := 1
+		for w*w*w < n*n { // w = ceil(n^(2/3))
+			w++
+		}
+		univ := core.NewUniversal(n, w)
+		dbl := core.NewDoubling(n)
+		for _, wl := range []struct {
+			name string
+			ms   core.MessageSet
+		}{
+			{"bit-reversal", workload.BitReversal(n)},
+			{"random 2n", workload.Random(n, 2*n, o.Seed)},
+			{"8-local", workload.KLocal(n, 2*n, 8, o.Seed+1)},
+		} {
+			su := sched.OffLine(univ, wl.ms)
+			sd := sched.OffLine(dbl, wl.ms)
+			tab.AddRow(n, wl.name, univ.TotalWires(), dbl.TotalWires(), su.Length(), sd.Length())
+		}
+	}
+	return []*metrics.Table{tab}
+}
+
+// A2Switches ablates the concentrator implementation: ideal concentrators
+// (Section III's assumption) versus Pippenger-style partial concentrators
+// (Section IV's construction). Playing the same Theorem 1 schedule, ideal
+// switches lose nothing; partial switches drop a small fraction and need a
+// few extra cycles to drain, matching the paper's remark that treating
+// capacity as α times the wire count absorbs the difference.
+func A2Switches(o Options) []*metrics.Table {
+	n := 64
+	if o.Quick {
+		n = 32
+	}
+	tab := metrics.NewTable(
+		"Ablation: ideal vs partial concentrators playing the same off-line schedule",
+		"workload", "sched cycles", "ideal cycles", "ideal drops", "partial cycles", "partial drops")
+	ft := core.NewUniversal(n, n/2)
+	for _, wl := range []struct {
+		name string
+		ms   core.MessageSet
+	}{
+		{"permutation", workload.RandomPermutation(n, o.Seed)},
+		{"random 3n", workload.Random(n, 3*n, o.Seed+1)},
+	} {
+		s := sched.OffLine(ft, wl.ms)
+		ideal := sim.RunSchedule(sim.New(ft, concentrator.KindIdeal, o.Seed), s)
+		partial := sim.RunSchedule(sim.New(ft, concentrator.KindPartial, o.Seed), s)
+		tab.AddRow(wl.name, s.Length(), ideal.Cycles, ideal.Drops, partial.Cycles, partial.Drops)
+	}
+	return []*metrics.Table{tab}
+}

@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"fattree/internal/baseline"
+	"fattree/internal/concentrator"
+	"fattree/internal/core"
+	"fattree/internal/metrics"
+	"fattree/internal/sched"
+	"fattree/internal/sim"
+	"fattree/internal/universal"
+	"fattree/internal/workload"
+)
+
+// E13Online reproduces the on-line routing extension announced in Section VI
+// (Greenberg–Leiserson, reference [8]): a randomized on-line protocol
+// delivers every message set in O(λ(M) + lg n·lg lg n) delivery cycles with
+// high probability. Contention is resolved by fresh random priorities each
+// cycle; the table compares measured cycles against λ, the envelope, and the
+// off-line Theorem 1 schedule.
+func E13Online(o Options) []*metrics.Table {
+	sizes := pick(o, []int{64}, []int{64, 256, 1024})
+	tab := metrics.NewTable(
+		"Randomized on-line routing vs the λ + lg n·lg lg n envelope (ideal switches)",
+		"n", "workload", "λ", "online cycles", "envelope (c=4)", "offline d", "drops")
+	for _, n := range sizes {
+		ft := core.NewUniversal(n, n/4)
+		e := sim.New(ft, concentrator.KindIdeal, o.Seed)
+		for _, wl := range []struct {
+			name string
+			ms   core.MessageSet
+		}{
+			{"permutation", workload.RandomPermutation(n, o.Seed)},
+			{"random 4n", workload.Random(n, 4*n, o.Seed+1)},
+			{"bit-reversal", workload.BitReversal(n)},
+			{"hot-spot n/4", workload.HotSpot(n, n/4, o.Seed+2)},
+		} {
+			lam := core.LoadFactor(ft, wl.ms)
+			online := sim.RunOnlineRandom(e, wl.ms, o.Seed+3)
+			if online.Delivered != len(wl.ms) {
+				panic("E13: online delivery incomplete")
+			}
+			offline := sched.OffLine(ft, wl.ms)
+			tab.AddRow(n, wl.name, lam, online.Cycles,
+				sim.OnlineBound(ft, lam, 4), offline.Length(), online.Drops)
+		}
+	}
+	// The "with high probability" part: the distribution of cycle counts
+	// over independent runs must concentrate — the max over many seeds stays
+	// a small constant above the median.
+	n := 256
+	if o.Quick {
+		n = 64
+	}
+	runs := 50
+	if o.Quick {
+		runs = 10
+	}
+	dist := metrics.NewTable(
+		"Concentration over "+itoa(runs)+" independent runs (n = "+itoa(n)+")",
+		"workload", "λ", "min", "median", "p90", "max", "max/median")
+	ft := core.NewUniversal(n, n/4)
+	e := sim.New(ft, concentrator.KindIdeal, o.Seed)
+	for _, wl := range []struct {
+		name string
+		ms   core.MessageSet
+	}{
+		{"permutation", workload.RandomPermutation(n, o.Seed)},
+		{"random 4n", workload.Random(n, 4*n, o.Seed+1)},
+	} {
+		var cycles []float64
+		for r := 0; r < runs; r++ {
+			stats := sim.RunOnlineRandom(e, wl.ms, o.Seed+int64(100+r))
+			if stats.Delivered != len(wl.ms) {
+				panic("E13: run incomplete")
+			}
+			cycles = append(cycles, float64(stats.Cycles))
+		}
+		sum := metrics.Summarize(cycles)
+		lam := core.LoadFactor(ft, wl.ms)
+		dist.AddRow(wl.name, lam, sum.Min, sum.Median, sum.P90, sum.Max, sum.Max/sum.Median)
+	}
+	return []*metrics.Table{tab, dist}
+}
+
+// E14CCC extends E8 with the cube-connected-cycles network the related-work
+// section discusses (Galil–Paul's general-purpose machine): a constant-degree
+// network that the equal-volume fat-tree simulates inside the same polylog
+// envelope.
+func E14CCC(o Options) []*metrics.Table {
+	n := 64 // d=4: 4·2^4 processors
+	tab := metrics.NewTable(
+		"Theorem 10 on cube-connected cycles (n = 64 = 4·2^4)",
+		"workload", "t (ccc)", "λ (ft)", "d (ft)", "slowdown", "lg³n", "norm")
+	net := baseline.NewCCC(n)
+	for _, wl := range []struct {
+		name string
+		ms   core.MessageSet
+	}{
+		{"bit-reversal", workload.BitReversal(n)},
+		{"permutation", workload.RandomPermutation(n, o.Seed)},
+		{"8-local", workload.KLocal(n, 2*n, 8, o.Seed+1)},
+	} {
+		r := universal.Simulate(net, wl.ms, 1)
+		tab.AddRow(wl.name, r.NetworkCycles, r.LoadFactor, r.FatTreeCycles,
+			r.Slowdown, r.PolylogBound, r.Slowdown/r.PolylogBound)
+	}
+	return []*metrics.Table{tab}
+}

@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"math"
+
+	"fattree/internal/baseline"
+	"fattree/internal/core"
+	"fattree/internal/metrics"
+	"fattree/internal/universal"
+	"fattree/internal/vlsi"
+	"fattree/internal/workload"
+)
+
+// E15Layout realizes universal fat-trees geometrically with the recursive
+// Leighton–Rosenberg-style placement and compares the achieved bounding
+// volume with the Theorem 4 formula, then closes the loop of Section VI by
+// simulating a fat-tree *on* a fat-tree through the full Theorem 10 pipeline
+// (layout → decomposition → balancing → identification → scheduling).
+func E15Layout(o Options) []*metrics.Table {
+	sizes := pick(o, []int{64, 256}, []int{64, 256, 1024, 4096})
+	geo := metrics.NewTable(
+		"Geometric realization: achieved volume vs Theorem 4 formula",
+		"n", "w", "formula vol", "achieved vol", "ratio", "aspect", "box-sum vol")
+	for _, n := range sizes {
+		for _, w := range []int{rootW(n), n} {
+			ft := core.NewUniversal(n, w)
+			tl := vlsi.LayoutFatTree(ft)
+			if err := tl.Validate(); err != nil {
+				panic(err)
+			}
+			formula := vlsi.UniversalVolume(n, w)
+			geo.AddRow(n, w, formula, tl.Volume(), tl.Volume()/formula,
+				tl.AspectRatio(), tl.BoxSum)
+		}
+	}
+
+	n := 64
+	if !o.Quick {
+		n = 128
+	}
+	self := metrics.NewTable(
+		"Self-simulation: a fat-tree as the simulated network R (Theorem 10)",
+		"workload", "t (ft as R)", "λ", "d", "slowdown", "lg³n", "norm")
+	inner := baseline.NewFatTreeNetwork(core.NewUniversal(n, n/4))
+	for _, wl := range []struct {
+		name string
+		ms   core.MessageSet
+	}{
+		{"permutation", workload.RandomPermutation(n, o.Seed)},
+		{"bit-reversal", workload.BitReversal(n)},
+		{"4-local", workload.KLocal(n, 2*n, 4, o.Seed+1)},
+	} {
+		r := universal.Simulate(inner, wl.ms, 1)
+		self.AddRow(wl.name, r.NetworkCycles, r.LoadFactor, r.FatTreeCycles,
+			r.Slowdown, r.PolylogBound, r.Slowdown/r.PolylogBound)
+	}
+	return []*metrics.Table{geo, self}
+}
+
+// rootW returns ceil(n^(2/3)).
+func rootW(n int) int {
+	return int(math.Ceil(math.Pow(float64(n), 2.0/3.0)))
+}

@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"math"
+
+	"fattree/internal/core"
+	"fattree/internal/metrics"
+	"fattree/internal/trace"
+	"fattree/internal/vlsi"
+)
+
+// E16Applications runs whole-application communication traces on fat-trees of
+// three hardware scales — the Section VII thesis that "one should build the
+// biggest fat-tree one can afford, and the architecture automatically ensures
+// that communication bandwidth is effectively utilized". Local applications
+// (multigrid, FEM) degrade only mildly on cheap trees; FFT — the genuinely
+// global communicator — pays the most when hardware shrinks; sample sort is
+// insensitive because its serial gather saturates one leaf channel that no
+// network width can widen.
+func E16Applications(o Options) []*metrics.Table {
+	k := 16
+	if !o.Quick {
+		k = 32
+	}
+	n := k * k
+	trees := []struct {
+		name string
+		ft   *core.FatTree
+	}{
+		{"w=sqrt(n)", core.NewUniversal(n, 2*k)},
+		{"w=n^(2/3)", core.NewUniversal(n, rootW(n))},
+		{"w=n", core.NewUniversal(n, n)},
+	}
+	traces := []*trace.Trace{
+		trace.MultiGrid(k),
+		trace.FEMSolve(k, 1),
+		trace.FFT(n),
+		trace.SampleSort(n, 4, o.Seed),
+	}
+
+	tab := metrics.NewTable(
+		"Application traces across hardware scales (n = "+itoa(n)+", payload 32)",
+		"application", "tree", "volume", "cycles", "ticks", "ticks vs w=n")
+	for _, tr := range traces {
+		full := trace.Run(trees[len(trees)-1].ft, tr, 32).TotalTicks
+		for _, tc := range trees {
+			res := trace.Run(tc.ft, tr, 32)
+			vol := vlsi.UniversalVolume(n, tc.ft.RootCapacity())
+			tab.AddRow(tr.Name, tc.name, vol, res.TotalCycles, res.TotalTicks,
+				math.Round(100*float64(res.TotalTicks)/float64(full))/100)
+		}
+	}
+	return []*metrics.Table{tab}
+}

@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"fattree/internal/concentrator"
+	"fattree/internal/core"
+	"fattree/internal/metrics"
+	"fattree/internal/sched"
+	"fattree/internal/sim"
+	"fattree/internal/workload"
+)
+
+// E17Faults measures graceful degradation under the two fault models of
+// Section VII's engineering concerns: permanent wire failures (channels
+// narrow, capacities shrink, the off-line scheduler adapts transparently)
+// and transient switch faults (messages corrupted in flight, retried by the
+// acknowledgment protocol). The paper claims fat-trees are "a robust
+// engineering structure — one need not worry about the exact capacities of
+// channels as long as the capacities exhibit reasonable growth"; the tables
+// quantify how performance bends rather than breaks.
+func E17Faults(o Options) []*metrics.Table {
+	n := 256
+	if o.Quick {
+		n = 64
+	}
+	ms := workload.Random(n, 4*n, o.Seed)
+
+	perm := metrics.NewTable(
+		"Permanent wire failures: degrade each edge w.p. p by 50% of its wires",
+		"p", "edges degraded", "wires left", "λ", "d offline", "d/λ clean-normalized")
+	cleanTree := core.NewUniversal(n, n/4)
+	cleanSched := sched.OffLine(cleanTree, ms)
+	cleanD := float64(cleanSched.Length())
+	for _, p := range []float64{0, 0.05, 0.1, 0.25, 0.5, 1.0} {
+		ft := core.NewUniversal(n, n/4)
+		degraded := core.DegradeChannels(ft, p, 0.5, o.Seed+int64(p*100))
+		s := sched.OffLine(ft, ms)
+		if err := s.Verify(ms); err != nil {
+			panic(err)
+		}
+		perm.AddRow(p, degraded, ft.TotalWires(), s.LoadFactor, s.Length(),
+			float64(s.Length())/cleanD)
+	}
+
+	trans := metrics.NewTable(
+		"Transient switch faults: corruption rate vs retry cost (online, ideal switches)",
+		"loss rate", "cycles", "drops", "cycles vs clean")
+	var cleanCycles float64
+	for _, rate := range []float64{0, 0.01, 0.05, 0.1, 0.25} {
+		ft := core.NewUniversal(n, n/4)
+		e := sim.New(ft, concentrator.KindIdeal, o.Seed)
+		if rate > 0 {
+			e.InjectLoss(rate, o.Seed+int64(rate*1000))
+		}
+		stats := sim.RunOnlineRandom(e, ms, o.Seed+5)
+		if stats.Delivered != len(ms) {
+			panic("E17: delivery incomplete under transient faults")
+		}
+		if rate == 0 {
+			cleanCycles = float64(stats.Cycles)
+		}
+		trans.AddRow(rate, stats.Cycles, stats.Drops, float64(stats.Cycles)/cleanCycles)
+	}
+	return []*metrics.Table{perm, trans}
+}

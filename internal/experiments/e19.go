@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"fattree/internal/concentrator"
+	"fattree/internal/core"
+	"fattree/internal/metrics"
+	"fattree/internal/sched"
+	"fattree/internal/sim"
+	"fattree/internal/workload"
+)
+
+// E19Buffered compares the paper's three delivery disciplines plus the
+// modern alternative Section VII gestures at ("fat-tree architectures can be
+// built with different design decisions"): off-line Theorem 1 schedules,
+// compacted schedules, randomized drop-retry, and buffered backpressure
+// switches. Tick accounting: a scheduled/retry delivery cycle costs the
+// 2·lg n + 2 bit-serial pipeline; a buffered hop costs one tick once the
+// pipe fills.
+func E19Buffered(o Options) []*metrics.Table {
+	n := 256
+	if o.Quick {
+		n = 64
+	}
+	ft := core.NewUniversal(n, n/4)
+	tab := metrics.NewTable(
+		"Delivery disciplines (n = "+itoa(n)+", universal w = n/4; times in ticks)",
+		"workload", "λ", "offline", "compacted", "util off", "util comp", "drop-retry", "buffered(d=4)")
+	for _, wl := range []struct {
+		name string
+		ms   core.MessageSet
+	}{
+		{"permutation", workload.RandomPermutation(n, o.Seed)},
+		{"random 4n", workload.Random(n, 4*n, o.Seed+1)},
+		{"bit-reversal", workload.BitReversal(n)},
+		{"2-local", workload.KLocal(n, 4*n, 2, o.Seed+2)},
+	} {
+		lam := core.LoadFactor(ft, wl.ms)
+		cycleTicks := sim.MaxCycleTicks(ft, 0)
+		off := sched.OffLine(ft, wl.ms)
+		comp := sched.Compact(off)
+		engine := sim.New(ft, concentrator.KindIdeal, o.Seed)
+		retry := sim.RunOnlineRandom(engine, wl.ms, o.Seed+3)
+		buf := sim.RunBuffered(ft, wl.ms, 4)
+		tab.AddRow(wl.name, lam,
+			off.Length()*cycleTicks, comp.Length()*cycleTicks,
+			off.Utilization(), comp.Utilization(),
+			retry.Cycles*cycleTicks, buf.Hops)
+	}
+
+	depth := metrics.NewTable(
+		"Buffer-depth sweep (bit-reversal): backpressure vs queue capacity",
+		"queue depth", "hops", "max queue", "mean latency", "stalls")
+	ms := workload.BitReversal(n)
+	for _, d := range []int{1, 2, 4, 16, 64} {
+		buf := sim.RunBuffered(ft, ms, d)
+		depth.AddRow(d, buf.Hops, buf.MaxQueue, buf.MeanLatency, buf.Stalls)
+	}
+	return []*metrics.Table{tab, depth}
+}

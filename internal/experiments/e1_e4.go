@@ -1,0 +1,170 @@
+package experiments
+
+import (
+	"math"
+
+	"fattree/internal/concentrator"
+	"fattree/internal/core"
+	"fattree/internal/metrics"
+	"fattree/internal/sched"
+	"fattree/internal/workload"
+)
+
+// E1Topology reproduces Fig. 1 and the Section IV capacity definition: the
+// per-level capacities of universal fat-trees (doubling near the leaves,
+// 4^(1/3) growth within 3·lg(n/w) of the root) next to the pure-doubling
+// profile, plus aggregate wiring for a sweep of root capacities.
+func E1Topology(o Options) []*metrics.Table {
+	n := 1024
+	if o.Quick {
+		n = 64
+	}
+	w := int(math.Pow(float64(n), 2.0/3.0))
+	profile := metrics.NewTable(
+		"Per-level channel capacities (n = "+itoa(n)+")",
+		"level", "universal w=n^(2/3)", "universal w=n/4", "doubling", "growth (univ n^(2/3))")
+	prev := 0
+	for k := 0; k <= core.Lg(n); k++ {
+		c1 := core.UniversalCapacity(n, w, k)
+		c2 := core.UniversalCapacity(n, n/4, k)
+		c3 := intCeil(n, 1<<uint(k))
+		growth := ""
+		if prev > 0 {
+			growth = fmtRatio(float64(prev) / float64(c1))
+		}
+		profile.AddRow(k, c1, c2, c3, growth)
+		prev = c1
+	}
+
+	agg := metrics.NewTable(
+		"Aggregate wiring across root capacities (n = "+itoa(n)+")",
+		"w", "root cap", "total wires", "address bits <= 2 lg n")
+	for _, frac := range []float64{2.0 / 3.0, 0.75, 0.9, 1.0} {
+		wc := int(math.Pow(float64(n), frac))
+		ft := core.NewUniversal(n, wc)
+		agg.AddRow(wc, ft.RootCapacity(), ft.TotalWires(), 2*core.Lg(n))
+	}
+	return []*metrics.Table{profile, agg}
+}
+
+// E2Concentrator reproduces the Fig. 3 switch internals: Pippenger-style
+// partial concentrators with bounded degrees, measured concentration constant
+// α, linear component counts, and loss behaviour below and above the α·s
+// threshold.
+func E2Concentrator(o Options) []*metrics.Table {
+	sizes := pick(o, []int{30, 90}, []int{30, 90, 270, 540})
+	tab := metrics.NewTable(
+		"Partial concentrators (s = 2r/3): paper promises α = 3/4, deg <= 6/9, O(r) components",
+		"r", "s", "max in-deg", "max out-deg", "components/r", "measured α", "loss@k=s/2", "loss@k=s")
+	trials := 60
+	if o.Quick {
+		trials = 20
+	}
+	for _, r := range sizes {
+		s := 2 * r / 3
+		c := concentrator.NewPartial(r, s, o.Seed+int64(r))
+		alpha := c.MeasureAlpha(trials, o.Seed+1)
+		lossHalf := lossRate(c, s/2, trials, o.Seed+2)
+		lossFull := lossRate(c, s, trials, o.Seed+3)
+		tab.AddRow(r, s, c.MaxInputDegree(), c.MaxOutputDegree(),
+			float64(c.Components())/float64(r), alpha, lossHalf, lossFull)
+	}
+
+	cas := metrics.NewTable(
+		"Cascades: constant depth for constant ratio",
+		"r", "s", "stages", "components/r")
+	for _, r := range sizes {
+		for _, ratio := range []int{2, 4} {
+			s := r / ratio
+			if s < 1 {
+				continue
+			}
+			c := concentrator.NewCascade(r, s, o.Seed)
+			cas.AddRow(r, s, c.Depth(), float64(c.Components())/float64(r))
+		}
+	}
+	return []*metrics.Table{tab, cas}
+}
+
+// lossRate samples random active sets of size k and returns the fraction of
+// messages lost.
+func lossRate(c *concentrator.Partial, k, trials int, seed int64) float64 {
+	if k < 1 {
+		return 0
+	}
+	rng := newRng(seed)
+	lost, sent := 0, 0
+	for t := 0; t < trials; t++ {
+		active := rng.Perm(c.Inputs())[:k]
+		_, l := c.Route(active)
+		lost += l
+		sent += k
+	}
+	return float64(lost) / float64(sent)
+}
+
+// E3OfflineSchedule reproduces Theorem 1: measured delivery cycles d against
+// the lower bound λ(M) and the upper bound 2(ceil(λ)+1)·lg n, across tree
+// shapes and workloads, with the greedy first-fit scheduler for contrast.
+func E3OfflineSchedule(o Options) []*metrics.Table {
+	sizes := pick(o, []int{64}, []int{64, 256, 1024})
+	tab := metrics.NewTable(
+		"Theorem 1: λ <= d <= 2(ceil(λ)+1)·lg n (capacity-1 tree ≡ worst case)",
+		"n", "workload", "messages", "λ", "d offline", "bound", "d greedy", "d/λ")
+	for _, n := range sizes {
+		ft := core.NewUniversal(n, n/4)
+		for _, wl := range []struct {
+			name string
+			ms   core.MessageSet
+		}{
+			{"permutation", workload.RandomPermutation(n, o.Seed)},
+			{"random 4n", workload.Random(n, 4*n, o.Seed+1)},
+			{"bit-reversal", workload.BitReversal(n)},
+			{"hot-spot n/2", workload.HotSpot(n, n/2, o.Seed+2)},
+		} {
+			s := sched.OffLine(ft, wl.ms)
+			if err := s.Verify(wl.ms); err != nil {
+				panic(err)
+			}
+			g := sched.Greedy(ft, wl.ms)
+			lam := s.LoadFactor
+			bound := 2 * (math.Ceil(lam) + 1) * float64(ft.Levels())
+			ratio := 0.0
+			if lam > 0 {
+				ratio = float64(s.Length()) / lam
+			}
+			tab.AddRow(n, wl.name, len(wl.ms), lam, s.Length(), bound, g.Length(), ratio)
+		}
+	}
+	return []*metrics.Table{tab}
+}
+
+// E4BigChannels reproduces Corollary 2: with every capacity at least α·lg n,
+// the scheduler uses at most 2(α/(α-1))·λ cycles — load-factor optimal to a
+// constant, removing Theorem 1's lg n factor.
+func E4BigChannels(o Options) []*metrics.Table {
+	sizes := pick(o, []int{64}, []int{64, 256})
+	tab := metrics.NewTable(
+		"Corollary 2: d <= 2(α/(α-1))·λ when cap >= α·lg n",
+		"n", "α", "cap", "λ", "λ'", "d big", "bound", "d thm1")
+	for _, n := range sizes {
+		lgn := core.Lg(n)
+		for _, alpha := range []int{2, 4} {
+			ft := core.NewConstant(n, alpha*lgn)
+			ms := workload.Random(n, 8*n, o.Seed)
+			s := sched.OffLineBig(ft, ms)
+			if err := s.Verify(ms); err != nil {
+				panic(err)
+			}
+			plain := sched.OffLine(ft, ms)
+			lam := s.LoadFactor
+			lamP := core.LoadFactorWithSlack(ft, ms, lgn)
+			bound := 2 * float64(alpha) / float64(alpha-1) * lam
+			if bound < 1 {
+				bound = 1
+			}
+			tab.AddRow(n, alpha, alpha*lgn, lam, lamP, s.Length(), bound, plain.Length())
+		}
+	}
+	return []*metrics.Table{tab}
+}

@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"fattree/internal/baseline"
+	"fattree/internal/core"
+	"fattree/internal/metrics"
+	"fattree/internal/universal"
+	"fattree/internal/workload"
+)
+
+// E20OnlineUniversality reproduces the paper's closing claim of Section VI:
+// "one can obtain an on-line analog to Theorem 10, except with an
+// O(lg³ n·lg lg n) time degradation." The off-line Theorem 10 pipeline is
+// rerun with the randomized on-line protocol replacing the precomputed
+// schedule; no switch settings are compiled in advance.
+func E20OnlineUniversality(o Options) []*metrics.Table {
+	n := 64
+	if o.Quick {
+		n = 32
+	}
+	tab := metrics.NewTable(
+		"On-line Theorem 10 (n = "+itoa(n)+"): randomized protocol, no compiled switch settings",
+		"network", "workload", "t (net)", "d online", "d offline", "slowdown", "lg³n·lglgn", "norm")
+	nets := []baseline.Network{
+		baseline.NewHypercube(n),
+		baseline.NewShuffleExchange(n),
+	}
+	if sq := isqrt(n); sq*sq == n {
+		nets = append(nets, baseline.NewMesh(n))
+	}
+	for _, net := range nets {
+		for _, wl := range []struct {
+			name string
+			ms   core.MessageSet
+		}{
+			{"bit-reversal", workload.BitReversal(n)},
+			{"permutation", workload.RandomPermutation(n, o.Seed)},
+		} {
+			on := universal.SimulateOnline(net, wl.ms, 1, o.Seed)
+			off := universal.Simulate(net, wl.ms, 1)
+			tab.AddRow(net.Name(), wl.name, on.NetworkCycles, on.FatTreeCycles,
+				off.FatTreeCycles, on.Slowdown, on.PolylogBound, on.Slowdown/on.PolylogBound)
+		}
+	}
+	return []*metrics.Table{tab}
+}
+
+// isqrt returns floor(sqrt(n)).
+func isqrt(n int) int {
+	k := 0
+	for (k+1)*(k+1) <= n {
+		k++
+	}
+	return k
+}

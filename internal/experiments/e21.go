@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"fattree/internal/concentrator"
+	"fattree/internal/core"
+	"fattree/internal/metrics"
+	"fattree/internal/sched"
+	"fattree/internal/sim"
+	"fattree/internal/workload"
+)
+
+// E21ExternalIO exercises the root interface of Section II ("the channel
+// leaving the root of the tree corresponds to an interface with the external
+// world") and Section VII's remark that it "offers a natural high-bandwidth
+// external connection": I/O throughput scales linearly with the root
+// capacity w — the same knob that buys internal bisection bandwidth — and
+// I/O coexists with internal traffic because inputs use only down channels
+// and outputs only up channels.
+func E21ExternalIO(o Options) []*metrics.Table {
+	n := 256
+	if o.Quick {
+		n = 64
+	}
+	k := 2 * n // total I/O messages, half reads half writes
+
+	scale := metrics.NewTable(
+		"I/O bandwidth scales with root capacity (n = "+itoa(n)+", "+itoa(k)+" I/O messages)",
+		"w", "λ", "d offline", "root bound k/2w", "hardware cycles", "drops")
+	for _, w := range []int{4, 8, 16, 32, 64} {
+		ft := core.NewUniversal(n, w)
+		ms := workload.ExternalIO(n, k/2, k/2, o.Seed)
+		s := sched.OffLine(ft, ms)
+		if err := s.Verify(ms); err != nil {
+			panic(err)
+		}
+		e := sim.New(ft, concentrator.KindIdeal, o.Seed)
+		stats := sim.RunSchedule(e, s)
+		scale.AddRow(w, s.LoadFactor, s.Length(), k/(2*w), stats.Cycles, stats.Drops)
+	}
+
+	mix := metrics.NewTable(
+		"I/O coexisting with internal traffic (w = 16)",
+		"workload", "λ", "d offline", "d compacted")
+	ft := core.NewUniversal(n, 16)
+	ioOnly := workload.ExternalIO(n, n/2, n/2, o.Seed)
+	internal := workload.RandomPermutation(n, o.Seed+1)
+	both := core.Concat(ioOnly, internal)
+	for _, wl := range []struct {
+		name string
+		ms   core.MessageSet
+	}{
+		{"I/O only", ioOnly},
+		{"internal only", internal},
+		{"I/O + internal", both},
+	} {
+		s := sched.OffLine(ft, wl.ms)
+		if err := s.Verify(wl.ms); err != nil {
+			panic(err)
+		}
+		mix.AddRow(wl.name, s.LoadFactor, s.Length(), sched.Compact(s).Length())
+	}
+	return []*metrics.Table{scale, mix}
+}

@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"fattree/internal/baseline"
+	"fattree/internal/core"
+	"fattree/internal/metrics"
+	"fattree/internal/sched"
+	"fattree/internal/sim"
+	"fattree/internal/universal"
+	"fattree/internal/workload"
+)
+
+// E22Clos connects the paper to its legacy: the k-ary folded-Clos "fat-tree"
+// of modern datacenters offers the same full bisection bandwidth as a w = n
+// Leiserson fat-tree, built from constant-radix switches instead of
+// variable-width channels. The table compares delivery of the same global
+// workloads on both fabrics (store-and-forward steps on the Clos versus
+// compacted off-line delivery-cycle ticks on the binary fat-tree), reports
+// the hardware inventories side by side, and closes by pushing the Clos
+// itself through Theorem 10 — the universality theorem covers its own
+// descendants.
+func E22Clos(o Options) []*metrics.Table {
+	n := 128 // k = 8
+	if o.Quick {
+		n = 16 // k = 4
+	}
+	clos := baseline.NewClos(n)
+	ft := core.NewUniversal(n, n) // full-bisection binary fat-tree
+
+	perf := metrics.NewTable(
+		"Folded Clos (k="+itoa(clos.Radix())+") vs w=n binary fat-tree (n = "+itoa(n)+")",
+		"workload", "t clos", "congest det", "congest ecmp", "d ft", "ft ticks")
+	for _, wl := range []struct {
+		name string
+		ms   core.MessageSet
+	}{
+		{"permutation", workload.RandomPermutation(n, o.Seed)},
+		{"bit-reversal", workload.BitReversal(n)},
+		{"random 4n", workload.Random(n, 4*n, o.Seed+1)},
+	} {
+		res := baseline.Deliver(clos, wl.ms)
+		ecmp := baseline.Deliver(baseline.NewClosECMP(n, o.Seed+9), wl.ms)
+		s := sched.Compact(sched.OffLine(ft, wl.ms))
+		if err := s.Verify(wl.ms); err != nil {
+			panic(err)
+		}
+		perf.AddRow(wl.name, res.Cycles, res.Congestion, ecmp.Congestion, s.Length(),
+			s.Length()*sim.MaxCycleTicks(ft, 0))
+	}
+
+	hw := metrics.NewTable(
+		"Hardware inventories at full bisection",
+		"fabric", "switches", "switch radix", "bisection", "volume")
+	hw.AddRow("clos k="+itoa(clos.Radix()), clos.SwitchCount(), clos.Radix(),
+		clos.BisectionWidth(), clos.Volume())
+	hw.AddRow("binary fat-tree w=n", ft.InternalNodes(), "variable (2..3w)",
+		2*ft.CapacityAtLevel(1), clos.Volume())
+
+	env := metrics.NewTable(
+		"Theorem 10 covers the descendant: Clos simulated on an equal-volume fat-tree",
+		"workload", "t clos", "slowdown", "lg³n", "norm")
+	for _, wl := range []struct {
+		name string
+		ms   core.MessageSet
+	}{
+		{"permutation", workload.RandomPermutation(n, o.Seed)},
+		{"bit-reversal", workload.BitReversal(n)},
+	} {
+		r := universal.Simulate(clos, wl.ms, 1)
+		env.AddRow(wl.name, r.NetworkCycles, r.Slowdown, r.PolylogBound,
+			r.Slowdown/r.PolylogBound)
+	}
+	return []*metrics.Table{perf, hw, env}
+}

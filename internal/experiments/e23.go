@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"fattree/internal/core"
+	"fattree/internal/metrics"
+	"fattree/internal/sched"
+	"fattree/internal/workload"
+)
+
+// E23Portability reproduces two Section VII engineering claims. First,
+// portability: "algorithms are the same no matter how big the fat-tree is;
+// code is portable in that it can be moved between an inexpensive computer
+// and a more expensive one" — a job scheduled into a subtree of a larger
+// universal fat-tree never runs slower than on a standalone machine of the
+// job's size, because the universal profile gives the subtree at least the
+// standalone capacities at every corresponding level. Second, isolation: two
+// jobs placed in sibling subtrees share no channels, so the combined
+// schedule costs exactly the slower of the two.
+func E23Portability(o Options) []*metrics.Table {
+	jobN := 64
+	if o.Quick {
+		jobN = 32
+	}
+
+	porta := metrics.NewTable(
+		"Portability: a "+itoa(jobN)+"-processor job standalone vs inside larger machines",
+		"workload", "standalone d", "inside 4x machine", "inside 16x machine")
+	jobs := []struct {
+		name string
+		ms   core.MessageSet
+	}{
+		{"permutation", workload.RandomPermutation(jobN, o.Seed)},
+		{"bit-reversal", workload.BitReversal(jobN)},
+		{"random 4n", workload.Random(jobN, 4*jobN, o.Seed+1)},
+	}
+	for _, job := range jobs {
+		standalone := core.NewUniversal(jobN, jobN/4)
+		d0 := sched.Compact(sched.OffLine(standalone, job.ms)).Length()
+		row := []interface{}{job.name, d0}
+		for _, factor := range []int{4, 16} {
+			bigN := jobN * factor
+			big := core.NewUniversal(bigN, bigN/4)
+			// Place the job in the leftmost subtree of the big machine:
+			// processor p of the job becomes processor p of the machine.
+			s := sched.Compact(sched.OffLine(big, job.ms))
+			if err := s.Verify(job.ms); err != nil {
+				panic(err)
+			}
+			row = append(row, s.Length())
+		}
+		porta.AddRow(row...)
+	}
+
+	iso := metrics.NewTable(
+		"Isolation: two jobs in sibling subtrees of a "+itoa(2*jobN)+"-processor machine",
+		"job A", "job B", "d(A alone)", "d(B alone)", "d(A+B)", "max(dA,dB)")
+	machine := core.NewUniversal(2*jobN, jobN/2)
+	offset := func(ms core.MessageSet, off int) core.MessageSet {
+		out := make(core.MessageSet, len(ms))
+		for i, m := range ms {
+			out[i] = core.Message{Src: m.Src + off, Dst: m.Dst + off}
+		}
+		return out
+	}
+	for _, pair := range [][2]int{{0, 1}, {1, 2}, {0, 2}} {
+		a := jobs[pair[0]]
+		b := jobs[pair[1]]
+		msA := a.ms // left subtree: processors [0, jobN)
+		msB := offset(b.ms, jobN)
+		dA := sched.OffLine(machine, msA).Length()
+		dB := sched.OffLine(machine, msB).Length()
+		both := sched.OffLine(machine, core.Concat(msA, msB))
+		if err := both.Verify(core.Concat(msA, msB)); err != nil {
+			panic(err)
+		}
+		max := dA
+		if dB > max {
+			max = dB
+		}
+		iso.AddRow(a.name, b.name, dA, dB, both.Length(), max)
+	}
+	return []*metrics.Table{porta, iso}
+}

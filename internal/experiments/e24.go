@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"math"
+
+	"fattree/internal/core"
+	"fattree/internal/decomp"
+	"fattree/internal/metrics"
+	"fattree/internal/sched"
+	"fattree/internal/sim"
+	"fattree/internal/vlsi"
+	"fattree/internal/workload"
+)
+
+// E24AreaUniversal explores the two-dimensional regime of the paper's model
+// (it extends "Thompson's two-dimensional VLSI model" to 3-D; the 2-D analog
+// is Leiserson's area-universal fat-tree family): capacities grow at 2^(1/2)
+// per level near the root instead of 4^(1/3), areas follow (w·lg(n/w))², 2-D
+// cut-line decomposition trees have ratio sqrt(2), and an equal-area
+// area-universal fat-tree simulates the planar mesh within a polylog
+// envelope.
+func E24AreaUniversal(o Options) []*metrics.Table {
+	n := 1024
+	if o.Quick {
+		n = 64
+	}
+	w := 1
+	for w*w < n {
+		w++ // w = ceil(sqrt n)
+	}
+
+	profile := metrics.NewTable(
+		"Area-universal capacity profile (n = "+itoa(n)+", w = sqrt n) vs volume-universal",
+		"level", "2-D cap", "growth", "3-D cap (same w)")
+	prev := 0
+	for k := 0; k <= core.Lg(n); k++ {
+		c2 := core.Universal2DCapacity(n, w, k)
+		c3 := core.UniversalCapacity(n, w, k)
+		growth := ""
+		if prev > 0 {
+			growth = fmtRatio(float64(prev) / float64(c2))
+		}
+		profile.AddRow(k, c2, growth, c3)
+		prev = c2
+	}
+
+	area := metrics.NewTable(
+		"Area cost and round-trip",
+		"n", "w", "area (w·lg)²", "w from area", "mesh area")
+	for _, nn := range pick(o, []int{64, 256}, []int{64, 256, 1024, 4096}) {
+		ww := 1
+		for ww*ww < nn {
+			ww++
+		}
+		a := vlsi.UniversalArea(nn, ww)
+		area.AddRow(nn, ww, a, vlsi.RootCapacityForArea(nn, a), vlsi.MeshArea(nn))
+	}
+
+	// 2-D decomposition: ratio sqrt(2).
+	dec := metrics.NewTable(
+		"2-D cut-line decomposition (Theorem 5, planar analog)",
+		"layout", "procs", "W0 (perimeter)", "ratio a", "sqrt(2)")
+	l := decomp.GridLayout2D(n, float64(4*n))
+	dtree := decomp.CutLines(l, 1)
+	if err := dtree.Validate(); err != nil {
+		panic(err)
+	}
+	dec.AddRow("grid square", n, dtree.W[0], dtree.Ratio(), math.Sqrt2)
+
+	// Mini-universality in the plane: planar mesh traffic on an equal-area
+	// area-universal fat-tree.
+	uni := metrics.NewTable(
+		"Equal-area simulation of the planar mesh (area = Θ(n))",
+		"workload", "λ", "d", "ft ticks", "lg³n")
+	ft := vlsi.NewUniversal2DOfArea(n, vlsi.MeshArea(n))
+	bt := decomp.Balance(dtree)
+	if err := bt.Validate(); err != nil {
+		panic(err)
+	}
+	order := bt.LeafOrder(dtree)
+	slot := make([]int, n)
+	for s, p := range order {
+		slot[p] = s
+	}
+	lg := math.Log2(float64(n))
+	for _, wl := range []struct {
+		name string
+		ms   core.MessageSet
+	}{
+		{"transpose", workload.Transpose(n)},
+		{"permutation", workload.RandomPermutation(n, o.Seed)},
+		{"8-local", workload.KLocal(n, 2*n, 8, o.Seed+1)},
+	} {
+		remapped := make(core.MessageSet, len(wl.ms))
+		for i, m := range wl.ms {
+			remapped[i] = core.Message{Src: slot[m.Src], Dst: slot[m.Dst]}
+		}
+		s := sched.Compact(sched.OffLine(ft, remapped))
+		if err := s.Verify(remapped); err != nil {
+			panic(err)
+		}
+		uni.AddRow(wl.name, s.LoadFactor, s.Length(),
+			s.Length()*sim.MaxCycleTicks(ft, 0), lg*lg*lg)
+	}
+	return []*metrics.Table{profile, area, dec, uni}
+}

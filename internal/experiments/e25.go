@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"fattree/internal/concentrator"
+	"fattree/internal/core"
+	"fattree/internal/metrics"
+	"fattree/internal/sim"
+)
+
+// E25Saturation measures sustained (open-loop) throughput: uniformly random
+// messages arrive continuously and the on-line protocol drains them. Below
+// the fabric's capacity the backlog stays flat and latency constant; past it
+// the backlog grows linearly. The knee tracks the hardware budget — the
+// operational meaning of "communication can be scaled independently from
+// the number of processors".
+func E25Saturation(o Options) []*metrics.Table {
+	n := 256
+	cycles := 150
+	if o.Quick {
+		n = 64
+		cycles = 80
+	}
+
+	sweep := metrics.NewTable(
+		"Offered load sweep (n = "+itoa(n)+", w = n/4): the saturation knee",
+		"arrivals/cycle", "delivered/cycle", "mean latency", "backlog slope", "final backlog")
+	ft := core.NewUniversal(n, n/4)
+	for _, per := range []int{n / 16, n / 8, n / 4, n / 2} {
+		e := sim.New(ft, concentrator.KindIdeal, o.Seed)
+		stats := sim.RunOpenLoop(e, sim.UniformArrivals(ft, per, o.Seed+1), cycles, o.Seed+2)
+		sweep.AddRow(per, float64(stats.Delivered)/float64(stats.Cycles),
+			stats.MeanLatency, stats.BacklogSlope, stats.Backlog)
+	}
+
+	budget := metrics.NewTable(
+		"Same offered load ("+itoa(n/4)+"/cycle) across hardware budgets",
+		"w", "delivered/cycle", "mean latency", "backlog slope")
+	for _, w := range []int{n / 32, n / 16, n / 8, n / 4, n} {
+		if w < 1 {
+			continue
+		}
+		tree := core.NewUniversal(n, w)
+		e := sim.New(tree, concentrator.KindIdeal, o.Seed)
+		stats := sim.RunOpenLoop(e, sim.UniformArrivals(tree, n/4, o.Seed+1), cycles, o.Seed+2)
+		budget.AddRow(w, float64(stats.Delivered)/float64(stats.Cycles),
+			stats.MeanLatency, stats.BacklogSlope)
+	}
+	return []*metrics.Table{sweep, budget}
+}

@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"math"
+
+	"fattree/internal/baseline"
+	"fattree/internal/decomp"
+	"fattree/internal/metrics"
+	"fattree/internal/vlsi"
+)
+
+// E5Hardware reproduces Lemma 3 and Theorem 4: component counts
+// Θ(n·lg(w³/n²)), volumes Θ((w·lg(n/w))^(3/2)), node boxes of volume
+// O(m^(3/2)), and the headline comparison — a fat-tree scaled for planar
+// traffic costs a vanishing fraction of a hypercube.
+func E5Hardware(o Options) []*metrics.Table {
+	sizes := pick(o, []int{1 << 8, 1 << 10}, []int{1 << 8, 1 << 10, 1 << 12, 1 << 14, 1 << 16})
+	comp := metrics.NewTable(
+		"Theorem 4 components: measured vs Θ(n·lg(w³/n²))",
+		"n", "w", "components", "bound", "ratio")
+	vol := metrics.NewTable(
+		"Theorem 4 volume vs competing networks",
+		"n", "w", "fat-tree vol", "hypercube vol", "mesh vol", "ft/cube")
+	for _, n := range sizes {
+		for _, frac := range []float64{2.0 / 3.0, 0.8, 1.0} {
+			w := int(math.Pow(float64(n), frac))
+			c := float64(vlsi.UniversalComponents(n, w))
+			b := vlsi.ComponentsBound(n, w)
+			comp.AddRow(n, w, c, b, c/b)
+			v := vlsi.UniversalVolume(n, w)
+			vol.AddRow(n, w, v, vlsi.HypercubeVolume(n), vlsi.MeshVolume(n),
+				v/vlsi.HypercubeVolume(n))
+		}
+	}
+
+	boxes := metrics.NewTable(
+		"Lemma 3 node boxes: volume Θ(m^(3/2)) across aspect parameters",
+		"m wires", "h", "box", "volume", "m^1.5")
+	for _, m := range []int{16, 64, 256} {
+		for _, h := range []float64{1, 2} {
+			if h > math.Sqrt(float64(m)) {
+				continue
+			}
+			b := vlsi.NodeBox(m, h)
+			boxes.AddRow(m, h, b.String(), b.Volume(), math.Pow(float64(m), 1.5))
+		}
+	}
+	return []*metrics.Table{comp, vol, boxes}
+}
+
+// E6Decomposition reproduces Theorem 5: every network occupying a cube of
+// volume v has an (O(v^(2/3)), 4^(1/3)) decomposition tree, produced by
+// cutting planes. Bandwidths are measured from box geometry, not assumed.
+func E6Decomposition(o Options) []*metrics.Table {
+	n := 256
+	if o.Quick {
+		n = 64
+	}
+	tab := metrics.NewTable(
+		"Theorem 5: cut-plane decomposition trees (γ = 1)",
+		"network", "procs", "volume", "W0 measured", "6·v^(2/3)", "ratio a", "4^(1/3)")
+	for _, net := range []baseline.Network{
+		baseline.NewHypercube(n),
+		baseline.NewMesh(n),
+		baseline.NewBinaryTree(n),
+		baseline.NewButterfly(n),
+	} {
+		tree := decomp.CutPlanes(net.Layout(), 1)
+		if err := tree.Validate(); err != nil {
+			panic(err)
+		}
+		tab.AddRow(net.Name(), net.Procs(), net.Volume(), tree.W[0],
+			6*math.Pow(net.Volume(), 2.0/3.0), tree.Ratio(), math.Pow(4, 1.0/3.0))
+	}
+	return []*metrics.Table{tab}
+}
+
+// E7Balanced reproduces Lemmas 6-7 and Theorem 8 / Corollary 9: balancing a
+// decomposition tree splits processors within one at every level while
+// inflating per-level bandwidth by at most ~4a/(a-1).
+func E7Balanced(o Options) []*metrics.Table {
+	depth := 9
+	if o.Quick {
+		depth = 7
+	}
+	tab := metrics.NewTable(
+		"Theorem 8: balanced decomposition trees (bandwidth blowup vs Corollary 9 factor)",
+		"tree", "a", "height", "lg n", "max blowup w'_j/w_j", "4a/(a-1)·a")
+	for _, a := range []float64{2, math.Pow(4, 1.0/3.0)} {
+		w := math.Pow(a, float64(depth))
+		tr := decomp.NewRegular(depth, w, a)
+		bt := decomp.Balance(tr)
+		if err := bt.Validate(); err != nil {
+			panic(err)
+		}
+		blowup := maxBlowup(bt, tr, a, w)
+		tab.AddRow("regular", a, bt.Height(), depth, blowup, 4*a/(a-1)*a)
+	}
+
+	// End-to-end: balanced tree of a real cut-plane decomposition.
+	n := 128
+	if o.Quick {
+		n = 64
+	}
+	net := baseline.NewHypercube(n)
+	tr := decomp.CutPlanes(net.Layout(), 1)
+	bt := decomp.Balance(tr)
+	if err := bt.Validate(); err != nil {
+		panic(err)
+	}
+	a := tr.Ratio()
+	tab.AddRow("hypercube layout", a, bt.Height(), logCeil(n), maxBlowup(bt, tr, a, tr.W[0]), 4*a/(a-1)*a)
+	return []*metrics.Table{tab}
+}
+
+// maxBlowup computes max over balanced levels j of (max bandwidth at level j)
+// divided by the original tree's w_j = w/a^j (clamped to the deepest level).
+func maxBlowup(bt *decomp.BNode, tr *decomp.Tree, a, w float64) float64 {
+	max := 0.0
+	for j, bw := range bt.MaxBandwidthAtLevel() {
+		exp := float64(j)
+		if j > tr.Depth {
+			exp = float64(tr.Depth)
+		}
+		wj := w / math.Pow(a, exp)
+		if r := bw / wj; r > max {
+			max = r
+		}
+	}
+	return max
+}
+
+// logCeil returns ceil(log2 n).
+func logCeil(n int) int {
+	l := 0
+	for 1<<uint(l) < n {
+		l++
+	}
+	return l
+}

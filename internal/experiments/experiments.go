@@ -1,0 +1,96 @@
+// Package experiments regenerates every quantitative result of the paper —
+// each theorem, lemma, corollary and figure of the evaluation — as a table of
+// "paper bound vs measured" rows. The experiment index and its mapping to
+// implementation modules live in DESIGN.md; EXPERIMENTS.md records a full
+// run. The same runners back the cmd/ftbench tool and the root-level Go
+// benchmarks.
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"fattree/internal/metrics"
+)
+
+// Options tunes an experiment run.
+type Options struct {
+	// Quick shrinks problem sizes for use inside testing.B loops and CI.
+	Quick bool
+	// Seed feeds every randomized component, making runs reproducible.
+	Seed int64
+}
+
+// Experiment is one reproducible experiment.
+type Experiment struct {
+	// ID is the experiment identifier from DESIGN.md ("E1".."E12", "A1"...).
+	ID string
+	// Title describes the claim under test.
+	Title string
+	// Source cites the paper artifact being reproduced.
+	Source string
+	// Run executes the experiment and returns its result tables.
+	Run func(o Options) []*metrics.Table
+}
+
+// All returns every experiment in index order.
+func All() []Experiment {
+	return []Experiment{
+		{"E1", "Fat-tree structure and universal capacity profile", "Fig. 1, §II, §IV", E1Topology},
+		{"E2", "Partial concentrator switches", "Fig. 3, §IV", E2Concentrator},
+		{"E3", "Off-line scheduling, d = O(λ·lg n)", "Theorem 1", E3OfflineSchedule},
+		{"E4", "Big channels, d <= 2(α/(α-1))·λ", "Corollary 2", E4BigChannels},
+		{"E5", "Hardware cost of universal fat-trees", "Lemma 3, Theorem 4", E5Hardware},
+		{"E6", "Cut-plane decomposition trees", "Theorem 5", E6Decomposition},
+		{"E7", "Balanced decomposition trees", "Lemmas 6-7, Theorem 8, Cor. 9", E7Balanced},
+		{"E8", "Universality: equal-volume simulation", "Theorem 10", E8Universality},
+		{"E9", "Non-universal networks suffer polynomial slowdown", "§VI", E9NonUniversal},
+		{"E10", "Locality: planar finite-element traffic", "§I, §VII", E10Locality},
+		{"E11", "Permutation routing on full-bandwidth fat-trees", "§VI", E11Permutation},
+		{"E12", "Bit-serial delivery cycle takes O(lg n) ticks", "Fig. 2, §II", E12BitSerial},
+		{"E13", "Randomized on-line routing, O(λ + lg n·lg lg n)", "§VI, reference [8]", E13Online},
+		{"E14", "Universality on cube-connected cycles", "§VII (Galil–Paul)", E14CCC},
+		{"E15", "Geometric layout and fat-tree self-simulation", "Theorem 4 construction, §VI", E15Layout},
+		{"E16", "Application traces across hardware scales", "§VII engineering thesis", E16Applications},
+		{"E17", "Fault tolerance: graceful degradation", "§VII engineering concerns", E17Faults},
+		{"E18", "3-D mesh and torus: the volume-exploiting competitors", "§IV-VI, 3-D model", E18Mesh3D},
+		{"E19", "Delivery disciplines: schedules, retry, backpressure", "§VII design alternatives", E19Buffered},
+		{"E20", "On-line universality, O(lg³ n·lg lg n) degradation", "§VI closing claim", E20OnlineUniversality},
+		{"E21", "External I/O through the root interface", "§II, §VII", E21ExternalIO},
+		{"E22", "The datacenter descendant: k-ary folded Clos", "legacy of the paper", E22Clos},
+		{"E23", "Portability and sibling-subtree isolation", "§VII engineering claims", E23Portability},
+		{"E24", "Area-universal (2-D Thompson model) fat-trees", "§IV model lineage", E24AreaUniversal},
+		{"E25", "Sustained throughput and the saturation knee", "operational view of §II scaling", E25Saturation},
+		{"A1", "Ablation: universal vs pure-doubling capacity profile", "DESIGN.md §4.2", A1Profile},
+		{"A2", "Ablation: ideal vs partial concentrators", "DESIGN.md §4.4", A2Switches},
+	}
+}
+
+// ByID finds an experiment by identifier.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// RunAndPrint runs the experiment and writes its tables to w.
+func (e Experiment) RunAndPrint(w io.Writer, o Options) {
+	fmt.Fprintf(w, "== %s: %s (%s) ==\n\n", e.ID, e.Title, e.Source)
+	for _, t := range e.Run(o) {
+		if _, err := t.WriteTo(w); err != nil {
+			fmt.Fprintf(w, "error rendering table: %v\n", err)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// pick returns q when quick, else full.
+func pick(o Options, q, full []int) []int {
+	if o.Quick {
+		return q
+	}
+	return full
+}

@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestAllExperimentsRunQuick(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tables := e.Run(Options{Quick: true, Seed: 1})
+			if len(tables) == 0 {
+				t.Fatalf("%s produced no tables", e.ID)
+			}
+			for i, tab := range tables {
+				if tab.Rows() == 0 {
+					t.Errorf("%s table %d has no rows", e.ID, i)
+				}
+			}
+		})
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, ok := ByID("E8"); !ok {
+		t.Errorf("E8 not found")
+	}
+	if _, ok := ByID("E99"); ok {
+		t.Errorf("E99 should not exist")
+	}
+}
+
+func TestRunAndPrint(t *testing.T) {
+	e, _ := ByID("E12")
+	var b strings.Builder
+	e.RunAndPrint(&b, Options{Quick: true, Seed: 1})
+	out := b.String()
+	if !strings.Contains(out, "E12") || !strings.Contains(out, "payload") {
+		t.Errorf("missing content:\n%s", out)
+	}
+}
+
+func TestExperimentsDeterministic(t *testing.T) {
+	// Same seed, same tables.
+	for _, id := range []string{"E3", "E8", "A1"} {
+		e, _ := ByID(id)
+		a := render(e, 7)
+		b := render(e, 7)
+		if a != b {
+			t.Errorf("%s not deterministic for fixed seed", id)
+		}
+	}
+}
+
+func render(e Experiment, seed int64) string {
+	var b strings.Builder
+	e.RunAndPrint(&b, Options{Quick: true, Seed: seed})
+	return b.String()
+}
+
+func BenchmarkQuickSuite(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, e := range All() {
+			e.RunAndPrint(io.Discard, Options{Quick: true, Seed: 1})
+		}
+	}
+}

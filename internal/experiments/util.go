@@ -1,0 +1,19 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// itoa formats an int (kept local to avoid strconv imports scattered through
+// the experiment files).
+func itoa(n int) string { return fmt.Sprintf("%d", n) }
+
+// intCeil returns ceil(a/b).
+func intCeil(a, b int) int { return (a + b - 1) / b }
+
+// fmtRatio renders a growth ratio like "2.00x".
+func fmtRatio(r float64) string { return fmt.Sprintf("%.2fx", r) }
+
+// newRng builds a seeded generator.
+func newRng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -1,0 +1,106 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+)
+
+// Growth-shape fitting: the experiments' claims are about *rates* — does a
+// quantity grow like a polynomial in n or like a polylog? FitPower fits
+// y ≈ c·n^a by least squares on log-log data, and FitPolylog fits
+// y ≈ c·lg^b(n); CompareGrowth reports which model explains a series better.
+// These are deliberately simple (two-parameter, closed form) so the
+// experiment tables can carry fitted exponents without a stats dependency.
+
+// PowerFit is the result of fitting y = c·x^a.
+type PowerFit struct {
+	C, A float64
+	// R2 is the coefficient of determination in log space.
+	R2 float64
+}
+
+// FitPower fits y = c·x^a by ordinary least squares on (ln x, ln y). All
+// inputs must be positive; it panics otherwise (the experiments control
+// their data).
+func FitPower(xs, ys []float64) PowerFit {
+	lx := make([]float64, len(xs))
+	ly := make([]float64, len(ys))
+	for i := range xs {
+		if xs[i] <= 0 || ys[i] <= 0 {
+			panic(fmt.Sprintf("metrics: FitPower needs positive data (x=%g, y=%g)", xs[i], ys[i]))
+		}
+		lx[i] = math.Log(xs[i])
+		ly[i] = math.Log(ys[i])
+	}
+	slope, intercept, r2 := leastSquares(lx, ly)
+	return PowerFit{C: math.Exp(intercept), A: slope, R2: r2}
+}
+
+// PolylogFit is the result of fitting y = c·(lg x)^b.
+type PolylogFit struct {
+	C, B float64
+	R2   float64
+}
+
+// FitPolylog fits y = c·(lg x)^b by least squares on (ln lg x, ln y). Inputs
+// must be positive with x > 2.
+func FitPolylog(xs, ys []float64) PolylogFit {
+	lx := make([]float64, len(xs))
+	ly := make([]float64, len(ys))
+	for i := range xs {
+		if xs[i] <= 2 || ys[i] <= 0 {
+			panic(fmt.Sprintf("metrics: FitPolylog needs x > 2, y > 0 (x=%g, y=%g)", xs[i], ys[i]))
+		}
+		lx[i] = math.Log(math.Log2(xs[i]))
+		ly[i] = math.Log(ys[i])
+	}
+	slope, intercept, r2 := leastSquares(lx, ly)
+	return PolylogFit{C: math.Exp(intercept), B: slope, R2: r2}
+}
+
+// CompareGrowth fits both models and returns a verdict string such as
+// "polynomial n^0.63 (R²=0.99)" or "polylog lg^2.1 (R²=0.98)", preferring
+// the model with the higher R².
+func CompareGrowth(xs, ys []float64) string {
+	pw := FitPower(xs, ys)
+	pl := FitPolylog(xs, ys)
+	if pw.R2 >= pl.R2 {
+		return fmt.Sprintf("polynomial n^%.2f (R²=%.3f)", pw.A, pw.R2)
+	}
+	return fmt.Sprintf("polylog lg^%.2f (R²=%.3f)", pl.B, pl.R2)
+}
+
+// leastSquares returns the slope, intercept and R² of the OLS line through
+// (xs, ys).
+func leastSquares(xs, ys []float64) (slope, intercept, r2 float64) {
+	n := float64(len(xs))
+	if len(xs) < 2 || len(xs) != len(ys) {
+		panic("metrics: least squares needs at least two paired points")
+	}
+	var sx, sy, sxx, sxy, syy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+		syy += ys[i] * ys[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		// All x equal: flat fit.
+		return 0, sy / n, 0
+	}
+	slope = (n*sxy - sx*sy) / den
+	intercept = (sy - slope*sx) / n
+	ssTot := syy - sy*sy/n
+	if ssTot == 0 {
+		return slope, intercept, 1
+	}
+	ssRes := 0.0
+	for i := range xs {
+		d := ys[i] - (slope*xs[i] + intercept)
+		ssRes += d * d
+	}
+	r2 = 1 - ssRes/ssTot
+	return slope, intercept, r2
+}

@@ -1,0 +1,69 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestFitPowerExact(t *testing.T) {
+	// y = 3·x^1.5 exactly.
+	xs := []float64{4, 16, 64, 256, 1024}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 3 * math.Pow(x, 1.5)
+	}
+	fit := FitPower(xs, ys)
+	if math.Abs(fit.A-1.5) > 1e-9 || math.Abs(fit.C-3) > 1e-9 {
+		t.Errorf("fit %+v, want c=3 a=1.5", fit)
+	}
+	if fit.R2 < 0.999999 {
+		t.Errorf("R² = %v on exact data", fit.R2)
+	}
+}
+
+func TestFitPolylogExact(t *testing.T) {
+	// y = 2·(lg x)³ exactly.
+	xs := []float64{8, 32, 128, 1024, 65536}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 2 * math.Pow(math.Log2(x), 3)
+	}
+	fit := FitPolylog(xs, ys)
+	if math.Abs(fit.B-3) > 1e-9 || math.Abs(fit.C-2) > 1e-9 {
+		t.Errorf("fit %+v, want c=2 b=3", fit)
+	}
+}
+
+func TestCompareGrowthDiscriminates(t *testing.T) {
+	xs := []float64{16, 64, 256, 1024, 4096, 16384}
+	poly := make([]float64, len(xs))
+	plog := make([]float64, len(xs))
+	for i, x := range xs {
+		poly[i] = math.Pow(x, 0.66)
+		plog[i] = math.Pow(math.Log2(x), 2)
+	}
+	if got := CompareGrowth(xs, poly); !strings.Contains(got, "polynomial n^0.66") {
+		t.Errorf("polynomial data classified as %q", got)
+	}
+	if got := CompareGrowth(xs, plog); !strings.Contains(got, "polylog lg^2.00") {
+		t.Errorf("polylog data classified as %q", got)
+	}
+}
+
+func TestFitRejectsBadData(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("non-positive data accepted")
+		}
+	}()
+	FitPower([]float64{1, 2}, []float64{0, 1})
+}
+
+func TestLeastSquaresDegenerate(t *testing.T) {
+	// Flat y: slope 0, perfect fit.
+	s, i, r2 := leastSquares([]float64{1, 2, 3}, []float64{5, 5, 5})
+	if s != 0 || i != 5 || r2 != 1 {
+		t.Errorf("flat fit: slope=%v intercept=%v r2=%v", s, i, r2)
+	}
+}

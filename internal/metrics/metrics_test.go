@@ -1,0 +1,118 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Min != 1 || s.Max != 5 || s.Mean != 3 || s.Median != 3 {
+		t.Errorf("bad summary: %+v", s)
+	}
+	want := math.Pow(120, 1.0/5.0)
+	if math.Abs(s.Geomean-want) > 1e-9 {
+		t.Errorf("geomean %v, want %v", s.Geomean, want)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Mean != 0 {
+		t.Errorf("empty summary: %+v", s)
+	}
+}
+
+func TestSummarizeWithZeros(t *testing.T) {
+	s := Summarize([]float64{0, 2, 4})
+	if s.Geomean != 0 {
+		t.Errorf("geomean with zeros should be 0, got %v", s.Geomean)
+	}
+	if s.Mean != 2 {
+		t.Errorf("mean %v", s.Mean)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	sorted := []float64{10, 20, 30, 40}
+	cases := []struct{ p, want float64 }{
+		{0, 10}, {100, 40}, {50, 25}, {25, 17.5},
+	}
+	for _, c := range cases {
+		if got := Percentile(sorted, c.p); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("P%.0f = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestSummaryInvariants(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, math.Abs(x))
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		s := Summarize(xs)
+		sorted := append([]float64(nil), xs...)
+		sort.Float64s(sorted)
+		return s.Min == sorted[0] && s.Max == sorted[len(sorted)-1] &&
+			s.Min <= s.Median && s.Median <= s.Max &&
+			s.Median <= s.P90+1e-9 && s.P90 <= s.P99+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTableMarshalJSON(t *testing.T) {
+	tab := NewTable("demo", "a", "b")
+	tab.AddRow(1, 2.5)
+	data, err := tab.MarshalJSON()
+	if err != nil {
+		t.Fatalf("%v", err)
+	}
+	s := string(data)
+	for _, want := range []string{`"title":"demo"`, `"headers":["a","b"]`, `"rows":[["1","2.5"]]`} {
+		if !strings.Contains(s, want) {
+			t.Errorf("missing %s in %s", want, s)
+		}
+	}
+	// Empty table still encodes rows as [] not null.
+	empty := NewTable("none", "x")
+	data, _ = empty.MarshalJSON()
+	if !strings.Contains(string(data), `"rows":[]`) {
+		t.Errorf("empty rows should encode as []: %s", data)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := NewTable("E1: demo", "n", "value", "note")
+	tab.AddRow(16, 3.14159, "pi-ish")
+	tab.AddRow(1024, 2.0, "two")
+	out := tab.String()
+	if !strings.Contains(out, "E1: demo") {
+		t.Errorf("missing title:\n%s", out)
+	}
+	if !strings.Contains(out, "3.14") || !strings.Contains(out, "1024") {
+		t.Errorf("missing cells:\n%s", out)
+	}
+	// Integral floats print without decimals.
+	if !strings.Contains(out, "2 ") && !strings.HasSuffix(out, "2\n") && !strings.Contains(out, " 2 ") {
+		t.Errorf("integral float not compact:\n%s", out)
+	}
+	if tab.Rows() != 2 {
+		t.Errorf("Rows = %d", tab.Rows())
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Title + header + rule + 2 rows.
+	if len(lines) != 5 {
+		t.Errorf("expected 5 lines, got %d:\n%s", len(lines), out)
+	}
+}

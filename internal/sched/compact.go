@@ -1,0 +1,52 @@
+package sched
+
+import "fattree/internal/core"
+
+// Compact merges a schedule's delivery cycles greedily: each cycle's
+// messages are folded into the earliest prior cycle with spare capacity on
+// every affected channel. Theorem 1 schedules are level-sequential — the
+// cycles of level L+1 start after level L's even when the channels they use
+// are disjoint — so compaction typically removes a large fraction of the
+// cycles on workloads whose load spreads across levels, without affecting
+// validity (every output cycle is still a one-cycle message set). The
+// Theorem 1 upper bound is preserved because compaction never adds cycles.
+func Compact(s *Schedule) *Schedule {
+	out := &Schedule{Tree: s.Tree, LoadFactor: s.LoadFactor, Bound: s.Bound}
+	var loads []*core.Loads
+	var buf []core.Channel
+
+	place := func(m core.Message) {
+		buf = s.Tree.Path(m, buf[:0])
+		for i, l := range loads {
+			fits := true
+			for _, c := range buf {
+				if l.Load(c)+1 > s.Tree.Capacity(c) {
+					fits = false
+					break
+				}
+			}
+			if fits {
+				l.Add(m)
+				out.Cycles[i] = append(out.Cycles[i], m)
+				return
+			}
+		}
+		l := core.NewLoads(s.Tree, core.MessageSet{m})
+		loads = append(loads, l)
+		out.Cycles = append(out.Cycles, core.MessageSet{m})
+	}
+
+	for _, cyc := range s.Cycles {
+		for _, m := range cyc {
+			place(m)
+		}
+	}
+	return out
+}
+
+// OffLineCompact runs the Theorem 1 scheduler and compacts the result — the
+// recommended production entry point: same worst-case guarantee, fewer
+// cycles in practice.
+func OffLineCompact(t *core.FatTree, ms core.MessageSet) *Schedule {
+	return Compact(OffLine(t, ms))
+}

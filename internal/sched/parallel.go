@@ -1,0 +1,79 @@
+package sched
+
+import (
+	"math"
+	"runtime"
+	"sync"
+
+	"fattree/internal/core"
+)
+
+// OffLineParallel is the Theorem 1 scheduler with the per-node partitioning
+// parallelized: subtrees rooted at the same level use disjoint channels and
+// disjoint message sets, so their matching-and-tracing work is embarrassingly
+// parallel. A worker pool of GOMAXPROCS goroutines processes the nodes of
+// each level; results are merged deterministically in node order, so the
+// schedule is identical to OffLine's.
+func OffLineParallel(t *core.FatTree, ms core.MessageSet) *Schedule {
+	if err := ms.Validate(t); err != nil {
+		panic(err)
+	}
+	byNode, extOut, extIn := groupByLCA(t, ms)
+	s := &Schedule{Tree: t, LoadFactor: core.LoadFactor(t, ms)}
+	s.Cycles = append(s.Cycles, externalCycles(t, extOut, extIn)...)
+	workers := runtime.GOMAXPROCS(0)
+
+	for level := 0; level < t.Levels(); level++ {
+		first := 1 << uint(level)
+		type nodeWork struct {
+			v int
+			x *crossing
+		}
+		var work []nodeWork
+		for v := first; v < 2*first; v++ {
+			if x := byNode[v]; x != nil {
+				work = append(work, nodeWork{v, x})
+			}
+		}
+		if len(work) == 0 {
+			continue
+		}
+
+		parts := make([][]core.MessageSet, len(work))
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, workers)
+		for i := range work {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(i int) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				w := work[i]
+				lr := partitionUntilOneCycle(t, w.v, w.x.lr)
+				rl := partitionUntilOneCycle(t, w.v, w.x.rl)
+				parts[i] = mergeOriented(lr, rl)
+			}(i)
+		}
+		wg.Wait()
+
+		maxParts := 0
+		for _, p := range parts {
+			if len(p) > maxParts {
+				maxParts = len(p)
+			}
+		}
+		for i := 0; i < maxParts; i++ {
+			var cycle core.MessageSet
+			for _, p := range parts {
+				if i < len(p) {
+					cycle = append(cycle, p[i]...)
+				}
+			}
+			if len(cycle) > 0 {
+				s.Cycles = append(s.Cycles, cycle)
+			}
+		}
+	}
+	s.Bound = 2 * (math.Ceil(s.LoadFactor) + 1) * float64(t.Levels())
+	return s
+}

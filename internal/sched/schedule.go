@@ -1,0 +1,415 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"fattree/internal/core"
+)
+
+// A Schedule is a partition of a message set into one-cycle message sets
+// M_1, ..., M_d: each cycle respects every channel capacity, so a fat-tree
+// with ideal concentrator switches delivers each cycle in one delivery cycle.
+type Schedule struct {
+	Tree   *core.FatTree
+	Cycles []core.MessageSet
+
+	// LoadFactor is λ(M), the lower bound on the number of delivery cycles.
+	LoadFactor float64
+	// Bound is the theoretical upper bound on len(Cycles) guaranteed by the
+	// algorithm that produced the schedule (Theorem 1 or Corollary 2).
+	Bound float64
+}
+
+// Length returns d, the number of delivery cycles.
+func (s *Schedule) Length() int { return len(s.Cycles) }
+
+// Utilization returns the schedule's mean channel fill: the total
+// wire-cycles actually carrying messages divided by the wire-cycles the
+// loaded channels offer across all cycles. It measures how tightly the
+// schedule packs (compaction raises it); channels with zero load in a cycle
+// are excluded from the denominator only when they carry nothing in the
+// *whole* schedule, so idle-by-design hardware does not mask slack.
+func (s *Schedule) Utilization() float64 {
+	if len(s.Cycles) == 0 {
+		return 0
+	}
+	everLoaded := make(map[core.Channel]bool)
+	for _, cyc := range s.Cycles {
+		l := core.NewLoads(s.Tree, cyc)
+		s.Tree.Channels(func(c core.Channel) {
+			if l.Load(c) > 0 {
+				everLoaded[c] = true
+			}
+		})
+	}
+	if len(everLoaded) == 0 {
+		return 0
+	}
+	used, offered := 0, 0
+	for _, cyc := range s.Cycles {
+		l := core.NewLoads(s.Tree, cyc)
+		for c := range everLoaded {
+			used += l.Load(c)
+			offered += s.Tree.Capacity(c)
+		}
+	}
+	return float64(used) / float64(offered)
+}
+
+// Messages returns the total number of messages across all cycles.
+func (s *Schedule) Messages() int {
+	total := 0
+	for _, c := range s.Cycles {
+		total += len(c)
+	}
+	return total
+}
+
+// Verify checks that the schedule is a valid partition of ms into one-cycle
+// message sets: the concatenation of cycles equals ms as a multiset, and every
+// cycle fits all channel capacities. It returns nil if the schedule is valid.
+func (s *Schedule) Verify(ms core.MessageSet) error {
+	if got := core.Concat(s.Cycles...); !got.Equal(ms) {
+		return fmt.Errorf("sched: schedule is not a partition: %d messages scheduled, %d expected",
+			len(got), len(ms))
+	}
+	for i, cyc := range s.Cycles {
+		if !core.IsOneCycle(s.Tree, cyc) {
+			l := core.NewLoads(s.Tree, cyc)
+			f, arg := l.MaxFactor()
+			return fmt.Errorf("sched: cycle %d is not one-cycle: λ=%.2f at channel %v", i, f, arg)
+		}
+	}
+	return nil
+}
+
+// crossing holds the two oriented message sets whose least common ancestor is
+// a given node: lr goes from the left subtree to the right, rl the reverse.
+type crossing struct {
+	lr, rl core.MessageSet
+}
+
+// groupByLCA buckets internal messages by their unique least-common-ancestor
+// switch and crossing direction, and external messages by direction (they
+// all cross the root interface).
+func groupByLCA(t *core.FatTree, ms core.MessageSet) (byNode map[int]*crossing, extOut, extIn core.MessageSet) {
+	byNode = make(map[int]*crossing)
+	for _, m := range ms {
+		if m.IsExternal() {
+			if m.Dst == core.External {
+				extOut = append(extOut, m)
+			} else {
+				extIn = append(extIn, m)
+			}
+			continue
+		}
+		v := t.LCA(m.Src, m.Dst)
+		x := byNode[v]
+		if x == nil {
+			x = &crossing{}
+			byNode[v] = x
+		}
+		if t.Contains(2*v, m.Src) {
+			x.lr = append(x.lr, m)
+		} else {
+			x.rl = append(x.rl, m)
+		}
+	}
+	return byNode, extOut, extIn
+}
+
+// partitionUntilOneCycle iteratively bisects q (messages crossing node v in
+// one direction) until every part is a one-cycle message set on t. Per the
+// proof of Theorem 1, at most 2·ceil(λ(q)) parts result (the number of parts
+// is the smallest adequate power of two).
+func partitionUntilOneCycle(t *core.FatTree, v int, q core.MessageSet) []core.MessageSet {
+	return partitionWith(t, q, func(p core.MessageSet) (core.MessageSet, core.MessageSet) {
+		return EvenBisect(t, v, p)
+	})
+}
+
+// partitionWith iteratively applies an even-bisection until every part fits
+// all channel capacities.
+func partitionWith(t *core.FatTree, q core.MessageSet,
+	bisect func(core.MessageSet) (core.MessageSet, core.MessageSet)) []core.MessageSet {
+	if len(q) == 0 {
+		return nil
+	}
+	parts := []core.MessageSet{q}
+	for {
+		allFit := true
+		for _, p := range parts {
+			if !core.IsOneCycle(t, p) {
+				allFit = false
+				break
+			}
+		}
+		if allFit {
+			return parts
+		}
+		next := make([]core.MessageSet, 0, 2*len(parts))
+		for _, p := range parts {
+			a, b := bisect(p)
+			next = append(next, a, b)
+		}
+		parts = next
+	}
+}
+
+// externalCycles schedules the external traffic: outputs and inputs are each
+// partitioned into one-cycle sets by EvenBisectExternal, and the i-th output
+// part shares a delivery cycle with the i-th input part (outputs use only up
+// channels, inputs only down channels).
+func externalCycles(t *core.FatTree, extOut, extIn core.MessageSet) []core.MessageSet {
+	outParts := partitionWith(t, extOut, func(p core.MessageSet) (core.MessageSet, core.MessageSet) {
+		return EvenBisectExternal(t, p)
+	})
+	inParts := partitionWith(t, extIn, func(p core.MessageSet) (core.MessageSet, core.MessageSet) {
+		return EvenBisectExternal(t, p)
+	})
+	merged := mergeOriented(outParts, inParts)
+	var cycles []core.MessageSet
+	for _, p := range merged {
+		if len(p) > 0 {
+			cycles = append(cycles, p)
+		}
+	}
+	return cycles
+}
+
+// OffLine schedules ms on t using the algorithm of Theorem 1: the messages
+// through the root are partitioned into one-cycle sets by repeated even
+// bisection (left-to-right and right-to-left crossings routed simultaneously),
+// then the messages within the two subtrees of the root are recursively
+// partitioned; subtrees with roots at the same level are routed at the same
+// time. The schedule length satisfies d = O(λ(M)·lg n); Theorem 1's explicit
+// form is d <= sum over levels of 2·ceil(λ_level) <= 2(λ(M)+1)·lg n.
+func OffLine(t *core.FatTree, ms core.MessageSet) *Schedule {
+	if err := ms.Validate(t); err != nil {
+		panic(err)
+	}
+	byNode, extOut, extIn := groupByLCA(t, ms)
+	s := &Schedule{Tree: t, LoadFactor: core.LoadFactor(t, ms)}
+
+	// External traffic crosses the root interface and shares channels with
+	// every level, so it gets its own leading block of cycles.
+	s.Cycles = append(s.Cycles, externalCycles(t, extOut, extIn)...)
+
+	// Per level, every node's crossing sets are partitioned independently; the
+	// i-th parts of all nodes at the level are unioned into one delivery
+	// cycle. Different subtrees use disjoint channels, and the lr/rl sets of
+	// one node also use disjoint channels, so the union stays one-cycle.
+	for level := 0; level < t.Levels(); level++ {
+		first := 1 << uint(level)
+		var levelParts [][]core.MessageSet // per node: padded pair-merged parts
+		maxParts := 0
+		for v := first; v < 2*first; v++ {
+			x := byNode[v]
+			if x == nil {
+				continue
+			}
+			lrParts := partitionUntilOneCycle(t, v, x.lr)
+			rlParts := partitionUntilOneCycle(t, v, x.rl)
+			merged := mergeOriented(lrParts, rlParts)
+			levelParts = append(levelParts, merged)
+			if len(merged) > maxParts {
+				maxParts = len(merged)
+			}
+		}
+		for i := 0; i < maxParts; i++ {
+			var cycle core.MessageSet
+			for _, parts := range levelParts {
+				if i < len(parts) {
+					cycle = append(cycle, parts[i]...)
+				}
+			}
+			if len(cycle) > 0 {
+				s.Cycles = append(s.Cycles, cycle)
+			}
+		}
+	}
+	s.Bound = 2 * (math.Ceil(s.LoadFactor) + 1) * float64(t.Levels())
+	return s
+}
+
+// mergeOriented overlays the left-to-right and right-to-left partitions of one
+// node: part i of each is routed in the same delivery cycle ("each of these
+// message sets can, in fact, be routed at the same time as one of the Q_i"),
+// since opposite crossings use disjoint channels.
+func mergeOriented(lr, rl []core.MessageSet) []core.MessageSet {
+	n := len(lr)
+	if len(rl) > n {
+		n = len(rl)
+	}
+	out := make([]core.MessageSet, n)
+	for i := 0; i < n; i++ {
+		if i < len(lr) {
+			out[i] = append(out[i], lr[i]...)
+		}
+		if i < len(rl) {
+			out[i] = append(out[i], rl[i]...)
+		}
+	}
+	return out
+}
+
+// OffLineBig schedules ms on t using the algorithm of Corollary 2, which
+// applies when channel capacities are large (cap(c) >= α·lg n for α > 1).
+// Fictitious capacities cap'(c) = cap(c) - lg n determine a load factor λ'(M);
+// every node's crossing sets are bisected the same fixed number of times and
+// part i of *every* node is routed in the same delivery cycle. The bisections
+// are even to within one message per channel, and the error accumulated down
+// the tree is at most lg n per channel, absorbed by the fictitious slack.
+// The schedule length is the smallest power of two >= λ'(M), hence
+// d <= 2·λ'(M) = 2(α/(α-1))·λ(M) when capacities are >= α·lg n.
+func OffLineBig(t *core.FatTree, ms core.MessageSet) *Schedule {
+	if err := ms.Validate(t); err != nil {
+		panic(err)
+	}
+	slack := core.Lg(t.Processors())
+	lambdaPrime := core.LoadFactorWithSlack(t, ms, slack)
+	rounds := 0
+	for 1<<uint(rounds) < int(math.Ceil(lambdaPrime)) {
+		rounds++
+	}
+	r := 1 << uint(rounds)
+
+	s := &Schedule{
+		Tree:       t,
+		LoadFactor: core.LoadFactor(t, ms),
+		Bound:      2 * lambdaPrime,
+	}
+	if s.Bound < 1 {
+		s.Bound = 1
+	}
+
+	byNode, extOut, extIn := groupByLCA(t, ms)
+	nodes := make([]int, 0, len(byNode))
+	for v := range byNode {
+		nodes = append(nodes, v)
+	}
+	sort.Ints(nodes)
+
+	cycles := make([]core.MessageSet, r)
+	for _, q := range []core.MessageSet{extOut, extIn} {
+		parts := bisectRoundsWith(q, rounds, func(p core.MessageSet) (core.MessageSet, core.MessageSet) {
+			return EvenBisectExternal(t, p)
+		})
+		for i, p := range parts {
+			cycles[i] = append(cycles[i], p...)
+		}
+	}
+	for _, v := range nodes {
+		x := byNode[v]
+		for _, q := range []core.MessageSet{x.lr, x.rl} {
+			parts := bisectRounds(t, v, q, rounds)
+			for i, p := range parts {
+				cycles[i] = append(cycles[i], p...)
+			}
+		}
+	}
+
+	// Corollary 2's correctness argument needs the fictitious slack to absorb
+	// the ±1-per-level bisection error, i.e. cap(c) >= α·lg n everywhere.
+	// For fat-trees outside that regime (e.g. capacity-1 leaf channels) the
+	// cycles may overflow; extract the overflowing messages and schedule the
+	// remainder with Theorem 1 so OffLineBig is correct on every input while
+	// retaining the Corollary 2 bound whenever its precondition holds (the
+	// remainder is then empty).
+	var remainder core.MessageSet
+	for _, c := range cycles {
+		fit, over := trimToCapacity(t, c)
+		if len(fit) > 0 {
+			s.Cycles = append(s.Cycles, fit)
+		}
+		remainder = append(remainder, over...)
+	}
+	if len(remainder) > 0 {
+		tail := OffLine(t, remainder)
+		s.Cycles = append(s.Cycles, tail.Cycles...)
+		s.Bound += tail.Bound
+	}
+	return s
+}
+
+// trimToCapacity greedily keeps a maximal prefix-feasible subset of cycle:
+// messages are admitted in order as long as no channel on their path exceeds
+// its capacity; the rest are returned as overflow.
+func trimToCapacity(t *core.FatTree, cycle core.MessageSet) (fit, over core.MessageSet) {
+	loads := core.NewLoads(t, nil)
+	var buf []core.Channel
+	for _, m := range cycle {
+		buf = t.Path(m, buf[:0])
+		ok := true
+		for _, c := range buf {
+			if loads.Load(c)+1 > t.Capacity(c) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			loads.Add(m)
+			fit = append(fit, m)
+		} else {
+			over = append(over, m)
+		}
+	}
+	return fit, over
+}
+
+// bisectRounds splits q into 2^rounds parts by repeated even bisection at
+// node v.
+func bisectRounds(t *core.FatTree, v int, q core.MessageSet, rounds int) []core.MessageSet {
+	return bisectRoundsWith(q, rounds, func(p core.MessageSet) (core.MessageSet, core.MessageSet) {
+		return EvenBisect(t, v, p)
+	})
+}
+
+// bisectRoundsWith splits q into 2^rounds parts with the given bisection.
+func bisectRoundsWith(q core.MessageSet, rounds int,
+	bisect func(core.MessageSet) (core.MessageSet, core.MessageSet)) []core.MessageSet {
+	parts := []core.MessageSet{q}
+	for i := 0; i < rounds; i++ {
+		next := make([]core.MessageSet, 0, 2*len(parts))
+		for _, p := range parts {
+			a, b := bisect(p)
+			next = append(next, a, b)
+		}
+		parts = next
+	}
+	return parts
+}
+
+// Greedy is a baseline scheduler used for comparison in the benchmarks: it
+// fills delivery cycles first-fit in message order without the even-bisection
+// machinery. It is correct (cycles are one-cycle sets) but offers no bound
+// better than d <= Σ load — on adversarial inputs it can be a lg n factor or
+// worse off the Theorem 1 schedule.
+func Greedy(t *core.FatTree, ms core.MessageSet) *Schedule {
+	if err := ms.Validate(t); err != nil {
+		panic(err)
+	}
+	s := &Schedule{Tree: t, LoadFactor: core.LoadFactor(t, ms)}
+	var cycleLoads []*core.Loads
+	for _, m := range ms {
+		placed := false
+		for i, l := range cycleLoads {
+			l.Add(m)
+			if l.Fits() {
+				s.Cycles[i] = append(s.Cycles[i], m)
+				placed = true
+				break
+			}
+			l.Remove(m)
+		}
+		if !placed {
+			l := core.NewLoads(t, core.MessageSet{m})
+			cycleLoads = append(cycleLoads, l)
+			s.Cycles = append(s.Cycles, core.MessageSet{m})
+		}
+	}
+	s.Bound = math.Inf(1)
+	return s
+}

@@ -1,0 +1,61 @@
+package sched
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"fattree/internal/core"
+	"fattree/internal/workload"
+)
+
+func TestScheduleRoundTrip(t *testing.T) {
+	ft := core.NewUniversal(64, 16)
+	ms := core.Concat(
+		workload.RandomPermutation(64, 1),
+		workload.ExternalIO(64, 5, 5, 2),
+	)
+	s := OffLine(ft, ms)
+	var buf bytes.Buffer
+	if _, err := s.WriteTo(&buf); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	loaded, err := ReadSchedule(&buf, ft)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if loaded.Length() != s.Length() || loaded.LoadFactor != s.LoadFactor {
+		t.Fatalf("round trip changed the schedule")
+	}
+	for i := range s.Cycles {
+		if !loaded.Cycles[i].Equal(s.Cycles[i]) {
+			t.Fatalf("cycle %d differs after round trip", i)
+		}
+	}
+	if err := loaded.Verify(ms); err != nil {
+		t.Fatalf("loaded schedule invalid: %v", err)
+	}
+}
+
+func TestReadScheduleRejectsWrongMachine(t *testing.T) {
+	ft := core.NewUniversal(64, 16)
+	s := OffLine(ft, workload.RandomPermutation(64, 1))
+	var buf bytes.Buffer
+	if _, err := s.WriteTo(&buf); err != nil {
+		t.Fatalf("%v", err)
+	}
+	raw := buf.String()
+
+	// Wrong size.
+	if _, err := ReadSchedule(strings.NewReader(raw), core.NewUniversal(128, 16)); err == nil {
+		t.Errorf("accepted a schedule for the wrong machine size")
+	}
+	// Wrong capacities.
+	if _, err := ReadSchedule(strings.NewReader(raw), core.NewUniversal(64, 32)); err == nil {
+		t.Errorf("accepted a schedule for the wrong capacity profile")
+	}
+	// Garbage input.
+	if _, err := ReadSchedule(strings.NewReader("not json"), ft); err == nil {
+		t.Errorf("accepted garbage")
+	}
+}

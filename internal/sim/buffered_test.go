@@ -1,0 +1,122 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fattree/internal/concentrator"
+	"fattree/internal/core"
+	"fattree/internal/workload"
+)
+
+func TestBufferedSingleMessage(t *testing.T) {
+	ft := core.NewConstant(8, 1)
+	stats := RunBuffered(ft, core.MessageSet{{Src: 0, Dst: 7}}, 4)
+	if stats.Delivered != 1 {
+		t.Fatalf("not delivered: %+v", stats)
+	}
+	// Path has 6 channels plus the injection hop.
+	if stats.Hops != 7 {
+		t.Errorf("hops = %d, want 7", stats.Hops)
+	}
+	if stats.MaxLatency != stats.Hops {
+		t.Errorf("single message latency %d != hops %d", stats.MaxLatency, stats.Hops)
+	}
+}
+
+func TestBufferedSiblingFast(t *testing.T) {
+	ft := core.NewConstant(8, 1)
+	stats := RunBuffered(ft, core.MessageSet{{Src: 2, Dst: 3}}, 4)
+	// Injection + up + down = 3 hops.
+	if stats.Hops != 3 {
+		t.Errorf("sibling hops = %d, want 3", stats.Hops)
+	}
+}
+
+func TestBufferedDeliversEverything(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 << (3 + rng.Intn(3))
+		ft := workload.RandomTreeProfile(n, 6, seed)
+		ms := workload.Random(n, 1+rng.Intn(4*n), seed+1)
+		depth := 1 + rng.Intn(8)
+		stats := RunBuffered(ft, ms, depth)
+		if stats.Delivered != len(ms) {
+			t.Logf("seed %d: delivered %d/%d", seed, stats.Delivered, len(ms))
+			return false
+		}
+		return stats.MaxQueue <= depth
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBufferedRespectsQueueDepth(t *testing.T) {
+	ft := core.NewConstant(64, 1)
+	ms := workload.Reversal(64) // heavy root contention
+	for _, depth := range []int{1, 2, 8} {
+		stats := RunBuffered(ft, ms, depth)
+		if stats.MaxQueue > depth {
+			t.Errorf("depth %d: max queue %d", depth, stats.MaxQueue)
+		}
+		if stats.Delivered != len(ms) {
+			t.Errorf("depth %d: incomplete", depth)
+		}
+	}
+}
+
+func TestBufferedCongestionLowerBound(t *testing.T) {
+	// The root channel carries n/2 reversal messages at cap(level-1) per
+	// hop: hops >= load/cap.
+	n := 64
+	ft := core.NewConstant(n, 2)
+	stats := RunBuffered(ft, workload.Reversal(n), 4)
+	if stats.Hops < n/2/2 {
+		t.Errorf("hops %d below the congestion bound %d", stats.Hops, n/2/2)
+	}
+}
+
+func TestBufferedBeatsDropRetryOnContention(t *testing.T) {
+	// Under heavy contention, drop-retry wastes whole delivery cycles on
+	// messages that lose at the last switch; backpressure queues don't. In
+	// tick currency, a retry cycle costs ~2·lg n ticks while a buffered hop
+	// costs ~1.
+	n := 64
+	ft := core.NewUniversal(n, 16)
+	ms := workload.Random(n, 6*n, 3)
+	buffered := RunBuffered(ft, ms, 4)
+	engine := New(ft, concentrator.KindIdeal, 0)
+	online := RunOnlineRandom(engine, ms, 5)
+	bufferedTicks := buffered.Hops // ~1 tick per hop once the pipe is full
+	onlineTicks := online.Cycles * MaxCycleTicks(ft, 0)
+	if bufferedTicks >= onlineTicks {
+		t.Errorf("buffered (%d ticks) not better than drop-retry (%d ticks)",
+			bufferedTicks, onlineTicks)
+	}
+}
+
+func TestBufferedLatencyReflectsLocality(t *testing.T) {
+	n := 256
+	ft := core.NewUniversal(n, 64)
+	local := RunBuffered(ft, workload.KLocal(n, 300, 2, 7), 8)
+	global := RunBuffered(ft, workload.BitReversal(n), 8)
+	if local.MeanLatency >= global.MeanLatency {
+		t.Errorf("local latency %.1f not below global %.1f", local.MeanLatency, global.MeanLatency)
+	}
+}
+
+func TestBufferedEmptyAndBadDepth(t *testing.T) {
+	ft := core.NewConstant(8, 1)
+	stats := RunBuffered(ft, nil, 1)
+	if stats.Hops != 0 || stats.Delivered != 0 {
+		t.Errorf("empty run: %+v", stats)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Errorf("depth 0 accepted")
+		}
+	}()
+	RunBuffered(ft, core.MessageSet{{Src: 0, Dst: 1}}, 0)
+}

@@ -1,0 +1,286 @@
+// Package sim simulates message delivery on a fat-tree at two granularities.
+//
+// The delivery-cycle engine drives the actual switching hardware of Section
+// II: during a cycle, every pending message snakes from its source leaf up to
+// its least common ancestor and back down, competing for channel wires at
+// each node's concentrator switches; messages that lose a concentrator port
+// are dropped (congestion), negatively acknowledged, and retried in a later
+// cycle. Running an off-line schedule (Section III) through the engine with
+// ideal concentrators delivers every cycle's messages without loss — the
+// integration of Theorem 1 with the Fig. 3 node design.
+//
+// The bit-serial timing model (Fig. 2) accounts the clock ticks a delivery
+// cycle takes: messages establish paths leading-bit-first, address bits are
+// stripped one per switch, and the payload follows, so a cycle lasts
+// O(lg n + payload) ticks.
+package sim
+
+import (
+	"fattree/internal/concentrator"
+	"fattree/internal/core"
+)
+
+// Engine simulates delivery cycles on one fat-tree with persistent switch
+// hardware (the concentrator graphs are built once, as in a real machine).
+type Engine struct {
+	tree     *core.FatTree
+	switches []*concentrator.Switch // indexed by node 1..n-1 (internal nodes)
+}
+
+// New builds the engine: one switch per internal node, with concentrators of
+// the given kind (ideal per Section III, or Pippenger-style partial per
+// Section IV). seed feeds the partial constructions.
+func New(t *core.FatTree, kind concentrator.Kind, seed int64) *Engine {
+	e := &Engine{
+		tree:     t,
+		switches: make([]*concentrator.Switch, t.Processors()),
+	}
+	for v := 1; v < t.Processors(); v++ {
+		capParent := t.Capacity(core.Channel{Node: v, Dir: core.Up})
+		capChild := t.Capacity(core.Channel{Node: 2 * v, Dir: core.Up})
+		e.switches[v] = concentrator.NewSwitch(capParent, capChild, kind, seed+int64(v))
+	}
+	return e
+}
+
+// Tree returns the fat-tree the engine simulates.
+func (e *Engine) Tree() *core.FatTree { return e.tree }
+
+// InjectLoss adds a transient-fault model to every switch: each routed
+// message is independently corrupted with the given rate and must be retried
+// (Section VII's fault-tolerance concern, absorbed by the Section II
+// acknowledgment protocol).
+func (e *Engine) InjectLoss(rate float64, seed int64) {
+	for v := 1; v < e.tree.Processors(); v++ {
+		e.switches[v].InjectLoss(rate, seed+int64(3*v))
+	}
+}
+
+// CycleResult reports one delivery cycle.
+type CycleResult struct {
+	Delivered int // messages that reached their destination leaf channel
+	Dropped   int // messages dropped at a congested or unlucky concentrator
+	Deferred  int // messages that could not even inject at their source leaf
+}
+
+// flight tracks one message inside a cycle: its state, the node beneath the
+// channel whose wire it currently holds, and the wire index.
+type flight struct {
+	msg   core.Message
+	state int // flightUp, flightDown, flightDone, flightLost
+	node  int // node beneath the current channel (leaf after injection)
+	wire  int // wire held in the current channel
+	lca   int
+	hist  []int // wires assigned along the path, in path order
+}
+
+const (
+	flightPending = iota
+	flightUp
+	flightDown
+	flightDone
+	flightLost
+)
+
+// RunCycle attempts to deliver all of pending in a single delivery cycle and
+// returns which were delivered (parallel to pending) plus counts. Messages
+// not delivered must be retried by the caller in a later cycle — the
+// acknowledgment protocol of Section II.
+func (e *Engine) RunCycle(pending core.MessageSet) ([]bool, CycleResult) {
+	delivered, res, _ := e.runCycleWithHistory(pending)
+	return delivered, res
+}
+
+// runCycleWithHistory is RunCycle plus, for each message, the sequence of
+// wires it was assigned along its path (path order: leaf up channel first).
+// The histories feed the off-line settings compiler.
+func (e *Engine) runCycleWithHistory(pending core.MessageSet) ([]bool, CycleResult, [][]int) {
+	t := e.tree
+	leafLevel := t.Levels()
+	flights := make([]flight, len(pending))
+	var res CycleResult
+
+	// Injection: each source leaf offers its up channel's wires to its
+	// pending messages in order; the surplus is deferred to a later cycle
+	// (the processor buffers them, per Section II). Inputs from the external
+	// world inject into the root down channel; outputs carry the sentinel
+	// LCA 0 ("above the root") so the upward sweep forwards them through
+	// every switch and out the root channel.
+	injected := make(map[int]int) // leaf node -> wires used
+	rootInjected := 0             // root down-channel wires used by inputs
+	for i, m := range pending {
+		if m.Src == core.External {
+			capRoot := t.Capacity(core.Channel{Node: 1, Dir: core.Down})
+			if rootInjected >= capRoot {
+				flights[i] = flight{msg: m, state: flightLost}
+				res.Deferred++
+				continue
+			}
+			flights[i] = flight{
+				msg: m, state: flightDown, node: 1, wire: rootInjected,
+				hist: []int{rootInjected},
+			}
+			rootInjected++
+			continue
+		}
+		leaf := t.Leaf(m.Src)
+		capLeaf := t.Capacity(core.Channel{Node: leaf, Dir: core.Up})
+		if injected[leaf] >= capLeaf {
+			flights[i] = flight{msg: m, state: flightLost}
+			res.Deferred++
+			continue
+		}
+		lca := 0 // sentinel: the message exits through the root interface
+		if m.Dst != core.External {
+			lca = t.LCA(m.Src, m.Dst)
+		}
+		flights[i] = flight{
+			msg: m, state: flightUp, node: leaf, wire: injected[leaf],
+			lca:  lca,
+			hist: []int{injected[leaf]},
+		}
+		injected[leaf]++
+	}
+
+	// Upward sweep: nodes from the leaf parents toward the root route their
+	// parent-bound traffic. A message bound for a higher LCA requests the
+	// ToParent concentrator; one whose LCA is this node keeps its child-side
+	// wire and turns during the downward sweep.
+	for level := leafLevel - 1; level >= 0; level-- {
+		first := 1 << uint(level)
+		for v := first; v < 2*first; v++ {
+			e.routeNode(v, flights, true, &res)
+		}
+	}
+
+	// Downward sweep: nodes from the root toward the leaves route their
+	// child-bound traffic — turning messages (LCA here) plus messages
+	// descending from the parent.
+	for level := 0; level < leafLevel; level++ {
+		first := 1 << uint(level)
+		for v := first; v < 2*first; v++ {
+			e.routeNode(v, flights, false, &res)
+		}
+	}
+
+	delivered := make([]bool, len(pending))
+	hist := make([][]int, len(pending))
+	for i := range flights {
+		if flights[i].state == flightDone {
+			delivered[i] = true
+			res.Delivered++
+			hist[i] = flights[i].hist
+		}
+	}
+	return delivered, res, hist
+}
+
+// routeNode routes one node's traffic for one sweep. In the upward sweep only
+// the ToParent output is contested; in the downward sweep the two child
+// outputs are.
+func (e *Engine) routeNode(v int, flights []flight, upSweep bool, res *CycleResult) {
+	t := e.tree
+	leafLevel := t.Levels()
+	var reqs []concentrator.Request
+	var who []int
+
+	for i := range flights {
+		f := &flights[i]
+		m := f.msg
+		if upSweep {
+			// Message ascending through v: it holds a wire in the up channel
+			// above one of v's children and its LCA is strictly above v.
+			if f.state != flightUp || f.node>>1 != v || f.lca == v {
+				continue
+			}
+			in := concentrator.Left
+			if f.node == 2*v+1 {
+				in = concentrator.Right
+			}
+			reqs = append(reqs, concentrator.Request{In: in, InWire: f.wire, Out: concentrator.Parent})
+			who = append(who, i)
+			continue
+		}
+		// Downward sweep: the message either turns at v (its LCA is v, and it
+		// still holds a child-side up wire) or descends through v (it holds
+		// the parent-side down wire above v).
+		var in concentrator.Port
+		switch {
+		case f.state == flightUp && f.lca == v:
+			in = concentrator.Left
+			if f.node == 2*v+1 {
+				in = concentrator.Right
+			}
+		case f.state == flightDown && f.node == v:
+			in = concentrator.Parent
+		default:
+			continue
+		}
+		out := concentrator.Left
+		if t.Contains(2*v+1, m.Dst) {
+			out = concentrator.Right
+		}
+		reqs = append(reqs, concentrator.Request{In: in, InWire: f.wire, Out: out})
+		who = append(who, i)
+	}
+
+	if len(reqs) == 0 {
+		return
+	}
+	outWires, _ := e.switches[v].Route(reqs)
+	// Hardware invariant: a concentrator never assigns more wires to a
+	// channel than the channel has, and never the same wire twice. The
+	// checks are cheap and guard the whole delivery pipeline.
+	usedUp := make(map[int]bool)
+	usedDown := [2]map[int]bool{make(map[int]bool), make(map[int]bool)}
+	for j, i := range who {
+		f := &flights[i]
+		if outWires[j] < 0 {
+			f.state = flightLost
+			res.Dropped++
+			continue
+		}
+		switch reqs[j].Out {
+		case concentrator.Parent:
+			capUp := t.Capacity(core.Channel{Node: v, Dir: core.Up})
+			if outWires[j] >= capUp || usedUp[outWires[j]] {
+				panic("sim: up-channel wire oversubscribed (switch bug)")
+			}
+			usedUp[outWires[j]] = true
+		case concentrator.Left, concentrator.Right:
+			side := 0
+			child := 2 * v
+			if reqs[j].Out == concentrator.Right {
+				side = 1
+				child = 2*v + 1
+			}
+			capDown := t.Capacity(core.Channel{Node: child, Dir: core.Down})
+			if outWires[j] >= capDown || usedDown[side][outWires[j]] {
+				panic("sim: down-channel wire oversubscribed (switch bug)")
+			}
+			usedDown[side][outWires[j]] = true
+		}
+		f.wire = outWires[j]
+		f.hist = append(f.hist, outWires[j])
+		if upSweep {
+			f.state = flightUp
+			f.node = v // now holds a wire in the up channel above v
+			if v == 1 && f.msg.Dst == core.External {
+				// The root up channel is the external interface: delivered.
+				f.state = flightDone
+			}
+			continue
+		}
+		// Descending: the message now holds a wire in the down channel above
+		// the chosen child.
+		child := 2 * v
+		if reqs[j].Out == concentrator.Right {
+			child = 2*v + 1
+		}
+		f.node = child
+		f.state = flightDown
+		if t.Level(child) == leafLevel {
+			f.state = flightDone
+		}
+	}
+}

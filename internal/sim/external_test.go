@@ -1,0 +1,98 @@
+package sim
+
+import (
+	"testing"
+
+	"fattree/internal/concentrator"
+	"fattree/internal/core"
+	"fattree/internal/sched"
+	"fattree/internal/workload"
+)
+
+func TestEngineDeliversExternalOutput(t *testing.T) {
+	ft := core.NewUniversal(8, 4)
+	e := New(ft, concentrator.KindIdeal, 0)
+	delivered, res := e.RunCycle(core.MessageSet{{Src: 3, Dst: core.External}})
+	if !delivered[0] || res.Delivered != 1 {
+		t.Fatalf("external output not delivered: %+v", res)
+	}
+}
+
+func TestEngineDeliversExternalInput(t *testing.T) {
+	ft := core.NewUniversal(8, 4)
+	e := New(ft, concentrator.KindIdeal, 0)
+	delivered, res := e.RunCycle(core.MessageSet{{Src: core.External, Dst: 6}})
+	if !delivered[0] || res.Delivered != 1 {
+		t.Fatalf("external input not delivered: %+v", res)
+	}
+}
+
+func TestRootChannelLimitsIO(t *testing.T) {
+	// w=2 root: at most 2 inputs enter per cycle, the rest defer.
+	ft := core.NewConstant(8, 2)
+	e := New(ft, concentrator.KindIdeal, 0)
+	ms := core.MessageSet{
+		{Src: core.External, Dst: 0},
+		{Src: core.External, Dst: 3},
+		{Src: core.External, Dst: 5},
+	}
+	_, res := e.RunCycle(ms)
+	if res.Delivered != 2 || res.Deferred != 1 {
+		t.Fatalf("root-limited injection wrong: %+v", res)
+	}
+}
+
+func TestExternalScheduleThroughHardware(t *testing.T) {
+	ft := core.NewUniversal(64, 8)
+	ms := core.Concat(
+		workload.ExternalIO(64, 20, 20, 1),
+		workload.RandomPermutation(64, 2),
+	)
+	s := sched.OffLine(ft, ms)
+	if err := s.Verify(ms); err != nil {
+		t.Fatalf("%v", err)
+	}
+	e := New(ft, concentrator.KindIdeal, 0)
+	stats := RunSchedule(e, s)
+	if stats.Drops != 0 || stats.Deferrals != 0 || stats.Delivered != len(ms) {
+		t.Fatalf("external schedule playback: %+v", stats)
+	}
+}
+
+func TestExternalCompileAndReplay(t *testing.T) {
+	ft := core.NewUniversal(32, 8)
+	ms := workload.ExternalIO(32, 15, 15, 5)
+	s := sched.OffLine(ft, ms)
+	st := CompileSettings(ft, s)
+	delivered, err := st.Replay()
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if delivered != len(ms) {
+		t.Fatalf("replayed %d of %d", delivered, len(ms))
+	}
+}
+
+func TestExternalOnlineDelivery(t *testing.T) {
+	ft := core.NewUniversal(32, 4)
+	e := New(ft, concentrator.KindIdeal, 0)
+	ms := core.Concat(workload.ExternalIO(32, 20, 20, 7), workload.Random(32, 50, 8))
+	stats := RunOnlineRandom(e, ms, 9)
+	if stats.Delivered != len(ms) {
+		t.Fatalf("online external delivery incomplete: %+v", stats)
+	}
+	// The root channel (w=4) passes at most 4 outputs + 4 inputs per cycle:
+	// at least ceil(20/4) = 5 cycles needed.
+	if stats.Cycles < 5 {
+		t.Errorf("cycles %d below the root I/O bound 5", stats.Cycles)
+	}
+}
+
+func TestExternalTicks(t *testing.T) {
+	ft := core.NewConstant(64, 1)
+	m := core.Message{Src: 0, Dst: core.External}
+	// Path lg n + 1 = 7 channels, plus payload 8 and M bit + trailing.
+	if got := MessageTicks(ft, m, 8); got != 7+8+2 {
+		t.Errorf("external ticks %d, want 17", got)
+	}
+}

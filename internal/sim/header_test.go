@@ -1,0 +1,107 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fattree/internal/core"
+	"fattree/internal/sched"
+	"fattree/internal/workload"
+)
+
+func TestHeaderRoundTrip(t *testing.T) {
+	ft := core.NewUniversal(64, 16)
+	ms := workload.RandomPermutation(64, 1)
+	s := sched.OffLine(ft, ms)
+	st := CompileSettings(ft, s)
+	for _, cyc := range st.Cycles {
+		for _, wp := range cyc {
+			h := EncodeHeader(ft, wp, 8)
+			channels, wires, err := DecodeHeader(ft, wp.Msg, wp.Wires[0], h)
+			if err != nil {
+				t.Fatalf("message %v: %v", wp.Msg, err)
+			}
+			path := ft.Path(wp.Msg, nil)
+			if len(channels) != len(path) {
+				t.Fatalf("message %v: decoded %d channels, want %d", wp.Msg, len(channels), len(path))
+			}
+			for i := range path {
+				if channels[i] != path[i] {
+					t.Fatalf("message %v hop %d: decoded %v, want %v", wp.Msg, i, channels[i], path[i])
+				}
+				if wires[i] != wp.Wires[i] {
+					t.Fatalf("message %v hop %d: decoded wire %d, want %d", wp.Msg, i, wires[i], wp.Wires[i])
+				}
+			}
+		}
+	}
+}
+
+func TestHeaderMBitRequired(t *testing.T) {
+	ft := core.NewConstant(8, 1)
+	m := core.Message{Src: 0, Dst: 7}
+	wp := WirePath{Msg: m, Wires: make([]int, len(ft.Path(m, nil)))}
+	h := EncodeHeader(ft, wp, 0)
+	h.Bits[0] = 0 // idle wire
+	if _, _, err := DecodeHeader(ft, m, 0, h); err == nil {
+		t.Errorf("frame without M bit accepted")
+	}
+}
+
+func TestFrameLengthBounds(t *testing.T) {
+	// On a capacity-1 tree there are no wire-select bits: frame = 1 + path
+	// routing bits + payload, and routing bits <= 2·lg n (the paper's
+	// address-length bound).
+	ft := core.NewConstant(64, 1)
+	m := core.Message{Src: 0, Dst: 63}
+	want := 1 + (ft.PathLength(m) - 1) + 16
+	if got := FrameLength(ft, m, 16); got != want {
+		t.Errorf("frame length %d, want %d", got, want)
+	}
+	if FrameLength(ft, m, 0) > 1+2*core.Lg(64) {
+		t.Errorf("steering exceeds the 2·lg n address bound on a unit tree")
+	}
+}
+
+func TestFrameLengthGrowsWithCapacity(t *testing.T) {
+	// Wider channels need wire-select bits: the frame grows by ceil(lg cap)
+	// per hop.
+	thin := core.NewConstant(64, 1)
+	wide := core.NewConstant(64, 16)
+	m := core.Message{Src: 0, Dst: 63}
+	if FrameLength(wide, m, 0) <= FrameLength(thin, m, 0) {
+		t.Errorf("wide-channel frame not longer")
+	}
+}
+
+func TestHeaderProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 << (3 + rng.Intn(3))
+		ft := workload.RandomTreeProfile(n, 8, seed)
+		ms := workload.Random(n, 1+rng.Intn(2*n), seed+1)
+		st := CompileSettings(ft, sched.OffLine(ft, ms))
+		for _, cyc := range st.Cycles {
+			for _, wp := range cyc {
+				if wp.Msg.IsExternal() {
+					continue
+				}
+				h := EncodeHeader(ft, wp, 4)
+				_, wires, err := DecodeHeader(ft, wp.Msg, wp.Wires[0], h)
+				if err != nil {
+					return false
+				}
+				for i := range wires {
+					if wires[i] != wp.Wires[i] {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

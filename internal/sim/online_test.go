@@ -1,0 +1,89 @@
+package sim
+
+import (
+	"testing"
+
+	"fattree/internal/concentrator"
+	"fattree/internal/core"
+	"fattree/internal/workload"
+)
+
+func TestRunOnlineRandomDeliversEverything(t *testing.T) {
+	for _, tree := range []*core.FatTree{
+		core.NewConstant(32, 1),
+		core.NewUniversal(64, 16),
+	} {
+		e := New(tree, concentrator.KindIdeal, 0)
+		ms := workload.Random(tree.Processors(), 5*tree.Processors(), 3)
+		stats := RunOnlineRandom(e, ms, 9)
+		if stats.Delivered != len(ms) {
+			t.Fatalf("%v: delivered %d of %d", tree, stats.Delivered, len(ms))
+		}
+	}
+}
+
+func TestRunOnlineRandomWithinEnvelope(t *testing.T) {
+	// The Greenberg–Leiserson claim: O(λ + lg n·lg lg n) cycles w.h.p. We
+	// check the envelope with a generous constant on several workloads.
+	n := 128
+	ft := core.NewUniversal(n, 32)
+	e := New(ft, concentrator.KindIdeal, 0)
+	for name, ms := range map[string]core.MessageSet{
+		"perm":   workload.RandomPermutation(n, 1),
+		"random": workload.Random(n, 8*n, 2),
+		"bitrev": workload.BitReversal(n),
+	} {
+		lam := core.LoadFactor(ft, ms)
+		stats := RunOnlineRandom(e, ms, 7)
+		if stats.Delivered != len(ms) {
+			t.Fatalf("%s: incomplete", name)
+		}
+		bound := OnlineBound(ft, lam, 6)
+		if float64(stats.Cycles) > bound {
+			t.Errorf("%s: %d cycles exceeds envelope %.1f (λ=%.1f)", name, stats.Cycles, bound, lam)
+		}
+		if float64(stats.Cycles) < lam {
+			t.Errorf("%s: %d cycles beats λ=%.1f — impossible", name, stats.Cycles, lam)
+		}
+	}
+}
+
+func TestRunOnlineRandomNoStarvationUnderHotSpot(t *testing.T) {
+	// All messages to one destination: the leaf channel admits a bounded
+	// number per cycle, and random priorities ensure everyone eventually
+	// wins. Cycles should be close to λ (the destination channel's queue).
+	n := 64
+	ft := core.NewConstant(n, 2)
+	e := New(ft, concentrator.KindIdeal, 0)
+	ms := workload.HotSpot(n, 50, 4)
+	lam := core.LoadFactor(ft, ms)
+	stats := RunOnlineRandom(e, ms, 11)
+	if stats.Delivered != len(ms) {
+		t.Fatalf("hot-spot starved: %+v", stats)
+	}
+	if float64(stats.Cycles) > 2*lam+4 {
+		t.Errorf("hot-spot took %d cycles for λ=%.0f", stats.Cycles, lam)
+	}
+}
+
+func TestRunOnlineRandomReproducible(t *testing.T) {
+	ft := core.NewUniversal(64, 16)
+	ms := workload.Random(64, 200, 5)
+	a := RunOnlineRandom(New(ft, concentrator.KindIdeal, 0), ms, 42)
+	b := RunOnlineRandom(New(ft, concentrator.KindIdeal, 0), ms, 42)
+	if a.Cycles != b.Cycles || a.Drops != b.Drops {
+		t.Errorf("same seed, different outcome: %+v vs %+v", a, b)
+	}
+}
+
+func TestOnlineBound(t *testing.T) {
+	ft := core.NewConstant(1024, 1)
+	// lg n = 10, lg lg n ≈ 3.32: envelope at c=1, λ=0 is ~33.2.
+	b := OnlineBound(ft, 0, 1)
+	if b < 30 || b > 36 {
+		t.Errorf("envelope %v out of expected range", b)
+	}
+	if OnlineBound(ft, 100, 1) <= b {
+		t.Errorf("envelope must grow with λ")
+	}
+}

@@ -1,0 +1,57 @@
+package sim
+
+import (
+	"testing"
+
+	"fattree/internal/concentrator"
+	"fattree/internal/core"
+)
+
+func TestOpenLoopBelowSaturation(t *testing.T) {
+	// Light offered load: backlog stays bounded, latency small.
+	ft := core.NewUniversal(64, 32)
+	e := New(ft, concentrator.KindIdeal, 0)
+	stats := RunOpenLoop(e, UniformArrivals(ft, 4, 1), 200, 2)
+	if stats.Offered == 0 || stats.Delivered == 0 {
+		t.Fatalf("degenerate run: %+v", stats)
+	}
+	if stats.BacklogSlope > 0.5 {
+		t.Errorf("backlog grows (%.2f/cycle) under light load", stats.BacklogSlope)
+	}
+	if stats.MeanLatency > 5 {
+		t.Errorf("latency %.1f cycles under light load", stats.MeanLatency)
+	}
+}
+
+func TestOpenLoopAboveSaturation(t *testing.T) {
+	// Offered load far beyond the skinny tree's capacity: backlog must grow
+	// steadily.
+	ft := core.NewConstant(64, 1)
+	e := New(ft, concentrator.KindIdeal, 0)
+	stats := RunOpenLoop(e, UniformArrivals(ft, 64, 3), 200, 4)
+	if stats.BacklogSlope < 1 {
+		t.Errorf("backlog slope %.2f under 2x overload — saturation not visible", stats.BacklogSlope)
+	}
+	if stats.Backlog == 0 {
+		t.Errorf("no backlog under overload")
+	}
+}
+
+func TestOpenLoopConservation(t *testing.T) {
+	ft := core.NewUniversal(32, 8)
+	e := New(ft, concentrator.KindIdeal, 0)
+	stats := RunOpenLoop(e, UniformArrivals(ft, 8, 5), 100, 6)
+	if stats.Delivered+stats.Backlog != stats.Offered {
+		t.Errorf("conservation violated: %d + %d != %d",
+			stats.Delivered, stats.Backlog, stats.Offered)
+	}
+}
+
+func TestOpenLoopReproducible(t *testing.T) {
+	ft := core.NewUniversal(32, 8)
+	a := RunOpenLoop(New(ft, concentrator.KindIdeal, 0), UniformArrivals(ft, 8, 5), 50, 7)
+	b := RunOpenLoop(New(ft, concentrator.KindIdeal, 0), UniformArrivals(ft, 8, 5), 50, 7)
+	if a != b {
+		t.Errorf("same seeds, different stats: %+v vs %+v", a, b)
+	}
+}

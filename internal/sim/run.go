@@ -1,0 +1,121 @@
+package sim
+
+import (
+	"fmt"
+
+	"fattree/internal/concentrator"
+	"fattree/internal/core"
+	"fattree/internal/sched"
+)
+
+// Stats summarizes a complete delivery of a message set.
+type Stats struct {
+	// Cycles is the number of delivery cycles used.
+	Cycles int
+	// Delivered is the number of messages delivered (always len(ms) unless
+	// the cycle limit was hit).
+	Delivered int
+	// Drops is the total number of drop events at concentrators across all
+	// cycles (one message may be dropped several times before succeeding).
+	Drops int
+	// Deferrals counts injection deferrals (source leaf channel full).
+	Deferrals int
+	// PerCycle is the number of messages delivered in each cycle.
+	PerCycle []int
+}
+
+// maxCyclesDefault bounds retry loops against pathological livelock with
+// partial concentrators.
+const maxCyclesDefault = 100000
+
+// RunOnline delivers ms with the greedy online protocol of Section II: every
+// cycle, all undelivered messages are offered to the network; losers are
+// negatively acknowledged and retried. It returns the delivery statistics.
+// With ideal concentrators progress is guaranteed (the first pending message
+// always survives every switch); with partial concentrators a generous cycle
+// bound guards the loop and Delivered < len(ms) reports a stall.
+func RunOnline(e *Engine, ms core.MessageSet) Stats {
+	if err := ms.Validate(e.tree); err != nil {
+		panic(err)
+	}
+	var stats Stats
+	pending := ms.Clone()
+	for len(pending) > 0 && stats.Cycles < maxCyclesDefault {
+		delivered, res := e.RunCycle(pending)
+		stats.Cycles++
+		stats.Delivered += res.Delivered
+		stats.Drops += res.Dropped
+		stats.Deferrals += res.Deferred
+		stats.PerCycle = append(stats.PerCycle, res.Delivered)
+		var next core.MessageSet
+		for i, ok := range delivered {
+			if !ok {
+				next = append(next, pending[i])
+			}
+		}
+		if res.Delivered == 0 && len(next) == len(pending) {
+			// No progress: with partial concentrators an unlucky matching can
+			// stall identical retries forever; report and stop.
+			return stats
+		}
+		pending = next
+	}
+	return stats
+}
+
+// RunSchedule plays a precomputed off-line schedule through the engine: cycle
+// i injects exactly the schedule's i-th one-cycle message set (plus any
+// earlier losses, which only occur with partial concentrators). With ideal
+// concentrators a valid schedule incurs zero drops and zero deferrals — the
+// hardware realizes Theorem 1 exactly.
+func RunSchedule(e *Engine, s *sched.Schedule) Stats {
+	if s.Tree != e.tree {
+		panic(fmt.Sprintf("sim: schedule built for a different tree (%v vs %v)", s.Tree, e.tree))
+	}
+	var stats Stats
+	var carry core.MessageSet
+	for _, cyc := range s.Cycles {
+		pending := core.Concat(carry, cyc)
+		delivered, res := e.RunCycle(pending)
+		stats.Cycles++
+		stats.Delivered += res.Delivered
+		stats.Drops += res.Dropped
+		stats.Deferrals += res.Deferred
+		stats.PerCycle = append(stats.PerCycle, res.Delivered)
+		carry = nil
+		for i, ok := range delivered {
+			if !ok {
+				carry = append(carry, pending[i])
+			}
+		}
+	}
+	// Drain losses (partial concentrators only).
+	for len(carry) > 0 && stats.Cycles < maxCyclesDefault {
+		delivered, res := e.RunCycle(carry)
+		stats.Cycles++
+		stats.Delivered += res.Delivered
+		stats.Drops += res.Dropped
+		stats.Deferrals += res.Deferred
+		stats.PerCycle = append(stats.PerCycle, res.Delivered)
+		var next core.MessageSet
+		for i, ok := range delivered {
+			if !ok {
+				next = append(next, carry[i])
+			}
+		}
+		if res.Delivered == 0 && len(next) == len(carry) {
+			return stats
+		}
+		carry = next
+	}
+	return stats
+}
+
+// DeliverOffline is the headline convenience API: schedule ms with Theorem 1
+// and play the schedule through ideal-switch hardware. The returned stats
+// satisfy Cycles = len(schedule) and Drops = 0 for any valid input.
+func DeliverOffline(t *core.FatTree, ms core.MessageSet) (Stats, *sched.Schedule) {
+	s := sched.OffLine(t, ms)
+	e := New(t, concentrator.KindIdeal, 0)
+	return RunSchedule(e, s), s
+}

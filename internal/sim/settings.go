@@ -1,0 +1,101 @@
+package sim
+
+import (
+	"fmt"
+
+	"fattree/internal/concentrator"
+	"fattree/internal/core"
+	"fattree/internal/sched"
+)
+
+// This file implements the paper's off-line compilation artifact: "the
+// switches, although dynamically set, have their settings predetermined by an
+// off-line scheduling algorithm" (Section II). CompileSettings runs a
+// schedule through the engine once and records every wire assignment; the
+// result is the compiled program a real off-line fat-tree would load —
+// per delivery cycle, per message, the exact wire held in every channel on
+// its path. Replay applies the settings with no concentrator logic at all
+// (the acknowledgment hardware can be omitted, "thereby reducing the
+// complexity of the design") and re-verifies the physical invariants.
+
+// WirePath is a message's compiled route: the wire it occupies in each
+// channel along its unique path, in path order.
+type WirePath struct {
+	Msg   core.Message
+	Wires []int // parallel to the tree path returned by FatTree.Path
+}
+
+// Settings is a compiled schedule: the complete switch program for a message
+// set.
+type Settings struct {
+	Tree   *core.FatTree
+	Cycles [][]WirePath
+}
+
+// CycleCount returns the number of delivery cycles in the program.
+func (st *Settings) CycleCount() int { return len(st.Cycles) }
+
+// Messages returns the total message count across cycles.
+func (st *Settings) Messages() int {
+	total := 0
+	for _, c := range st.Cycles {
+		total += len(c)
+	}
+	return total
+}
+
+// CompileSettings lowers a valid schedule to switch settings by running each
+// cycle through ideal-concentrator hardware and recording the wire
+// assignments. It panics if the schedule drops anything — a valid one-cycle
+// partition never does on ideal switches, so a panic means the schedule was
+// not verified.
+func CompileSettings(t *core.FatTree, s *sched.Schedule) *Settings {
+	e := New(t, concentrator.KindIdeal, 0)
+	st := &Settings{Tree: t, Cycles: make([][]WirePath, len(s.Cycles))}
+	for ci, cyc := range s.Cycles {
+		delivered, res, paths := e.runCycleWithHistory(cyc)
+		for i, ok := range delivered {
+			if !ok {
+				panic(fmt.Sprintf("sim: compile dropped message %v in cycle %d (%+v) — unverified schedule?",
+					cyc[i], ci, res))
+			}
+			st.Cycles[ci] = append(st.Cycles[ci], WirePath{Msg: cyc[i], Wires: paths[i]})
+		}
+	}
+	return st
+}
+
+// Replay validates and "executes" compiled settings without any switching
+// logic: for every cycle it checks that each message's wire path is
+// consistent (one wire per channel on the unique route, within capacity,
+// no two messages sharing a wire) and returns the delivery count. It is the
+// software analog of streaming the program through dumb switches.
+func (st *Settings) Replay() (delivered int, err error) {
+	var buf []core.Channel
+	for ci, cyc := range st.Cycles {
+		used := make(map[core.Channel]map[int]bool)
+		for _, wp := range cyc {
+			buf = st.Tree.Path(wp.Msg, buf[:0])
+			if len(buf) != len(wp.Wires) {
+				return delivered, fmt.Errorf("sim: cycle %d message %v: %d wires for %d channels",
+					ci, wp.Msg, len(wp.Wires), len(buf))
+			}
+			for i, c := range buf {
+				w := wp.Wires[i]
+				if w < 0 || w >= st.Tree.Capacity(c) {
+					return delivered, fmt.Errorf("sim: cycle %d message %v: wire %d out of range on %v",
+						ci, wp.Msg, w, c)
+				}
+				if used[c] == nil {
+					used[c] = make(map[int]bool)
+				}
+				if used[c][w] {
+					return delivered, fmt.Errorf("sim: cycle %d: wire %d of %v assigned twice", ci, w, c)
+				}
+				used[c][w] = true
+			}
+			delivered++
+		}
+	}
+	return delivered, nil
+}

@@ -1,0 +1,90 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fattree/internal/core"
+	"fattree/internal/sched"
+	"fattree/internal/workload"
+)
+
+func TestCompileAndReplay(t *testing.T) {
+	ft := core.NewUniversal(64, 16)
+	ms := workload.Random(64, 300, 1)
+	s := sched.OffLine(ft, ms)
+	if err := s.Verify(ms); err != nil {
+		t.Fatalf("%v", err)
+	}
+	st := CompileSettings(ft, s)
+	if st.CycleCount() != s.Length() {
+		t.Errorf("compiled %d cycles for a %d-cycle schedule", st.CycleCount(), s.Length())
+	}
+	if st.Messages() != len(ms) {
+		t.Errorf("compiled %d messages, want %d", st.Messages(), len(ms))
+	}
+	delivered, err := st.Replay()
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if delivered != len(ms) {
+		t.Errorf("replayed %d messages", delivered)
+	}
+}
+
+func TestCompiledWirePathsMatchRoutes(t *testing.T) {
+	ft := core.NewUniversal(32, 8)
+	ms := workload.RandomPermutation(32, 2)
+	s := sched.OffLine(ft, ms)
+	st := CompileSettings(ft, s)
+	for _, cyc := range st.Cycles {
+		for _, wp := range cyc {
+			path := ft.Path(wp.Msg, nil)
+			if len(path) != len(wp.Wires) {
+				t.Fatalf("message %v: %d wires for %d channels", wp.Msg, len(wp.Wires), len(path))
+			}
+			for i, c := range path {
+				if wp.Wires[i] < 0 || wp.Wires[i] >= ft.Capacity(c) {
+					t.Fatalf("message %v: wire %d invalid on %v", wp.Msg, wp.Wires[i], c)
+				}
+			}
+		}
+	}
+}
+
+func TestReplayDetectsCorruption(t *testing.T) {
+	ft := core.NewConstant(8, 2)
+	ms := core.MessageSet{{Src: 0, Dst: 7}, {Src: 1, Dst: 6}}
+	s := sched.OffLine(ft, ms)
+	st := CompileSettings(ft, s)
+	// Corrupt: force two messages onto the same wire of the same channel.
+	if len(st.Cycles[0]) >= 2 {
+		copy(st.Cycles[0][1].Wires, st.Cycles[0][0].Wires)
+		if _, err := st.Replay(); err == nil {
+			t.Errorf("replay accepted conflicting wire assignments")
+		}
+	}
+	// Corrupt: out-of-range wire.
+	st2 := CompileSettings(ft, s)
+	st2.Cycles[0][0].Wires[0] = 99
+	if _, err := st2.Replay(); err == nil {
+		t.Errorf("replay accepted out-of-range wire")
+	}
+}
+
+func TestCompileProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 << (3 + rng.Intn(3))
+		ft := workload.RandomTreeProfile(n, 8, seed)
+		ms := workload.Random(n, 1+rng.Intn(3*n), seed+1)
+		s := sched.OffLine(ft, ms)
+		st := CompileSettings(ft, s)
+		delivered, err := st.Replay()
+		return err == nil && delivered == len(ms)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,178 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"fattree/internal/core"
+)
+
+func TestFFTTrace(t *testing.T) {
+	tr := FFT(64)
+	if len(tr.Phases) != 6 {
+		t.Fatalf("FFT(64) has %d phases, want 6", len(tr.Phases))
+	}
+	ft := core.NewUniversal(64, 64)
+	if err := tr.Validate(ft); err != nil {
+		t.Fatalf("%v", err)
+	}
+	// Every stage is a perfect pairing: n messages.
+	for _, p := range tr.Phases {
+		if len(p.Messages) != 64 {
+			t.Errorf("phase %s has %d messages", p.Name, len(p.Messages))
+		}
+	}
+	// The last stage crosses the root everywhere.
+	last := tr.Phases[5].Messages
+	lam := core.LoadFactor(core.NewConstant(64, 1), last)
+	if lam != 32 {
+		t.Errorf("final FFT stage λ on unit tree = %v, want 32", lam)
+	}
+	// The first stage is purely sibling traffic.
+	first := tr.Phases[0].Messages
+	if lam0 := core.LoadFactor(core.NewConstant(64, 1), first); lam0 != 1 {
+		t.Errorf("first FFT stage λ = %v, want 1", lam0)
+	}
+}
+
+func TestFEMSolveTrace(t *testing.T) {
+	tr := FEMSolve(8, 3)
+	ft := core.NewUniversal(64, 16)
+	if err := tr.Validate(ft); err != nil {
+		t.Fatalf("%v", err)
+	}
+	// 1 exchange + lg n reduce + lg n broadcast phases.
+	if len(tr.Phases) != 1+6+6 {
+		t.Errorf("FEMSolve phases = %d, want 13", len(tr.Phases))
+	}
+	for _, p := range tr.Phases {
+		if p.Repeat != 3 {
+			t.Errorf("phase %s repeat %d, want 3", p.Name, p.Repeat)
+		}
+	}
+	// Reduction rounds halve: strides 1..32 send 32,16,8,4,2,1 messages.
+	reduce1 := tr.Phases[1]
+	if !strings.Contains(reduce1.Name, "stride 1") || len(reduce1.Messages) != 32 {
+		t.Errorf("first reduce phase wrong: %s with %d messages", reduce1.Name, len(reduce1.Messages))
+	}
+}
+
+func TestReductionConverges(t *testing.T) {
+	// After all reduce phases, every processor's value has a path to 0:
+	// verify each phase's destinations are senders in some later phase or 0.
+	phases := reductionPhases(16)
+	reduces := phases[:4]
+	for i, p := range reduces {
+		for _, m := range p.Messages {
+			if m.Dst == 0 {
+				continue
+			}
+			found := false
+			for _, later := range reduces[i+1:] {
+				for _, lm := range later.Messages {
+					if lm.Src == m.Dst {
+						found = true
+					}
+				}
+			}
+			if !found {
+				t.Errorf("phase %d: value at %d never forwarded", i, m.Dst)
+			}
+		}
+	}
+}
+
+func TestMultiGridTrace(t *testing.T) {
+	tr := MultiGrid(16) // 16x16 -> 8x8 -> 4x4 -> 2x2
+	ft := core.NewUniversal(256, 32)
+	if err := tr.Validate(ft); err != nil {
+		t.Fatalf("%v", err)
+	}
+	// 4 smooth + 3 restrict + 3 prolong.
+	if len(tr.Phases) != 10 {
+		t.Errorf("MultiGrid(16) phases = %d, want 10", len(tr.Phases))
+	}
+	// Prolongation mirrors restriction exactly.
+	var restrictMsgs, prolongMsgs int
+	for _, p := range tr.Phases {
+		if strings.HasPrefix(p.Name, "restrict") {
+			restrictMsgs += len(p.Messages)
+		}
+		if strings.HasPrefix(p.Name, "prolong") {
+			prolongMsgs += len(p.Messages)
+		}
+	}
+	if restrictMsgs != prolongMsgs {
+		t.Errorf("restriction %d != prolongation %d", restrictMsgs, prolongMsgs)
+	}
+}
+
+func TestSampleSortTrace(t *testing.T) {
+	tr := SampleSort(32, 4, 1)
+	ft := core.NewUniversal(32, 8)
+	if err := tr.Validate(ft); err != nil {
+		t.Fatalf("%v", err)
+	}
+	if len(tr.Phases) != 3 {
+		t.Fatalf("phases = %d", len(tr.Phases))
+	}
+	if tr.Messages() != 31+31+128 {
+		t.Errorf("total messages = %d", tr.Messages())
+	}
+}
+
+func TestRunTotals(t *testing.T) {
+	ft := core.NewUniversal(64, 16)
+	tr := FFT(64)
+	res := Run(ft, tr, 16)
+	if len(res.PerPhase) != len(tr.Phases) {
+		t.Fatalf("per-phase results missing")
+	}
+	sumCycles, sumTicks := 0, 0
+	for _, pr := range res.PerPhase {
+		if pr.TotalCycles != pr.Repeat*pr.Cycles {
+			t.Errorf("%s: total cycles inconsistent", pr.Name)
+		}
+		sumCycles += pr.TotalCycles
+		sumTicks += pr.TotalTicks
+		if float64(pr.Cycles) < pr.Lambda {
+			t.Errorf("%s: cycles below λ", pr.Name)
+		}
+	}
+	if res.TotalCycles != sumCycles || res.TotalTicks != sumTicks {
+		t.Errorf("totals inconsistent")
+	}
+}
+
+func TestFFTStagesGetHarderUpTheTree(t *testing.T) {
+	// On a scaled-down fat-tree, later FFT stages (more global) cost at least
+	// as much as the earliest stage.
+	ft := core.NewUniversal(64, 8)
+	res := Run(ft, FFT(64), 0)
+	first := res.PerPhase[0].Cycles
+	last := res.PerPhase[len(res.PerPhase)-1].Cycles
+	if last < first {
+		t.Errorf("global stage (%d cycles) cheaper than local stage (%d)", last, first)
+	}
+}
+
+func TestMultiGridLocalOnModestTree(t *testing.T) {
+	// Multigrid's per-phase λ should stay small on a sqrt(n)-root tree —
+	// locality at every scale.
+	k := 16
+	ft := core.NewUniversal(k*k, 2*k)
+	res := Run(ft, MultiGrid(k), 0)
+	for _, pr := range res.PerPhase {
+		if pr.Lambda > 8 {
+			t.Errorf("phase %s λ = %.1f — not local", pr.Name, pr.Lambda)
+		}
+	}
+}
+
+func TestValidateCatchesOversizedTrace(t *testing.T) {
+	ft := core.NewConstant(16, 1)
+	tr := FFT(64)
+	if err := tr.Validate(ft); err == nil {
+		t.Errorf("64-proc trace accepted on 16-proc tree")
+	}
+}

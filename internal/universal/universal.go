@@ -1,0 +1,225 @@
+// Package universal implements the universality machinery of Section VI: a
+// universal fat-tree occupying the same physical volume as an arbitrary
+// routing network R can deliver (off-line) any message set R delivers in time
+// t with only polylogarithmic slowdown — O(t·lg³ n) — where the three lg n
+// factors come from the volume-constrained root capacity, the off-line
+// scheduling algorithm, and the O(lg n) switching time of a delivery cycle
+// (Theorem 10).
+//
+// The pipeline follows the proof: lay out R in a cube, cut the cube into a
+// decomposition tree (Theorem 5), balance it (Theorem 8), identify the
+// processors at the balanced tree's leaves with the fat-tree's leaves, bound
+// the load factor the message set induces, and schedule it off-line
+// (Theorem 1).
+package universal
+
+import (
+	"fmt"
+	"math"
+
+	"fattree/internal/baseline"
+	"fattree/internal/concentrator"
+	"fattree/internal/core"
+	"fattree/internal/decomp"
+	"fattree/internal/sched"
+	"fattree/internal/sim"
+	"fattree/internal/vlsi"
+)
+
+// Identification maps a network's processors onto a fat-tree's leaves via the
+// balanced decomposition tree of the network's physical layout.
+type Identification struct {
+	// FTLeaf[p] is the fat-tree processor slot assigned to network processor p.
+	FTLeaf []int
+	// Tree is the universal fat-tree of the network's volume.
+	Tree *core.FatTree
+	// DecompDepth and BalancedHeight record the Section V structures' sizes.
+	DecompDepth    int
+	BalancedHeight int
+}
+
+// Identify runs the Section V pipeline for the network: layout → cut-plane
+// decomposition tree → balanced decomposition tree → leaf identification,
+// and builds the universal fat-tree of the same volume. gamma is the
+// area-to-bandwidth constant of the VLSI model (1 in normalized units).
+func Identify(net baseline.Network, gamma float64) *Identification {
+	layout := net.Layout()
+	dtree := decomp.CutPlanes(layout, gamma)
+	btree := decomp.Balance(dtree)
+	if err := btree.Validate(); err != nil {
+		panic(fmt.Sprintf("universal: balanced tree invalid: %v", err))
+	}
+	order := btree.LeafOrder(dtree)
+	if len(order) != net.Procs() {
+		panic(fmt.Sprintf("universal: identification covers %d of %d processors",
+			len(order), net.Procs()))
+	}
+
+	// The fat-tree needs a power-of-two leaf count at least the processor
+	// count; extra leaves stay idle.
+	n := 2
+	for n < net.Procs() {
+		n *= 2
+	}
+	ft := vlsi.NewUniversalOfVolume(n, net.Volume())
+
+	id := &Identification{
+		FTLeaf:         make([]int, net.Procs()),
+		Tree:           ft,
+		DecompDepth:    dtree.Depth,
+		BalancedHeight: btree.Height(),
+	}
+	for slot, proc := range order {
+		id.FTLeaf[proc] = slot
+	}
+	return id
+}
+
+// Remap translates a message set over the network's processors into the
+// fat-tree's processor numbering.
+func (id *Identification) Remap(ms core.MessageSet) core.MessageSet {
+	out := make(core.MessageSet, len(ms))
+	for i, m := range ms {
+		out[i] = core.Message{Src: id.FTLeaf[m.Src], Dst: id.FTLeaf[m.Dst]}
+	}
+	return out
+}
+
+// Report is the outcome of one Theorem 10 simulation experiment.
+type Report struct {
+	Network      string
+	Procs        int
+	Volume       float64
+	RootCapacity int
+
+	// NetworkCycles is t: the unit-time steps the network itself needs to
+	// deliver the message set under store-and-forward contention.
+	NetworkCycles int
+	// LoadFactor is λ(M) of the remapped message set on the fat-tree.
+	LoadFactor float64
+	// FatTreeCycles is d: the off-line schedule's delivery cycles.
+	FatTreeCycles int
+	// CycleTicks is the O(lg n) clock-tick cost of one delivery cycle.
+	CycleTicks int
+	// FatTreeTicks = FatTreeCycles × CycleTicks, the fat-tree's total time in
+	// the same clock units as NetworkCycles.
+	FatTreeTicks int
+	// Slowdown is FatTreeTicks / NetworkCycles.
+	Slowdown float64
+	// PolylogBound is lg³ n — the Theorem 10 slowdown envelope (constant 1);
+	// the *shape* claim is Slowdown = O(PolylogBound) as n grows.
+	PolylogBound float64
+}
+
+// Simulate runs the full Theorem 10 experiment: deliver ms on the network
+// itself, then deliver the identified message set on the equal-volume
+// universal fat-tree via an off-line schedule, and compare times.
+func Simulate(net baseline.Network, ms core.MessageSet, gamma float64) *Report {
+	if err := baseline.ValidateRoutes(net, ms); err != nil {
+		panic(err)
+	}
+	id := Identify(net, gamma)
+	ft := id.Tree
+	remapped := id.Remap(ms)
+
+	netRes := baseline.Deliver(net, ms)
+	schedule := sched.OffLine(ft, remapped)
+	if err := schedule.Verify(remapped); err != nil {
+		panic(fmt.Sprintf("universal: invalid schedule: %v", err))
+	}
+	cycleTicks := sim.MaxCycleTicks(ft, 0)
+
+	r := &Report{
+		Network:       net.Name(),
+		Procs:         net.Procs(),
+		Volume:        net.Volume(),
+		RootCapacity:  ft.RootCapacity(),
+		NetworkCycles: netRes.Cycles,
+		LoadFactor:    schedule.LoadFactor,
+		FatTreeCycles: schedule.Length(),
+		CycleTicks:    cycleTicks,
+		FatTreeTicks:  schedule.Length() * cycleTicks,
+	}
+	if netRes.Cycles > 0 {
+		r.Slowdown = float64(r.FatTreeTicks) / float64(netRes.Cycles)
+	}
+	lg := math.Log2(float64(ft.Processors()))
+	r.PolylogBound = lg * lg * lg
+	return r
+}
+
+// SimulateOnline is the on-line analog of Simulate, anticipating the paper's
+// closing claim that "one can obtain an on-line analog to Theorem 10, except
+// with an O(lg³ n · lg lg n) time degradation": the identified message set is
+// delivered by the randomized on-line protocol (no precomputed schedule)
+// instead of the Theorem 1 off-line schedule.
+func SimulateOnline(net baseline.Network, ms core.MessageSet, gamma float64, seed int64) *Report {
+	if err := baseline.ValidateRoutes(net, ms); err != nil {
+		panic(err)
+	}
+	id := Identify(net, gamma)
+	ft := id.Tree
+	remapped := id.Remap(ms)
+
+	netRes := baseline.Deliver(net, ms)
+	engine := sim.New(ft, concentrator.KindIdeal, seed)
+	stats := sim.RunOnlineRandom(engine, remapped, seed+1)
+	if stats.Delivered != len(remapped) {
+		panic("universal: on-line delivery incomplete")
+	}
+	cycleTicks := sim.MaxCycleTicks(ft, 0)
+
+	r := &Report{
+		Network:       net.Name(),
+		Procs:         net.Procs(),
+		Volume:        net.Volume(),
+		RootCapacity:  ft.RootCapacity(),
+		NetworkCycles: netRes.Cycles,
+		LoadFactor:    core.LoadFactor(ft, remapped),
+		FatTreeCycles: stats.Cycles,
+		CycleTicks:    cycleTicks,
+		FatTreeTicks:  stats.Cycles * cycleTicks,
+	}
+	if netRes.Cycles > 0 {
+		r.Slowdown = float64(r.FatTreeTicks) / float64(netRes.Cycles)
+	}
+	lg := math.Log2(float64(ft.Processors()))
+	lglg := math.Log2(lg)
+	if lglg < 1 {
+		lglg = 1
+	}
+	r.PolylogBound = lg * lg * lg * lglg
+	return r
+}
+
+// EmbedFixedConnections treats each direct connection of a degree-d
+// fixed-connection network as a message (both directions) and reports how
+// many delivery cycles the identified fat-tree needs to realize one
+// communication step over every link simultaneously — the application
+// discussed after Theorem 10: with channel capacities inflated by lg n, the
+// connections form a one-cycle message set and the simulation loses only
+// O(lg n) time per step. It applies to *direct* networks, where processors
+// are linked to processors (hypercube, mesh, shuffle-exchange, tree);
+// indirect networks such as the butterfly have no processor-to-processor
+// links and yield an empty schedule.
+func EmbedFixedConnections(net baseline.Network, gamma float64) (*Identification, *sched.Schedule) {
+	id := Identify(net, gamma)
+	var links core.MessageSet
+	n := net.Procs()
+	seen := map[[2]int]bool{}
+	for p := 0; p < n; p++ {
+		for q := 0; q < n; q++ {
+			if p == q {
+				continue
+			}
+			// A link exists when the route is a single hop.
+			if len(net.Route(p, q)) == 2 && !seen[[2]int{p, q}] {
+				seen[[2]int{p, q}] = true
+				links = append(links, core.Message{Src: p, Dst: q})
+			}
+		}
+	}
+	remapped := id.Remap(links)
+	s := sched.OffLine(id.Tree, remapped)
+	return id, s
+}

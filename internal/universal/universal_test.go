@@ -1,0 +1,172 @@
+package universal
+
+import (
+	"math"
+	"testing"
+
+	"fattree/internal/baseline"
+	"fattree/internal/core"
+	"fattree/internal/workload"
+)
+
+func TestIdentifyCoversAllProcessors(t *testing.T) {
+	for _, net := range []baseline.Network{
+		baseline.NewHypercube(64),
+		baseline.NewMesh(64),
+		baseline.NewBinaryTree(64),
+		baseline.NewButterfly(64),
+	} {
+		id := Identify(net, 1)
+		if len(id.FTLeaf) != net.Procs() {
+			t.Errorf("%s: %d identified", net.Name(), len(id.FTLeaf))
+		}
+		seen := map[int]bool{}
+		for p, slot := range id.FTLeaf {
+			if slot < 0 || slot >= id.Tree.Processors() {
+				t.Errorf("%s: processor %d mapped to invalid slot %d", net.Name(), p, slot)
+			}
+			if seen[slot] {
+				t.Errorf("%s: slot %d assigned twice", net.Name(), slot)
+			}
+			seen[slot] = true
+		}
+	}
+}
+
+func TestRemapPreservesStructure(t *testing.T) {
+	net := baseline.NewHypercube(32)
+	id := Identify(net, 1)
+	ms := workload.RandomPermutation(32, 1)
+	remapped := id.Remap(ms)
+	if len(remapped) != len(ms) {
+		t.Fatalf("remap changed message count")
+	}
+	if err := remapped.Validate(id.Tree); err != nil {
+		t.Fatalf("remapped set invalid: %v", err)
+	}
+}
+
+func TestSimulateHypercube(t *testing.T) {
+	net := baseline.NewHypercube(64)
+	ms := workload.BitReversal(64)
+	r := Simulate(net, ms, 1)
+	if r.NetworkCycles < 1 || r.FatTreeCycles < 1 {
+		t.Fatalf("degenerate report: %+v", r)
+	}
+	// The shape claim of Theorem 10: slowdown within a constant times lg³ n.
+	if r.Slowdown > 8*r.PolylogBound {
+		t.Errorf("slowdown %.1f far exceeds polylog envelope %.1f", r.Slowdown, r.PolylogBound)
+	}
+}
+
+func TestSimulateSlowdownGrowsPolylog(t *testing.T) {
+	// As n doubles, slowdown/lg³n should stay bounded (not grow
+	// polynomially). Compare the ratio across sizes.
+	var ratios []float64
+	for _, n := range []int{16, 32, 64, 128} {
+		net := baseline.NewHypercube(n)
+		r := Simulate(net, workload.RandomPermutation(n, 7), 1)
+		if r.NetworkCycles == 0 {
+			t.Fatalf("n=%d: zero network cycles", n)
+		}
+		ratios = append(ratios, r.Slowdown/r.PolylogBound)
+	}
+	// The normalized ratio must not blow up: allow 4x drift across an 8x
+	// size range (a polynomial slowdown would grow ~64x).
+	for i := 1; i < len(ratios); i++ {
+		if ratios[i] > 6*ratios[0]+1 {
+			t.Errorf("normalized slowdown drifts: %v", ratios)
+		}
+	}
+}
+
+func TestSimulateMeshIsEasy(t *testing.T) {
+	// A mesh has tiny volume, so its equal-volume fat-tree is skinny — but
+	// mesh traffic is local-ish and slow on the mesh itself, so the fat-tree
+	// keeps up within the polylog envelope.
+	net := baseline.NewMesh(64)
+	ms := workload.Transpose(64)
+	r := Simulate(net, ms, 1)
+	if r.Slowdown > 8*r.PolylogBound {
+		t.Errorf("mesh simulation slowdown %.1f exceeds envelope %.1f", r.Slowdown, r.PolylogBound)
+	}
+}
+
+func TestFatTreeVolumeMatchesNetwork(t *testing.T) {
+	net := baseline.NewHypercube(256)
+	id := Identify(net, 1)
+	// The fat-tree of hypercube volume must have a large root capacity
+	// (hypercubes are universal at volume n^(3/2); the equal-volume universal
+	// fat-tree has root capacity ~ n/lg-ish).
+	if id.Tree.RootCapacity() < 32 {
+		t.Errorf("root capacity %d too small for hypercube volume", id.Tree.RootCapacity())
+	}
+	if id.Tree.Processors() != 256 {
+		t.Errorf("fat-tree on %d processors", id.Tree.Processors())
+	}
+}
+
+func TestEmbedFixedConnections(t *testing.T) {
+	net := baseline.NewHypercube(32)
+	id, s := EmbedFixedConnections(net, 1)
+	// 32 nodes × 5 links each = 160 directed links.
+	if got := s.Messages(); got != 160 {
+		t.Errorf("embedded %d link messages, want 160", got)
+	}
+	if err := s.Verify(id.Remap(hypercubeLinks(32))); err != nil {
+		t.Errorf("embedding schedule invalid: %v", err)
+	}
+	// One communication step of the hypercube should cost few delivery
+	// cycles on the identified fat-tree (O(lg n) at most by the discussion
+	// after Theorem 10, since the hypercube fat-tree is wide).
+	bound := 4 * core.Lg(32) * core.Lg(32)
+	if s.Length() > bound {
+		t.Errorf("fixed-connection step takes %d cycles (> %d)", s.Length(), bound)
+	}
+}
+
+// hypercubeLinks reproduces the link set EmbedFixedConnections discovers.
+func hypercubeLinks(n int) core.MessageSet {
+	var ms core.MessageSet
+	for p := 0; p < n; p++ {
+		for b := 1; b < n; b <<= 1 {
+			ms = append(ms, core.Message{Src: p, Dst: p ^ b})
+		}
+	}
+	return ms
+}
+
+func TestSimulateOnline(t *testing.T) {
+	net := baseline.NewHypercube(64)
+	ms := workload.RandomPermutation(64, 3)
+	r := SimulateOnline(net, ms, 1, 9)
+	if r.FatTreeCycles < 1 {
+		t.Fatalf("degenerate online report: %+v", r)
+	}
+	if r.Slowdown > 8*r.PolylogBound {
+		t.Errorf("online slowdown %.1f outside envelope %.1f", r.Slowdown, r.PolylogBound)
+	}
+	// The envelope carries the extra lg lg n factor.
+	off := Simulate(net, ms, 1)
+	if r.PolylogBound <= off.PolylogBound {
+		t.Errorf("online envelope %.0f should exceed offline %.0f", r.PolylogBound, off.PolylogBound)
+	}
+}
+
+func TestSimulateOnlineReproducible(t *testing.T) {
+	net := baseline.NewMesh(64)
+	ms := workload.Transpose(64)
+	a := SimulateOnline(net, ms, 1, 5)
+	b := SimulateOnline(net, ms, 1, 5)
+	if a.FatTreeCycles != b.FatTreeCycles {
+		t.Errorf("same seed, different cycles: %d vs %d", a.FatTreeCycles, b.FatTreeCycles)
+	}
+}
+
+func TestPolylogBound(t *testing.T) {
+	net := baseline.NewHypercube(64)
+	r := Simulate(net, workload.Reversal(64), 1)
+	if math.Abs(r.PolylogBound-216) > 1e-9 { // lg³ 64 = 6³
+		t.Errorf("polylog bound %.1f, want 216", r.PolylogBound)
+	}
+}

@@ -1,0 +1,112 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"fattree/internal/core"
+	"fattree/internal/decomp"
+	"fattree/internal/workload"
+)
+
+func TestSilhouette(t *testing.T) {
+	var b strings.Builder
+	ft := core.NewUniversal(64, 16)
+	Silhouette(&b, ft)
+	out := b.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Header + one line per level (0..6).
+	if len(lines) != 8 {
+		t.Fatalf("expected 8 lines, got %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[1], "root") || !strings.Contains(lines[7], "leaves") {
+		t.Errorf("labels missing:\n%s", out)
+	}
+	// The root bar must be the longest.
+	rootBar := strings.Count(lines[1], "█")
+	leafBar := strings.Count(lines[7], "█")
+	if rootBar <= leafBar {
+		t.Errorf("root bar (%d) not longer than leaf bar (%d)", rootBar, leafBar)
+	}
+}
+
+func TestUtilizationFlagsOverload(t *testing.T) {
+	var b strings.Builder
+	ft := core.NewConstant(16, 1)
+	Utilization(&b, ft, workload.Reversal(16))
+	out := b.String()
+	if !strings.Contains(out, "overloaded") {
+		t.Errorf("reversal on unit tree must overload:\n%s", out)
+	}
+	// Local traffic on a wide tree shows no overload.
+	b.Reset()
+	Utilization(&b, core.NewConstant(16, 8), workload.NearestNeighbor(16))
+	if strings.Contains(b.String(), "overloaded") {
+		t.Errorf("nearest-neighbour on cap-8 tree should not overload:\n%s", b.String())
+	}
+}
+
+func TestDecompositionProfile(t *testing.T) {
+	var b strings.Builder
+	tr := decomp.NewRegular(4, 16, 2)
+	DecompositionProfile(&b, tr)
+	out := b.String()
+	if !strings.Contains(out, "depth 4") || !strings.Contains(out, "ratio a = 2.000") {
+		t.Errorf("profile missing content:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 1+5+1 { // header + 5 levels + footer
+		t.Errorf("expected 7 lines:\n%s", out)
+	}
+}
+
+func TestScheduleGantt(t *testing.T) {
+	var b strings.Builder
+	ft := core.NewConstant(8, 1)
+	cycles := []core.MessageSet{
+		{{Src: 0, Dst: 7}}, // global: every level busy
+		{{Src: 0, Dst: 1}}, // local: only the bottom level busy
+	}
+	ScheduleGantt(&b, ft, cycles)
+	out := b.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 1+4 { // header + levels 0..3
+		t.Fatalf("expected 5 lines:\n%s", out)
+	}
+	// Level 1 (root children) busy only in cycle 0.
+	if !strings.Contains(lines[2], "|# |") {
+		t.Errorf("level 1 row wrong: %q", lines[2])
+	}
+	// Leaf level busy in both cycles.
+	if !strings.Contains(lines[4], "|##|") {
+		t.Errorf("leaf row wrong: %q", lines[4])
+	}
+	// Root external channel idle throughout.
+	if !strings.Contains(lines[1], "|  |") {
+		t.Errorf("root row wrong: %q", lines[1])
+	}
+}
+
+func TestCycleProfile(t *testing.T) {
+	var b strings.Builder
+	CycleProfile(&b, []int{10, 5, 1})
+	out := b.String()
+	if !strings.Contains(out, "cycle 1") || !strings.Contains(out, "cycle 3") {
+		t.Errorf("cycles missing:\n%s", out)
+	}
+	b.Reset()
+	CycleProfile(&b, nil)
+	if !strings.Contains(b.String(), "no deliveries") {
+		t.Errorf("empty profile not handled")
+	}
+}
+
+func TestBarsBounded(t *testing.T) {
+	// Even huge overloads keep bars bounded.
+	if got := scaledFrac(100); len([]rune(got)) > barWidth+2 {
+		t.Errorf("overload bar too long: %d runes", len([]rune(got)))
+	}
+	if scaled(1, 1000000) == "" {
+		t.Errorf("nonzero value should render at least one cell")
+	}
+}

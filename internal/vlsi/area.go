@@ -1,0 +1,60 @@
+package vlsi
+
+import (
+	"fmt"
+	"math"
+
+	"fattree/internal/core"
+)
+
+// Two-dimensional (Thompson-model) cost figures for area-universal
+// fat-trees, mirroring the Theorem 4 family one dimension down: a region of
+// area A has perimeter Θ(sqrt A), so an area-universal fat-tree with root
+// capacity w occupies area Θ((w·lg(n/w))²) and, inversely, an area-A tree
+// has root capacity Θ(sqrt(A)/lg(n/sqrt A)).
+
+// UniversalArea returns the Θ((w·lg(n/w))²) area of an area-universal
+// fat-tree (lg clamped to at least 1; w = n gives Θ(n²), Thompson's figure
+// for any full-bisection 2-D layout).
+func UniversalArea(n, w int) float64 {
+	if n < 2 || w < 1 {
+		panic(fmt.Sprintf("vlsi: invalid area-universal fat-tree n=%d w=%d", n, w))
+	}
+	lg := math.Log2(float64(n) / float64(w))
+	if lg < 1 {
+		lg = 1
+	}
+	return float64(w) * lg * float64(w) * lg
+}
+
+// RootCapacityForArea inverts UniversalArea: the root capacity
+// Θ(sqrt(A)/lg(n/sqrt A)) of the area-universal fat-tree of area A, clamped
+// to [1, n].
+func RootCapacityForArea(n int, area float64) int {
+	if area <= 0 {
+		panic(fmt.Sprintf("vlsi: non-positive area %g", area))
+	}
+	sq := math.Sqrt(area)
+	lg := math.Log2(float64(n) / sq)
+	if lg < 1 {
+		lg = 1
+	}
+	w := int(sq / lg)
+	if w < 1 {
+		w = 1
+	}
+	if w > n {
+		w = n
+	}
+	return w
+}
+
+// NewUniversal2DOfArea builds the area-universal fat-tree of area A on n
+// processors.
+func NewUniversal2DOfArea(n int, area float64) *core.FatTree {
+	return core.NewUniversal2D(n, RootCapacityForArea(n, area))
+}
+
+// MeshArea is the Θ(n) area of the 2-D mesh, the area-optimal planar
+// network.
+func MeshArea(n int) float64 { return float64(n) }

@@ -1,0 +1,68 @@
+package vlsi
+
+import (
+	"math"
+	"testing"
+)
+
+func TestUniversalAreaEndpoints(t *testing.T) {
+	n := 1024
+	// Full bandwidth: area Θ(n²) (Thompson's full-bisection figure).
+	if got := UniversalArea(n, n); got != float64(n)*float64(n) {
+		t.Errorf("w=n area %v, want n²", got)
+	}
+	// w = sqrt(n): area = (sqrt(n)·(lg n)/2)².
+	w := 32
+	want := math.Pow(float64(w)*5, 2) // lg(1024/32) = 5
+	if got := UniversalArea(n, w); math.Abs(got-want) > 1e-9 {
+		t.Errorf("area %v, want %v", got, want)
+	}
+}
+
+func TestRootCapacityForAreaRoundTrip(t *testing.T) {
+	n := 1 << 14
+	for _, w := range []int{1 << 7, 1 << 9, 1 << 11} {
+		a := UniversalArea(n, w)
+		w2 := RootCapacityForArea(n, a)
+		ratio := float64(w2) / float64(w)
+		if ratio < 0.3 || ratio > 3.5 {
+			t.Errorf("w=%d: round trip gives %d (ratio %.2f)", w, w2, ratio)
+		}
+	}
+}
+
+func TestRootCapacityForAreaClamps(t *testing.T) {
+	if w := RootCapacityForArea(64, 0.5); w != 1 {
+		t.Errorf("tiny area should clamp to 1, got %d", w)
+	}
+	if w := RootCapacityForArea(64, 1e9); w != 64 {
+		t.Errorf("huge area should clamp to n, got %d", w)
+	}
+}
+
+func TestNewUniversal2DOfArea(t *testing.T) {
+	ft := NewUniversal2DOfArea(256, MeshArea(256))
+	if ft.Processors() != 256 {
+		t.Fatalf("wrong size")
+	}
+	if ft.RootCapacity() < 1 || ft.RootCapacity() > 256 {
+		t.Errorf("root capacity %d out of range", ft.RootCapacity())
+	}
+}
+
+func TestAreaPanicsOnBadInput(t *testing.T) {
+	for _, f := range []func(){
+		func() { UniversalArea(1, 1) },
+		func() { UniversalArea(64, 0) },
+		func() { RootCapacityForArea(64, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("bad input accepted")
+				}
+			}()
+			f()
+		}()
+	}
+}

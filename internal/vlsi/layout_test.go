@@ -1,0 +1,118 @@
+package vlsi
+
+import (
+	"math"
+	"testing"
+
+	"fattree/internal/core"
+	"fattree/internal/decomp"
+)
+
+func TestLayoutFatTreeValid(t *testing.T) {
+	for _, tc := range []struct{ n, w int }{
+		{16, 8}, {64, 16}, {256, 64}, {256, 256},
+	} {
+		ft := core.NewUniversal(tc.n, tc.w)
+		tl := LayoutFatTree(ft)
+		if err := tl.Validate(); err != nil {
+			t.Errorf("n=%d w=%d: %v", tc.n, tc.w, err)
+		}
+		if len(tl.Processors.Pos) != tc.n {
+			t.Errorf("n=%d: %d processor positions", tc.n, len(tl.Processors.Pos))
+		}
+	}
+}
+
+func TestLayoutVolumeTracksTheorem4(t *testing.T) {
+	// The achieved bounding volume should sit within a constant band around
+	// the Theorem 4 figure across the parameter range (the construction's
+	// padding and the formula's lg^(1/2) slack both land inside the band).
+	for _, tc := range []struct{ n, w int }{
+		{64, 16}, {256, 40}, {256, 256}, {1024, 101}, {1024, 1024},
+	} {
+		ft := core.NewUniversal(tc.n, tc.w)
+		tl := LayoutFatTree(ft)
+		formula := UniversalVolume(tc.n, tc.w)
+		ratio := tl.Volume() / formula
+		if ratio < 0.02 || ratio > 60 {
+			t.Errorf("n=%d w=%d: achieved %.0f vs formula %.0f (ratio %.2f)",
+				tc.n, tc.w, tl.Volume(), formula, ratio)
+		}
+	}
+}
+
+func TestLayoutAspectBounded(t *testing.T) {
+	for _, n := range []int{64, 256, 1024} {
+		ft := core.NewUniversal(n, n/4)
+		tl := LayoutFatTree(ft)
+		if ar := tl.AspectRatio(); ar > 8 {
+			t.Errorf("n=%d: aspect ratio %.1f too elongated", n, ar)
+		}
+	}
+}
+
+func TestLayoutSwitchSlabsPlaced(t *testing.T) {
+	ft := core.NewUniversal(64, 16)
+	tl := LayoutFatTree(ft)
+	for v := 1; v < 64; v++ {
+		slab := tl.Switches[v]
+		if slab.Size.Volume() <= 0 {
+			t.Errorf("switch %d has empty slab", v)
+		}
+	}
+	// The root's slab must lie inside the bounding box.
+	root := tl.Switches[1]
+	if root.Origin.X+root.Size.X > tl.Bounding.X+1e-6 ||
+		root.Origin.Y+root.Size.Y > tl.Bounding.Y+1e-6 ||
+		root.Origin.Z+root.Size.Z > tl.Bounding.Z+1e-6 {
+		t.Errorf("root slab escapes the bounding box")
+	}
+}
+
+func TestLayoutFeedsDecomposition(t *testing.T) {
+	// The layout's processor positions must be usable by the Section V
+	// machinery end to end.
+	ft := core.NewUniversal(64, 16)
+	tl := LayoutFatTree(ft)
+	tree := decomp.CutPlanes(tl.Processors, 1)
+	if err := tree.Validate(); err != nil {
+		t.Fatalf("decomposition: %v", err)
+	}
+	bt := decomp.Balance(tree)
+	if err := bt.Validate(); err != nil {
+		t.Fatalf("balance: %v", err)
+	}
+	if bt.Procs != 64 {
+		t.Errorf("balanced procs %d", bt.Procs)
+	}
+}
+
+func TestLayoutDeterministic(t *testing.T) {
+	a := LayoutFatTree(core.NewUniversal(128, 32))
+	b := LayoutFatTree(core.NewUniversal(128, 32))
+	if a.Volume() != b.Volume() {
+		t.Errorf("layout volume not deterministic")
+	}
+	for p := range a.Processors.Pos {
+		if a.Processors.Pos[p] != b.Processors.Pos[p] {
+			t.Fatalf("processor %d placed differently", p)
+		}
+	}
+}
+
+func TestLayoutProcessorsSpread(t *testing.T) {
+	// Sibling processors should be near each other; processors across the
+	// root far apart — geometry mirrors the tree.
+	ft := core.NewUniversal(256, 64)
+	tl := LayoutFatTree(ft)
+	near := dist(tl.Processors.Pos[0], tl.Processors.Pos[1])
+	far := dist(tl.Processors.Pos[0], tl.Processors.Pos[255])
+	if near >= far {
+		t.Errorf("sibling distance %.1f >= cross-root distance %.1f", near, far)
+	}
+}
+
+func dist(a, b decomp.Point) float64 {
+	dx, dy, dz := a.X-b.X, a.Y-b.Y, a.Z-b.Z
+	return math.Sqrt(dx*dx + dy*dy + dz*dz)
+}

@@ -1,0 +1,210 @@
+// Package vlsi implements the three-dimensional VLSI cost model of Section IV
+// of the paper — an extension of Thompson's two-dimensional model in which
+// wires occupy volume and have a minimum cross-sectional area. Hardware size
+// is measured as physical volume, and the bandwidth through the surface of a
+// closed region is proportional to the surface's area (Assumption of
+// Section V). The package provides:
+//
+//   - node boxes (Lemma 3): a node with m incident wires and components fits
+//     in a box of volume O(m^(3/2)) with a tunable aspect ratio;
+//   - universal fat-tree hardware costs (Theorem 4): component counts
+//     Θ(n·lg(w³/n²)) and volume Θ((w·lg(n/w))^(3/2));
+//   - the inverse map from volume to root capacity (the "universal fat-tree
+//     of volume v" has root capacity Θ(v^(2/3)/lg(n/v^(2/3))));
+//   - volume models for the competing networks of the universality
+//     experiments (hypercube Θ(n^(3/2)), 2-D mesh and binary tree Θ(n)), and
+//     the generic lower bound v = Ω(B^(3/2)) for a network of bisection
+//     width B.
+//
+// All volumes are in normalized units: one unit-volume cell holds one wire
+// crossing or one component. Constant factors are explicit and documented so
+// that the experiments compare like with like.
+package vlsi
+
+import (
+	"fmt"
+	"math"
+
+	"fattree/internal/core"
+)
+
+// Box is a rectangular box with the given side lengths, in unit cells.
+type Box struct {
+	X, Y, Z float64
+}
+
+// Volume returns the box volume.
+func (b Box) Volume() float64 { return b.X * b.Y * b.Z }
+
+// String renders the box dimensions.
+func (b Box) String() string { return fmt.Sprintf("%.1f x %.1f x %.1f", b.X, b.Y, b.Z) }
+
+// NodeBox returns the dimensions of a box housing a fat-tree node with m
+// incident wires and O(m) components, per Lemma 3: any interconnection
+// pattern of m components and external wires fits in a box with side lengths
+// O(sqrt(m·h)), O(sqrt(m·h)) and O(sqrt(m)/h), for any 1 <= h <= sqrt(m).
+// The volume is O(m^(3/2)) regardless of h; h trades footprint for height
+// (Thompson's layer-flattening argument). NodeBox panics if h is outside
+// [1, sqrt(m)].
+func NodeBox(m int, h float64) Box {
+	if m < 1 {
+		panic(fmt.Sprintf("vlsi: node with %d wires", m))
+	}
+	sq := math.Sqrt(float64(m))
+	if h < 1 || h > sq {
+		panic(fmt.Sprintf("vlsi: aspect parameter h=%g outside [1, sqrt(m)=%g]", h, sq))
+	}
+	return Box{
+		X: math.Sqrt(float64(m) * h),
+		Y: math.Sqrt(float64(m) * h),
+		Z: sq / h,
+	}
+}
+
+// UniversalComponents returns the exact number of switching components of a
+// universal fat-tree on n processors with root capacity w, counting each
+// node as proportional to its incident wires (the concentrator construction
+// of Section IV uses O(m) components for m incident wires; we count m itself
+// so the figure is implementation-independent).
+func UniversalComponents(n, w int) int {
+	levels := core.Lg(n)
+	total := 0
+	for k := 0; k < levels; k++ {
+		capHere := core.UniversalCapacity(n, w, k)
+		capChild := core.UniversalCapacity(n, w, k+1)
+		// A node at level k has 2(capHere + 2·capChild) incident wires (both
+		// directions of the parent channel and of the two child channels).
+		perNode := 2 * (capHere + 2*capChild)
+		total += (1 << uint(k)) * perNode
+	}
+	return total
+}
+
+// ComponentsBound returns Theorem 4's asymptotic component count
+// c·n·lg(w³/n²), with the lg clamped to at least 1 so the bound is usable
+// across the whole parameter range n^(2/3) <= w <= n. The constant c is the
+// per-processor wire constant of the universal profile.
+func ComponentsBound(n, w int) float64 {
+	lg := 3*math.Log2(float64(w)) - 2*math.Log2(float64(n))
+	if lg < 1 {
+		lg = 1
+	}
+	return float64(n) * lg
+}
+
+// UniversalVolume returns the volume of a universal fat-tree on n processors
+// with root capacity w per Theorem 4: Θ((w·lg(n/w))^(3/2)), with the lg
+// clamped to at least 1 (a full-bandwidth tree with w = n occupies Θ(n^(3/2)),
+// matching the hypercube). The layout realizing this bound is the
+// unrestricted three-dimensional construction of Leighton and Rosenberg.
+func UniversalVolume(n, w int) float64 {
+	if n < 2 || w < 1 {
+		panic(fmt.Sprintf("vlsi: invalid universal fat-tree n=%d w=%d", n, w))
+	}
+	lg := math.Log2(float64(n) / float64(w))
+	if lg < 1 {
+		lg = 1
+	}
+	return math.Pow(float64(w)*lg, 1.5)
+}
+
+// RootCapacityForVolume inverts UniversalVolume: it returns the root capacity
+// w = Θ(v^(2/3)/lg(n/v^(2/3))) of a universal fat-tree of volume v on n
+// processors (the Definition at the end of Section IV). The result is clamped
+// to [1, n]: a root wider than n is useless because the leaf channels cannot
+// feed it, and the paper's remark requires v large enough that w >= 1.
+func RootCapacityForVolume(n int, v float64) int {
+	if v <= 0 {
+		panic(fmt.Sprintf("vlsi: non-positive volume %g", v))
+	}
+	v23 := math.Pow(v, 2.0/3.0)
+	lg := math.Log2(float64(n) / v23)
+	if lg < 1 {
+		lg = 1
+	}
+	w := int(v23 / lg)
+	if w < 1 {
+		w = 1
+	}
+	if w > n {
+		w = n
+	}
+	return w
+}
+
+// NewUniversalOfVolume builds the universal fat-tree of volume v on n
+// processors: root capacity RootCapacityForVolume(n, v) with the Section IV
+// capacity profile.
+func NewUniversalOfVolume(n int, v float64) *core.FatTree {
+	return core.NewUniversal(n, RootCapacityForVolume(n, v))
+}
+
+// HypercubeVolume returns the Θ(n^(3/2)) volume of a Boolean hypercube on n
+// processors: its bisection width is n/2, so any layout needs a cross-section
+// of area Ω(n) and hence side Ω(sqrt n); the matching upper bound is standard.
+// "Hypercube-based networks are universal for volume Θ(n^(3/2)), but they do
+// not scale down to smaller volumes."
+func HypercubeVolume(n int) float64 { return math.Pow(float64(n), 1.5) }
+
+// MeshVolume returns the Θ(n) volume of a two-dimensional mesh: constant
+// wires per processor and a planar interconnection strategy requires only
+// O(n) volume (the introduction's observation about planar graphs).
+func MeshVolume(n int) float64 { return float64(n) }
+
+// TreeVolume returns the Θ(n) volume of a plain binary tree network
+// (capacity-1 channels): n-1 switches and 2n-2 unit channels.
+func TreeVolume(n int) float64 { return 3 * float64(n) }
+
+// ButterflyVolume returns the volume of an n-input butterfly network, whose
+// bisection width is Θ(n/lg n): volume max(n·lg n, (n/lg n)^(3/2)) — the
+// first term counts the n·lg n switches, the second the wiring cross-section.
+func ButterflyVolume(n int) float64 {
+	lg := math.Log2(float64(n))
+	if lg < 1 {
+		lg = 1
+	}
+	switches := float64(n) * lg
+	wiring := math.Pow(float64(n)/lg, 1.5)
+	return math.Max(switches, wiring)
+}
+
+// VolumeLowerBoundFromBisection returns the generic 3-D VLSI lower bound for
+// any network on n processors with bisection width b: the layout must hold n
+// processors (v >= n) and any bisecting surface must pass b wires, so some
+// cross-section has area Omega(b) and v = Omega(b^(3/2)).
+func VolumeLowerBoundFromBisection(n, b int) float64 {
+	vol := float64(n)
+	if b > 0 {
+		if w := math.Pow(float64(b), 1.5); w > vol {
+			vol = w
+		}
+	}
+	return vol
+}
+
+// FatTreeNodeBoxes returns the boxes of every node of a universal fat-tree,
+// level by level, using NodeBox with h = 1 (cube-ish nodes). The sum of the
+// box volumes is a lower estimate of the tree's layout volume that the
+// Theorem 4 figure must dominate.
+func FatTreeNodeBoxes(n, w int) []Box {
+	levels := core.Lg(n)
+	boxes := make([]Box, 0, 2*n)
+	for k := 0; k < levels; k++ {
+		capHere := core.UniversalCapacity(n, w, k)
+		capChild := core.UniversalCapacity(n, w, k+1)
+		m := 2 * (capHere + 2*capChild)
+		for i := 0; i < 1<<uint(k); i++ {
+			boxes = append(boxes, NodeBox(m, 1))
+		}
+	}
+	return boxes
+}
+
+// SumVolume adds up the volumes of the boxes.
+func SumVolume(boxes []Box) float64 {
+	total := 0.0
+	for _, b := range boxes {
+		total += b.Volume()
+	}
+	return total
+}

@@ -1,0 +1,208 @@
+package vlsi
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"fattree/internal/core"
+)
+
+func TestNodeBoxVolume(t *testing.T) {
+	// Volume must be Θ(m^(3/2)) for every legal aspect parameter.
+	for _, m := range []int{1, 4, 16, 100, 10000} {
+		want := math.Pow(float64(m), 1.5)
+		for _, h := range []float64{1, 2, math.Sqrt(float64(m))} {
+			if h < 1 || h > math.Sqrt(float64(m)) {
+				continue
+			}
+			b := NodeBox(m, h)
+			if math.Abs(b.Volume()-want) > 1e-6*want {
+				t.Errorf("m=%d h=%g: volume %.1f, want %.1f", m, h, b.Volume(), want)
+			}
+		}
+	}
+}
+
+func TestNodeBoxAspect(t *testing.T) {
+	// Larger h flattens the box: Z shrinks, X/Y grow.
+	a := NodeBox(256, 1)
+	b := NodeBox(256, 4)
+	if b.Z >= a.Z || b.X <= a.X {
+		t.Errorf("h=4 should flatten: %v vs %v", b, a)
+	}
+}
+
+func TestNodeBoxRejectsBadAspect(t *testing.T) {
+	for _, h := range []float64{0.5, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NodeBox(16, %g) should panic", h)
+				}
+			}()
+			NodeBox(16, h)
+		}()
+	}
+}
+
+func TestComponentsLeafLevelsDominate(t *testing.T) {
+	// Theorem 4's proof: the number of components nearer the leaves
+	// dominates. Compare the components at the bottom half of the levels with
+	// the top half.
+	n, w := 1<<16, 1<<12
+	levels := core.Lg(n)
+	bottom, top := 0, 0
+	for k := 0; k < levels; k++ {
+		capHere := core.UniversalCapacity(n, w, k)
+		capChild := core.UniversalCapacity(n, w, k+1)
+		perLevel := (1 << uint(k)) * 2 * (capHere + 2*capChild)
+		if k >= levels/2 {
+			bottom += perLevel
+		} else {
+			top += perLevel
+		}
+	}
+	if bottom <= top {
+		t.Errorf("leaf-side components (%d) do not dominate root-side (%d)", bottom, top)
+	}
+}
+
+func TestUniversalComponentsWithinBound(t *testing.T) {
+	// Exact counts stay within a constant factor of Theorem 4's
+	// n·lg(w³/n²) figure across the legal parameter range.
+	for _, n := range []int{1 << 8, 1 << 12, 1 << 16} {
+		for _, frac := range []float64{2.0 / 3.0, 0.75, 0.9, 1.0} {
+			w := int(math.Pow(float64(n), frac))
+			got := float64(UniversalComponents(n, w))
+			bound := ComponentsBound(n, w)
+			ratio := got / bound
+			if ratio > 30 || ratio < 0.1 {
+				t.Errorf("n=%d w=%d: components %.0f vs bound %.0f (ratio %.2f)",
+					n, w, got, bound, ratio)
+			}
+		}
+	}
+}
+
+func TestUniversalComponentsFullBandwidth(t *testing.T) {
+	// w = n gives Θ(n lg n) components, like a butterfly.
+	n := 1 << 12
+	got := float64(UniversalComponents(n, n))
+	nlgn := float64(n) * math.Log2(float64(n))
+	if got < nlgn || got > 20*nlgn {
+		t.Errorf("w=n components %.0f not Θ(n lg n) = %.0f", got, nlgn)
+	}
+}
+
+func TestUniversalVolumeEndpoints(t *testing.T) {
+	n := 1 << 12
+	// Full bandwidth matches the hypercube volume.
+	if v := UniversalVolume(n, n); math.Abs(v-HypercubeVolume(n)) > 1e-6*v {
+		t.Errorf("w=n volume %.0f != hypercube %.0f", v, HypercubeVolume(n))
+	}
+	// Volume grows with w through the meaningful range w <= n/4; the formula
+	// w·lg(n/w) genuinely flattens as w approaches n (its maximum is at
+	// w = n/e), so strict monotonicity is only expected below that.
+	prev := 0.0
+	for _, w := range []int{64, 128, 256, 512, 1024} {
+		v := UniversalVolume(n, w)
+		if v <= prev {
+			t.Errorf("volume not increasing in w at w=%d", w)
+		}
+		prev = v
+	}
+	if UniversalVolume(n, n) < UniversalVolume(n, n/4) {
+		t.Errorf("full-bandwidth volume below w=n/4 volume")
+	}
+}
+
+func TestRootCapacityRoundTrip(t *testing.T) {
+	// w -> volume -> w' should come back within a constant factor (the lg
+	// terms differ by O(lg lg) only).
+	n := 1 << 14
+	for _, w := range []int{1 << 10, 1 << 11, 1 << 12, 1 << 13} {
+		v := UniversalVolume(n, w)
+		w2 := RootCapacityForVolume(n, v)
+		ratio := float64(w2) / float64(w)
+		if ratio < 0.3 || ratio > 3.5 {
+			t.Errorf("n=%d w=%d: round-trip gives %d (ratio %.2f)", n, w, w2, ratio)
+		}
+	}
+}
+
+func TestRootCapacityForVolumeMonotone(t *testing.T) {
+	n := 1 << 12
+	f := func(raw uint32) bool {
+		v := 1000 + float64(raw%1000000)
+		return RootCapacityForVolume(n, v) <= RootCapacityForVolume(n, v*1.1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRootCapacityClamps(t *testing.T) {
+	n := 256
+	if w := RootCapacityForVolume(n, 1); w != 1 {
+		t.Errorf("tiny volume should clamp to w=1, got %d", w)
+	}
+	if w := RootCapacityForVolume(n, 1e12); w != n {
+		t.Errorf("huge volume should clamp to w=n, got %d", w)
+	}
+}
+
+func TestNewUniversalOfVolume(t *testing.T) {
+	n := 1024
+	ft := NewUniversalOfVolume(n, HypercubeVolume(n))
+	if ft.Processors() != n {
+		t.Fatalf("wrong processor count")
+	}
+	if ft.RootCapacity() < n/8 {
+		t.Errorf("hypercube-volume fat-tree root capacity %d suspiciously small", ft.RootCapacity())
+	}
+}
+
+func TestScaledDownFatTreeIsCheaper(t *testing.T) {
+	// The core hardware-efficiency claim: a fat-tree sized for planar traffic
+	// (w ~ sqrt n) costs far less volume than a hypercube.
+	n := 1 << 12
+	w := int(math.Sqrt(float64(n)))
+	planar := UniversalVolume(n, w)
+	cube := HypercubeVolume(n)
+	if planar*4 > cube {
+		t.Errorf("planar-scale fat-tree (%.0f) not clearly cheaper than hypercube (%.0f)", planar, cube)
+	}
+}
+
+func TestBaselineVolumes(t *testing.T) {
+	n := 1 << 10
+	if HypercubeVolume(n) <= MeshVolume(n) {
+		t.Errorf("hypercube must cost more than mesh")
+	}
+	if got := VolumeLowerBoundFromBisection(n, n/2); got < math.Pow(float64(n)/2, 1.5) {
+		t.Errorf("bisection bound too small: %g", got)
+	}
+	if got := VolumeLowerBoundFromBisection(n, 1); got != float64(n) {
+		t.Errorf("processor-count bound should dominate for tiny bisection: %g", got)
+	}
+	if ButterflyVolume(n) < float64(n)*math.Log2(float64(n)) {
+		t.Errorf("butterfly volume below its switch count")
+	}
+}
+
+func TestFatTreeNodeBoxesWithinTheorem4Volume(t *testing.T) {
+	// The sum of the node boxes must not exceed the Theorem 4 volume figure
+	// by more than a constant: the layout construction packs them plus
+	// inter-node wiring.
+	n, w := 1<<10, 1<<8
+	boxes := FatTreeNodeBoxes(n, w)
+	sum := SumVolume(boxes)
+	total := UniversalVolume(n, w)
+	if sum > 40*total {
+		t.Errorf("node boxes (%.0f) wildly exceed Theorem 4 volume (%.0f)", sum, total)
+	}
+	if len(boxes) != n-1 {
+		t.Errorf("expected %d node boxes, got %d", n-1, len(boxes))
+	}
+}

@@ -1,0 +1,79 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+
+	"fattree/internal/core"
+)
+
+func TestLevelStressLCAs(t *testing.T) {
+	n := 64
+	ft := core.NewConstant(n, 1)
+	for level := 0; level < 6; level++ {
+		ms := LevelStress(n, level, 100, int64(level))
+		validateOn(t, n, ms)
+		for _, m := range ms {
+			lca := ft.LCA(m.Src, m.Dst)
+			if got := ft.Level(lca); got != level {
+				t.Fatalf("level %d: message %v has LCA at level %d", level, m, got)
+			}
+		}
+	}
+}
+
+func TestLevelStressLoadsTargetLevel(t *testing.T) {
+	// Stress at level 2 must leave levels 0..2 channels idle.
+	n := 64
+	ft := core.NewConstant(n, 1)
+	ms := LevelStress(n, 2, 200, 7)
+	loads := core.NewLoads(ft, ms)
+	ft.Channels(func(c core.Channel) {
+		if ft.Level(c.Node) <= 2 && loads.Load(c) != 0 {
+			t.Errorf("channel %v (level %d) loaded by level-2 stress", c, ft.Level(c.Node))
+		}
+	})
+}
+
+func TestLevelStressRejectsBadLevel(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("leaf level should be rejected")
+		}
+	}()
+	LevelStress(64, 6, 10, 1)
+}
+
+func TestFunnel(t *testing.T) {
+	ms := Funnel(128, 40, 8, 300, 3)
+	validateOn(t, 128, ms)
+	for _, m := range ms {
+		if m.Dst < 40 || m.Dst >= 48 {
+			t.Fatalf("message %v outside funnel window", m)
+		}
+	}
+	// The window's covering subtree dominates the load factor.
+	ft := core.NewConstant(128, 1)
+	lam := core.LoadFactor(ft, ms)
+	if lam < 300/8/2 {
+		t.Errorf("funnel λ = %v suspiciously small", lam)
+	}
+}
+
+func TestRandomTreeProfileMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		ft := RandomTreeProfile(64, 20, seed)
+		for k := 1; k <= ft.Levels(); k++ {
+			if ft.CapacityAtLevel(k) > ft.CapacityAtLevel(k-1) {
+				return false
+			}
+			if ft.CapacityAtLevel(k) < 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

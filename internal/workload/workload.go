@@ -1,0 +1,212 @@
+// Package workload generates message sets that exercise a fat-tree (or any
+// routing network on n processors). The generators cover the traffic classes
+// the paper's discussion motivates: structured permutations that stress the
+// top of the tree (bit-reversal, transpose, shuffle), local traffic that the
+// fat-tree routes "within the exchange" (k-local, nearest-neighbour), the
+// planar finite-element workloads of the introduction, dense all-to-all
+// exchanges, and adversarial hot-spots.
+//
+// Every randomized generator takes an explicit seed so that experiments are
+// reproducible bit-for-bit.
+package workload
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand"
+
+	"fattree/internal/core"
+)
+
+// RandomPermutation returns a uniformly random permutation workload: each
+// processor sends exactly one message and receives exactly one message.
+// Fixed points (p -> p) are dropped since self-messages never enter the
+// network, so the result may have slightly fewer than n messages.
+func RandomPermutation(n int, seed int64) core.MessageSet {
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(n)
+	ms := make(core.MessageSet, 0, n)
+	for src, dst := range perm {
+		if src != dst {
+			ms = append(ms, core.Message{Src: src, Dst: dst})
+		}
+	}
+	return ms
+}
+
+// Random returns k messages with independently uniform sources and
+// destinations (excluding self-loops).
+func Random(n, k int, seed int64) core.MessageSet {
+	rng := rand.New(rand.NewSource(seed))
+	ms := make(core.MessageSet, 0, k)
+	for len(ms) < k {
+		s, d := rng.Intn(n), rng.Intn(n)
+		if s != d {
+			ms = append(ms, core.Message{Src: s, Dst: d})
+		}
+	}
+	return ms
+}
+
+// BitReversal returns the bit-reversal permutation on n = 2^L processors:
+// processor with binary address b_{L-1}..b_0 sends to b_0..b_{L-1}. This is a
+// classic worst case for tree-structured networks — almost all messages cross
+// the root.
+func BitReversal(n int) core.MessageSet {
+	requirePow2("BitReversal", n)
+	lgn := bits.Len(uint(n)) - 1
+	ms := make(core.MessageSet, 0, n)
+	for p := 0; p < n; p++ {
+		d := int(bits.Reverse64(uint64(p)) >> (64 - lgn))
+		if d != p {
+			ms = append(ms, core.Message{Src: p, Dst: d})
+		}
+	}
+	return ms
+}
+
+// Transpose returns the matrix-transpose permutation: viewing the L address
+// bits as two halves (row, col), processor (r, c) sends to (c, r). n must be
+// an even power of two.
+func Transpose(n int) core.MessageSet {
+	requirePow2("Transpose", n)
+	lgn := bits.Len(uint(n)) - 1
+	if lgn%2 != 0 {
+		panic(fmt.Sprintf("workload: Transpose needs an even power of two, got n=%d", n))
+	}
+	half := lgn / 2
+	mask := (1 << half) - 1
+	ms := make(core.MessageSet, 0, n)
+	for p := 0; p < n; p++ {
+		row, col := p>>half, p&mask
+		d := col<<half | row
+		if d != p {
+			ms = append(ms, core.Message{Src: p, Dst: d})
+		}
+	}
+	return ms
+}
+
+// Shuffle returns the perfect-shuffle permutation (cyclic left rotation of the
+// address bits), the interconnection pattern of Schwartz's ultracomputer and
+// Stone's shuffle network which the paper discusses.
+func Shuffle(n int) core.MessageSet {
+	requirePow2("Shuffle", n)
+	lgn := bits.Len(uint(n)) - 1
+	ms := make(core.MessageSet, 0, n)
+	for p := 0; p < n; p++ {
+		d := ((p << 1) | (p >> (lgn - 1))) & (n - 1)
+		if d != p {
+			ms = append(ms, core.Message{Src: p, Dst: d})
+		}
+	}
+	return ms
+}
+
+// Reversal returns the "mirror" permutation p -> n-1-p, which sends every
+// message across the root.
+func Reversal(n int) core.MessageSet {
+	ms := make(core.MessageSet, 0, n)
+	for p := 0; p < n; p++ {
+		if d := n - 1 - p; d != p {
+			ms = append(ms, core.Message{Src: p, Dst: d})
+		}
+	}
+	return ms
+}
+
+// AllToAll returns the complete exchange: every processor sends one message to
+// every other processor — n(n-1) messages. Use small n.
+func AllToAll(n int) core.MessageSet {
+	ms := make(core.MessageSet, 0, n*(n-1))
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			if s != d {
+				ms = append(ms, core.Message{Src: s, Dst: d})
+			}
+		}
+	}
+	return ms
+}
+
+// KLocal returns k messages whose destinations are uniform within a window of
+// ±radius of the source (wrapping is not applied; destinations are clamped to
+// the address space). Small radii produce traffic that stays low in the tree,
+// the regime where fat-trees route "locally without soaking up the precious
+// bandwidth higher up in the tree".
+func KLocal(n, k, radius int, seed int64) core.MessageSet {
+	if radius < 1 {
+		panic("workload: KLocal radius must be >= 1")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	ms := make(core.MessageSet, 0, k)
+	for len(ms) < k {
+		s := rng.Intn(n)
+		off := rng.Intn(2*radius+1) - radius
+		d := s + off
+		if d < 0 {
+			d = 0
+		}
+		if d >= n {
+			d = n - 1
+		}
+		if d != s {
+			ms = append(ms, core.Message{Src: s, Dst: d})
+		}
+	}
+	return ms
+}
+
+// NearestNeighbor returns the 1-D nearest-neighbour exchange: each processor
+// sends to both neighbours (boundary processors to their single neighbour) —
+// the communication pattern of a 1-D stencil computation.
+func NearestNeighbor(n int) core.MessageSet {
+	ms := make(core.MessageSet, 0, 2*n)
+	for p := 0; p < n; p++ {
+		if p > 0 {
+			ms = append(ms, core.Message{Src: p, Dst: p - 1})
+		}
+		if p < n-1 {
+			ms = append(ms, core.Message{Src: p, Dst: p + 1})
+		}
+	}
+	return ms
+}
+
+// HotSpot returns k messages all destined to processor 0 from uniformly random
+// sources — the adversarial concentration workload. The load factor is driven
+// by the destination's leaf channel.
+func HotSpot(n, k int, seed int64) core.MessageSet {
+	rng := rand.New(rand.NewSource(seed))
+	ms := make(core.MessageSet, 0, k)
+	for len(ms) < k {
+		if s := rng.Intn(n); s != 0 {
+			ms = append(ms, core.Message{Src: s, Dst: 0})
+		}
+	}
+	return ms
+}
+
+// ExternalIO returns an I/O workload through the root interface (Section II:
+// "the channel leaving the root of the tree corresponds to an interface with
+// the external world"): `reads` input messages from the external world to
+// uniformly random processors and `writes` output messages from uniformly
+// random processors to the external world.
+func ExternalIO(n, reads, writes int, seed int64) core.MessageSet {
+	rng := rand.New(rand.NewSource(seed))
+	ms := make(core.MessageSet, 0, reads+writes)
+	for i := 0; i < reads; i++ {
+		ms = append(ms, core.Message{Src: core.External, Dst: rng.Intn(n)})
+	}
+	for i := 0; i < writes; i++ {
+		ms = append(ms, core.Message{Src: rng.Intn(n), Dst: core.External})
+	}
+	return ms
+}
+
+// requirePow2 panics unless n is a power of two >= 2.
+func requirePow2(who string, n int) {
+	if n < 2 || n&(n-1) != 0 {
+		panic(fmt.Sprintf("workload: %s needs a power-of-two n >= 2, got %d", who, n))
+	}
+}

@@ -1,0 +1,279 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+
+	"fattree/internal/core"
+)
+
+// isPermutation checks that each processor appears at most once as a source
+// and at most once as a destination, and sources/destinations cover the same
+// set of non-fixed points.
+func isPermutation(t *testing.T, n int, ms core.MessageSet) {
+	t.Helper()
+	srcSeen := make([]bool, n)
+	dstSeen := make([]bool, n)
+	for _, m := range ms {
+		if srcSeen[m.Src] {
+			t.Fatalf("source %d repeated", m.Src)
+		}
+		if dstSeen[m.Dst] {
+			t.Fatalf("destination %d repeated", m.Dst)
+		}
+		srcSeen[m.Src] = true
+		dstSeen[m.Dst] = true
+	}
+}
+
+func validateOn(t *testing.T, n int, ms core.MessageSet) {
+	t.Helper()
+	ft := core.NewConstant(n, 1)
+	if err := ms.Validate(ft); err != nil {
+		t.Fatalf("invalid workload: %v", err)
+	}
+}
+
+func TestRandomPermutation(t *testing.T) {
+	ms := RandomPermutation(64, 42)
+	validateOn(t, 64, ms)
+	isPermutation(t, 64, ms)
+	if len(ms) < 60 {
+		t.Errorf("suspiciously many fixed points: %d messages", len(ms))
+	}
+	// Determinism: same seed, same workload.
+	if !ms.Equal(RandomPermutation(64, 42)) {
+		t.Errorf("RandomPermutation not deterministic for fixed seed")
+	}
+	if ms.Equal(RandomPermutation(64, 43)) {
+		t.Errorf("different seeds produced identical permutations")
+	}
+}
+
+func TestRandom(t *testing.T) {
+	ms := Random(32, 500, 7)
+	validateOn(t, 32, ms)
+	if len(ms) != 500 {
+		t.Errorf("Random returned %d messages, want 500", len(ms))
+	}
+}
+
+func TestBitReversal(t *testing.T) {
+	ms := BitReversal(16)
+	validateOn(t, 16, ms)
+	isPermutation(t, 16, ms)
+	// 0b0001 -> 0b1000.
+	found := false
+	for _, m := range ms {
+		if m.Src == 1 && m.Dst == 8 {
+			found = true
+		}
+		// Involution: reversing twice is the identity.
+		rev := func(x int) int {
+			r := 0
+			for i := 0; i < 4; i++ {
+				r = r<<1 | (x>>i)&1
+			}
+			return r
+		}
+		if rev(m.Src) != m.Dst {
+			t.Errorf("bit-reversal wrong: %v", m)
+		}
+	}
+	if !found {
+		t.Errorf("expected message 1->8 in 16-point bit reversal")
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	ms := Transpose(16) // 4x4 matrix of 2-bit halves
+	validateOn(t, 16, ms)
+	isPermutation(t, 16, ms)
+	for _, m := range ms {
+		row, col := m.Src>>2, m.Src&3
+		if m.Dst != col<<2|row {
+			t.Errorf("transpose wrong: %v", m)
+		}
+	}
+	// Odd power of two must panic.
+	defer func() {
+		if recover() == nil {
+			t.Errorf("Transpose(8) should panic")
+		}
+	}()
+	Transpose(8)
+}
+
+func TestShuffle(t *testing.T) {
+	ms := Shuffle(8)
+	validateOn(t, 8, ms)
+	isPermutation(t, 8, ms)
+	want := map[int]int{1: 2, 2: 4, 3: 6, 4: 1, 5: 3, 6: 5} // 0 and 7 are fixed
+	for _, m := range ms {
+		if want[m.Src] != m.Dst {
+			t.Errorf("shuffle wrong: %v (want %d->%d)", m, m.Src, want[m.Src])
+		}
+		delete(want, m.Src)
+	}
+	if len(want) != 0 {
+		t.Errorf("missing shuffle messages: %v", want)
+	}
+}
+
+func TestReversal(t *testing.T) {
+	ms := Reversal(8)
+	validateOn(t, 8, ms)
+	isPermutation(t, 8, ms)
+	if len(ms) != 8 {
+		t.Errorf("even n has no fixed points; got %d messages", len(ms))
+	}
+}
+
+func TestAllToAll(t *testing.T) {
+	ms := AllToAll(8)
+	validateOn(t, 8, ms)
+	if len(ms) != 56 {
+		t.Errorf("AllToAll(8) has %d messages, want 56", len(ms))
+	}
+	seen := map[core.Message]bool{}
+	for _, m := range ms {
+		if seen[m] {
+			t.Errorf("duplicate message %v", m)
+		}
+		seen[m] = true
+	}
+}
+
+func TestKLocalStaysLocal(t *testing.T) {
+	ms := KLocal(1024, 2000, 8, 3)
+	validateOn(t, 1024, ms)
+	for _, m := range ms {
+		d := m.Dst - m.Src
+		if d < -8 || d > 8 {
+			t.Errorf("message %v exceeds radius 8", m)
+		}
+	}
+}
+
+func TestKLocalLoadsOnlyLowTreeLevels(t *testing.T) {
+	// Radius-1 traffic on a big tree must leave top channels nearly idle.
+	n := 1024
+	ft := core.NewConstant(n, 1)
+	ms := KLocal(n, 5000, 1, 9)
+	loads := core.NewLoads(ft, ms)
+	topLoad := 0
+	ft.Channels(func(c core.Channel) {
+		if ft.Level(c.Node) <= 2 {
+			topLoad += loads.Load(c)
+		}
+	})
+	if topLoad > 0 {
+		// Radius 1 can cross high channels only at power-of-two boundaries;
+		// allow a small number but not a constant fraction.
+		if topLoad > len(ms)/100 {
+			t.Errorf("local traffic puts %d messages on top channels", topLoad)
+		}
+	}
+}
+
+func TestNearestNeighbor(t *testing.T) {
+	ms := NearestNeighbor(8)
+	validateOn(t, 8, ms)
+	if len(ms) != 14 { // 7 edges × 2 directions
+		t.Errorf("NearestNeighbor(8) has %d messages, want 14", len(ms))
+	}
+}
+
+func TestHotSpot(t *testing.T) {
+	ms := HotSpot(64, 100, 5)
+	validateOn(t, 64, ms)
+	for _, m := range ms {
+		if m.Dst != 0 {
+			t.Errorf("hot-spot message %v not destined to 0", m)
+		}
+	}
+	// Hot-spot load factor must be ~k on a capacity-1 tree (the destination
+	// leaf channel carries everything).
+	ft := core.NewConstant(64, 1)
+	lam := core.LoadFactor(ft, ms)
+	if lam != 100 {
+		t.Errorf("hot-spot λ = %v, want 100", lam)
+	}
+}
+
+func TestPermutationPropertiesQuick(t *testing.T) {
+	// Property: permutation generators produce valid permutation workloads
+	// for arbitrary power-of-two sizes.
+	f := func(expRaw uint8, seed int64) bool {
+		exp := int(expRaw)%8 + 2 // n in 4..512
+		n := 1 << exp
+		for _, ms := range []core.MessageSet{
+			RandomPermutation(n, seed), BitReversal(n), Shuffle(n), Reversal(n),
+		} {
+			srcSeen := make([]bool, n)
+			for _, m := range ms {
+				if m.Src == m.Dst || m.Src < 0 || m.Src >= n || m.Dst < 0 || m.Dst >= n {
+					return false
+				}
+				if srcSeen[m.Src] {
+					return false
+				}
+				srcSeen[m.Src] = true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGridMesh(t *testing.T) {
+	m := NewGridMesh(4, 4)
+	if m.Points() != 16 {
+		t.Errorf("Points = %d", m.Points())
+	}
+	// 4x4 grid: 2*4*3 = 24 edges.
+	if len(m.Edges) != 24 {
+		t.Errorf("edges = %d, want 24", len(m.Edges))
+	}
+	ms := m.ExchangeStep()
+	validateOn(t, 16, ms)
+	if len(ms) != 48 {
+		t.Errorf("exchange messages = %d, want 48", len(ms))
+	}
+}
+
+func TestGridMeshBisection(t *testing.T) {
+	// Row-major k×k grid: the halving cut [0, n/2) separates the top k/2 rows
+	// from the bottom — exactly k crossing edges (one per column).
+	for _, k := range []int{4, 8, 16, 32} {
+		m := NewGridMesh(k, k)
+		if got := m.BisectionWidth(k * k); got != k {
+			t.Errorf("k=%d: bisection width %d, want %d", k, got, k)
+		}
+	}
+}
+
+func TestShuffledMeshDestroysLocality(t *testing.T) {
+	k := 16
+	good := NewGridMesh(k, k)
+	bad := NewGridMeshShuffled(k, k, 1)
+	if gw, bw := good.BisectionWidth(k*k), bad.BisectionWidth(k*k); bw <= 2*gw {
+		t.Errorf("shuffled mesh bisection %d not clearly worse than row-major %d", bw, gw)
+	}
+}
+
+func TestMeshLocalityOnTree(t *testing.T) {
+	// Row-major mesh exchange loads the root channels with Θ(sqrt n)
+	// messages, not Θ(n): measure and compare.
+	k := 32
+	n := k * k
+	ft := core.NewConstant(n, 1)
+	ms := NewGridMesh(k, k).ExchangeStep()
+	loads := core.NewLoads(ft, ms)
+	rootKidUp := loads.Load(core.Channel{Node: 2, Dir: core.Up})
+	if rootKidUp != k {
+		t.Errorf("root-crossing load = %d, want k = %d", rootKidUp, k)
+	}
+}

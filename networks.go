@@ -1,0 +1,140 @@
+package fattree
+
+import (
+	"fattree/internal/baseline"
+	"fattree/internal/decomp"
+	"fattree/internal/universal"
+)
+
+// This file re-exports the competing networks, the Section V decomposition
+// machinery, and the Theorem 10 universality pipeline.
+
+// Network is a fixed-connection routing network (hypercube, mesh, ...).
+type Network = baseline.Network
+
+// NetworkResult summarizes a store-and-forward delivery on a baseline
+// network.
+type NetworkResult = baseline.Result
+
+// NewHypercube builds the Boolean hypercube on n = 2^d processors.
+func NewHypercube(n int) Network { return baseline.NewHypercube(n) }
+
+// NewMesh builds the k×k two-dimensional mesh (n = k²).
+func NewMesh(n int) Network { return baseline.NewMesh(n) }
+
+// NewBinaryTree builds the plain binary tree network.
+func NewBinaryTree(n int) Network { return baseline.NewBinaryTree(n) }
+
+// NewButterfly builds the d-dimensional butterfly (n = 2^d rows).
+func NewButterfly(n int) Network { return baseline.NewButterfly(n) }
+
+// NewShuffleExchange builds Stone's shuffle-exchange network.
+func NewShuffleExchange(n int) Network { return baseline.NewShuffleExchange(n) }
+
+// NewCCC builds the cube-connected cycles on n = d·2^d processors (24, 64,
+// 160, 384, ...), the constant-degree hypercube substitute behind Galil and
+// Paul's general-purpose parallel computer.
+func NewCCC(n int) Network { return baseline.NewCCC(n) }
+
+// NewTorus builds the k×k two-dimensional torus (n = k²).
+func NewTorus(n int) Network { return baseline.NewTorus(n) }
+
+// NewMesh3D builds the k×k×k three-dimensional array (n = k³) — the direct
+// network that exploits the 3-D VLSI model most fully, with bisection
+// Θ(n^(2/3)) in Θ(n) volume.
+func NewMesh3D(n int) Network { return baseline.NewMesh3D(n) }
+
+// NewFatTreeNetwork exposes a fat-tree as a fixed-connection Network, so
+// Theorem 10 can simulate fat-trees on fat-trees.
+func NewFatTreeNetwork(ft *FatTree) Network { return baseline.NewFatTreeNetwork(ft) }
+
+// NewClos builds the k-ary folded-Clos fat-tree of modern datacenters on
+// n = k³/4 processors (16, 54, 128, 250, 432, 1024, ...): full bisection
+// from constant-radix switches — the paper's architectural descendant.
+func NewClos(n int) Network { return baseline.NewClos(n) }
+
+// NewClosECMP is NewClos with randomized (equal-cost multipath) upward path
+// selection, seeded for reproducibility.
+func NewClosECMP(n int, seed int64) Network { return baseline.NewClosECMP(n, seed) }
+
+// DeliverOnNetwork simulates store-and-forward delivery of ms on net with
+// unit-capacity links.
+func DeliverOnNetwork(net Network, ms MessageSet) NetworkResult {
+	return baseline.Deliver(net, ms)
+}
+
+// Decomposition machinery (Section V).
+type (
+	// Layout is a physical placement of processors in a cube.
+	Layout = decomp.Layout
+	// Point is a 3-D position.
+	Point = decomp.Point
+	// DecompTree is a [w0..wr] decomposition tree with leaves on a line.
+	DecompTree = decomp.Tree
+	// BalancedNode is a node of a balanced decomposition tree (Theorem 8).
+	BalancedNode = decomp.BNode
+	// Interval is a run of consecutive decomposition-tree leaves.
+	Interval = decomp.Interval
+)
+
+// GridLayout places n processors on a grid filling a cube of the given
+// volume.
+func GridLayout(n int, volume float64) *Layout { return decomp.GridLayout(n, volume) }
+
+// CutPlanes builds the Theorem 5 decomposition tree of a layout.
+func CutPlanes(l *Layout, gamma float64) *DecompTree { return decomp.CutPlanes(l, gamma) }
+
+// CutLines is the 2-D (planar) analog of CutPlanes: alternating cut lines,
+// bandwidth proportional to perimeter, per-level ratio sqrt(2).
+func CutLines(l *Layout, gamma float64) *DecompTree { return decomp.CutLines(l, gamma) }
+
+// GridLayout2D places n processors on a grid filling a square of the given
+// area (a planar layout for CutLines).
+func GridLayout2D(n int, area float64) *Layout { return decomp.GridLayout2D(n, area) }
+
+// BalanceDecomposition builds the Theorem 8 balanced decomposition tree.
+func BalanceDecomposition(t *DecompTree) *BalancedNode { return decomp.Balance(t) }
+
+// SplitPearls is the Lemma 6 primitive: divide at most two strings of pearls
+// into two sets of at most two strings with both colors split to within one.
+func SplitPearls(isBlack func(pos int) bool, strs []Interval) (a, b []Interval) {
+	return decomp.SplitPearls(isBlack, strs)
+}
+
+// MaximalSubtrees is the Lemma 7 primitive: the heights of the maximal
+// complete subtrees covering a leaf interval.
+func MaximalSubtrees(iv Interval) []int { return decomp.MaximalSubtrees(iv) }
+
+// Universality (Section VI).
+type (
+	// UniversalityReport is the outcome of a Theorem 10 experiment.
+	UniversalityReport = universal.Report
+	// ProcessorIdentification maps network processors to fat-tree leaves.
+	ProcessorIdentification = universal.Identification
+)
+
+// IdentifyProcessors runs layout → decomposition → balancing → leaf
+// identification and builds the equal-volume universal fat-tree.
+func IdentifyProcessors(net Network, gamma float64) *ProcessorIdentification {
+	return universal.Identify(net, gamma)
+}
+
+// SimulateOnFatTree runs the full Theorem 10 experiment: deliver ms on the
+// network, deliver the identified message set on the equal-volume universal
+// fat-tree, and report the slowdown against the lg³ n envelope.
+func SimulateOnFatTree(net Network, ms MessageSet, gamma float64) *UniversalityReport {
+	return universal.Simulate(net, ms, gamma)
+}
+
+// SimulateOnFatTreeOnline is the on-line analog of SimulateOnFatTree: the
+// randomized protocol replaces the compiled schedule, against the
+// O(lg³ n·lg lg n) envelope of the paper's closing claim.
+func SimulateOnFatTreeOnline(net Network, ms MessageSet, gamma float64, seed int64) *UniversalityReport {
+	return universal.SimulateOnline(net, ms, gamma, seed)
+}
+
+// EmbedFixedConnections schedules one communication step over every link of
+// a fixed-connection network on the identified fat-tree.
+func EmbedFixedConnections(net Network, gamma float64) (*ProcessorIdentification, *Schedule) {
+	return universal.EmbedFixedConnections(net, gamma)
+}

@@ -1,0 +1,76 @@
+package fattree_test
+
+import (
+	"testing"
+
+	"fattree"
+)
+
+// Soak tests exercise the library at supercomputer-ish scales; skipped under
+// -short so the ordinary suite stays fast.
+
+func TestSoakLargeSchedule(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	n := 8192
+	ft := fattree.NewUniversal(n, 1024)
+	ms := fattree.Random(n, 4*n, 1)
+	s := fattree.ScheduleOfflineParallel(ft, ms)
+	if err := s.Verify(ms); err != nil {
+		t.Fatalf("%v", err)
+	}
+	packed := fattree.CompactSchedule(s)
+	if err := packed.Verify(ms); err != nil {
+		t.Fatalf("compacted: %v", err)
+	}
+	lam := fattree.LoadFactor(ft, ms)
+	if float64(packed.Length()) < lam {
+		t.Fatalf("impossible: d < λ")
+	}
+	t.Logf("n=%d: λ=%.1f, d=%d, compacted=%d, utilization=%.2f",
+		n, lam, s.Length(), packed.Length(), packed.Utilization())
+}
+
+func TestSoakLargeHardwarePlayback(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	n := 2048
+	ft := fattree.NewUniversal(n, 256)
+	ms := fattree.Concat(
+		fattree.RandomPermutation(n, 2),
+		fattree.ExternalIO(n, n/4, n/4, 3),
+	)
+	s := fattree.ScheduleOffline(ft, ms)
+	stats := fattree.RunSchedule(fattree.NewEngine(ft, fattree.SwitchIdeal, 0), s)
+	if stats.Drops != 0 || stats.Delivered != len(ms) {
+		t.Fatalf("large playback failed: %+v", stats)
+	}
+}
+
+func TestSoakLargeUniversality(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	n := 1024
+	r := fattree.SimulateOnFatTree(fattree.NewHypercube(n), fattree.RandomPermutation(n, 5), 1)
+	if r.Slowdown > 4*r.PolylogBound {
+		t.Fatalf("slowdown %.1f outside envelope %.1f at n=%d", r.Slowdown, r.PolylogBound, n)
+	}
+	t.Logf("n=%d: slowdown %.1f, envelope %.1f, normalized %.3f",
+		n, r.Slowdown, r.PolylogBound, r.Slowdown/r.PolylogBound)
+}
+
+func TestSoakBufferedBigTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	n := 1024
+	ft := fattree.NewUniversal(n, 256)
+	ms := fattree.Random(n, 8*n, 7)
+	stats := fattree.RunBuffered(ft, ms, 8)
+	if stats.Delivered != len(ms) {
+		t.Fatalf("buffered soak incomplete: %+v", stats)
+	}
+}

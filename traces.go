@@ -1,0 +1,42 @@
+package fattree
+
+import "fattree/internal/trace"
+
+// This file re-exports the application-trace machinery: multi-phase
+// communication patterns of whole parallel algorithms, run phase-by-phase
+// through the off-line scheduler.
+
+type (
+	// Trace is a multi-phase application communication trace.
+	Trace = trace.Trace
+	// Phase is one communication phase of a trace.
+	Phase = trace.Phase
+	// TraceResult is the cost breakdown of running a trace on a fat-tree.
+	TraceResult = trace.Result
+	// PhaseResult is one phase's cost.
+	PhaseResult = trace.PhaseResult
+)
+
+// FFTTrace is the n-point FFT: lg n butterfly exchange stages of increasing
+// globality.
+func FFTTrace(n int) *Trace { return trace.FFT(n) }
+
+// FEMSolveTrace is an iterative planar finite-element solve on a k×k mesh:
+// relaxation exchanges plus tree reduction/broadcast per iteration.
+func FEMSolveTrace(k, iters int) *Trace { return trace.FEMSolve(k, iters) }
+
+// MultiGridTrace is one V-cycle on a k×k grid: smooth/restrict down,
+// prolong up — local traffic at every scale.
+func MultiGridTrace(k int) *Trace { return trace.MultiGrid(k) }
+
+// SampleSortTrace is a three-phase sample sort: sample gather, splitter
+// broadcast, balanced redistribution.
+func SampleSortTrace(n, perProc int, seed int64) *Trace {
+	return trace.SampleSort(n, perProc, seed)
+}
+
+// RunTrace schedules every phase of tr on t with Theorem 1 and totals
+// delivery cycles and bit-serial ticks.
+func RunTrace(t *FatTree, tr *Trace, payloadBits int) *TraceResult {
+	return trace.Run(t, tr, payloadBits)
+}
