@@ -152,6 +152,44 @@ func BenchmarkScheduleOfflineBig(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineSerial vs BenchmarkEngineParallel measure the delivery-cycle
+// engine's two paths on identical workloads (random permutation, ideal
+// switches): the serial reference scans every flight at every switch, the
+// parallel path buckets flights by owning node and fans each tree level out
+// over the worker pool. The outputs are bit-identical (see the equivalence
+// tests in internal/sim); only wall-clock differs. Recorded in EXPERIMENTS.md
+// under "A3 — engine parallel speedup".
+func benchEngineRun(b *testing.B, n int, parallel bool) {
+	ft := fattree.NewUniversal(n, n/4)
+	ms := fattree.RandomPermutation(n, 1)
+	e := fattree.NewEngine(ft, fattree.SwitchIdeal, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var stats fattree.Stats
+		if parallel {
+			stats = e.RunParallel(ms)
+		} else {
+			stats = e.Run(ms)
+		}
+		if stats.Delivered != len(ms) {
+			b.Fatalf("delivered %d of %d", stats.Delivered, len(ms))
+		}
+	}
+}
+
+func BenchmarkEngineSerial(b *testing.B) {
+	for _, n := range []int{1024, 4096} {
+		b.Run("n="+itoa(n), func(b *testing.B) { benchEngineRun(b, n, false) })
+	}
+}
+
+func BenchmarkEngineParallel(b *testing.B) {
+	for _, n := range []int{1024, 4096} {
+		b.Run("n="+itoa(n), func(b *testing.B) { benchEngineRun(b, n, true) })
+	}
+}
+
 func BenchmarkEngineCycle(b *testing.B) {
 	ft := fattree.NewUniversal(256, 64)
 	ms := fattree.RandomPermutation(256, 1)

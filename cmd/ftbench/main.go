@@ -17,11 +17,11 @@ import (
 	"fmt"
 	"os"
 	"strings"
-	"sync"
 	"time"
 
 	"fattree/internal/experiments"
 	"fattree/internal/metrics"
+	"fattree/internal/par"
 )
 
 func main() {
@@ -79,20 +79,16 @@ func main() {
 
 	start := time.Now()
 	if *parallel {
-		outputs := make([]string, len(selected))
-		var wg sync.WaitGroup
-		for i, e := range selected {
-			wg.Add(1)
-			go func(i int, e experiments.Experiment) {
-				defer wg.Done()
-				var b strings.Builder
-				t0 := time.Now()
-				e.RunAndPrint(&b, opts)
-				fmt.Fprintf(&b, "(%s took %v)\n\n", e.ID, time.Since(t0).Round(time.Millisecond))
-				outputs[i] = b.String()
-			}(i, e)
-		}
-		wg.Wait()
+		// Bounded fan-out on the shared pool; par.Map returns outputs in
+		// experiment order, so the report reads identically to a serial run.
+		outputs := par.Map(par.New(0), len(selected), func(i int) string {
+			e := selected[i]
+			var b strings.Builder
+			t0 := time.Now()
+			e.RunAndPrint(&b, opts)
+			fmt.Fprintf(&b, "(%s took %v)\n\n", e.ID, time.Since(t0).Round(time.Millisecond))
+			return b.String()
+		})
 		for _, out := range outputs {
 			fmt.Print(out)
 		}

@@ -131,7 +131,13 @@ func EvenBisect(t *FatTree, v int, q MessageSet) (a, b MessageSet) {
 // Simulation.
 type (
 	// Engine is the delivery-cycle simulator driving concentrator switches.
+	// Engines route delivery cycles serially or level-parallel (see Options
+	// and Engine.RunParallel); the two paths are bit-identical.
 	Engine = sim.Engine
+	// Options configures an engine; Workers bounds the concurrency of the
+	// parallel delivery-cycle path (0 = GOMAXPROCS, 1 = serial). Results are
+	// identical for every worker count.
+	Options = sim.Options
 	// Stats summarizes a delivery run.
 	Stats = sim.Stats
 	// SwitchKind selects ideal or partial concentrators.
@@ -145,8 +151,15 @@ const (
 )
 
 // NewEngine builds a delivery-cycle simulator for t with the given switch
-// kind.
+// kind, using up to GOMAXPROCS workers per delivery cycle.
 func NewEngine(t *FatTree, kind SwitchKind, seed int64) *Engine { return sim.New(t, kind, seed) }
+
+// NewEngineWithOptions is NewEngine with an explicit worker bound. Use
+// Options{Workers: 1} to pin the serial reference path; any other value
+// produces bit-identical results concurrently.
+func NewEngineWithOptions(t *FatTree, kind SwitchKind, seed int64, opts Options) *Engine {
+	return sim.NewWithOptions(t, kind, seed, opts)
+}
 
 // RunOnline delivers ms with the greedy online retry protocol.
 func RunOnline(e *Engine, ms MessageSet) Stats { return sim.RunOnline(e, ms) }
@@ -206,9 +219,17 @@ func CompactSchedule(s *Schedule) *Schedule { return sched.Compact(s) }
 func ReadSchedule(r io.Reader, t *FatTree) (*Schedule, error) { return sched.ReadSchedule(r, t) }
 
 // ScheduleOfflineParallel is OffLine with per-subtree partitioning spread
-// over GOMAXPROCS goroutines; the resulting schedule is identical.
+// over the shared worker pool (GOMAXPROCS goroutines); the resulting
+// schedule is identical.
 func ScheduleOfflineParallel(t *FatTree, ms MessageSet) *Schedule {
 	return sched.OffLineParallel(t, ms)
+}
+
+// ScheduleOfflineParallelWorkers is ScheduleOfflineParallel with an explicit
+// worker bound (<= 0 means GOMAXPROCS); the schedule is identical for every
+// bound.
+func ScheduleOfflineParallelWorkers(t *FatTree, ms MessageSet, workers int) *Schedule {
+	return sched.OffLineParallelWorkers(t, ms, workers)
 }
 
 // RunSchedule plays an off-line schedule through the engine.

@@ -21,6 +21,7 @@ func allNetworks(n int) []Network {
 }
 
 func TestRoutesValidEverywhere(t *testing.T) {
+	t.Parallel()
 	n := 64
 	ms := core.Concat(
 		workload.RandomPermutation(n, 1),
@@ -35,6 +36,7 @@ func TestRoutesValidEverywhere(t *testing.T) {
 }
 
 func TestRouteAdjacency(t *testing.T) {
+	t.Parallel()
 	// Every hop must follow a physical link of the topology.
 	n := 32
 	adjacent := map[string]func(u, v int) bool{
@@ -73,6 +75,7 @@ func TestRouteAdjacency(t *testing.T) {
 }
 
 func TestMeshRouteAdjacency(t *testing.T) {
+	t.Parallel()
 	m := NewMesh(64) // 8x8
 	rng := rand.New(rand.NewSource(5))
 	for trial := 0; trial < 200; trial++ {
@@ -97,6 +100,7 @@ func TestMeshRouteAdjacency(t *testing.T) {
 }
 
 func TestButterflyRouteShape(t *testing.T) {
+	t.Parallel()
 	b := NewButterfly(16) // d=4
 	path := b.Route(3, 12)
 	// Ascend 4 levels, descend 4 levels: 9 nodes.
@@ -113,6 +117,7 @@ func TestButterflyRouteShape(t *testing.T) {
 }
 
 func TestHypercubePathLengthIsHammingDistance(t *testing.T) {
+	t.Parallel()
 	h := NewHypercube(128)
 	f := func(a, b uint8) bool {
 		s, d := int(a)%128, int(b)%128
@@ -127,6 +132,7 @@ func TestHypercubePathLengthIsHammingDistance(t *testing.T) {
 }
 
 func TestShuffleExchangePathLength(t *testing.T) {
+	t.Parallel()
 	// At most 2d hops (one exchange + one shuffle per round).
 	s := NewShuffleExchange(64)
 	rng := rand.New(rand.NewSource(9))
@@ -146,6 +152,7 @@ func TestShuffleExchangePathLength(t *testing.T) {
 }
 
 func TestDeliverCompletesAndRespectsLowerBounds(t *testing.T) {
+	t.Parallel()
 	n := 64
 	for _, net := range allNetworks(n) {
 		for _, ms := range []core.MessageSet{
@@ -165,6 +172,7 @@ func TestDeliverCompletesAndRespectsLowerBounds(t *testing.T) {
 }
 
 func TestDeliverEmptySet(t *testing.T) {
+	t.Parallel()
 	res := Deliver(NewHypercube(8), nil)
 	if res.Cycles != 0 || res.Congestion != 0 {
 		t.Errorf("empty delivery: %+v", res)
@@ -172,6 +180,7 @@ func TestDeliverEmptySet(t *testing.T) {
 }
 
 func TestDeliverSingleMessage(t *testing.T) {
+	t.Parallel()
 	h := NewHypercube(16)
 	res := Deliver(h, core.MessageSet{{Src: 0, Dst: 15}})
 	if res.Cycles != 4 {
@@ -180,6 +189,7 @@ func TestDeliverSingleMessage(t *testing.T) {
 }
 
 func TestTreeRootCongestion(t *testing.T) {
+	t.Parallel()
 	// Bit reversal on the plain tree: n/2 messages cross the root links in
 	// each direction — congestion Θ(n).
 	n := 64
@@ -194,6 +204,7 @@ func TestTreeRootCongestion(t *testing.T) {
 }
 
 func TestMeshSlowOnBitReversal(t *testing.T) {
+	t.Parallel()
 	// Mesh bisection sqrt(n) forces Ω(sqrt n) cycles on cross traffic, while
 	// the hypercube finishes in O(lg n + congestion)-ish time. This is the
 	// polynomial-vs-logarithmic separation of Section VI.
@@ -207,6 +218,7 @@ func TestMeshSlowOnBitReversal(t *testing.T) {
 }
 
 func TestBisectionAndVolume(t *testing.T) {
+	t.Parallel()
 	n := 256
 	h, m, tr := NewHypercube(n), NewMesh(n), NewBinaryTree(n)
 	if h.BisectionWidth() != n/2 {
@@ -224,6 +236,7 @@ func TestBisectionAndVolume(t *testing.T) {
 }
 
 func TestLayoutsAreValid(t *testing.T) {
+	t.Parallel()
 	for _, net := range allNetworks(64) {
 		l := net.Layout()
 		if err := l.Validate(); err != nil {

@@ -9,6 +9,7 @@ import (
 )
 
 func TestCCCSizes(t *testing.T) {
+	t.Parallel()
 	if NewCCC(24).Nodes() != 24 { // d=3
 		t.Errorf("CCC(24) wrong")
 	}
@@ -24,6 +25,7 @@ func TestCCCSizes(t *testing.T) {
 }
 
 func TestCCCRouteAdjacency(t *testing.T) {
+	t.Parallel()
 	c := NewCCC(64) // d=4, 16 corners
 	adjacent := func(u, v int) bool {
 		uc, up := u/4, u%4
@@ -57,6 +59,7 @@ func TestCCCRouteAdjacency(t *testing.T) {
 }
 
 func TestCCCDelivery(t *testing.T) {
+	t.Parallel()
 	c := NewCCC(64)
 	ms := workload.RandomPermutation(64, 3)
 	if err := ValidateRoutes(c, ms); err != nil {
@@ -69,6 +72,7 @@ func TestCCCDelivery(t *testing.T) {
 }
 
 func TestCCCConstantDegreeProperties(t *testing.T) {
+	t.Parallel()
 	c := NewCCC(160) // d=5
 	if c.Degree() != 3 {
 		t.Errorf("degree %d", c.Degree())
@@ -85,6 +89,7 @@ func TestCCCConstantDegreeProperties(t *testing.T) {
 }
 
 func TestCCCMessageSetOnFatTree(t *testing.T) {
+	t.Parallel()
 	// CCC processors map onto a fat-tree through the universality pipeline —
 	// exercised indirectly by building a valid message set over its procs.
 	c := NewCCC(24)

@@ -10,6 +10,7 @@ import (
 )
 
 func TestClosSizes(t *testing.T) {
+	t.Parallel()
 	if c := NewClos(16); c.Radix() != 4 || c.SwitchCount() != 20 {
 		t.Errorf("Clos(16): radix %d switches %d", c.Radix(), c.SwitchCount())
 	}
@@ -25,6 +26,7 @@ func TestClosSizes(t *testing.T) {
 }
 
 func TestClosRouteShapes(t *testing.T) {
+	t.Parallel()
 	c := NewClos(128) // k=8
 	// Same edge switch: 3 nodes.
 	if path := c.Route(0, 1); len(path) != 3 {
@@ -41,6 +43,7 @@ func TestClosRouteShapes(t *testing.T) {
 }
 
 func TestClosRoutesValid(t *testing.T) {
+	t.Parallel()
 	c := NewClos(128)
 	ms := workload.Random(128, 500, 1)
 	if err := ValidateRoutes(c, ms); err != nil {
@@ -62,6 +65,7 @@ func TestClosRoutesValid(t *testing.T) {
 }
 
 func TestClosDownPathsUnique(t *testing.T) {
+	t.Parallel()
 	// From any core switch, the path to a destination is unique: two routes
 	// to the same destination must coincide from their first shared node on.
 	c := NewClos(128)
@@ -93,6 +97,7 @@ func TestClosDownPathsUnique(t *testing.T) {
 }
 
 func TestClosDelivery(t *testing.T) {
+	t.Parallel()
 	c := NewClos(128)
 	ms := workload.RandomPermutation(128, 5)
 	res := Deliver(c, ms)
@@ -106,6 +111,7 @@ func TestClosDelivery(t *testing.T) {
 }
 
 func TestClosFullBisection(t *testing.T) {
+	t.Parallel()
 	c := NewClos(128)
 	if c.BisectionWidth() != 64 {
 		t.Errorf("bisection %d, want 64", c.BisectionWidth())
@@ -119,6 +125,7 @@ func TestClosFullBisection(t *testing.T) {
 }
 
 func TestClosECMPSpreadsLoad(t *testing.T) {
+	t.Parallel()
 	// Adversarial pattern for the deterministic choice: every processor of
 	// pod 0 sends to the (edge 0, pos 0) processor of a distinct other pod —
 	// all deterministic routes share aggregation position 0, while ECMP

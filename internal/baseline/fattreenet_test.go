@@ -8,6 +8,7 @@ import (
 )
 
 func TestFatTreeNetworkRoutes(t *testing.T) {
+	t.Parallel()
 	ft := core.NewUniversal(64, 16)
 	net := NewFatTreeNetwork(ft)
 	ms := core.Concat(workload.RandomPermutation(64, 1), workload.KLocal(64, 100, 4, 2))
@@ -33,6 +34,7 @@ func TestFatTreeNetworkRoutes(t *testing.T) {
 }
 
 func TestFatTreeNetworkDelivery(t *testing.T) {
+	t.Parallel()
 	net := NewFatTreeNetwork(core.NewUniversal(32, 8))
 	res := Deliver(net, workload.RandomPermutation(32, 5))
 	if res.Cycles < res.MaxPathLen {
@@ -41,6 +43,7 @@ func TestFatTreeNetworkDelivery(t *testing.T) {
 }
 
 func TestFatTreeNetworkGeometry(t *testing.T) {
+	t.Parallel()
 	ft := core.NewUniversal(64, 16)
 	net := NewFatTreeNetwork(ft)
 	if net.Volume() <= 0 {

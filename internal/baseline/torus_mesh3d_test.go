@@ -8,6 +8,7 @@ import (
 )
 
 func TestTorusRouteShortestRing(t *testing.T) {
+	t.Parallel()
 	to := NewTorus(64) // 8x8
 	rng := rand.New(rand.NewSource(1))
 	for trial := 0; trial < 300; trial++ {
@@ -45,6 +46,7 @@ func TestTorusRouteShortestRing(t *testing.T) {
 }
 
 func TestTorusBeatsMeshOnWraparound(t *testing.T) {
+	t.Parallel()
 	// Corner-to-corner traffic: torus halves the distance.
 	torus := NewTorus(64)
 	mesh := NewMesh(64)
@@ -59,6 +61,7 @@ func TestTorusBeatsMeshOnWraparound(t *testing.T) {
 }
 
 func TestMesh3DRoute(t *testing.T) {
+	t.Parallel()
 	m := NewMesh3D(64) // 4x4x4
 	rng := rand.New(rand.NewSource(2))
 	for trial := 0; trial < 300; trial++ {
@@ -85,6 +88,7 @@ func TestMesh3DRoute(t *testing.T) {
 }
 
 func TestMesh3DBisectionMatchesFatTreeRootScale(t *testing.T) {
+	t.Parallel()
 	// The 3-D mesh's bisection is n^(2/3) — the same order as the root
 	// capacity of the volume-matched universal fat-tree (before the lg
 	// division). This is why it is the strongest cheap competitor.
@@ -98,6 +102,7 @@ func TestMesh3DBisectionMatchesFatTreeRootScale(t *testing.T) {
 }
 
 func TestNewNetworksDeliver(t *testing.T) {
+	t.Parallel()
 	for _, net := range []Network{NewTorus(64), NewMesh3D(64)} {
 		ms := workload.RandomPermutation(64, 3)
 		if err := ValidateRoutes(net, ms); err != nil {
@@ -114,6 +119,7 @@ func TestNewNetworksDeliver(t *testing.T) {
 }
 
 func TestNewNetworksRejectBadSizes(t *testing.T) {
+	t.Parallel()
 	for _, f := range []func(){
 		func() { NewTorus(10) },
 		func() { NewMesh3D(100) },

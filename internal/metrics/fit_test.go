@@ -7,6 +7,7 @@ import (
 )
 
 func TestFitPowerExact(t *testing.T) {
+	t.Parallel()
 	// y = 3·x^1.5 exactly.
 	xs := []float64{4, 16, 64, 256, 1024}
 	ys := make([]float64, len(xs))
@@ -23,6 +24,7 @@ func TestFitPowerExact(t *testing.T) {
 }
 
 func TestFitPolylogExact(t *testing.T) {
+	t.Parallel()
 	// y = 2·(lg x)³ exactly.
 	xs := []float64{8, 32, 128, 1024, 65536}
 	ys := make([]float64, len(xs))
@@ -36,6 +38,7 @@ func TestFitPolylogExact(t *testing.T) {
 }
 
 func TestCompareGrowthDiscriminates(t *testing.T) {
+	t.Parallel()
 	xs := []float64{16, 64, 256, 1024, 4096, 16384}
 	poly := make([]float64, len(xs))
 	plog := make([]float64, len(xs))
@@ -52,6 +55,7 @@ func TestCompareGrowthDiscriminates(t *testing.T) {
 }
 
 func TestFitRejectsBadData(t *testing.T) {
+	t.Parallel()
 	defer func() {
 		if recover() == nil {
 			t.Errorf("non-positive data accepted")
@@ -61,6 +65,7 @@ func TestFitRejectsBadData(t *testing.T) {
 }
 
 func TestLeastSquaresDegenerate(t *testing.T) {
+	t.Parallel()
 	// Flat y: slope 0, perfect fit.
 	s, i, r2 := leastSquares([]float64{1, 2, 3}, []float64{5, 5, 5})
 	if s != 0 || i != 5 || r2 != 1 {

@@ -9,6 +9,7 @@ import (
 )
 
 func TestSummarizeBasics(t *testing.T) {
+	t.Parallel()
 	s := Summarize([]float64{1, 2, 3, 4, 5})
 	if s.N != 5 || s.Min != 1 || s.Max != 5 || s.Mean != 3 || s.Median != 3 {
 		t.Errorf("bad summary: %+v", s)
@@ -20,6 +21,7 @@ func TestSummarizeBasics(t *testing.T) {
 }
 
 func TestSummarizeEmpty(t *testing.T) {
+	t.Parallel()
 	s := Summarize(nil)
 	if s.N != 0 || s.Mean != 0 {
 		t.Errorf("empty summary: %+v", s)
@@ -27,6 +29,7 @@ func TestSummarizeEmpty(t *testing.T) {
 }
 
 func TestSummarizeWithZeros(t *testing.T) {
+	t.Parallel()
 	s := Summarize([]float64{0, 2, 4})
 	if s.Geomean != 0 {
 		t.Errorf("geomean with zeros should be 0, got %v", s.Geomean)
@@ -37,6 +40,7 @@ func TestSummarizeWithZeros(t *testing.T) {
 }
 
 func TestPercentile(t *testing.T) {
+	t.Parallel()
 	sorted := []float64{10, 20, 30, 40}
 	cases := []struct{ p, want float64 }{
 		{0, 10}, {100, 40}, {50, 25}, {25, 17.5},
@@ -49,6 +53,7 @@ func TestPercentile(t *testing.T) {
 }
 
 func TestSummaryInvariants(t *testing.T) {
+	t.Parallel()
 	f := func(raw []float64) bool {
 		xs := make([]float64, 0, len(raw))
 		for _, x := range raw {
@@ -72,6 +77,7 @@ func TestSummaryInvariants(t *testing.T) {
 }
 
 func TestTableMarshalJSON(t *testing.T) {
+	t.Parallel()
 	tab := NewTable("demo", "a", "b")
 	tab.AddRow(1, 2.5)
 	data, err := tab.MarshalJSON()
@@ -93,6 +99,7 @@ func TestTableMarshalJSON(t *testing.T) {
 }
 
 func TestTableRendering(t *testing.T) {
+	t.Parallel()
 	tab := NewTable("E1: demo", "n", "value", "note")
 	tab.AddRow(16, 3.14159, "pi-ish")
 	tab.AddRow(1024, 2.0, "two")

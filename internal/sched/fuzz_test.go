@@ -1,0 +1,71 @@
+package sched
+
+import (
+	"reflect"
+	"testing"
+
+	"fattree/internal/core"
+)
+
+// decodeFuzzMessages turns raw fuzz bytes into a valid message set on a
+// deterministic tree: byte 0 picks the tree size and root capacity, then
+// each subsequent byte pair is a (src, dst) candidate; self-loops are
+// skipped so the set always validates.
+func decodeFuzzMessages(data []byte) (*core.FatTree, core.MessageSet) {
+	shape := byte(0)
+	if len(data) > 0 {
+		shape = data[0]
+		data = data[1:]
+	}
+	n := 8 << (shape % 3)        // 8, 16, 32
+	w := 1 << (1 + (shape>>2)%4) // 2, 4, 8, 16
+	ft := core.NewUniversal(n, w)
+	var ms core.MessageSet
+	for i := 0; i+1 < len(data) && len(ms) < 4*n; i += 2 {
+		src, dst := int(data[i])%n, int(data[i+1])%n
+		if src == dst {
+			continue
+		}
+		ms = append(ms, core.Message{Src: src, Dst: dst})
+	}
+	return ft, ms
+}
+
+// FuzzSchedule cross-checks the serial Theorem 1 scheduler against its
+// parallel twin on fuzz-generated message sets: both schedules must verify
+// as valid partitions of the input, and the parallel schedule must be
+// bit-identical to the serial one (same cycles, same bound, same load
+// factor) — the deterministic-merge guarantee of internal/par. Seed inputs
+// live in testdata/fuzz/FuzzSchedule.
+func FuzzSchedule(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 7, 3, 4})
+	f.Add([]byte{1, 0, 15, 15, 0, 1, 14, 2, 13, 3, 12})
+	f.Add([]byte{9, 5, 5, 5, 6, 5, 7, 5, 8, 6, 5, 7, 5})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ft, ms := decodeFuzzMessages(data)
+		serial := OffLine(ft, ms)
+		if err := serial.Verify(ms); err != nil {
+			t.Fatalf("OffLine produced an invalid schedule: %v", err)
+		}
+		for _, workers := range []int{0, 1, 3} {
+			parallel := OffLineParallelWorkers(ft, ms, workers)
+			if err := parallel.Verify(ms); err != nil {
+				t.Fatalf("OffLineParallelWorkers(%d) produced an invalid schedule: %v", workers, err)
+			}
+			if len(parallel.Cycles) != len(serial.Cycles) {
+				t.Fatalf("workers=%d: %d cycles parallel vs %d serial",
+					workers, len(parallel.Cycles), len(serial.Cycles))
+			}
+			for c := range serial.Cycles {
+				if !reflect.DeepEqual(serial.Cycles[c], parallel.Cycles[c]) {
+					t.Fatalf("workers=%d: cycle %d differs:\nserial   %v\nparallel %v",
+						workers, c, serial.Cycles[c], parallel.Cycles[c])
+				}
+			}
+			if serial.Bound != parallel.Bound || serial.LoadFactor != parallel.LoadFactor {
+				t.Fatalf("workers=%d: bound/load-factor mismatch", workers)
+			}
+		}
+	})
+}

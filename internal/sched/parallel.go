@@ -2,26 +2,32 @@ package sched
 
 import (
 	"math"
-	"runtime"
-	"sync"
 
 	"fattree/internal/core"
+	"fattree/internal/par"
 )
 
 // OffLineParallel is the Theorem 1 scheduler with the per-node partitioning
 // parallelized: subtrees rooted at the same level use disjoint channels and
 // disjoint message sets, so their matching-and-tracing work is embarrassingly
-// parallel. A worker pool of GOMAXPROCS goroutines processes the nodes of
-// each level; results are merged deterministically in node order, so the
-// schedule is identical to OffLine's.
+// parallel. The nodes of each level are fanned out over the shared bounded
+// worker pool (internal/par, GOMAXPROCS workers) and the per-node cycle lists
+// are merged deterministically in node order, so the schedule is identical to
+// OffLine's.
 func OffLineParallel(t *core.FatTree, ms core.MessageSet) *Schedule {
+	return OffLineParallelWorkers(t, ms, 0)
+}
+
+// OffLineParallelWorkers is OffLineParallel with an explicit worker bound
+// (<= 0 means GOMAXPROCS). The schedule is identical for every bound.
+func OffLineParallelWorkers(t *core.FatTree, ms core.MessageSet, workers int) *Schedule {
 	if err := ms.Validate(t); err != nil {
 		panic(err)
 	}
 	byNode, extOut, extIn := groupByLCA(t, ms)
 	s := &Schedule{Tree: t, LoadFactor: core.LoadFactor(t, ms)}
 	s.Cycles = append(s.Cycles, externalCycles(t, extOut, extIn)...)
-	workers := runtime.GOMAXPROCS(0)
+	pool := par.New(workers)
 
 	for level := 0; level < t.Levels(); level++ {
 		first := 1 << uint(level)
@@ -39,22 +45,14 @@ func OffLineParallel(t *core.FatTree, ms core.MessageSet) *Schedule {
 			continue
 		}
 
-		parts := make([][]core.MessageSet, len(work))
-		var wg sync.WaitGroup
-		sem := make(chan struct{}, workers)
-		for i := range work {
-			wg.Add(1)
-			sem <- struct{}{}
-			go func(i int) {
-				defer wg.Done()
-				defer func() { <-sem }()
-				w := work[i]
-				lr := partitionUntilOneCycle(t, w.v, w.x.lr)
-				rl := partitionUntilOneCycle(t, w.v, w.x.rl)
-				parts[i] = mergeOriented(lr, rl)
-			}(i)
-		}
-		wg.Wait()
+		// Fan the level's nodes out over the pool; par.Map returns the
+		// per-node cycle lists in node order regardless of worker count.
+		parts := par.Map(pool, len(work), func(i int) []core.MessageSet {
+			w := work[i]
+			lr := partitionUntilOneCycle(t, w.v, w.x.lr)
+			rl := partitionUntilOneCycle(t, w.v, w.x.rl)
+			return mergeOriented(lr, rl)
+		})
 
 		maxParts := 0
 		for _, p := range parts {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"fattree/internal/core"
+	"fattree/internal/par"
 )
 
 // This file implements a buffered delivery model — the road not taken in the
@@ -62,34 +63,33 @@ func RunBuffered(t *core.FatTree, ms core.MessageSet, queueDepth int) BufferedSt
 	// Channel index: up = 2*node, down = 2*node+1, for heap nodes 1..2n-1.
 	n2 := 4 * t.Processors()
 	chanUp := func(v int) int { return 2 * v }
-	chanDown := func(v int) int { return 2*v + 1 }
 
-	// next returns the channel after c on message m's path, or -1 when c is
+	// Precompute every message's channel path once (fanned out over the
+	// worker pool — paths are independent and FatTree reads are pure) so the
+	// per-hop loop below is pure table lookups instead of LCA recomputation.
+	// paths[i] is message i's channel-index sequence; at[i] is the position
+	// message i currently occupies (-1 while still queued at its source).
+	paths := make([][]int, len(ms))
+	par.New(0).ForEach(len(ms), func(i int) {
+		chs := t.Path(ms[i], nil)
+		p := make([]int, len(chs))
+		for j, c := range chs {
+			p[j] = 2*c.Node + int(c.Dir)
+		}
+		paths[i] = p
+	})
+	at := make([]int, len(ms))
+	for i := range at {
+		at[i] = -1
+	}
+
+	// next returns the channel after msg's current one, or -1 when it holds
 	// the final (destination leaf, Down) channel.
-	next := func(m core.Message, c int) int {
-		v, down := c/2, c%2 == 1
-		lca := t.LCA(m.Src, m.Dst)
-		if down {
-			if v >= t.Processors() {
-				return -1 // arrived at the destination leaf channel
-			}
-			// Descend toward the destination.
-			child := 2 * v
-			if !t.Contains(child, m.Dst) {
-				child = 2*v + 1
-			}
-			return chanDown(child)
+	next := func(msg int) int {
+		if at[msg]+1 >= len(paths[msg]) {
+			return -1
 		}
-		parent := v >> 1
-		if parent == lca {
-			// Turn: descend into the LCA's other child side.
-			child := 2 * lca
-			if !t.Contains(child, m.Dst) {
-				child = 2*lca + 1
-			}
-			return chanDown(child)
-		}
-		return chanUp(parent)
+		return paths[msg][at[msg]+1]
 	}
 
 	queues := make([][]int, n2) // per channel: FIFO of message indices
@@ -135,7 +135,7 @@ func RunBuffered(t *core.FatTree, ms core.MessageSet, queueDepth int) BufferedSt
 				if sent == cap {
 					break
 				}
-				to := next(ms[msg], c)
+				to := next(msg)
 				if to != -1 {
 					if room[to] <= 0 {
 						stats.Stalls++
@@ -169,6 +169,7 @@ func RunBuffered(t *core.FatTree, ms core.MessageSet, queueDepth int) BufferedSt
 		// Phase 2: apply.
 		departed := make(map[int]int) // channel -> count removed from head
 		for _, mv := range moves {
+			at[mv.msg]++
 			if mv.from >= 0 {
 				departed[mv.from]++
 			} else {

@@ -13,27 +13,72 @@
 // cycle takes: messages establish paths leading-bit-first, address bits are
 // stripped one per switch, and the payload follows, so a cycle lasts
 // O(lg n + payload) ticks.
+//
+// # Parallel delivery cycles
+//
+// The engine has two interchangeable cycle implementations. The serial path
+// (Engine.Run, and Engine.RunCycle on a one-worker engine) visits the ~n
+// switches of a cycle one by one — it is the reference implementation, a
+// direct transcription of the hardware's behavior. The parallel path
+// (Engine.RunParallel, Engine.RunCyclesParallel, and Engine.RunCycle on a
+// multi-worker engine) exploits the same independence the parallel scheduler
+// does: within one sweep, the switches of a tree level touch disjoint
+// messages and disjoint channels, so each level is fanned out over a bounded
+// worker pool (internal/par) and the per-switch results are merged in node
+// order.
+//
+// The parallel path is bit-identical to the serial path for any worker
+// count. Contention winners are decided by per-switch request order, which
+// both paths derive from message index order; and every source of randomness
+// — partial-concentrator wiring and transient-fault (loss) injection — draws
+// from a per-switch RNG stream seeded deterministically from (seed, node) at
+// construction, consumed by exactly one worker per sweep, so loss injection
+// and partial-concentrator behavior are reproducible regardless of how the
+// switches are distributed over workers. The equivalence tests in this
+// package prove the guarantee across worker counts, switch kinds, and fault
+// rates.
 package sim
 
 import (
 	"fattree/internal/concentrator"
 	"fattree/internal/core"
+	"fattree/internal/par"
 )
+
+// Options configures optional engine behavior.
+type Options struct {
+	// Workers bounds the concurrency of the parallel delivery-cycle path:
+	// the switches of each tree level are fanned out over at most Workers
+	// goroutines. 0 means runtime.GOMAXPROCS(0). 1 pins the engine to the
+	// serial reference path (RunCycle routes switches one by one). The
+	// delivered messages, drop counts, and wire assignments are identical
+	// for every value — workers only change wall-clock time.
+	Workers int
+}
 
 // Engine simulates delivery cycles on one fat-tree with persistent switch
 // hardware (the concentrator graphs are built once, as in a real machine).
 type Engine struct {
 	tree     *core.FatTree
 	switches []*concentrator.Switch // indexed by node 1..n-1 (internal nodes)
+	pool     *par.Pool              // bounds the parallel cycle path
 }
 
 // New builds the engine: one switch per internal node, with concentrators of
 // the given kind (ideal per Section III, or Pippenger-style partial per
-// Section IV). seed feeds the partial constructions.
+// Section IV). seed feeds the partial constructions. The engine uses up to
+// GOMAXPROCS workers for its delivery cycles; see NewWithOptions to pin the
+// worker count.
 func New(t *core.FatTree, kind concentrator.Kind, seed int64) *Engine {
+	return NewWithOptions(t, kind, seed, Options{})
+}
+
+// NewWithOptions is New with explicit Options.
+func NewWithOptions(t *core.FatTree, kind concentrator.Kind, seed int64, opts Options) *Engine {
 	e := &Engine{
 		tree:     t,
 		switches: make([]*concentrator.Switch, t.Processors()),
+		pool:     par.New(opts.Workers),
 	}
 	for v := 1; v < t.Processors(); v++ {
 		capParent := t.Capacity(core.Channel{Node: v, Dir: core.Up})
@@ -46,10 +91,15 @@ func New(t *core.FatTree, kind concentrator.Kind, seed int64) *Engine {
 // Tree returns the fat-tree the engine simulates.
 func (e *Engine) Tree() *core.FatTree { return e.tree }
 
+// Workers returns the engine's worker bound for parallel delivery cycles.
+func (e *Engine) Workers() int { return e.pool.Workers() }
+
 // InjectLoss adds a transient-fault model to every switch: each routed
 // message is independently corrupted with the given rate and must be retried
 // (Section VII's fault-tolerance concern, absorbed by the Section II
-// acknowledgment protocol).
+// acknowledgment protocol). Each switch draws from its own RNG stream seeded
+// by (seed, node), so fault patterns are reproducible on the parallel cycle
+// path for any worker count.
 func (e *Engine) InjectLoss(rate float64, seed int64) {
 	for v := 1; v < e.tree.Processors(); v++ {
 		e.switches[v].InjectLoss(rate, seed+int64(3*v))
@@ -85,27 +135,34 @@ const (
 // RunCycle attempts to deliver all of pending in a single delivery cycle and
 // returns which were delivered (parallel to pending) plus counts. Messages
 // not delivered must be retried by the caller in a later cycle — the
-// acknowledgment protocol of Section II.
+// acknowledgment protocol of Section II. Engines with more than one worker
+// route each tree level's switches concurrently; the result is bit-identical
+// to the serial path.
 func (e *Engine) RunCycle(pending core.MessageSet) ([]bool, CycleResult) {
-	delivered, res, _ := e.runCycleWithHistory(pending)
+	delivered, res, _ := e.runCycleAuto(pending)
 	return delivered, res
 }
 
-// runCycleWithHistory is RunCycle plus, for each message, the sequence of
-// wires it was assigned along its path (path order: leaf up channel first).
-// The histories feed the off-line settings compiler.
-func (e *Engine) runCycleWithHistory(pending core.MessageSet) ([]bool, CycleResult, [][]int) {
+// runCycleAuto dispatches between the serial reference path and the
+// level-sharded parallel path on the engine's worker bound.
+func (e *Engine) runCycleAuto(pending core.MessageSet) ([]bool, CycleResult, [][]int) {
+	if e.pool.Workers() > 1 {
+		return e.runCycleParallelWithHistory(pending)
+	}
+	return e.runCycleWithHistory(pending)
+}
+
+// inject starts a delivery cycle: each source leaf offers its up channel's
+// wires to its pending messages in order; the surplus is deferred to a later
+// cycle (the processor buffers them, per Section II). Inputs from the
+// external world inject into the root down channel; outputs carry the
+// sentinel LCA 0 ("above the root") so the upward sweep forwards them through
+// every switch and out the root channel.
+func (e *Engine) inject(pending core.MessageSet) ([]flight, CycleResult) {
 	t := e.tree
-	leafLevel := t.Levels()
 	flights := make([]flight, len(pending))
 	var res CycleResult
 
-	// Injection: each source leaf offers its up channel's wires to its
-	// pending messages in order; the surplus is deferred to a later cycle
-	// (the processor buffers them, per Section II). Inputs from the external
-	// world inject into the root down channel; outputs carry the sentinel
-	// LCA 0 ("above the root") so the upward sweep forwards them through
-	// every switch and out the root channel.
 	injected := make(map[int]int) // leaf node -> wires used
 	rootInjected := 0             // root down-channel wires used by inputs
 	for i, m := range pending {
@@ -141,6 +198,32 @@ func (e *Engine) runCycleWithHistory(pending core.MessageSet) ([]bool, CycleResu
 		}
 		injected[leaf]++
 	}
+	return flights, res
+}
+
+// collect finishes a delivery cycle: delivered flags, the per-message wire
+// histories, and the delivered count.
+func collect(pending core.MessageSet, flights []flight, res *CycleResult) ([]bool, [][]int) {
+	delivered := make([]bool, len(pending))
+	hist := make([][]int, len(pending))
+	for i := range flights {
+		if flights[i].state == flightDone {
+			delivered[i] = true
+			res.Delivered++
+			hist[i] = flights[i].hist
+		}
+	}
+	return delivered, hist
+}
+
+// runCycleWithHistory is the serial reference implementation of a delivery
+// cycle: RunCycle plus, for each message, the sequence of wires it was
+// assigned along its path (path order: leaf up channel first). The histories
+// feed the off-line settings compiler.
+func (e *Engine) runCycleWithHistory(pending core.MessageSet) ([]bool, CycleResult, [][]int) {
+	t := e.tree
+	leafLevel := t.Levels()
+	flights, res := e.inject(pending)
 
 	// Upward sweep: nodes from the leaf parents toward the root route their
 	// parent-bound traffic. A message bound for a higher LCA requests the
@@ -163,70 +246,77 @@ func (e *Engine) runCycleWithHistory(pending core.MessageSet) ([]bool, CycleResu
 		}
 	}
 
-	delivered := make([]bool, len(pending))
-	hist := make([][]int, len(pending))
-	for i := range flights {
-		if flights[i].state == flightDone {
-			delivered[i] = true
-			res.Delivered++
-			hist[i] = flights[i].hist
-		}
-	}
+	delivered, hist := collect(pending, flights, &res)
 	return delivered, res, hist
 }
 
-// routeNode routes one node's traffic for one sweep. In the upward sweep only
-// the ToParent output is contested; in the downward sweep the two child
-// outputs are.
+// routeNode routes one node's traffic for one sweep by scanning every flight
+// for the ones this node owns. The parallel path computes the same ownership
+// by bucketing (see parallel.go) and shares routeGathered, so both paths
+// contest each switch with identical request lists.
 func (e *Engine) routeNode(v int, flights []flight, upSweep bool, res *CycleResult) {
-	t := e.tree
-	leafLevel := t.Levels()
-	var reqs []concentrator.Request
 	var who []int
-
 	for i := range flights {
 		f := &flights[i]
-		m := f.msg
 		if upSweep {
 			// Message ascending through v: it holds a wire in the up channel
 			// above one of v's children and its LCA is strictly above v.
 			if f.state != flightUp || f.node>>1 != v || f.lca == v {
 				continue
 			}
-			in := concentrator.Left
-			if f.node == 2*v+1 {
-				in = concentrator.Right
-			}
-			reqs = append(reqs, concentrator.Request{In: in, InWire: f.wire, Out: concentrator.Parent})
 			who = append(who, i)
 			continue
 		}
 		// Downward sweep: the message either turns at v (its LCA is v, and it
 		// still holds a child-side up wire) or descends through v (it holds
 		// the parent-side down wire above v).
+		if (f.state == flightUp && f.lca == v) || (f.state == flightDown && f.node == v) {
+			who = append(who, i)
+		}
+	}
+	e.routeGathered(v, flights, who, upSweep, res)
+}
+
+// routeGathered contests node v's concentrators with the flights in who (in
+// order) and applies the wire assignments. In the upward sweep only the
+// ToParent output is contested; in the downward sweep the two child outputs
+// are. It touches only the listed flights, switch v, and res.Dropped, so
+// calls for distinct nodes of one level are independent.
+func (e *Engine) routeGathered(v int, flights []flight, who []int, upSweep bool, res *CycleResult) {
+	if len(who) == 0 {
+		return
+	}
+	t := e.tree
+	leafLevel := t.Levels()
+	reqs := make([]concentrator.Request, 0, len(who))
+
+	for _, i := range who {
+		f := &flights[i]
+		m := f.msg
+		if upSweep {
+			in := concentrator.Left
+			if f.node == 2*v+1 {
+				in = concentrator.Right
+			}
+			reqs = append(reqs, concentrator.Request{In: in, InWire: f.wire, Out: concentrator.Parent})
+			continue
+		}
 		var in concentrator.Port
-		switch {
-		case f.state == flightUp && f.lca == v:
+		if f.state == flightUp { // turning at its LCA, still on a child-side wire
 			in = concentrator.Left
 			if f.node == 2*v+1 {
 				in = concentrator.Right
 			}
-		case f.state == flightDown && f.node == v:
+		} else { // descending on the parent-side down wire
 			in = concentrator.Parent
-		default:
-			continue
 		}
 		out := concentrator.Left
 		if t.Contains(2*v+1, m.Dst) {
 			out = concentrator.Right
 		}
 		reqs = append(reqs, concentrator.Request{In: in, InWire: f.wire, Out: out})
-		who = append(who, i)
 	}
 
-	if len(reqs) == 0 {
-		return
-	}
 	outWires, _ := e.switches[v].Route(reqs)
 	// Hardware invariant: a concentrator never assigns more wires to a
 	// channel than the channel has, and never the same wire twice. The

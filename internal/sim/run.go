@@ -33,82 +33,24 @@ const maxCyclesDefault = 100000
 // negatively acknowledged and retried. It returns the delivery statistics.
 // With ideal concentrators progress is guaranteed (the first pending message
 // always survives every switch); with partial concentrators a generous cycle
-// bound guards the loop and Delivered < len(ms) reports a stall.
+// bound guards the loop and Delivered < len(ms) reports a stall. Engines
+// with more than one worker route each cycle on the parallel path, with
+// identical results.
 func RunOnline(e *Engine, ms core.MessageSet) Stats {
-	if err := ms.Validate(e.tree); err != nil {
-		panic(err)
-	}
-	var stats Stats
-	pending := ms.Clone()
-	for len(pending) > 0 && stats.Cycles < maxCyclesDefault {
-		delivered, res := e.RunCycle(pending)
-		stats.Cycles++
-		stats.Delivered += res.Delivered
-		stats.Drops += res.Dropped
-		stats.Deferrals += res.Deferred
-		stats.PerCycle = append(stats.PerCycle, res.Delivered)
-		var next core.MessageSet
-		for i, ok := range delivered {
-			if !ok {
-				next = append(next, pending[i])
-			}
-		}
-		if res.Delivered == 0 && len(next) == len(pending) {
-			// No progress: with partial concentrators an unlucky matching can
-			// stall identical retries forever; report and stop.
-			return stats
-		}
-		pending = next
-	}
-	return stats
+	return e.runLoop(ms, e.runCycleAuto)
 }
 
 // RunSchedule plays a precomputed off-line schedule through the engine: cycle
 // i injects exactly the schedule's i-th one-cycle message set (plus any
 // earlier losses, which only occur with partial concentrators). With ideal
 // concentrators a valid schedule incurs zero drops and zero deferrals — the
-// hardware realizes Theorem 1 exactly.
+// hardware realizes Theorem 1 exactly. Engines with more than one worker
+// route each cycle on the parallel path, with identical results.
 func RunSchedule(e *Engine, s *sched.Schedule) Stats {
 	if s.Tree != e.tree {
 		panic(fmt.Sprintf("sim: schedule built for a different tree (%v vs %v)", s.Tree, e.tree))
 	}
-	var stats Stats
-	var carry core.MessageSet
-	for _, cyc := range s.Cycles {
-		pending := core.Concat(carry, cyc)
-		delivered, res := e.RunCycle(pending)
-		stats.Cycles++
-		stats.Delivered += res.Delivered
-		stats.Drops += res.Dropped
-		stats.Deferrals += res.Deferred
-		stats.PerCycle = append(stats.PerCycle, res.Delivered)
-		carry = nil
-		for i, ok := range delivered {
-			if !ok {
-				carry = append(carry, pending[i])
-			}
-		}
-	}
-	// Drain losses (partial concentrators only).
-	for len(carry) > 0 && stats.Cycles < maxCyclesDefault {
-		delivered, res := e.RunCycle(carry)
-		stats.Cycles++
-		stats.Delivered += res.Delivered
-		stats.Drops += res.Dropped
-		stats.Deferrals += res.Deferred
-		stats.PerCycle = append(stats.PerCycle, res.Delivered)
-		var next core.MessageSet
-		for i, ok := range delivered {
-			if !ok {
-				next = append(next, carry[i])
-			}
-		}
-		if res.Delivered == 0 && len(next) == len(carry) {
-			return stats
-		}
-		carry = next
-	}
-	return stats
+	return e.runCyclesLoop(s.Cycles, e.runCycleAuto)
 }
 
 // DeliverOffline is the headline convenience API: schedule ms with Theorem 1

@@ -53,7 +53,7 @@ func CompileSettings(t *core.FatTree, s *sched.Schedule) *Settings {
 	e := New(t, concentrator.KindIdeal, 0)
 	st := &Settings{Tree: t, Cycles: make([][]WirePath, len(s.Cycles))}
 	for ci, cyc := range s.Cycles {
-		delivered, res, paths := e.runCycleWithHistory(cyc)
+		delivered, res, paths := e.runCycleAuto(cyc)
 		for i, ok := range delivered {
 			if !ok {
 				panic(fmt.Sprintf("sim: compile dropped message %v in cycle %d (%+v) — unverified schedule?",

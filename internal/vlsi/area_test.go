@@ -6,6 +6,7 @@ import (
 )
 
 func TestUniversalAreaEndpoints(t *testing.T) {
+	t.Parallel()
 	n := 1024
 	// Full bandwidth: area Θ(n²) (Thompson's full-bisection figure).
 	if got := UniversalArea(n, n); got != float64(n)*float64(n) {
@@ -20,6 +21,7 @@ func TestUniversalAreaEndpoints(t *testing.T) {
 }
 
 func TestRootCapacityForAreaRoundTrip(t *testing.T) {
+	t.Parallel()
 	n := 1 << 14
 	for _, w := range []int{1 << 7, 1 << 9, 1 << 11} {
 		a := UniversalArea(n, w)
@@ -32,6 +34,7 @@ func TestRootCapacityForAreaRoundTrip(t *testing.T) {
 }
 
 func TestRootCapacityForAreaClamps(t *testing.T) {
+	t.Parallel()
 	if w := RootCapacityForArea(64, 0.5); w != 1 {
 		t.Errorf("tiny area should clamp to 1, got %d", w)
 	}
@@ -41,6 +44,7 @@ func TestRootCapacityForAreaClamps(t *testing.T) {
 }
 
 func TestNewUniversal2DOfArea(t *testing.T) {
+	t.Parallel()
 	ft := NewUniversal2DOfArea(256, MeshArea(256))
 	if ft.Processors() != 256 {
 		t.Fatalf("wrong size")
@@ -51,6 +55,7 @@ func TestNewUniversal2DOfArea(t *testing.T) {
 }
 
 func TestAreaPanicsOnBadInput(t *testing.T) {
+	t.Parallel()
 	for _, f := range []func(){
 		func() { UniversalArea(1, 1) },
 		func() { UniversalArea(64, 0) },

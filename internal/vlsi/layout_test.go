@@ -9,6 +9,7 @@ import (
 )
 
 func TestLayoutFatTreeValid(t *testing.T) {
+	t.Parallel()
 	for _, tc := range []struct{ n, w int }{
 		{16, 8}, {64, 16}, {256, 64}, {256, 256},
 	} {
@@ -24,6 +25,7 @@ func TestLayoutFatTreeValid(t *testing.T) {
 }
 
 func TestLayoutVolumeTracksTheorem4(t *testing.T) {
+	t.Parallel()
 	// The achieved bounding volume should sit within a constant band around
 	// the Theorem 4 figure across the parameter range (the construction's
 	// padding and the formula's lg^(1/2) slack both land inside the band).
@@ -42,6 +44,7 @@ func TestLayoutVolumeTracksTheorem4(t *testing.T) {
 }
 
 func TestLayoutAspectBounded(t *testing.T) {
+	t.Parallel()
 	for _, n := range []int{64, 256, 1024} {
 		ft := core.NewUniversal(n, n/4)
 		tl := LayoutFatTree(ft)
@@ -52,6 +55,7 @@ func TestLayoutAspectBounded(t *testing.T) {
 }
 
 func TestLayoutSwitchSlabsPlaced(t *testing.T) {
+	t.Parallel()
 	ft := core.NewUniversal(64, 16)
 	tl := LayoutFatTree(ft)
 	for v := 1; v < 64; v++ {
@@ -70,6 +74,7 @@ func TestLayoutSwitchSlabsPlaced(t *testing.T) {
 }
 
 func TestLayoutFeedsDecomposition(t *testing.T) {
+	t.Parallel()
 	// The layout's processor positions must be usable by the Section V
 	// machinery end to end.
 	ft := core.NewUniversal(64, 16)
@@ -88,6 +93,7 @@ func TestLayoutFeedsDecomposition(t *testing.T) {
 }
 
 func TestLayoutDeterministic(t *testing.T) {
+	t.Parallel()
 	a := LayoutFatTree(core.NewUniversal(128, 32))
 	b := LayoutFatTree(core.NewUniversal(128, 32))
 	if a.Volume() != b.Volume() {
@@ -101,6 +107,7 @@ func TestLayoutDeterministic(t *testing.T) {
 }
 
 func TestLayoutProcessorsSpread(t *testing.T) {
+	t.Parallel()
 	// Sibling processors should be near each other; processors across the
 	// root far apart — geometry mirrors the tree.
 	ft := core.NewUniversal(256, 64)

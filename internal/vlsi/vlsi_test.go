@@ -9,6 +9,7 @@ import (
 )
 
 func TestNodeBoxVolume(t *testing.T) {
+	t.Parallel()
 	// Volume must be Θ(m^(3/2)) for every legal aspect parameter.
 	for _, m := range []int{1, 4, 16, 100, 10000} {
 		want := math.Pow(float64(m), 1.5)
@@ -25,6 +26,7 @@ func TestNodeBoxVolume(t *testing.T) {
 }
 
 func TestNodeBoxAspect(t *testing.T) {
+	t.Parallel()
 	// Larger h flattens the box: Z shrinks, X/Y grow.
 	a := NodeBox(256, 1)
 	b := NodeBox(256, 4)
@@ -34,6 +36,7 @@ func TestNodeBoxAspect(t *testing.T) {
 }
 
 func TestNodeBoxRejectsBadAspect(t *testing.T) {
+	t.Parallel()
 	for _, h := range []float64{0.5, 100} {
 		func() {
 			defer func() {
@@ -47,6 +50,7 @@ func TestNodeBoxRejectsBadAspect(t *testing.T) {
 }
 
 func TestComponentsLeafLevelsDominate(t *testing.T) {
+	t.Parallel()
 	// Theorem 4's proof: the number of components nearer the leaves
 	// dominates. Compare the components at the bottom half of the levels with
 	// the top half.
@@ -69,6 +73,7 @@ func TestComponentsLeafLevelsDominate(t *testing.T) {
 }
 
 func TestUniversalComponentsWithinBound(t *testing.T) {
+	t.Parallel()
 	// Exact counts stay within a constant factor of Theorem 4's
 	// n·lg(w³/n²) figure across the legal parameter range.
 	for _, n := range []int{1 << 8, 1 << 12, 1 << 16} {
@@ -86,6 +91,7 @@ func TestUniversalComponentsWithinBound(t *testing.T) {
 }
 
 func TestUniversalComponentsFullBandwidth(t *testing.T) {
+	t.Parallel()
 	// w = n gives Θ(n lg n) components, like a butterfly.
 	n := 1 << 12
 	got := float64(UniversalComponents(n, n))
@@ -96,6 +102,7 @@ func TestUniversalComponentsFullBandwidth(t *testing.T) {
 }
 
 func TestUniversalVolumeEndpoints(t *testing.T) {
+	t.Parallel()
 	n := 1 << 12
 	// Full bandwidth matches the hypercube volume.
 	if v := UniversalVolume(n, n); math.Abs(v-HypercubeVolume(n)) > 1e-6*v {
@@ -118,6 +125,7 @@ func TestUniversalVolumeEndpoints(t *testing.T) {
 }
 
 func TestRootCapacityRoundTrip(t *testing.T) {
+	t.Parallel()
 	// w -> volume -> w' should come back within a constant factor (the lg
 	// terms differ by O(lg lg) only).
 	n := 1 << 14
@@ -132,6 +140,7 @@ func TestRootCapacityRoundTrip(t *testing.T) {
 }
 
 func TestRootCapacityForVolumeMonotone(t *testing.T) {
+	t.Parallel()
 	n := 1 << 12
 	f := func(raw uint32) bool {
 		v := 1000 + float64(raw%1000000)
@@ -143,6 +152,7 @@ func TestRootCapacityForVolumeMonotone(t *testing.T) {
 }
 
 func TestRootCapacityClamps(t *testing.T) {
+	t.Parallel()
 	n := 256
 	if w := RootCapacityForVolume(n, 1); w != 1 {
 		t.Errorf("tiny volume should clamp to w=1, got %d", w)
@@ -153,6 +163,7 @@ func TestRootCapacityClamps(t *testing.T) {
 }
 
 func TestNewUniversalOfVolume(t *testing.T) {
+	t.Parallel()
 	n := 1024
 	ft := NewUniversalOfVolume(n, HypercubeVolume(n))
 	if ft.Processors() != n {
@@ -164,6 +175,7 @@ func TestNewUniversalOfVolume(t *testing.T) {
 }
 
 func TestScaledDownFatTreeIsCheaper(t *testing.T) {
+	t.Parallel()
 	// The core hardware-efficiency claim: a fat-tree sized for planar traffic
 	// (w ~ sqrt n) costs far less volume than a hypercube.
 	n := 1 << 12
@@ -176,6 +188,7 @@ func TestScaledDownFatTreeIsCheaper(t *testing.T) {
 }
 
 func TestBaselineVolumes(t *testing.T) {
+	t.Parallel()
 	n := 1 << 10
 	if HypercubeVolume(n) <= MeshVolume(n) {
 		t.Errorf("hypercube must cost more than mesh")
@@ -192,6 +205,7 @@ func TestBaselineVolumes(t *testing.T) {
 }
 
 func TestFatTreeNodeBoxesWithinTheorem4Volume(t *testing.T) {
+	t.Parallel()
 	// The sum of the node boxes must not exceed the Theorem 4 volume figure
 	// by more than a constant: the layout construction packs them plus
 	// inter-node wiring.
