@@ -1,0 +1,48 @@
+# Developer entry points. The repository is stdlib-only; `lint` needs nothing
+# beyond the go toolchain (ftlint lives in this module). staticcheck and
+# govulncheck are optional extras: `make lint-extra` runs whichever of them is
+# installed and skips the rest, while CI installs pinned versions and runs
+# both unconditionally (.github/workflows/ci.yml).
+
+GO ?= go
+
+.PHONY: all build test race lint lint-extra fuzz check
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -short ./...
+
+# Repository-specific analyzers (determinism, seed plumbing, float compares,
+# pool captures, error discards). Equivalent invocation via the go command:
+#   go build -o "$$(go env GOPATH)/bin/ftlint" ./cmd/ftlint
+#   go vet -vettool=$$(which ftlint) ./...
+lint:
+	$(GO) vet ./...
+	$(GO) run ./cmd/ftlint ./...
+
+# Third-party linters, gated on local availability (no network required).
+lint-extra:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		echo staticcheck ./...; staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (CI runs it pinned)"; \
+	fi
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		echo govulncheck ./...; govulncheck ./...; \
+	else \
+		echo "govulncheck not installed; skipping (CI runs it pinned)"; \
+	fi
+
+# Short fuzz shakeout of the two cross-check targets (serial vs parallel).
+fuzz:
+	$(GO) test ./internal/sched/ -fuzz FuzzSchedule -fuzztime 10s
+	$(GO) test ./internal/sim/ -fuzz FuzzEngineParallelEquivalence -fuzztime 10s
+
+check: build lint test

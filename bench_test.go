@@ -21,7 +21,9 @@ func benchExperiment(b *testing.B, id string) {
 	}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		e.RunAndPrint(io.Discard, experiments.Options{Quick: true, Seed: 1})
+		if err := e.RunAndPrint(io.Discard, experiments.Options{Quick: true, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

@@ -81,21 +81,32 @@ func main() {
 	if *parallel {
 		// Bounded fan-out on the shared pool; par.Map returns outputs in
 		// experiment order, so the report reads identically to a serial run.
-		outputs := par.Map(par.New(0), len(selected), func(i int) string {
+		type rendered struct {
+			out string
+			err error
+		}
+		outputs := par.Map(par.New(0), len(selected), func(i int) rendered {
 			e := selected[i]
 			var b strings.Builder
 			t0 := time.Now()
-			e.RunAndPrint(&b, opts)
+			err := e.RunAndPrint(&b, opts)
 			fmt.Fprintf(&b, "(%s took %v)\n\n", e.ID, time.Since(t0).Round(time.Millisecond))
-			return b.String()
+			return rendered{out: b.String(), err: err}
 		})
-		for _, out := range outputs {
-			fmt.Print(out)
+		for _, r := range outputs {
+			if r.err != nil {
+				fmt.Fprintf(os.Stderr, "ftbench: %v\n", r.err)
+				os.Exit(1)
+			}
+			fmt.Print(r.out)
 		}
 	} else {
 		for _, e := range selected {
 			t0 := time.Now()
-			e.RunAndPrint(os.Stdout, opts)
+			if err := e.RunAndPrint(os.Stdout, opts); err != nil {
+				fmt.Fprintf(os.Stderr, "ftbench: %v\n", err)
+				os.Exit(1)
+			}
 			fmt.Printf("(%s took %v)\n\n", e.ID, time.Since(t0).Round(time.Millisecond))
 		}
 	}

@@ -1,0 +1,156 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildFtlint compiles the ftlint binary once into a test temp dir.
+func buildFtlint(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "ftlint")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building ftlint: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// writeModule materializes a throwaway module from path -> contents.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, content := range files {
+		path := filepath.Join(dir, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o777); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+const badSimSource = `package sim
+
+import (
+	"math/rand"
+	"time"
+)
+
+func Shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+}
+
+func Stamp() int64 { return time.Now().UnixNano() }
+
+func Stream() *rand.Rand { return rand.New(rand.NewSource(1)) }
+`
+
+const badMetricsSource = `package metrics
+
+func Same(a, b float64) bool { return a == b }
+`
+
+func badModule(t *testing.T) string {
+	return writeModule(t, map[string]string{
+		"go.mod":                  "module badmod\n\ngo 1.22\n",
+		"internal/sim/bad.go":     badSimSource,
+		"internal/metrics/bad.go": badMetricsSource,
+	})
+}
+
+// TestSmokeStandalone runs the multichecker over a known-bad module and
+// asserts the non-zero exit plus one diagnostic per planted violation.
+func TestSmokeStandalone(t *testing.T) {
+	bin := buildFtlint(t)
+	cmd := exec.Command(bin, "./...")
+	cmd.Dir = badModule(t)
+	out, err := cmd.CombinedOutput()
+	exit, ok := err.(*exec.ExitError)
+	if !ok || exit.ExitCode() != 1 {
+		t.Fatalf("ftlint ./... on bad module: err=%v (want exit 1)\n%s", err, out)
+	}
+	for _, want := range []string{
+		"[nondeterm] call to global math/rand.Shuffle",
+		"[nondeterm] time.Now",
+		"[seedplumbing] rand.NewSource seeded from a constant",
+		"[floatcompare] floating-point == comparison",
+	} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("missing diagnostic %q in output:\n%s", want, out)
+		}
+	}
+}
+
+// TestSmokeVetTool drives the same bad module through the go command's
+// -vettool protocol, which exercises the unitchecker code path end to end.
+func TestSmokeVetTool(t *testing.T) {
+	bin := buildFtlint(t)
+	cmd := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	cmd.Dir = badModule(t)
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("go vet -vettool on bad module succeeded; want failure\n%s", out)
+	}
+	for _, want := range []string{"[nondeterm]", "[seedplumbing]", "[floatcompare]"} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("missing diagnostic %q in go vet output:\n%s", want, out)
+		}
+	}
+}
+
+// TestSmokeCleanModule asserts the zero exit on a module that follows the
+// sanctioned patterns, including a fixed seed in a test file (tests are out
+// of scope by design).
+func TestSmokeCleanModule(t *testing.T) {
+	bin := buildFtlint(t)
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module goodmod\n\ngo 1.22\n",
+		"internal/sim/good.go": `package sim
+
+import "math/rand"
+
+func Stream(seed int64, node int) *rand.Rand {
+	return rand.New(rand.NewSource(seed + int64(node)))
+}
+`,
+		"internal/sim/good_test.go": `package sim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestStream(t *testing.T) {
+	want := rand.New(rand.NewSource(1)).Int63()
+	if got := Stream(1, 0).Int63(); got != want {
+		t.Fatalf("got %d, want %d", got, want)
+	}
+}
+`,
+	})
+	cmd := exec.Command(bin, "./...")
+	cmd.Dir = dir
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("ftlint on clean module: %v\n%s", err, out)
+	}
+}
+
+// TestListFlag sanity-checks the -list output names every analyzer.
+func TestListFlag(t *testing.T) {
+	bin := buildFtlint(t)
+	out, err := exec.Command(bin, "-list").CombinedOutput()
+	if err != nil {
+		t.Fatalf("ftlint -list: %v\n%s", err, out)
+	}
+	for _, name := range []string{"nondeterm", "poolcapture", "floatcompare", "seedplumbing", "errdiscard"} {
+		if !strings.Contains(string(out), name) {
+			t.Errorf("-list output missing analyzer %q:\n%s", name, out)
+		}
+	}
+}

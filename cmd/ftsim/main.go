@@ -76,7 +76,9 @@ func main() {
 				fail("%v", err)
 			}
 			s, err = fattree.ReadSchedule(f, ft)
-			f.Close()
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
 			if err != nil {
 				fail("%v", err)
 			}
@@ -102,7 +104,10 @@ func main() {
 			if _, err := s.WriteTo(f); err != nil {
 				fail("writing schedule: %v", err)
 			}
-			f.Close()
+			// A close error on the write path means lost buffered data.
+			if err := f.Close(); err != nil {
+				fail("writing schedule: %v", err)
+			}
 			fmt.Printf("schedule written to %s\n", *saveSchedule)
 		}
 		fmt.Printf("schedule: %d delivery cycles (bound %.1f, utilization %.2f)\n",

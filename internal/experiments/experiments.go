@@ -76,15 +76,22 @@ func ByID(id string) (Experiment, bool) {
 	return Experiment{}, false
 }
 
-// RunAndPrint runs the experiment and writes its tables to w.
-func (e Experiment) RunAndPrint(w io.Writer, o Options) {
-	fmt.Fprintf(w, "== %s: %s (%s) ==\n\n", e.ID, e.Title, e.Source)
+// RunAndPrint runs the experiment and writes its tables to w. A write error
+// means the rendered run is incomplete, so it aborts the printout: a
+// truncated "paper bound vs measured" table must never pass for a full one.
+func (e Experiment) RunAndPrint(w io.Writer, o Options) error {
+	if _, err := fmt.Fprintf(w, "== %s: %s (%s) ==\n\n", e.ID, e.Title, e.Source); err != nil {
+		return err
+	}
 	for _, t := range e.Run(o) {
 		if _, err := t.WriteTo(w); err != nil {
-			fmt.Fprintf(w, "error rendering table: %v\n", err)
+			return fmt.Errorf("rendering %s table: %w", e.ID, err)
 		}
-		fmt.Fprintln(w)
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
 // pick returns q when quick, else full.

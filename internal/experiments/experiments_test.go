@@ -35,7 +35,9 @@ func TestByID(t *testing.T) {
 func TestRunAndPrint(t *testing.T) {
 	e, _ := ByID("E12")
 	var b strings.Builder
-	e.RunAndPrint(&b, Options{Quick: true, Seed: 1})
+	if err := e.RunAndPrint(&b, Options{Quick: true, Seed: 1}); err != nil {
+		t.Fatalf("RunAndPrint: %v", err)
+	}
 	out := b.String()
 	if !strings.Contains(out, "E12") || !strings.Contains(out, "payload") {
 		t.Errorf("missing content:\n%s", out)
@@ -56,14 +58,18 @@ func TestExperimentsDeterministic(t *testing.T) {
 
 func render(e Experiment, seed int64) string {
 	var b strings.Builder
-	e.RunAndPrint(&b, Options{Quick: true, Seed: seed})
+	if err := e.RunAndPrint(&b, Options{Quick: true, Seed: seed}); err != nil {
+		panic(err)
+	}
 	return b.String()
 }
 
 func BenchmarkQuickSuite(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		for _, e := range All() {
-			e.RunAndPrint(io.Discard, Options{Quick: true, Seed: 1})
+			if err := e.RunAndPrint(io.Discard, Options{Quick: true, Seed: 1}); err != nil {
+				b.Fatal(err)
+			}
 		}
 	}
 }

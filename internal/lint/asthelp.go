@@ -1,0 +1,93 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// calleeFunc resolves the function or method called by call, or nil when the
+// callee is not a declared function (a func value, builtin, or conversion).
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = info.Uses[fun.Sel]
+	case *ast.IndexExpr: // explicit instantiation of a generic function
+		if id, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+			obj = info.Uses[id]
+		} else if sel, ok := ast.Unparen(fun.X).(*ast.SelectorExpr); ok {
+			obj = info.Uses[sel.Sel]
+		}
+	}
+	fn, _ := obj.(*types.Func)
+	return fn
+}
+
+// funcPkgPath returns the import path of the package declaring fn, or "".
+func funcPkgPath(fn *types.Func) string {
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	return fn.Pkg().Path()
+}
+
+// isFloat reports whether t's underlying type is a floating-point basic type
+// (including untyped float constants).
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// resultsIncludeError reports whether the call's results include a value of
+// type error (the canonical "this can fail" signature shape).
+func resultsIncludeError(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if isErrorType(res.At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, errorType)
+}
+
+// declaredWithin reports whether obj's declaration lies inside node's source
+// range — the capture test: an identifier written inside a closure is
+// "captured" when its declaration is outside the closure body.
+func declaredWithin(obj types.Object, node ast.Node) bool {
+	return obj != nil && obj.Pos() != 0 && obj.Pos() >= node.Pos() && obj.Pos() <= node.End()
+}
+
+// usesAnyObject reports whether expr mentions an identifier resolving (via
+// Uses) to any object for which ok returns true.
+func usesAnyObject(info *types.Info, expr ast.Expr, ok func(types.Object) bool) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, isIdent := n.(*ast.Ident); isIdent {
+			if obj := info.Uses[id]; obj != nil && ok(obj) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

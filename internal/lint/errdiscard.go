@@ -1,0 +1,179 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrDiscard flags silently dropped errors in the user-facing layers (cmd/
+// and internal/experiments), where a swallowed write error means a truncated
+// experiment table that still looks like a complete "paper bound vs
+// measured" run:
+//
+//   - `_ = f()` and `_, _ = f()` assignments that blank every result of a
+//     call returning an error (or blank an existing error value);
+//   - calls used as bare statements whose results include an error —
+//     notably fmt.Fprintf to a real sink.
+//
+// Exemptions, matching Go convention: fmt.Print* (console stdout),
+// fmt.Fprint* to os.Stderr / os.Stdout (best-effort diagnostics), writes to
+// *strings.Builder / *bytes.Buffer (documented never to fail), and
+// `defer x.Close()` on read paths.
+var ErrDiscard = &Analyzer{
+	Name: "errdiscard",
+	Doc: "flags _ =-discarded errors and unchecked error-returning calls (fmt.Fprintf " +
+		"to real sinks) in cmd/ and internal/experiments",
+	Match: func(path string) bool {
+		return strings.Contains(path, "/cmd/") || pathHasSuffix(path, "internal/experiments")
+	},
+	Run: runErrDiscard,
+}
+
+func runErrDiscard(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				checkBlankAssign(pass, n)
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					checkUncheckedCall(pass, call, false)
+				}
+			case *ast.DeferStmt:
+				checkUncheckedCall(pass, n.Call, true)
+			case *ast.GoStmt:
+				checkUncheckedCall(pass, n.Call, true)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkBlankAssign flags assignments whose left side is entirely blank and
+// whose right side produces an error.
+func checkBlankAssign(pass *Pass, as *ast.AssignStmt) {
+	for _, lhs := range as.Lhs {
+		if id, ok := lhs.(*ast.Ident); !ok || id.Name != "_" {
+			return
+		}
+	}
+	if len(as.Rhs) == 1 {
+		if call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr); ok {
+			if resultsIncludeError(pass.Info, call) && !isExemptCall(pass, call) {
+				pass.Reportf(as.Pos(),
+					"error result of %s discarded with a blank assignment; handle it or propagate it",
+					calleeLabel(pass, call))
+			}
+			return
+		}
+	}
+	for i, rhs := range as.Rhs {
+		if t := pass.TypeOf(rhs); t != nil && isErrorType(t) {
+			pass.Reportf(as.Lhs[i].Pos(),
+				"error value discarded with a blank assignment; handle it or propagate it")
+		}
+	}
+}
+
+// checkUncheckedCall flags a call used as a statement when its results
+// include an error. deferred covers `defer` and `go` statements, where the
+// conventional `defer x.Close()` on read paths stays legal.
+func checkUncheckedCall(pass *Pass, call *ast.CallExpr, deferred bool) {
+	if !resultsIncludeError(pass.Info, call) || isExemptCall(pass, call) {
+		return
+	}
+	if deferred {
+		if fn := calleeFunc(pass.Info, call); fn != nil && fn.Name() == "Close" {
+			return
+		}
+	}
+	pass.Reportf(call.Pos(),
+		"error result of %s is unchecked; handle it or propagate it",
+		calleeLabel(pass, call))
+}
+
+// isExemptCall implements the conventional best-effort sinks.
+func isExemptCall(pass *Pass, call *ast.CallExpr) bool {
+	fn := calleeFunc(pass.Info, call)
+	if fn == nil {
+		return false
+	}
+	sig, _ := fn.Type().(*types.Signature)
+
+	// Methods on the never-failing in-memory writers.
+	if sig != nil && sig.Recv() != nil {
+		if t := sig.Recv().Type(); isNeverFailingWriter(t) {
+			return true
+		}
+		return false
+	}
+
+	if funcPkgPath(fn) != "fmt" {
+		return false
+	}
+	name := fn.Name()
+	switch {
+	case strings.HasPrefix(name, "Print"): // console stdout
+		return true
+	case strings.HasPrefix(name, "Fprint"):
+		if len(call.Args) == 0 {
+			return false
+		}
+		sink := ast.Unparen(call.Args[0])
+		if isStdStream(pass, sink) {
+			return true
+		}
+		if t := pass.TypeOf(sink); t != nil && isNeverFailingWriter(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// isStdStream recognizes the selector expressions os.Stderr and os.Stdout.
+func isStdStream(pass *Pass, e ast.Expr) bool {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj := pass.Info.Uses[sel.Sel]
+	v, ok := obj.(*types.Var)
+	if !ok || v.Pkg() == nil || v.Pkg().Path() != "os" {
+		return false
+	}
+	return v.Name() == "Stderr" || v.Name() == "Stdout"
+}
+
+// isNeverFailingWriter reports whether t is *strings.Builder or
+// *bytes.Buffer (possibly behind a pointer), whose Write methods are
+// documented to always succeed.
+func isNeverFailingWriter(t types.Type) bool {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	path, name := named.Obj().Pkg().Path(), named.Obj().Name()
+	return (path == "strings" && name == "Builder") || (path == "bytes" && name == "Buffer")
+}
+
+// calleeLabel renders the callee for diagnostics, e.g. "fmt.Fprintf" or
+// "(*os.File).Sync".
+func calleeLabel(pass *Pass, call *ast.CallExpr) string {
+	fn := calleeFunc(pass.Info, call)
+	if fn == nil {
+		return "call"
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		return types.TypeString(sig.Recv().Type(), types.RelativeTo(pass.Pkg)) + "." + fn.Name()
+	}
+	if fn.Pkg() != nil && fn.Pkg() != pass.Pkg {
+		return fn.Pkg().Name() + "." + fn.Name()
+	}
+	return fn.Name()
+}

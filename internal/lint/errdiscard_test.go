@@ -1,0 +1,21 @@
+package lint
+
+import "testing"
+
+func TestErrDiscardFixture(t *testing.T) {
+	RunFixture(t, ErrDiscard, ".", "errdiscard")
+}
+
+func TestErrDiscardMatch(t *testing.T) {
+	for path, want := range map[string]bool{
+		"fattree/cmd/ftsim":            true,
+		"fattree/cmd/ftlint":           true,
+		"fattree/internal/experiments": true,
+		"fattree/internal/sim":         false,
+		"fattree":                      false,
+	} {
+		if got := ErrDiscard.Match(path); got != want {
+			t.Errorf("ErrDiscard.Match(%q) = %v, want %v", path, got, want)
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatCompare flags == and != between floating-point values in the numeric
+// packages (internal/vlsi, internal/metrics). The experiment tables carry
+// fitted exponents, areas, and R² values computed through chains of float
+// arithmetic; exact equality on such values is at best accidental and at
+// worst makes a "paper bound vs measured" row flip between runs of
+// mathematically identical code (different FMA contraction, different
+// association after a refactor). The sanctioned forms are the tolerance
+// helpers metrics.ApproxEqual / metrics.NearZero, or an explicit
+// |a-b| <= eps with a justified eps.
+//
+// Two exact idioms stay legal: x != x (the NaN test) and comparisons
+// against math.Inf(...) (infinities are exactly representable).
+var FloatCompare = &Analyzer{
+	Name: "floatcompare",
+	Doc: "flags ==/!= on floating-point values in internal/vlsi and internal/metrics; " +
+		"use metrics.ApproxEqual / metrics.NearZero or an explicit tolerance",
+	Match: func(path string) bool {
+		return pathHasSuffix(path, "internal/vlsi") || pathHasSuffix(path, "internal/metrics")
+	},
+	Run: runFloatCompare,
+}
+
+func runFloatCompare(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			bin, ok := n.(*ast.BinaryExpr)
+			if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+				return true
+			}
+			xt, yt := pass.TypeOf(bin.X), pass.TypeOf(bin.Y)
+			if xt == nil || yt == nil || (!isFloat(xt) && !isFloat(yt)) {
+				return true
+			}
+			if bothConstant(pass, bin) {
+				return true // compile-time comparison, exact by definition
+			}
+			if isSelfCompare(bin) {
+				return true // x != x: the NaN test
+			}
+			if isMathInfCall(pass, bin.X) || isMathInfCall(pass, bin.Y) {
+				return true
+			}
+			pass.Reportf(bin.Pos(),
+				"floating-point %s comparison: use metrics.ApproxEqual / metrics.NearZero (explicit tolerance) instead of exact equality",
+				bin.Op)
+			return true
+		})
+	}
+	return nil
+}
+
+// bothConstant reports whether both operands are compile-time constants.
+func bothConstant(pass *Pass, bin *ast.BinaryExpr) bool {
+	xv := pass.Info.Types[bin.X]
+	yv := pass.Info.Types[bin.Y]
+	return xv.Value != nil && yv.Value != nil
+}
+
+// isSelfCompare recognizes `x == x` / `x != x` over a plain identifier.
+func isSelfCompare(bin *ast.BinaryExpr) bool {
+	x, okx := ast.Unparen(bin.X).(*ast.Ident)
+	y, oky := ast.Unparen(bin.Y).(*ast.Ident)
+	return okx && oky && x.Name == y.Name
+}
+
+// isMathInfCall recognizes a direct call to math.Inf.
+func isMathInfCall(pass *Pass, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn := calleeFunc(pass.Info, call)
+	if fn == nil {
+		return false
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	return funcPkgPath(fn) == "math" && fn.Name() == "Inf" && sig != nil && sig.Recv() == nil
+}

@@ -1,0 +1,19 @@
+package lint
+
+import "testing"
+
+func TestFloatCompareFixture(t *testing.T) {
+	RunFixture(t, FloatCompare, ".", "floatcompare")
+}
+
+func TestFloatCompareMatch(t *testing.T) {
+	for path, want := range map[string]bool{
+		"fattree/internal/vlsi":    true,
+		"fattree/internal/metrics": true,
+		"fattree/internal/sim":     false,
+	} {
+		if got := FloatCompare.Match(path); got != want {
+			t.Errorf("FloatCompare.Match(%q) = %v, want %v", path, got, want)
+		}
+	}
+}

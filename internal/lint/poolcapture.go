@@ -1,0 +1,137 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// PoolCapture flags closures handed to the internal/par fan-out primitives
+// (Pool.ForEach, par.Map) that write to captured state other than a
+// per-index result slot. The pool's contract is exactly the deterministic-
+// merge discipline of the parallel engine and scheduler: distinct items may
+// run on any worker in any order, so an item may write only
+//
+//	slot[f(i)] = …   // an element selected by the item's own index
+//
+// and never a shared scalar (`total += x`), a fixed element (`out[0] = x`),
+// or a shared slice header (`all = append(all, x)`). Those shapes are data
+// races that `go test -race` only reports when the scheduler happens to
+// interleave them; this analyzer rejects them statically.
+var PoolCapture = &Analyzer{
+	Name: "poolcapture",
+	Doc: "flags closures passed to par.Pool.ForEach / par.Map that write captured " +
+		"variables other than their own per-index result slot",
+	Run: runPoolCapture,
+}
+
+func runPoolCapture(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name := parFanoutCallee(pass, call)
+			if name == "" {
+				return true
+			}
+			// The worker function is the trailing argument in both shapes:
+			// (*Pool).ForEach(n, fn) and Map(pool, n, fn).
+			if len(call.Args) == 0 {
+				return true
+			}
+			fn, ok := call.Args[len(call.Args)-1].(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			checkPoolClosure(pass, name, fn)
+			return true
+		})
+	}
+	return nil
+}
+
+// parFanoutCallee returns "ForEach" or "Map" when call targets the par
+// package's fan-out primitives (recognized at any import path ending in
+// "par", so relocated fixtures match too), else "".
+func parFanoutCallee(pass *Pass, call *ast.CallExpr) string {
+	fn := calleeFunc(pass.Info, call)
+	if fn == nil || !pathHasSuffix(funcPkgPath(fn), "par") {
+		return ""
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil {
+		return ""
+	}
+	switch {
+	case fn.Name() == "ForEach" && sig.Recv() != nil:
+		return "ForEach"
+	case fn.Name() == "Map" && sig.Recv() == nil:
+		return "Map"
+	}
+	return ""
+}
+
+// checkPoolClosure inspects every write inside the worker closure.
+func checkPoolClosure(pass *Pass, callee string, fn *ast.FuncLit) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if inner, ok := n.(*ast.FuncLit); ok && inner != fn {
+			return true // writes in nested closures are still writes; keep walking
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				checkPoolWrite(pass, callee, fn, lhs)
+			}
+		case *ast.IncDecStmt:
+			checkPoolWrite(pass, callee, fn, n.X)
+		}
+		return true
+	})
+}
+
+// checkPoolWrite reports lhs when it writes captured state without selecting
+// the slot through any closure-local value. The slot-selection rule: a write
+// is per-index if the root of the lvalue chain is declared inside the
+// closure, or if any index along the chain mentions a closure-local variable
+// (the index parameter or anything derived from it).
+func checkPoolWrite(pass *Pass, callee string, fn *ast.FuncLit, lhs ast.Expr) {
+	local := func(obj types.Object) bool { return declaredWithin(obj, fn) }
+
+	expr := ast.Unparen(lhs)
+	perIndex := false
+	for {
+		done := false
+		switch e := expr.(type) {
+		case *ast.IndexExpr:
+			if usesAnyObject(pass.Info, e.Index, local) {
+				perIndex = true
+			}
+			expr = ast.Unparen(e.X)
+		case *ast.SelectorExpr:
+			expr = ast.Unparen(e.X)
+		case *ast.StarExpr:
+			expr = ast.Unparen(e.X)
+		default:
+			done = true
+		}
+		if done {
+			break
+		}
+	}
+	id, ok := expr.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return
+	}
+	obj := pass.ObjectOf(id)
+	if obj == nil || local(obj) || perIndex {
+		return
+	}
+	if _, isVar := obj.(*types.Var); !isVar {
+		return
+	}
+	pass.Reportf(lhs.Pos(),
+		"closure passed to par.%s writes captured variable %q outside its per-index slot; "+
+			"write only result[i] (or an element selected by the item index) and merge after the fan-out",
+		callee, id.Name)
+}

@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestPoolCaptureFixture(t *testing.T) {
+	RunFixture(t, PoolCapture, ".", "poolcapture")
+}

@@ -1,0 +1,87 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SeedPlumbing flags RNG streams whose seed is not plumbed: a call to
+// rand.NewSource (or rand.NewChaCha8/NewPCG under math/rand/v2) whose
+// argument mentions no variable at all — only literals, constants, and
+// calls such as time.Now().UnixNano(). Every RNG in the deterministic
+// packages must derive from a seed parameter or a parent stream, the
+// (seed, node) discipline that makes the parallel engine's per-switch
+// randomness reproducible for any worker count:
+//
+//	rand.New(rand.NewSource(seed + int64(node)))   // sanctioned
+//	rand.New(rand.NewSource(42))                   // flagged: constant
+//	rand.New(rand.NewSource(time.Now().UnixNano()))// flagged: clock
+//
+// The check is per-source-expression, so constructors that take a seed but
+// ignore it when wiring their RNGs are still caught.
+var SeedPlumbing = &Analyzer{
+	Name: "seedplumbing",
+	Doc: "flags rand.NewSource calls whose seed derives from no variable (constants, " +
+		"the clock) inside the deterministic packages; seeds must be plumbed from (seed, node)",
+	Match: func(path string) bool {
+		for _, pkg := range []string{"internal/sim", "internal/sched", "internal/core", "internal/concentrator"} {
+			if pathHasSuffix(path, pkg) {
+				return true
+			}
+		}
+		return false
+	},
+	Run: runSeedPlumbing,
+}
+
+// sourceCtors are the stream constructors whose argument is the seed.
+var sourceCtors = map[string]bool{"NewSource": true, "NewPCG": true, "NewChaCha8": true}
+
+func runSeedPlumbing(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.Info, call)
+			if fn == nil || !sourceCtors[fn.Name()] {
+				return true
+			}
+			if path := funcPkgPath(fn); path != "math/rand" && path != "math/rand/v2" {
+				return true
+			}
+			if len(call.Args) == 0 {
+				return true
+			}
+			for _, arg := range call.Args {
+				if seedIsPlumbed(pass, arg) {
+					return true
+				}
+			}
+			pass.Reportf(call.Pos(),
+				"rand.%s seeded from a constant or the clock: derive the seed from a plumbed parameter or parent stream, e.g. (seed, node)",
+				fn.Name())
+			return true
+		})
+	}
+	return nil
+}
+
+// seedIsPlumbed reports whether the seed expression mentions at least one
+// variable (parameter, receiver field, local derived value) — the signature
+// of a seed that flows from the caller rather than being invented on the
+// spot. Package names and constants do not count.
+func seedIsPlumbed(pass *Pass, arg ast.Expr) bool {
+	return usesAnyObject(pass.Info, arg, func(obj types.Object) bool {
+		v, ok := obj.(*types.Var)
+		if !ok {
+			return false
+		}
+		// A package-level var is shared mutable state, not a plumbed seed.
+		if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return false
+		}
+		return true
+	})
+}

@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestSeedPlumbingFixture(t *testing.T) {
+	RunFixture(t, SeedPlumbing, ".", "seedplumbing")
+}

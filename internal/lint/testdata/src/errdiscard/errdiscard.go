@@ -1,0 +1,62 @@
+// Package errdiscard is the fixture for the errdiscard analyzer: dropped
+// errors in user-facing layers hide truncated output.
+package errdiscard
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+func uncheckedFprintf(w io.Writer) {
+	fmt.Fprintf(w, "x=%d\n", 1) // want `error result of fmt\.Fprintf is unchecked`
+}
+
+func uncheckedFprintln(w io.Writer) {
+	fmt.Fprintln(w, "row") // want `error result of fmt\.Fprintln is unchecked`
+}
+
+func blankPair(w io.Writer) {
+	_, _ = fmt.Fprintln(w, "hi") // want `error result of fmt\.Fprintln discarded`
+}
+
+func blankSingle(f *os.File) {
+	_ = f.Sync() // want `error result of \*os\.File\.Sync discarded`
+}
+
+func blankErrValue(err error) {
+	_ = err // want `error value discarded`
+}
+
+func uncheckedMethod(f *os.File) {
+	f.Sync() // want `error result of \*os\.File\.Sync is unchecked`
+}
+
+func stderrDiagnostics() {
+	fmt.Fprintln(os.Stderr, "diag") // best-effort diagnostics: legal
+	fmt.Fprintf(os.Stdout, "out\n")
+}
+
+func consoleOutput() {
+	fmt.Println("hello") // console stdout: legal
+}
+
+func inMemorySinks(b *strings.Builder, buf *bytes.Buffer) {
+	fmt.Fprintf(b, "x")   // *strings.Builder never fails: legal
+	fmt.Fprintf(buf, "y") // *bytes.Buffer never fails: legal
+	b.WriteString("z")
+	buf.WriteByte('w')
+}
+
+func deferredClose(f *os.File) {
+	defer f.Close() // conventional on read paths: legal
+}
+
+func handled(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "x"); err != nil {
+		return err
+	}
+	return nil
+}

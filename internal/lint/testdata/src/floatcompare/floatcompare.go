@@ -1,0 +1,44 @@
+// Package floatcompare is the fixture for the floatcompare analyzer.
+package floatcompare
+
+import "math"
+
+func exactEqual(a, b float64) bool {
+	return a == b // want `floating-point == comparison`
+}
+
+func exactNotEqual(a float64) bool {
+	return a != 0 // want `floating-point != comparison`
+}
+
+func float32Equal(a, b float32) bool {
+	return a == b // want `floating-point == comparison`
+}
+
+func mixedExpr(a, b float64) bool {
+	return a*2 == b+1 // want `floating-point == comparison`
+}
+
+func nanTest(a float64) bool {
+	return a != a // the NaN test: legal
+}
+
+func infTest(a float64) bool {
+	return a == math.Inf(1) // infinities compare exactly: legal
+}
+
+func intEqual(a, b int) bool {
+	return a == b // integers: not our business
+}
+
+func constFold() bool {
+	return 0.1+0.2 == 0.3 // both sides constant: compile-time exact
+}
+
+func tolerance(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-9 // the sanctioned form
+}
+
+func ordering(a, b float64) bool {
+	return a < b // ordering comparisons are fine
+}

@@ -1,0 +1,79 @@
+// Package nondeterm is the fixture for the nondeterm analyzer: global
+// math/rand calls, the clock, and order-sensitive map iteration are flagged;
+// seeded streams and order-free reductions are not.
+package nondeterm
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func globalRand() int {
+	return rand.Intn(10) // want `global math/rand\.Intn`
+}
+
+func globalPerm(n int) []int {
+	return rand.Perm(n) // want `global math/rand\.Perm`
+}
+
+func clock() int64 {
+	return time.Now().UnixNano() // want `time\.Now`
+}
+
+func clockSeed() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want `time\.Now`
+}
+
+func seededStream(seed int64, node int) *rand.Rand {
+	return rand.New(rand.NewSource(seed + int64(node))) // sanctioned (seed, node) stream
+}
+
+func mapToSlice(m map[int]int) []int {
+	var out []int
+	for k := range m { // want `map iteration feeds ordered output \(append\)`
+		out = append(out, k)
+	}
+	return out
+}
+
+func mapToIndexed(m map[int]string, out []string) {
+	for k, v := range m { // want `map iteration feeds ordered output \(slice element write\)`
+		out[k%len(out)] = v
+	}
+}
+
+func mapToChannel(m map[int]int, ch chan int) {
+	for _, v := range m { // want `map iteration feeds ordered output \(channel send\)`
+		ch <- v
+	}
+}
+
+func mapReduce(m map[int]int) int {
+	total := 0
+	for _, v := range m { // order-free reduction: legal
+		total += v
+	}
+	return total
+}
+
+func mapClear(m map[int]int) int {
+	n := 0
+	for range m { // no element data escapes: legal
+		n++
+	}
+	return n
+}
+
+func sortedKeys(m map[int]int) []int {
+	// The collect-then-sort idiom still trips the analyzer by design: the
+	// deterministic packages should carry the sort next to the collection
+	// and annotate the sanctioned site.
+	var keys []int
+	//ftlint:ignore nondeterm keys are sorted immediately below
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}

@@ -1,0 +1,24 @@
+// Package par is a fixture stand-in for fattree/internal/par with the same
+// fan-out API surface, so the poolcapture fixture type-checks without
+// importing the real module.
+package par
+
+type Pool struct{ workers int }
+
+func New(workers int) *Pool { return &Pool{workers: workers} }
+
+func (p *Pool) Workers() int { return p.workers }
+
+func (p *Pool) ForEach(n int, fn func(i int)) {
+	for i := 0; i < n; i++ {
+		fn(i)
+	}
+}
+
+func Map[T any](p *Pool, n int, fn func(i int) T) []T {
+	out := make([]T, n)
+	p.ForEach(n, func(i int) {
+		out[i] = fn(i)
+	})
+	return out
+}

@@ -1,0 +1,82 @@
+// Package poolcapture is the fixture for the poolcapture analyzer: closures
+// on the par fan-out primitives may write only per-index slots.
+package poolcapture
+
+import "par"
+
+func sharedScalar(p *par.Pool, n int) int {
+	total := 0
+	p.ForEach(n, func(i int) {
+		total += i // want `captured variable "total"`
+	})
+	return total
+}
+
+func sharedIncrement(p *par.Pool, n int) int {
+	count := 0
+	p.ForEach(n, func(i int) {
+		count++ // want `captured variable "count"`
+	})
+	return count
+}
+
+func fixedSlot(p *par.Pool, n int, out []int) {
+	p.ForEach(n, func(i int) {
+		out[0] = i // want `captured variable "out"`
+	})
+}
+
+func sharedAppend(p *par.Pool, n int) []int {
+	var all []int
+	p.ForEach(n, func(i int) {
+		all = append(all, i) // want `captured variable "all"`
+	})
+	return all
+}
+
+func mapWriteInsideMap(p *par.Pool, n int) []int {
+	seen := 0
+	return par.Map(p, n, func(i int) int {
+		seen++ // want `captured variable "seen"`
+		return seen
+	})
+}
+
+func perIndexSlot(p *par.Pool, n int) []int {
+	out := make([]int, n)
+	p.ForEach(n, func(i int) {
+		out[i] = i * i // the sanctioned pattern
+	})
+	return out
+}
+
+func derivedIndexSlot(p *par.Pool, nodes, dropped []int) {
+	// The engine's level-sharding shape: the slot index is derived from the
+	// item index through a closure-local value.
+	p.ForEach(len(nodes), func(k int) {
+		v := nodes[k]
+		dropped[v] = v
+	})
+}
+
+func localState(p *par.Pool, n int, out []int) {
+	p.ForEach(n, func(i int) {
+		acc := 0
+		for j := 0; j < i; j++ {
+			acc += j
+		}
+		out[i] = acc
+	})
+}
+
+func structSlot(p *par.Pool, results []struct{ Sum int }) {
+	p.ForEach(len(results), func(i int) {
+		results[i].Sum = i // per-index field write: legal
+	})
+}
+
+func sharedStructField(p *par.Pool, n int, agg *struct{ Sum int }) {
+	p.ForEach(n, func(i int) {
+		agg.Sum += i // want `captured variable "agg"`
+	})
+}

@@ -1,0 +1,51 @@
+// Package seedplumbing is the fixture for the seedplumbing analyzer: every
+// RNG stream must derive its seed from a plumbed parameter or parent stream.
+package seedplumbing
+
+import (
+	"math/rand"
+	"time"
+)
+
+func constantSeed() *rand.Rand {
+	return rand.New(rand.NewSource(42)) // want `seeded from a constant or the clock`
+}
+
+func clockSeed() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want `seeded from a constant or the clock`
+}
+
+const fixedSeed = 7
+
+func namedConstantSeed() *rand.Rand {
+	return rand.New(rand.NewSource(fixedSeed)) // want `seeded from a constant or the clock`
+}
+
+var processSeed int64
+
+func packageVarSeed() *rand.Rand {
+	return rand.New(rand.NewSource(processSeed)) // want `seeded from a constant or the clock`
+}
+
+func plumbedSeed(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+func derivedStream(seed int64, node int) *rand.Rand {
+	return rand.New(rand.NewSource(seed + int64(3*node)))
+}
+
+type sw struct{ seed int64 }
+
+func (s *sw) stream() *rand.Rand {
+	return rand.New(rand.NewSource(s.seed ^ 0x9e3779b9))
+}
+
+func parentStream(parent *rand.Rand) *rand.Rand {
+	return rand.New(rand.NewSource(parent.Int63()))
+}
+
+func localDerived(seed int64) *rand.Rand {
+	mixed := seed*6364136223846793005 + 1442695040888963407
+	return rand.New(rand.NewSource(mixed))
+}

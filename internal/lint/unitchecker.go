@@ -1,0 +1,109 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/importer"
+	"go/token"
+	"io"
+	"os"
+	"strings"
+)
+
+// hasTestFile reports whether any source file is a _test.go file.
+func hasTestFile(files []string) bool {
+	for _, f := range files {
+		if strings.HasSuffix(f, "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+// This file implements the driver side of cmd/vet's -vettool protocol, so
+// ftlint can run as `go vet -vettool=$(which ftlint) ./...`. The go command
+// invokes the tool once per package with a JSON config file argument
+// (<dir>/vet.cfg) naming the package's sources and the export-data files of
+// its imports, and expects the tool to write the "facts" output file, print
+// diagnostics to stderr, and exit non-zero when it found any. ftlint
+// computes no cross-package facts, so the facts file is written empty.
+
+// vetConfig mirrors the fields of the go command's vet config JSON that
+// ftlint consumes (the file carries more; unknown fields are ignored).
+type vetConfig struct {
+	ID                        string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// RunVetTool executes one -vettool invocation for the config file at
+// cfgPath, returning the number of diagnostics printed to stderr.
+func RunVetTool(cfgPath string, analyzers []*Analyzer) (int, error) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return 0, err
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return 0, fmt.Errorf("parsing vet config %s: %v", cfgPath, err)
+	}
+	// The facts file must exist for the go command to cache the result,
+	// even when this package is only analyzed for its dependents.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			return 0, err
+		}
+	}
+	if cfg.VetxOnly {
+		return 0, nil
+	}
+	// The invariants are production-code rules: tests may use fixed seeds
+	// and exact comparisons deliberately. The go command compiles test
+	// variants as separate units ("p [p.test]", "p_test"); skip any unit
+	// carrying test sources, mirroring the standalone loader, which
+	// analyzes GoFiles only.
+	if strings.Contains(cfg.ImportPath, " [") || strings.HasSuffix(cfg.ImportPath, ".test") ||
+		strings.HasSuffix(cfg.ImportPath, "_test") || hasTestFile(cfg.GoFiles) {
+		return 0, nil
+	}
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	pkg, err := checkPackage(fset, imp, cfg.ImportPath, cfg.Dir, cfg.GoFiles)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0, nil
+		}
+		return 0, err
+	}
+
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		if a.Match != nil && !a.Match(cfg.ImportPath) {
+			continue
+		}
+		if err := runOne(pkg, a, &diags); err != nil {
+			return 0, err
+		}
+	}
+	diags = filterIgnored([]*Package{pkg}, diags)
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	return len(diags), nil
+}

@@ -86,14 +86,14 @@ func leastSquares(xs, ys []float64) (slope, intercept, r2 float64) {
 		syy += ys[i] * ys[i]
 	}
 	den := n*sxx - sx*sx
-	if den == 0 {
-		// All x equal: flat fit.
+	if NearZero(den, n*sxx+sx*sx) {
+		// All x equal (up to cancellation error): flat fit.
 		return 0, sy / n, 0
 	}
 	slope = (n*sxy - sx*sy) / den
 	intercept = (sy - slope*sx) / n
 	ssTot := syy - sy*sy/n
-	if ssTot == 0 {
+	if NearZero(ssTot, syy+sy*sy/n) {
 		return slope, intercept, 1
 	}
 	ssRes := 0.0

@@ -107,6 +107,9 @@ func (t *Table) AddRow(cells ...interface{}) {
 // formatFloat renders floats compactly: integers without decimals, small
 // values with three significant digits.
 func formatFloat(v float64) string {
+	// Exact integrality is the point here: 2.0 prints as "2", 2.0000001 must
+	// not. A tolerance would silently round near-integers in the tables.
+	//ftlint:ignore floatcompare exact integrality test chooses the format
 	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
 		return fmt.Sprintf("%.0f", v)
 	}

@@ -1,0 +1,39 @@
+package metrics
+
+import "math"
+
+// Tolerance helpers: the sanctioned replacements for exact floating-point
+// equality in the numeric packages (enforced by the floatcompare analyzer,
+// internal/lint). Fitted exponents, areas, and R² values travel through long
+// chains of float arithmetic, so "equal" must always mean "equal to within a
+// stated tolerance".
+
+// DefaultTol is the relative tolerance used when a caller has no sharper
+// error analysis: a few orders of magnitude above one ulp of float64, loose
+// enough to absorb re-association and FMA contraction, tight enough that any
+// physically meaningful difference in the experiment tables exceeds it.
+const DefaultTol = 1e-12
+
+// ApproxEqual reports whether a and b are equal to within the relative
+// tolerance tol: |a-b| <= tol · max(1, |a|, |b|). NaNs are never
+// approximately equal to anything; infinities are approximately equal only
+// when identical.
+func ApproxEqual(a, b, tol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	if math.IsInf(a, 0) || math.IsInf(b, 0) {
+		//ftlint:ignore floatcompare operands are infinite here; equality is exact
+		return a == b
+	}
+	scale := math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+	return math.Abs(a-b) <= tol*scale
+}
+
+// NearZero reports whether x vanishes relative to the magnitude of the
+// computation that produced it: |x| <= DefaultTol · max(1, |scale|). Pass
+// the sum of magnitudes of the terms whose cancellation could produce x —
+// e.g. for den = n·Σx² − (Σx)², scale is n·Σx² + (Σx)².
+func NearZero(x, scale float64) bool {
+	return math.Abs(x) <= DefaultTol*math.Max(1, math.Abs(scale))
+}

@@ -287,6 +287,7 @@ func OffLineBig(t *core.FatTree, ms core.MessageSet) *Schedule {
 
 	byNode, extOut, extIn := groupByLCA(t, ms)
 	nodes := make([]int, 0, len(byNode))
+	//ftlint:ignore nondeterm keys are sorted immediately below
 	for v := range byNode {
 		nodes = append(nodes, v)
 	}

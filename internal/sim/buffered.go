@@ -93,7 +93,11 @@ func RunBuffered(t *core.FatTree, ms core.MessageSet, queueDepth int) BufferedSt
 	}
 
 	queues := make([][]int, n2) // per channel: FIFO of message indices
-	sourceQ := make(map[int][]int)
+	// Per-leaf source backlogs, indexed by heap node id. A slice rather
+	// than a map keeps the injection sweep below in fixed leaf order —
+	// map iteration order would vary run to run (see internal/lint,
+	// nondeterm analyzer).
+	sourceQ := make([][]int, 2*t.Processors())
 	for i, m := range ms {
 		leaf := t.Leaf(m.Src)
 		sourceQ[leaf] = append(sourceQ[leaf], i)
@@ -147,8 +151,13 @@ func RunBuffered(t *core.FatTree, ms core.MessageSet, queueDepth int) BufferedSt
 				sent++
 			}
 		}
-		// Injection: sources push into their leaf's up channel queue.
-		for leaf, q := range sourceQ {
+		// Injection: sources push into their leaf's up channel queue, in
+		// ascending leaf order.
+		for leaf := t.Processors(); leaf < 2*t.Processors(); leaf++ {
+			q := sourceQ[leaf]
+			if len(q) == 0 {
+				continue
+			}
 			capLeaf := t.Capacity(core.Channel{Node: leaf, Dir: core.Up})
 			c := chanUp(leaf)
 			sent := 0
@@ -167,7 +176,7 @@ func RunBuffered(t *core.FatTree, ms core.MessageSet, queueDepth int) BufferedSt
 		}
 
 		// Phase 2: apply.
-		departed := make(map[int]int) // channel -> count removed from head
+		departed := make([]int, n2) // per channel: count removed from head
 		for _, mv := range moves {
 			at[mv.msg]++
 			if mv.from >= 0 {
@@ -175,9 +184,6 @@ func RunBuffered(t *core.FatTree, ms core.MessageSet, queueDepth int) BufferedSt
 			} else {
 				leaf := t.Leaf(ms[mv.msg].Src)
 				sourceQ[leaf] = sourceQ[leaf][1:]
-				if len(sourceQ[leaf]) == 0 {
-					delete(sourceQ, leaf)
-				}
 			}
 			if mv.to == -1 {
 				latency[mv.msg] = hop
@@ -188,7 +194,9 @@ func RunBuffered(t *core.FatTree, ms core.MessageSet, queueDepth int) BufferedSt
 			queues[mv.to] = append(queues[mv.to], mv.msg)
 		}
 		for c, k := range departed {
-			queues[c] = queues[c][k:]
+			if k > 0 {
+				queues[c] = queues[c][k:]
+			}
 		}
 		for c := range queues {
 			if len(queues[c]) > stats.MaxQueue {

@@ -1,0 +1,98 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"fattree/internal/concentrator"
+	"fattree/internal/core"
+)
+
+// decodeEngineFuzz turns raw fuzz bytes into a delivery scenario: byte 0
+// picks the tree shape, byte 1 the switch kind, seed, and loss rate, and the
+// remaining byte pairs are (src, dst) candidates (self-loops skipped so the
+// set always validates).
+func decodeEngineFuzz(data []byte) (ft *core.FatTree, ms core.MessageSet, kind concentrator.Kind, seed int64, loss float64) {
+	shape, knobs := byte(0), byte(0)
+	if len(data) > 0 {
+		shape = data[0]
+		data = data[1:]
+	}
+	if len(data) > 0 {
+		knobs = data[0]
+		data = data[1:]
+	}
+	n := 8 << (shape % 3)        // 8, 16, 32
+	w := 1 << (1 + (shape>>2)%4) // 2, 4, 8, 16
+	ft = core.NewUniversal(n, w)
+	kind = concentrator.KindIdeal
+	if knobs&1 == 1 {
+		kind = concentrator.KindPartial
+	}
+	seed = int64(knobs>>1) + 1
+	if knobs&2 == 2 {
+		loss = float64(knobs>>4) / 100 // 0% .. 15%
+	}
+	for i := 0; i+1 < len(data) && len(ms) < 4*n; i += 2 {
+		src, dst := int(data[i])%n, int(data[i+1])%n
+		if src == dst {
+			continue
+		}
+		ms = append(ms, core.Message{Src: src, Dst: dst})
+	}
+	return ft, ms, kind, seed, loss
+}
+
+// FuzzEngineParallelEquivalence cross-checks the parallel delivery-cycle
+// path against the serial reference on fuzz-generated scenarios: for any
+// tree shape, switch kind, loss rate, and worker count, RunParallel must
+// reproduce Run bit-for-bit — total cycle count, per-cycle delivery
+// profile, drops, and deferrals. This is the engine-level complement of
+// sched's FuzzSchedule and the machine-checked form of the determinism
+// contract in DESIGN.md: all per-switch randomness is pre-seeded by
+// (seed, node), and every fan-out merges in message-index order.
+func FuzzEngineParallelEquivalence(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 7, 3, 4, 1})
+	f.Add([]byte{1, 1, 0, 15, 15, 0, 1, 14, 2, 13, 3, 12})
+	f.Add([]byte{2, 3, 5, 6, 5, 7, 5, 8, 6, 5, 7, 5})
+	f.Add([]byte{9, 0x35, 5, 5, 5, 6, 5, 7, 5, 8, 6, 5, 7, 5, 1, 2, 3, 4})
+	f.Add([]byte{4, 0xff, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6, 7, 7, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ft, ms, kind, seed, loss := decodeEngineFuzz(data)
+
+		// Fresh engines per run: switch RNG streams advance as cycles are
+		// routed, so serial and parallel must start from identical state.
+		mkEngine := func(workers int) *Engine {
+			e := NewWithOptions(ft, kind, seed, Options{Workers: workers})
+			if loss > 0 {
+				e.InjectLoss(loss, seed+1)
+			}
+			return e
+		}
+
+		serial := mkEngine(1).Run(ms)
+		for _, workers := range []int{0, 2, 3} {
+			parallel := mkEngine(workers).RunParallel(ms)
+			if serial.Cycles != parallel.Cycles ||
+				serial.Delivered != parallel.Delivered ||
+				serial.Drops != parallel.Drops ||
+				serial.Deferrals != parallel.Deferrals {
+				t.Fatalf("workers=%d: stats diverge\nserial   %+v\nparallel %+v",
+					workers, serial, parallel)
+			}
+			if !reflect.DeepEqual(serial.PerCycle, parallel.PerCycle) {
+				t.Fatalf("workers=%d: per-cycle delivery profile diverges\nserial   %v\nparallel %v",
+					workers, serial.PerCycle, parallel.PerCycle)
+			}
+		}
+
+		// The single-cycle API must agree as well, including the delivered
+		// flags vector (message-index order is part of the contract).
+		sd, sr := mkEngine(1).RunCycle(ms)
+		pd, pr := mkEngine(2).RunCycleParallel(ms)
+		if sr != pr || !reflect.DeepEqual(sd, pd) {
+			t.Fatalf("RunCycle diverges: serial %+v %v, parallel %+v %v", sr, sd, pr, pd)
+		}
+	})
+}
