@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint lint-extra fuzz check
+.PHONY: all build test race lint lint-extra fuzz bench-json check
 
 all: check
 
@@ -39,6 +39,12 @@ lint-extra:
 	else \
 		echo "govulncheck not installed; skipping (CI runs it pinned)"; \
 	fi
+
+# Delivery-engine micro-benchmarks (EXPERIMENTS.md §A4) as machine-readable
+# JSON: ns/op, B/op, allocs/op for RouteCycle{Serial,Parallel} and
+# OffLineSchedule at n = 256, 1024, 4096.
+bench-json:
+	$(GO) run ./cmd/ftbench -bench -json > BENCH_3.json
 
 # Short fuzz shakeout of the two cross-check targets (serial vs parallel).
 fuzz:

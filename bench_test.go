@@ -192,6 +192,62 @@ func BenchmarkEngineParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkRouteCycleSerial / BenchmarkRouteCycleParallel isolate one
+// delivery cycle (no retry loop) on the two engine paths, the hottest unit of
+// work in the repository. allocs/op is the tracked figure: the cycle data
+// plane is required to reach zero steady-state heap allocation (the first
+// iteration warms the engine's scratch arena). Recorded in EXPERIMENTS.md
+// under "A4 — allocation-free delivery cycles".
+func benchRouteCycle(b *testing.B, n int, parallel bool) {
+	ft := fattree.NewUniversal(n, n/4)
+	ms := fattree.RandomPermutation(n, 1)
+	workers := 1
+	if parallel {
+		workers = 0 // GOMAXPROCS
+	}
+	e := fattree.NewEngineWithOptions(ft, fattree.SwitchIdeal, 0, fattree.Options{Workers: workers})
+	// Warm the scratch arena so the measured loop is steady state.
+	e.RunCycle(ms)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		delivered, res := e.RunCycle(ms)
+		if res.Delivered == 0 || len(delivered) != len(ms) {
+			b.Fatalf("cycle delivered %d of %d", res.Delivered, len(ms))
+		}
+	}
+}
+
+func BenchmarkRouteCycleSerial(b *testing.B) {
+	for _, n := range []int{256, 1024, 4096} {
+		b.Run("n="+itoa(n), func(b *testing.B) { benchRouteCycle(b, n, false) })
+	}
+}
+
+func BenchmarkRouteCycleParallel(b *testing.B) {
+	for _, n := range []int{256, 1024, 4096} {
+		b.Run("n="+itoa(n), func(b *testing.B) { benchRouteCycle(b, n, true) })
+	}
+}
+
+// BenchmarkOffLineSchedule tracks the Theorem 1 scheduler's allocation
+// behaviour alongside its speed at the three standard sizes.
+func BenchmarkOffLineSchedule(b *testing.B) {
+	for _, n := range []int{256, 1024, 4096} {
+		ft := fattree.NewUniversal(n, n/4)
+		ms := fattree.Random(n, 4*n, 1)
+		b.Run("n="+itoa(n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				s := fattree.ScheduleOffline(ft, ms)
+				if s.Length() == 0 {
+					b.Fatal("empty schedule")
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkEngineCycle(b *testing.B) {
 	ft := fattree.NewUniversal(256, 64)
 	ms := fattree.RandomPermutation(256, 1)

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+
+	"fattree"
+)
+
+// This file is ftbench's micro-benchmark mode (-bench): the delivery-cycle
+// and off-line-scheduler benchmarks tracked by EXPERIMENTS.md §A4, measured
+// with the standard testing.Benchmark harness and emitted as a table or, with
+// -json, as machine-readable records (make bench-json writes BENCH_3.json).
+// The benchmark bodies mirror BenchmarkRouteCycle{Serial,Parallel} and
+// BenchmarkOffLineSchedule in bench_test.go so the two entry points measure
+// the same work.
+
+// benchResult is one micro-benchmark measurement.
+type benchResult struct {
+	Name        string  `json:"name"`
+	N           int     `json:"n"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// benchSizes are the processor counts every micro-benchmark runs at.
+var benchSizes = []int{256, 1024, 4096}
+
+// runMicroBenchmarks measures the suite and writes it to stdout.
+func runMicroBenchmarks(asJSON bool) error {
+	var results []benchResult
+	for _, n := range benchSizes {
+		results = append(results,
+			measureBench("RouteCycleSerial", n, routeCycleBench(n, 1)),
+			measureBench("RouteCycleParallel", n, routeCycleBench(n, 0)),
+			measureBench("OffLineSchedule", n, offLineBench(n)),
+		)
+	}
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(results)
+	}
+	fmt.Printf("%-20s %6s %14s %12s %12s\n", "benchmark", "n", "ns/op", "B/op", "allocs/op")
+	for _, r := range results {
+		fmt.Printf("%-20s %6d %14.0f %12d %12d\n", r.Name, r.N, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+	}
+	return nil
+}
+
+// measureBench runs one benchmark function under the standard harness.
+func measureBench(name string, n int, fn func(*testing.B)) benchResult {
+	r := testing.Benchmark(fn)
+	return benchResult{
+		Name:        name,
+		N:           n,
+		Iterations:  r.N,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+	}
+}
+
+// routeCycleBench measures one steady-state delivery cycle on a warmed
+// engine; workers = 1 pins the serial path, 0 uses GOMAXPROCS.
+func routeCycleBench(n, workers int) func(*testing.B) {
+	return func(b *testing.B) {
+		ft := fattree.NewUniversal(n, n/4)
+		ms := fattree.RandomPermutation(n, 1)
+		e := fattree.NewEngineWithOptions(ft, fattree.SwitchIdeal, 0, fattree.Options{Workers: workers})
+		// Warm the scratch arena so the measured loop is steady state.
+		e.RunCycle(ms)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			delivered, res := e.RunCycle(ms)
+			if res.Delivered == 0 || len(delivered) != len(ms) {
+				b.Fatalf("cycle delivered %d of %d", res.Delivered, len(ms))
+			}
+		}
+	}
+}
+
+// offLineBench measures the Theorem 1 scheduler end to end.
+func offLineBench(n int) func(*testing.B) {
+	return func(b *testing.B) {
+		ft := fattree.NewUniversal(n, n/4)
+		ms := fattree.Random(n, 4*n, 1)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s := fattree.ScheduleOffline(ft, ms)
+			if s.Length() == 0 {
+				b.Fatal("empty schedule")
+			}
+		}
+	}
+}

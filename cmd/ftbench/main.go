@@ -9,6 +9,7 @@
 //	ftbench -quick          # smaller sizes
 //	ftbench -run E8,E9      # selected experiments
 //	ftbench -list           # list experiment ids
+//	ftbench -bench -json    # delivery-engine micro-benchmarks as JSON
 package main
 
 import (
@@ -31,7 +32,17 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed for all experiments")
 	asJSON := flag.Bool("json", false, "emit results as JSON")
 	parallel := flag.Bool("parallel", false, "run experiments concurrently (results print in order)")
+	bench := flag.Bool("bench", false,
+		"run the delivery-engine micro-benchmarks (ns/op, B/op, allocs/op) instead of the experiment suite")
 	flag.Parse()
+
+	if *bench {
+		if err := runMicroBenchmarks(*asJSON); err != nil {
+			fmt.Fprintf(os.Stderr, "ftbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	all := experiments.All()
 	if *list {

@@ -11,6 +11,10 @@ import "fmt"
 type Cascade struct {
 	stages []*Partial
 	r, s   int
+
+	// Reusable routing scratch: the per-message current-wire array and the
+	// live-wire compaction buffers. Route's return is scratch-owned.
+	cur, live, idxOf []int
 }
 
 // NewCascade builds a cascade concentrating r inputs onto s <= r outputs.
@@ -60,21 +64,26 @@ func (c *Cascade) Components() int {
 
 // Route pushes the active inputs through the stages. A message lost at any
 // stage is lost overall. It returns the final output wire per active input
-// (-1 if lost) and the total number lost.
+// (-1 if lost) and the total number lost. The returned slice is reused by
+// the next Route call.
+//
+//ftlint:hotpath
 func (c *Cascade) Route(active []int) ([]int, int) {
 	// cur[i] = wire currently carrying active[i], or -1 once lost.
-	cur := make([]int, len(active))
+	cur := growInts(c.cur, len(active))
+	c.cur = cur
 	copy(cur, active)
 	for _, st := range c.stages {
 		// Collect live wires (they are distinct by induction).
-		live := make([]int, 0, len(cur))
-		idxOf := make([]int, 0, len(cur))
+		live := growInts(c.live, len(cur))[:0]
+		idxOf := growInts(c.idxOf, len(cur))[:0]
 		for i, w := range cur {
 			if w >= 0 {
 				live = append(live, w)
 				idxOf = append(idxOf, i)
 			}
 		}
+		c.live, c.idxOf = live[:cap(live)], idxOf[:cap(idxOf)]
 		out, _ := st.Route(live)
 		for j, i := range idxOf {
 			cur[i] = out[j]

@@ -42,6 +42,7 @@ type Concentrator interface {
 // no messages are lost. With k > s actives, exactly k-s are lost.
 type Ideal struct {
 	r, s int
+	out  []int // reusable result buffer; Route's return is scratch-owned
 }
 
 // NewIdeal returns an ideal (r, s) concentrator. It panics if s > r or either
@@ -64,9 +65,12 @@ func (c *Ideal) Outputs() int { return c.s }
 func (c *Ideal) Components() int { return c.r + c.s }
 
 // Route assigns the first s active inputs to outputs 0..s-1 and drops the
-// rest.
+// rest. The returned slice is reused by the next Route call.
+//
+//ftlint:hotpath
 func (c *Ideal) Route(active []int) ([]int, int) {
-	out := make([]int, len(active))
+	c.out = growInts(c.out, len(active))
+	out := c.out
 	lost := 0
 	for i := range active {
 		if active[i] < 0 || active[i] >= c.r {
@@ -91,6 +95,13 @@ func (c *Ideal) Route(active []int) ([]int, int) {
 type Partial struct {
 	r, s int
 	adj  [][]int // adj[input] = candidate outputs
+
+	// Reusable routing scratch: the matching working set and the
+	// epoch-stamped duplicate-input guard (seen[u] == gen means input u
+	// already appeared in the current Route call).
+	m    matcher
+	seen []int64
+	gen  int64
 }
 
 // NewPartial builds a seeded pseudo-random (r, s, ·) partial concentrator.
@@ -145,7 +156,7 @@ func NewPartial(r, s int, seed int64) *Partial {
 		}
 		adj[u] = edges
 	}
-	return &Partial{r: r, s: s, adj: adj}
+	return &Partial{r: r, s: s, adj: adj, seen: make([]int64, r)}
 }
 
 // Inputs returns r.
@@ -194,19 +205,22 @@ func (c *Partial) MaxOutputDegree() int {
 
 // Route connects the active inputs to distinct outputs by maximum bipartite
 // matching; unmatched actives are lost. Duplicate or out-of-range inputs
-// panic.
+// panic. The returned slice is reused by the next Route (or MeasureAlpha)
+// call on this concentrator.
+//
+//ftlint:hotpath
 func (c *Partial) Route(active []int) ([]int, int) {
-	seen := make(map[int]bool, len(active))
+	c.gen++
 	for _, u := range active {
 		if u < 0 || u >= c.r {
 			panic(fmt.Sprintf("concentrator: active input %d out of range [0,%d)", u, c.r))
 		}
-		if seen[u] {
+		if c.seen[u] == c.gen {
 			panic(fmt.Sprintf("concentrator: duplicate active input %d", u))
 		}
-		seen[u] = true
+		c.seen[u] = c.gen
 	}
-	matched, size := maxMatchingSubset(active, c.s, c.adj)
+	matched, size := c.m.matchSubset(active, c.s, c.adj)
 	return matched, len(active) - size
 }
 
@@ -223,7 +237,7 @@ func (c *Partial) MeasureAlpha(trials int, seed int64) float64 {
 		ok := true
 		for t := 0; t < trials && ok; t++ {
 			subset := rng.Perm(c.r)[:k]
-			_, size := maxMatchingSubset(subset, c.s, c.adj)
+			_, size := c.m.matchSubset(subset, c.s, c.adj)
 			if size < k {
 				ok = false
 			}

@@ -12,80 +12,124 @@
 // or per-level matchings for the off-line setting).
 package concentrator
 
-// hopcroftKarp computes a maximum matching in a bipartite graph given as
-// adjacency lists from the nInputs left vertices to right vertices
-// 0..nOutputs-1. It returns matchIn (input -> matched output or -1) and the
+// matchInf marks BFS-unreachable inputs in Hopcroft–Karp.
+const matchInf = int(^uint(0) >> 1)
+
+// matcher holds the reusable working set of Hopcroft–Karp maximum matching:
+// the match arrays of both sides, the BFS layer distances and queue, and the
+// subset adjacency view. Every buffer is grown on demand and reused across
+// runs, so a warm matcher performs matchings without heap allocation. A
+// matcher is not safe for concurrent use; each Partial owns one.
+type matcher struct {
+	matchIn  []int
+	matchOut []int
+	dist     []int
+	queue    []int
+	sub      [][]int
+	adj      [][]int // adjacency of the current run (set by run, for bfs/dfs)
+}
+
+// growInts returns s resized to length n, reusing the backing array when
+// capacity allows and reallocating with headroom otherwise. The contents are
+// unspecified after the call.
+func growInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n, n+n/2)
+	}
+	return s[:n]
+}
+
+// matchSubset computes a maximum matching restricted to the given subset of
+// inputs. It returns the matched output for each element of subset (parallel
+// slice, -1 if unmatched) and the matching size. The returned slice lives in
+// the matcher's scratch and is valid only until its next run.
+//
+//ftlint:hotpath
+func (m *matcher) matchSubset(subset []int, nOutputs int, adj [][]int) ([]int, int) {
+	if cap(m.sub) < len(subset) {
+		m.sub = make([][]int, len(subset), len(subset)+len(subset)/2)
+	}
+	m.sub = m.sub[:len(subset)]
+	for i, u := range subset {
+		m.sub[i] = adj[u]
+	}
+	return m.run(len(subset), nOutputs, m.sub)
+}
+
+// run computes a maximum matching in a bipartite graph given as adjacency
+// lists from the nInputs left vertices to right vertices 0..nOutputs-1. It
+// returns matchIn (input -> matched output or -1, scratch-owned) and the
 // matching size. Runs in O(E·sqrt(V)).
-func hopcroftKarp(nInputs, nOutputs int, adj [][]int) (matchIn []int, size int) {
-	const inf = int(^uint(0) >> 1)
-	matchIn = make([]int, nInputs)
-	matchOut := make([]int, nOutputs)
-	for i := range matchIn {
-		matchIn[i] = -1
+//
+//ftlint:hotpath
+func (m *matcher) run(nInputs, nOutputs int, adj [][]int) (matchIn []int, size int) {
+	m.matchIn = growInts(m.matchIn, nInputs)
+	m.matchOut = growInts(m.matchOut, nOutputs)
+	m.dist = growInts(m.dist, nInputs)
+	m.queue = growInts(m.queue, nInputs)
+	m.adj = adj
+	for i := range m.matchIn {
+		m.matchIn[i] = -1
 	}
-	for i := range matchOut {
-		matchOut[i] = -1
+	for i := range m.matchOut {
+		m.matchOut[i] = -1
 	}
-	dist := make([]int, nInputs)
-	queue := make([]int, 0, nInputs)
-
-	bfs := func() bool {
-		queue = queue[:0]
+	for m.bfs(nInputs) {
 		for u := 0; u < nInputs; u++ {
-			if matchIn[u] == -1 {
-				dist[u] = 0
-				queue = append(queue, u)
-			} else {
-				dist[u] = inf
-			}
-		}
-		found := false
-		for qi := 0; qi < len(queue); qi++ {
-			u := queue[qi]
-			for _, v := range adj[u] {
-				w := matchOut[v]
-				if w == -1 {
-					found = true
-				} else if dist[w] == inf {
-					dist[w] = dist[u] + 1
-					queue = append(queue, w)
-				}
-			}
-		}
-		return found
-	}
-
-	var dfs func(u int) bool
-	dfs = func(u int) bool {
-		for _, v := range adj[u] {
-			w := matchOut[v]
-			if w == -1 || (dist[w] == dist[u]+1 && dfs(w)) {
-				matchIn[u] = v
-				matchOut[v] = u
-				return true
-			}
-		}
-		dist[u] = inf
-		return false
-	}
-
-	for bfs() {
-		for u := 0; u < nInputs; u++ {
-			if matchIn[u] == -1 && dfs(u) {
+			if m.matchIn[u] == -1 && m.dfs(u) {
 				size++
 			}
 		}
 	}
-	return matchIn, size
+	m.adj = nil
+	return m.matchIn, size
 }
 
-// maxMatchingSubset computes a maximum matching restricted to the given
-// subset of inputs. It returns the matched output for each element of subset
-// (parallel slice, -1 if unmatched) and the matching size.
-func maxMatchingSubset(subset []int, nOutputs int, adj [][]int) (matched []int, size int) {
-	sub := make([][]int, len(subset))
-	for i, u := range subset {
-		sub[i] = adj[u]
+// bfs layers the alternating-path BFS from all free inputs and reports
+// whether an augmenting path exists.
+func (m *matcher) bfs(nInputs int) bool {
+	queue := m.queue[:0]
+	for u := 0; u < nInputs; u++ {
+		if m.matchIn[u] == -1 {
+			m.dist[u] = 0
+			queue = append(queue, u)
+		} else {
+			m.dist[u] = matchInf
+		}
 	}
-	return hopcroftKarp(len(subset), nOutputs, sub)
+	found := false
+	for qi := 0; qi < len(queue); qi++ {
+		u := queue[qi]
+		for _, v := range m.adj[u] {
+			w := m.matchOut[v]
+			if w == -1 {
+				found = true
+			} else if m.dist[w] == matchInf {
+				m.dist[w] = m.dist[u] + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	return found
+}
+
+// dfs extends an augmenting path from input u along the BFS layers.
+func (m *matcher) dfs(u int) bool {
+	for _, v := range m.adj[u] {
+		w := m.matchOut[v]
+		if w == -1 || (m.dist[w] == m.dist[u]+1 && m.dfs(w)) {
+			m.matchIn[u] = v
+			m.matchOut[v] = u
+			return true
+		}
+	}
+	m.dist[u] = matchInf
+	return false
+}
+
+// hopcroftKarp is the one-shot form of matcher.run, for callers without a
+// matcher to warm (tests, offline analysis).
+func hopcroftKarp(nInputs, nOutputs int, adj [][]int) (matchIn []int, size int) {
+	var m matcher
+	return m.run(nInputs, nOutputs, adj)
 }

@@ -64,12 +64,37 @@ type Request struct {
 
 // Switch is the switching circuitry of one fat-tree node: one concentrator
 // per output port, each fed by the two input ports that can reach it.
+//
+// A Switch owns reusable routing scratch (as do its concentrators), so one
+// Switch must not route from multiple goroutines concurrently, and the slice
+// Route returns is valid only until the next Route call.
 type Switch struct {
 	capParent int // width of the parent-side channels (up and down)
 	capChild  int // width of each child-side channel
 	toParent  Concentrator
 	toLeft    Concentrator
 	toRight   Concentrator
+
+	scr switchScratch
+}
+
+// switchScratch is the reusable per-route arena of one switch: request
+// partitions per output port, epoch-stamped input-wire occupancy guards, and
+// the result and active-wire buffers. Sized by the port widths, it is
+// allocated once at construction and never grows.
+type switchScratch struct {
+	byOut    [3][]pendingReq
+	seen     [3][]int64 // per input port: stamp of the route that used a wire
+	gen      int64
+	outWires []int
+	active   []int
+}
+
+// pendingReq maps one request to its index in the concatenated input
+// numbering of its output port's concentrator.
+type pendingReq struct {
+	reqIdx int
+	wire   int
 }
 
 // NewSwitch builds the switch for a node whose parent-side channels have
@@ -82,14 +107,14 @@ func NewSwitch(capParent, capChild int, kind Kind, seed int64) *Switch {
 	}
 	build := func(r, s int, stage int64) Concentrator {
 		if s >= r {
-			return passThrough{r: r, s: s}
+			return &passThrough{r: r, s: s}
 		}
 		if kind == KindIdeal {
 			return NewIdeal(r, s)
 		}
 		return NewCascade(r, s, seed+stage)
 	}
-	return &Switch{
+	s := &Switch{
 		capParent: capParent,
 		capChild:  capChild,
 		// To the parent: candidates come from both children.
@@ -98,21 +123,35 @@ func NewSwitch(capParent, capChild int, kind Kind, seed int64) *Switch {
 		toLeft:  build(capParent+capChild, capChild, 1),
 		toRight: build(capParent+capChild, capChild, 2),
 	}
+	maxReqs := capParent + 2*capChild // every input wire of every port active
+	for out := Parent; out <= Right; out++ {
+		s.scr.byOut[out] = make([]pendingReq, 0, maxReqs)
+		s.scr.seen[out] = make([]int64, s.portWidth(out))
+	}
+	s.scr.outWires = make([]int, 0, maxReqs)
+	s.scr.active = make([]int, 0, maxReqs)
+	return s
 }
 
 // passThrough is the degenerate "concentrator" used when an output port has
 // at least as many wires as its candidate inputs: every message passes.
-type passThrough struct{ r, s int }
+type passThrough struct {
+	r, s int
+	buf  []int
+}
 
-func (p passThrough) Inputs() int     { return p.r }
-func (p passThrough) Outputs() int    { return p.s }
-func (p passThrough) Components() int { return p.r }
-func (p passThrough) Route(active []int) ([]int, int) {
-	out := make([]int, len(active))
-	for i := range active {
-		out[i] = active[i]
-	}
-	return out, 0
+func (p *passThrough) Inputs() int     { return p.r }
+func (p *passThrough) Outputs() int    { return p.s }
+func (p *passThrough) Components() int { return p.r }
+
+// Route passes every active wire through unchanged. The returned slice is
+// reused by the next Route call.
+//
+//ftlint:hotpath
+func (p *passThrough) Route(active []int) ([]int, int) {
+	p.buf = growInts(p.buf, len(active))
+	copy(p.buf, active)
+	return p.buf, 0
 }
 
 // Components returns the total number of switching components in the node,
@@ -133,15 +172,21 @@ func (s *Switch) IncidentWires() int {
 // must be well-formed (valid wire ranges, In != Out, no two requests on the
 // same input wire); Route panics otherwise, as the caller (the simulator)
 // owns those invariants.
+//
+// The returned slice is owned by the switch's scratch and valid only until
+// the next Route call on this switch.
+//
+//ftlint:hotpath
 func (s *Switch) Route(reqs []Request) (outWires []int, lost int) {
 	// Partition the requests by output port, mapping each to its index in the
-	// concatenated input numbering of that port's concentrator.
-	type pending struct {
-		reqIdx int
-		wire   int
+	// concatenated input numbering of that port's concentrator. The
+	// duplicate-wire guard is an epoch stamp per input wire, cleared by
+	// incrementing the generation instead of reallocating.
+	scr := &s.scr
+	scr.gen++
+	for out := Parent; out <= Right; out++ {
+		scr.byOut[out] = scr.byOut[out][:0]
 	}
-	var byOut [3][]pending
-	seen := make(map[[2]int]bool, len(reqs))
 	for i, r := range reqs {
 		if r.In == r.Out {
 			panic(fmt.Sprintf("concentrator: request %d turns back on port %v", i, r.In))
@@ -149,24 +194,26 @@ func (s *Switch) Route(reqs []Request) (outWires []int, lost int) {
 		if r.InWire < 0 || r.InWire >= s.portWidth(r.In) {
 			panic(fmt.Sprintf("concentrator: request %d wire %d out of range on port %v", i, r.InWire, r.In))
 		}
-		key := [2]int{int(r.In), r.InWire}
-		if seen[key] {
+		if scr.seen[r.In][r.InWire] == scr.gen {
 			panic(fmt.Sprintf("concentrator: two requests on input wire %d of port %v", r.InWire, r.In))
 		}
-		seen[key] = true
-		byOut[r.Out] = append(byOut[r.Out], pending{reqIdx: i, wire: s.concentratorInput(r.In, r.Out, r.InWire)})
+		scr.seen[r.In][r.InWire] = scr.gen
+		scr.byOut[r.Out] = append(scr.byOut[r.Out],
+			pendingReq{reqIdx: i, wire: s.concentratorInput(r.In, r.Out, r.InWire)})
 	}
 
-	outWires = make([]int, len(reqs))
+	outWires = growInts(scr.outWires, len(reqs))
+	scr.outWires = outWires
 	for i := range outWires {
 		outWires[i] = -1
 	}
 	for out := Parent; out <= Right; out++ {
-		ps := byOut[out]
+		ps := scr.byOut[out]
 		if len(ps) == 0 {
 			continue
 		}
-		active := make([]int, len(ps))
+		active := growInts(scr.active, len(ps))
+		scr.active = active
 		for j, p := range ps {
 			active[j] = p.wire
 		}

@@ -200,6 +200,27 @@ func (t *FatTree) Capacity(c Channel) int {
 	return t.caps[t.Level(c.Node)]
 }
 
+// CapTable returns a freshly allocated flat capacity table indexed by heap
+// node id: table[v] is the capacity of both channels of the edge above node v
+// (index 0 is unused). It memoizes Capacity — including any per-channel
+// overrides in effect at the call — so hot loops can replace map probes with
+// a single array read. Callers own the slice; overrides applied after the
+// call are not reflected.
+func (t *FatTree) CapTable() []int {
+	table := make([]int, 2*t.n)
+	for v := 1; v < 2*t.n; v++ {
+		table[v] = t.caps[bits.Len(uint(v))-1]
+	}
+	if t.override != nil {
+		for v := 1; v < 2*t.n; v++ {
+			if c, ok := t.override[v]; ok {
+				table[v] = c
+			}
+		}
+	}
+	return table
+}
+
 // SetChannelCapacity overrides the capacity of both channels of the edge above
 // node v. cap must be >= 1.
 func (t *FatTree) SetChannelCapacity(v, cap int) {

@@ -7,6 +7,7 @@ func All() []*Analyzer {
 	return []*Analyzer{
 		ErrDiscard,
 		FloatCompare,
+		HotAlloc,
 		Nondeterm,
 		PoolCapture,
 		SeedPlumbing,

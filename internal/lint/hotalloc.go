@@ -1,0 +1,198 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// HotAlloc flags per-call heap allocation patterns inside the delivery-path
+// hot functions — the functions annotated with the //ftlint:hotpath
+// directive in the simulator, scheduler, and concentrator packages. The
+// engine's performance contract is zero steady-state allocation per delivery
+// cycle (see DESIGN.md "Scratch-arena ownership"); the two patterns that
+// historically broke it are:
+//
+//   - allocating a map (make(map[...]) or a map composite literal) as
+//     transient per-cycle state, where a flat epoch-stamped arena is the
+//     sanctioned replacement;
+//   - growing a fresh local slice with append, i.e. appending to a slice
+//     variable declared in the same function with a nil or empty
+//     initializer (`var x []T`, `x := []T{}`, `x := make([]T, 0)`), where
+//     the sanctioned form reuses pooled scratch (`x := e.scr.buf[:0]` or
+//     growInts) so the backing array survives across cycles.
+//
+// Parameters, named results, and slices initialized from existing storage
+// are exempt: building a result the caller retains is legitimate, and
+// reslicing pooled scratch is exactly the sanctioned idiom. Warm-up
+// allocations that must stay (one-time table builds) carry an
+// //ftlint:ignore hotalloc directive with a reason.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc: "flags map allocation and fresh-local-slice append growth inside //ftlint:hotpath " +
+		"functions of the simulator, scheduler, and concentrator packages",
+	Match: func(path string) bool {
+		return pathHasSuffix(path, "internal/sim") ||
+			pathHasSuffix(path, "internal/sched") ||
+			pathHasSuffix(path, "internal/concentrator")
+	},
+	Run: runHotAlloc,
+}
+
+// hotPathDirective marks a function as part of the per-cycle hot path.
+const hotPathDirective = "//ftlint:hotpath"
+
+func runHotAlloc(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !isHotPath(fn) {
+				continue
+			}
+			checkHotFunc(pass, fn)
+		}
+	}
+	return nil
+}
+
+// isHotPath reports whether the function's doc comment carries the
+// //ftlint:hotpath directive.
+func isHotPath(fn *ast.FuncDecl) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if c.Text == hotPathDirective {
+			return true
+		}
+	}
+	return false
+}
+
+// checkHotFunc applies both hot-path rules to one annotated function.
+func checkHotFunc(pass *Pass, fn *ast.FuncDecl) {
+	fresh := freshLocalSlices(pass, fn.Body)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			switch builtinName(pass, n) {
+			case "make":
+				if len(n.Args) > 0 {
+					if t := pass.TypeOf(n.Args[0]); t != nil {
+						if _, isMap := t.Underlying().(*types.Map); isMap {
+							pass.Reportf(n.Pos(),
+								"hot path allocates a map; use a flat slice or epoch-stamped arena (DESIGN.md scratch-arena rules)")
+						}
+					}
+				}
+			case "append":
+				if len(n.Args) == 0 {
+					break
+				}
+				id, ok := ast.Unparen(n.Args[0]).(*ast.Ident)
+				if !ok {
+					break
+				}
+				if obj := pass.ObjectOf(id); obj != nil && fresh[obj] {
+					pass.Reportf(n.Pos(),
+						"hot path grows fresh local slice %q with append; reuse pooled scratch (buf[:0] or growInts)", id.Name)
+				}
+			}
+		case *ast.CompositeLit:
+			if t := pass.TypeOf(n); t != nil {
+				if _, isMap := t.Underlying().(*types.Map); isMap {
+					pass.Reportf(n.Pos(),
+						"hot path allocates a map; use a flat slice or epoch-stamped arena (DESIGN.md scratch-arena rules)")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// freshLocalSlices collects the objects of slice variables declared inside
+// body with a nil or empty initializer: `var x []T`, `x := []T{}`, and
+// `x := make([]T, 0)`. Appending to these grows a heap allocation made this
+// call; appending to anything else (parameters, named results, reslices of
+// pooled storage) is exempt.
+func freshLocalSlices(pass *Pass, body *ast.BlockStmt) map[types.Object]bool {
+	fresh := make(map[types.Object]bool)
+	record := func(id *ast.Ident) {
+		if id.Name == "_" {
+			return
+		}
+		obj := pass.Info.Defs[id]
+		if obj == nil {
+			return
+		}
+		if _, isSlice := obj.Type().Underlying().(*types.Slice); isSlice {
+			fresh[obj] = true
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeclStmt:
+			gen, ok := n.Decl.(*ast.GenDecl)
+			if !ok {
+				return true
+			}
+			for _, spec := range gen.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || len(vs.Values) != 0 {
+					continue // only uninitialized `var x []T` is fresh-and-nil
+				}
+				for _, id := range vs.Names {
+					record(id)
+				}
+			}
+		case *ast.AssignStmt:
+			if n.Tok.String() != ":=" || len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || !isEmptySliceExpr(pass, n.Rhs[i]) {
+					continue
+				}
+				record(id)
+			}
+		}
+		return true
+	})
+	return fresh
+}
+
+// isEmptySliceExpr matches `[]T{}` and `make([]T, 0)` — initializers whose
+// backing array is freshly allocated and empty.
+func isEmptySliceExpr(pass *Pass, e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.CompositeLit:
+		if len(e.Elts) != 0 {
+			return false
+		}
+		t := pass.TypeOf(e)
+		if t == nil {
+			return false
+		}
+		_, isSlice := t.Underlying().(*types.Slice)
+		return isSlice
+	case *ast.CallExpr:
+		if builtinName(pass, e) != "make" || len(e.Args) != 2 {
+			return false
+		}
+		lit, ok := ast.Unparen(e.Args[1]).(*ast.BasicLit)
+		return ok && lit.Value == "0"
+	}
+	return false
+}
+
+// builtinName returns the name of the builtin a call invokes, or "".
+func builtinName(pass *Pass, call *ast.CallExpr) string {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if _, isBuiltin := pass.ObjectOf(id).(*types.Builtin); !isBuiltin {
+		return ""
+	}
+	return id.Name
+}

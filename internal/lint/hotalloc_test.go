@@ -1,0 +1,22 @@
+package lint
+
+import "testing"
+
+func TestHotAllocFixture(t *testing.T) {
+	RunFixture(t, HotAlloc, ".", "hotalloc")
+}
+
+func TestHotAllocMatch(t *testing.T) {
+	for path, want := range map[string]bool{
+		"fattree/internal/sim":          true,
+		"fattree/internal/sched":        true,
+		"fattree/internal/concentrator": true,
+		"fattree/internal/core":         false,
+		"fattree/cmd/ftsim":             false,
+		"fattree":                       false,
+	} {
+		if got := HotAlloc.Match(path); got != want {
+			t.Errorf("HotAlloc.Match(%q) = %v, want %v", path, got, want)
+		}
+	}
+}

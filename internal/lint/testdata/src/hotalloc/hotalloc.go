@@ -1,0 +1,101 @@
+// Package hotalloc exercises the hotalloc analyzer: per-cycle allocation
+// patterns inside functions annotated //ftlint:hotpath.
+package hotalloc
+
+// engine mimics a simulator with pooled scratch buffers.
+type engine struct {
+	scratch []int
+	seen    []int64
+	gen     int64
+}
+
+// route is a hot function committing both sins: transient map state and
+// fresh-local-slice growth.
+//
+//ftlint:hotpath
+func (e *engine) route(active []int) int {
+	seen := make(map[int]bool, len(active)) // want `hot path allocates a map`
+	var out []int
+	for _, w := range active {
+		if seen[w] {
+			continue
+		}
+		seen[w] = true
+		out = append(out, w) // want `grows fresh local slice "out"`
+	}
+	return len(out)
+}
+
+// routeLiterals covers the other fresh initializers: an empty composite
+// literal, a zero-length make, and a map literal.
+//
+//ftlint:hotpath
+func (e *engine) routeLiterals(active []int) int {
+	dup := map[int]int{} // want `hot path allocates a map`
+	a := []int{}
+	b := make([]int, 0)
+	for i, w := range active {
+		dup[w] = i
+		a = append(a, w) // want `grows fresh local slice "a"`
+		b = append(b, w) // want `grows fresh local slice "b"`
+	}
+	return len(a) + len(b)
+}
+
+// routePooled is the sanctioned form: epoch-stamped guards and appends to a
+// reslice of pooled scratch. Nothing is flagged.
+//
+//ftlint:hotpath
+func (e *engine) routePooled(active []int) int {
+	e.gen++
+	buf := e.scratch[:0]
+	for _, w := range active {
+		if e.seen[w] == e.gen {
+			continue
+		}
+		e.seen[w] = e.gen
+		buf = append(buf, w) // reslice of pooled storage: exempt
+	}
+	e.scratch = buf
+	return len(buf)
+}
+
+// results shows that named results and parameters are exempt append bases —
+// building a caller-retained result is legitimate even on the hot path.
+//
+//ftlint:hotpath
+func results(active []int, acc []int) (out []int) {
+	for _, w := range active {
+		out = append(out, w)
+		acc = append(acc, w)
+	}
+	_ = acc
+	return out
+}
+
+// warmUp carries a sanctioned one-time allocation behind an ignore
+// directive.
+//
+//ftlint:hotpath
+func warmUp(n int) int {
+	//ftlint:ignore hotalloc one-time warm-up table build, not per-cycle
+	table := make(map[int]int, n)
+	for i := 0; i < n; i++ {
+		table[i] = i
+	}
+	return len(table)
+}
+
+// cold is not annotated, so identical patterns pass: the analyzer only
+// polices declared hot paths.
+func cold(active []int) []int {
+	seen := make(map[int]bool)
+	var out []int
+	for _, w := range active {
+		if !seen[w] {
+			seen[w] = true
+			out = append(out, w)
+		}
+	}
+	return out
+}

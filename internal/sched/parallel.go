@@ -37,7 +37,7 @@ func OffLineParallelWorkers(t *core.FatTree, ms core.MessageSet, workers int) *S
 		}
 		var work []nodeWork
 		for v := first; v < 2*first; v++ {
-			if x := byNode[v]; x != nil {
+			if x := &byNode[v]; !x.empty() {
 				work = append(work, nodeWork{v, x})
 			}
 		}

@@ -3,7 +3,7 @@ package sched
 import (
 	"fmt"
 	"math"
-	"sort"
+	"math/bits"
 
 	"fattree/internal/core"
 )
@@ -35,25 +35,32 @@ func (s *Schedule) Utilization() float64 {
 	if len(s.Cycles) == 0 {
 		return 0
 	}
-	everLoaded := make(map[core.Channel]bool)
+	// everLoaded is a flat per-channel flag array indexed by 2·node+dir —
+	// the same arena layout the engine's Replay uses — instead of a channel
+	// map, so the two passes below do array reads only.
+	everLoaded := make([]bool, 2*(s.Tree.Nodes()+1))
+	any := false
 	for _, cyc := range s.Cycles {
 		l := core.NewLoads(s.Tree, cyc)
 		s.Tree.Channels(func(c core.Channel) {
 			if l.Load(c) > 0 {
-				everLoaded[c] = true
+				everLoaded[2*c.Node+int(c.Dir)] = true
+				any = true
 			}
 		})
 	}
-	if len(everLoaded) == 0 {
+	if !any {
 		return 0
 	}
 	used, offered := 0, 0
 	for _, cyc := range s.Cycles {
 		l := core.NewLoads(s.Tree, cyc)
-		for c := range everLoaded {
-			used += l.Load(c)
-			offered += s.Tree.Capacity(c)
-		}
+		s.Tree.Channels(func(c core.Channel) {
+			if everLoaded[2*c.Node+int(c.Dir)] {
+				used += l.Load(c)
+				offered += s.Tree.Capacity(c)
+			}
+		})
 	}
 	return float64(used) / float64(offered)
 }
@@ -93,9 +100,14 @@ type crossing struct {
 
 // groupByLCA buckets internal messages by their unique least-common-ancestor
 // switch and crossing direction, and external messages by direction (they
-// all cross the root interface).
-func groupByLCA(t *core.FatTree, ms core.MessageSet) (byNode map[int]*crossing, extOut, extIn core.MessageSet) {
-	byNode = make(map[int]*crossing)
+// all cross the root interface). byNode is a flat slice indexed by heap node
+// id (internal LCAs occupy 1..n-1; index 0 and the leaves stay empty), so
+// grouping is one array write per message with no map churn, and callers
+// iterate nodes in ascending id order without sorting.
+//
+//ftlint:hotpath
+func groupByLCA(t *core.FatTree, ms core.MessageSet) (byNode []crossing, extOut, extIn core.MessageSet) {
+	byNode = make([]crossing, t.Processors())
 	for _, m := range ms {
 		if m.IsExternal() {
 			if m.Dst == core.External {
@@ -105,13 +117,13 @@ func groupByLCA(t *core.FatTree, ms core.MessageSet) (byNode map[int]*crossing, 
 			}
 			continue
 		}
-		v := t.LCA(m.Src, m.Dst)
-		x := byNode[v]
-		if x == nil {
-			x = &crossing{}
-			byNode[v] = x
-		}
-		if t.Contains(2*v, m.Src) {
+		// Heap-index LCA of the two leaves; the bit below the common prefix
+		// on the source side tells which child subtree the message departs
+		// from (0 = left, so it crosses left-to-right).
+		a, b := t.Leaf(m.Src), t.Leaf(m.Dst)
+		shift := uint(bits.Len(uint(a ^ b)))
+		x := &byNode[a>>shift]
+		if (a>>(shift-1))&1 == 0 {
 			x.lr = append(x.lr, m)
 		} else {
 			x.rl = append(x.rl, m)
@@ -119,6 +131,9 @@ func groupByLCA(t *core.FatTree, ms core.MessageSet) (byNode map[int]*crossing, 
 	}
 	return byNode, extOut, extIn
 }
+
+// empty reports whether no message crosses this node.
+func (x *crossing) empty() bool { return len(x.lr) == 0 && len(x.rl) == 0 }
 
 // partitionUntilOneCycle iteratively bisects q (messages crossing node v in
 // one direction) until every part is a one-cycle message set on t. Per the
@@ -206,8 +221,8 @@ func OffLine(t *core.FatTree, ms core.MessageSet) *Schedule {
 		var levelParts [][]core.MessageSet // per node: padded pair-merged parts
 		maxParts := 0
 		for v := first; v < 2*first; v++ {
-			x := byNode[v]
-			if x == nil {
+			x := &byNode[v]
+			if x.empty() {
 				continue
 			}
 			lrParts := partitionUntilOneCycle(t, v, x.lr)
@@ -286,12 +301,6 @@ func OffLineBig(t *core.FatTree, ms core.MessageSet) *Schedule {
 	}
 
 	byNode, extOut, extIn := groupByLCA(t, ms)
-	nodes := make([]int, 0, len(byNode))
-	//ftlint:ignore nondeterm keys are sorted immediately below
-	for v := range byNode {
-		nodes = append(nodes, v)
-	}
-	sort.Ints(nodes)
 
 	cycles := make([]core.MessageSet, r)
 	for _, q := range []core.MessageSet{extOut, extIn} {
@@ -302,8 +311,13 @@ func OffLineBig(t *core.FatTree, ms core.MessageSet) *Schedule {
 			cycles[i] = append(cycles[i], p...)
 		}
 	}
-	for _, v := range nodes {
-		x := byNode[v]
+	// byNode is indexed by heap node id, so ascending v is already the
+	// deterministic (sorted) node order.
+	for v := 1; v < len(byNode); v++ {
+		x := &byNode[v]
+		if x.empty() {
+			continue
+		}
 		for _, q := range []core.MessageSet{x.lr, x.rl} {
 			parts := bisectRounds(t, v, q, rounds)
 			for i, p := range parts {

@@ -14,17 +14,33 @@
 // stripped one per switch, and the payload follows, so a cycle lasts
 // O(lg n + payload) ticks.
 //
+// # The allocation-free data plane
+//
+// Both cycle paths share one bucketed data plane that does O(flights × path
+// length) work per cycle with zero steady-state heap allocation: each sweep
+// step touches every in-flight message exactly once to bucket it under its
+// owning switch (replacing the historical per-switch scan over all flights),
+// and all transient state — the flight table, the per-leaf injection
+// counters, the per-switch request lists and wire guards, and the wire
+// histories — lives in a per-engine scratch arena that is reused from cycle
+// to cycle. The first cycle after construction (or after a growth in problem
+// size) warms the arena; subsequent cycles allocate nothing. Channel
+// capacities are memoized into a flat array indexed by node id at
+// construction, so the sweep does integer arithmetic only — no map probes
+// through capacity overrides, and no tree walks (the downward steering
+// decision reads one bit of the destination leaf index). See DESIGN.md
+// "Scratch-arena ownership" for the reuse rules.
+//
 // # Parallel delivery cycles
 //
-// The engine has two interchangeable cycle implementations. The serial path
-// (Engine.Run, and Engine.RunCycle on a one-worker engine) visits the ~n
-// switches of a cycle one by one — it is the reference implementation, a
-// direct transcription of the hardware's behavior. The parallel path
-// (Engine.RunParallel, Engine.RunCyclesParallel, and Engine.RunCycle on a
-// multi-worker engine) exploits the same independence the parallel scheduler
-// does: within one sweep, the switches of a tree level touch disjoint
-// messages and disjoint channels, so each level is fanned out over a bounded
-// worker pool (internal/par) and the per-switch results are merged in node
+// The engine has two interchangeable cycle executions of that one data
+// plane. The serial path (Engine.Run, and Engine.RunCycle on a one-worker
+// engine) routes the buckets of each tree level in node order on the calling
+// goroutine. The parallel path (Engine.RunParallel, Engine.RunCyclesParallel,
+// and Engine.RunCycle on a multi-worker engine) exploits the independence of
+// a level's switches — within one sweep they touch disjoint messages,
+// disjoint channels, and disjoint scratch — to fan the buckets out over a
+// bounded worker pool (internal/par), merging per-switch drop counts in node
 // order.
 //
 // The parallel path is bit-identical to the serial path for any worker
@@ -35,11 +51,13 @@
 // construction, consumed by exactly one worker per sweep, so loss injection
 // and partial-concentrator behavior are reproducible regardless of how the
 // switches are distributed over workers. The equivalence tests in this
-// package prove the guarantee across worker counts, switch kinds, and fault
-// rates.
+// package prove the guarantee across worker counts, switch kinds, fault
+// rates, and engine reuse.
 package sim
 
 import (
+	"math/bits"
+
 	"fattree/internal/concentrator"
 	"fattree/internal/core"
 	"fattree/internal/par"
@@ -58,10 +76,73 @@ type Options struct {
 
 // Engine simulates delivery cycles on one fat-tree with persistent switch
 // hardware (the concentrator graphs are built once, as in a real machine).
+//
+// An Engine owns a scratch arena that is reused across cycles, so a single
+// Engine must not run cycles from multiple goroutines concurrently, and the
+// slices returned by RunCycle and friends are valid only until the engine's
+// next cycle. Reusing one engine across many cycles and message sets is the
+// intended mode and produces results identical to a fresh engine (the
+// engine-reuse equivalence tests pin this).
 type Engine struct {
 	tree     *core.FatTree
 	switches []*concentrator.Switch // indexed by node 1..n-1 (internal nodes)
 	pool     *par.Pool              // bounds the parallel cycle path
+
+	// caps memoizes the channel capacity above every node (both directions
+	// share one capacity), indexed by heap node id, so the cycle data plane
+	// never consults the tree's override map. Snapshotted at construction,
+	// consistent with the switch hardware built from the same values.
+	caps []int
+
+	scr scratch
+
+	// levelWorker is the persistent fan-out closure handed to the worker
+	// pool each sweep step; the step's parameters travel in scratch fields
+	// (curFirst, curUp) so steady-state cycles allocate no closures.
+	levelWorker func(k int)
+}
+
+// scratch is the engine's reusable per-cycle arena. Every slice grows to the
+// high-water mark of the scenarios routed so far and is then reused without
+// allocation; see DESIGN.md "Scratch-arena ownership".
+type scratch struct {
+	flights   []flight
+	delivered []bool
+	histArena []int // flat wire-history storage; flights hold offsets into it
+
+	// Per-processor injection counters, epoch-stamped so they need no
+	// clearing between cycles.
+	injUsed  []int
+	injStamp []int64
+	epoch    int64
+
+	// Per-level bucketing state: buckets[v-first] lists the flight indices
+	// switch v owns this sweep step in message-index order; nodes lists the
+	// non-empty buckets in first-touch (= message-index) order; dropped
+	// collects per-switch drop counts for the deterministic merge. curFirst
+	// and curUp parameterize the current sweep step for levelWorker.
+	buckets  [][]int
+	nodes    []int
+	dropped  []int
+	curFirst int
+	curUp    bool
+
+	// Per-switch scratch, indexed by node 1..n-1. Distinct switches are
+	// routed by distinct workers, so slots never race.
+	node []nodeScratch
+
+	// Ping-pong pending buffers for the retry loops.
+	pendA, pendB core.MessageSet
+}
+
+// nodeScratch is the per-switch slice of the arena: the request list handed
+// to the concentrators and the epoch-stamped wire guards that check the
+// hardware invariant (no channel wire assigned twice in one sweep).
+type nodeScratch struct {
+	reqs      []concentrator.Request
+	upStamp   []int64
+	downStamp [2][]int64
+	gen       int64
 }
 
 // New builds the engine: one switch per internal node, with concentrators of
@@ -79,11 +160,35 @@ func NewWithOptions(t *core.FatTree, kind concentrator.Kind, seed int64, opts Op
 		tree:     t,
 		switches: make([]*concentrator.Switch, t.Processors()),
 		pool:     par.New(opts.Workers),
+		caps:     t.CapTable(),
 	}
-	for v := 1; v < t.Processors(); v++ {
-		capParent := t.Capacity(core.Channel{Node: v, Dir: core.Up})
-		capChild := t.Capacity(core.Channel{Node: 2 * v, Dir: core.Up})
+	n := t.Processors()
+	e.scr.node = make([]nodeScratch, n)
+	for v := 1; v < n; v++ {
+		capParent := e.caps[v]
+		capChild := e.caps[2*v]
 		e.switches[v] = concentrator.NewSwitch(capParent, capChild, kind, seed+int64(v))
+		e.scr.node[v] = nodeScratch{
+			reqs:      make([]concentrator.Request, 0, capParent+2*capChild),
+			upStamp:   make([]int64, capParent),
+			downStamp: [2][]int64{make([]int64, capChild), make([]int64, capChild)},
+		}
+	}
+	e.scr.injUsed = make([]int, n)
+	e.scr.injStamp = make([]int64, n)
+	maxNodes := 1
+	if lv := t.Levels(); lv > 1 {
+		maxNodes = 1 << uint(lv-1)
+	}
+	e.scr.buckets = make([][]int, maxNodes)
+	e.scr.nodes = make([]int, 0, maxNodes)
+	e.scr.dropped = make([]int, maxNodes)
+	e.levelWorker = func(k int) {
+		scr := &e.scr
+		v := scr.nodes[k]
+		var local CycleResult
+		e.routeGathered(v, scr.flights, scr.buckets[v-scr.curFirst], scr.curUp, &local)
+		scr.dropped[v-scr.curFirst] = local.Dropped
 	}
 	return e
 }
@@ -114,14 +219,17 @@ type CycleResult struct {
 }
 
 // flight tracks one message inside a cycle: its state, the node beneath the
-// channel whose wire it currently holds, and the wire index.
+// channel whose wire it currently holds, the wire index, and its slice of
+// the engine's flat wire-history arena.
 type flight struct {
-	msg   core.Message
-	state int // flightUp, flightDown, flightDone, flightLost
-	node  int // node beneath the current channel (leaf after injection)
-	wire  int // wire held in the current channel
-	lca   int
-	hist  []int // wires assigned along the path, in path order
+	msg     core.Message
+	state   int // flightUp, flightDown, flightDone, flightLost
+	node    int // node beneath the current channel (leaf after injection)
+	wire    int // wire held in the current channel
+	lca     int
+	dstLeaf int // heap index of the destination leaf (0 when Dst is External)
+	histOff int // offset of this flight's wire history in scr.histArena
+	histLen int // wires recorded so far (path order)
 }
 
 const (
@@ -138,18 +246,31 @@ const (
 // acknowledgment protocol of Section II. Engines with more than one worker
 // route each tree level's switches concurrently; the result is bit-identical
 // to the serial path.
+//
+// The returned slice is owned by the engine's scratch arena and valid only
+// until the next cycle on this engine; copy it to retain it.
 func (e *Engine) RunCycle(pending core.MessageSet) ([]bool, CycleResult) {
-	delivered, res, _ := e.runCycleAuto(pending)
-	return delivered, res
+	if e.pool.Workers() > 1 {
+		return e.runCycle(pending, e.pool)
+	}
+	return e.runCycle(pending, nil)
 }
 
-// runCycleAuto dispatches between the serial reference path and the
-// level-sharded parallel path on the engine's worker bound.
-func (e *Engine) runCycleAuto(pending core.MessageSet) ([]bool, CycleResult, [][]int) {
-	if e.pool.Workers() > 1 {
-		return e.runCycleParallelWithHistory(pending)
+// runCycleAuto dispatches between the serial execution and the level-sharded
+// parallel execution on the engine's worker bound.
+func (e *Engine) runCycleAuto(pending core.MessageSet) ([]bool, CycleResult) {
+	return e.RunCycle(pending)
+}
+
+// growInts returns s resized to n entries, reusing its backing array when
+// the capacity suffices and preserving existing contents on growth.
+func growInts(s []int, n int) []int {
+	if cap(s) >= n {
+		return s[:n]
 	}
-	return e.runCycleWithHistory(pending)
+	out := make([]int, n, n+n/2)
+	copy(out, s)
+	return out
 }
 
 // inject starts a delivery cycle: each source leaf offers its up channel's
@@ -157,142 +278,199 @@ func (e *Engine) runCycleAuto(pending core.MessageSet) ([]bool, CycleResult, [][
 // cycle (the processor buffers them, per Section II). Inputs from the
 // external world inject into the root down channel; outputs carry the
 // sentinel LCA 0 ("above the root") so the upward sweep forwards them through
-// every switch and out the root channel.
+// every switch and out the root channel. Each admitted flight reserves its
+// exact path length in the wire-history arena.
+//
+//ftlint:hotpath
 func (e *Engine) inject(pending core.MessageSet) ([]flight, CycleResult) {
 	t := e.tree
-	flights := make([]flight, len(pending))
+	scr := &e.scr
+	scr.epoch++
+	if cap(scr.flights) < len(pending) {
+		scr.flights = make([]flight, len(pending), len(pending)+len(pending)/2)
+	}
+	flights := scr.flights[:len(pending)]
+	scr.flights = flights
 	var res CycleResult
 
-	injected := make(map[int]int) // leaf node -> wires used
-	rootInjected := 0             // root down-channel wires used by inputs
+	levels := t.Levels()
+	arenaLen := 0
+	rootInjected := 0 // root down-channel wires used by inputs
 	for i, m := range pending {
 		if m.Src == core.External {
-			capRoot := t.Capacity(core.Channel{Node: 1, Dir: core.Down})
-			if rootInjected >= capRoot {
+			if rootInjected >= e.caps[1] {
 				flights[i] = flight{msg: m, state: flightLost}
 				res.Deferred++
 				continue
 			}
+			off := arenaLen
+			arenaLen += levels + 1
+			scr.histArena = growInts(scr.histArena, arenaLen)
 			flights[i] = flight{
 				msg: m, state: flightDown, node: 1, wire: rootInjected,
-				hist: []int{rootInjected},
+				dstLeaf: t.Leaf(m.Dst),
+				histOff: off, histLen: 1,
 			}
+			scr.histArena[off] = rootInjected
 			rootInjected++
 			continue
 		}
 		leaf := t.Leaf(m.Src)
-		capLeaf := t.Capacity(core.Channel{Node: leaf, Dir: core.Up})
-		if injected[leaf] >= capLeaf {
+		used := 0
+		if scr.injStamp[m.Src] == scr.epoch {
+			used = scr.injUsed[m.Src]
+		}
+		if used >= e.caps[leaf] {
 			flights[i] = flight{msg: m, state: flightLost}
 			res.Deferred++
 			continue
 		}
 		lca := 0 // sentinel: the message exits through the root interface
+		dstLeaf := 0
+		pathLen := levels + 1
 		if m.Dst != core.External {
 			lca = t.LCA(m.Src, m.Dst)
+			dstLeaf = t.Leaf(m.Dst)
+			pathLen = 2 * (levels - (bits.Len(uint(lca)) - 1))
 		}
+		off := arenaLen
+		arenaLen += pathLen
+		scr.histArena = growInts(scr.histArena, arenaLen)
 		flights[i] = flight{
-			msg: m, state: flightUp, node: leaf, wire: injected[leaf],
-			lca:  lca,
-			hist: []int{injected[leaf]},
+			msg: m, state: flightUp, node: leaf, wire: used,
+			lca: lca, dstLeaf: dstLeaf,
+			histOff: off, histLen: 1,
 		}
-		injected[leaf]++
+		scr.histArena[off] = used
+		scr.injStamp[m.Src] = scr.epoch
+		scr.injUsed[m.Src] = used + 1
 	}
 	return flights, res
 }
 
-// collect finishes a delivery cycle: delivered flags, the per-message wire
-// histories, and the delivered count.
-func collect(pending core.MessageSet, flights []flight, res *CycleResult) ([]bool, [][]int) {
-	delivered := make([]bool, len(pending))
-	hist := make([][]int, len(pending))
+// collect finishes a delivery cycle: delivered flags (engine-owned scratch)
+// and the delivered count.
+//
+//ftlint:hotpath
+func (e *Engine) collect(pending core.MessageSet, flights []flight, res *CycleResult) []bool {
+	scr := &e.scr
+	if cap(scr.delivered) < len(pending) {
+		scr.delivered = make([]bool, len(pending), len(pending)+len(pending)/2)
+	}
+	delivered := scr.delivered[:len(pending)]
+	scr.delivered = delivered
 	for i := range flights {
-		if flights[i].state == flightDone {
-			delivered[i] = true
+		done := flights[i].state == flightDone
+		delivered[i] = done
+		if done {
 			res.Delivered++
-			hist[i] = flights[i].hist
 		}
 	}
-	return delivered, hist
+	return delivered
 }
 
-// runCycleWithHistory is the serial reference implementation of a delivery
-// cycle: RunCycle plus, for each message, the sequence of wires it was
-// assigned along its path (path order: leaf up channel first). The histories
-// feed the off-line settings compiler.
-func (e *Engine) runCycleWithHistory(pending core.MessageSet) ([]bool, CycleResult, [][]int) {
+// runCycle is the single delivery-cycle data plane shared by the serial and
+// parallel paths: inject, bucketed upward sweep, bucketed downward sweep,
+// collect. A nil pool routes each level's buckets in node order on the
+// calling goroutine (the serial reference execution); a pool fans them out
+// over its workers with a deterministic node-order merge. The two executions
+// are bit-identical because every bucket is built in message-index order
+// before the fan-out and every switch is contested by exactly one worker.
+//
+//ftlint:hotpath
+func (e *Engine) runCycle(pending core.MessageSet, pool *par.Pool) ([]bool, CycleResult) {
 	t := e.tree
+	scr := &e.scr
 	leafLevel := t.Levels()
 	flights, res := e.inject(pending)
+	scr.nodes = scr.nodes[:0]
 
-	// Upward sweep: nodes from the leaf parents toward the root route their
-	// parent-bound traffic. A message bound for a higher LCA requests the
-	// ToParent concentrator; one whose LCA is this node keeps its child-side
-	// wire and turns during the downward sweep.
+	// Upward sweep, leaf parents toward the root: a message ascending
+	// through v holds a wire in the up channel above one of v's children
+	// and its LCA is strictly above v.
 	for level := leafLevel - 1; level >= 0; level-- {
 		first := 1 << uint(level)
-		for v := first; v < 2*first; v++ {
-			e.routeNode(v, flights, true, &res)
-		}
-	}
-
-	// Downward sweep: nodes from the root toward the leaves route their
-	// child-bound traffic — turning messages (LCA here) plus messages
-	// descending from the parent.
-	for level := 0; level < leafLevel; level++ {
-		first := 1 << uint(level)
-		for v := first; v < 2*first; v++ {
-			e.routeNode(v, flights, false, &res)
-		}
-	}
-
-	delivered, hist := collect(pending, flights, &res)
-	return delivered, res, hist
-}
-
-// routeNode routes one node's traffic for one sweep by scanning every flight
-// for the ones this node owns. The parallel path computes the same ownership
-// by bucketing (see parallel.go) and shares routeGathered, so both paths
-// contest each switch with identical request lists.
-func (e *Engine) routeNode(v int, flights []flight, upSweep bool, res *CycleResult) {
-	var who []int
-	for i := range flights {
-		f := &flights[i]
-		if upSweep {
-			// Message ascending through v: it holds a wire in the up channel
-			// above one of v's children and its LCA is strictly above v.
-			if f.state != flightUp || f.node>>1 != v || f.lca == v {
+		for i := range flights {
+			f := &flights[i]
+			if f.state != flightUp || f.lca == f.node>>1 {
 				continue
 			}
-			who = append(who, i)
-			continue
+			e.own(first, f.node>>1, i)
 		}
-		// Downward sweep: the message either turns at v (its LCA is v, and it
-		// still holds a child-side up wire) or descends through v (it holds
-		// the parent-side down wire above v).
-		if (f.state == flightUp && f.lca == v) || (f.state == flightDown && f.node == v) {
-			who = append(who, i)
-		}
+		e.routeLevel(pool, first, true, &res)
 	}
-	e.routeGathered(v, flights, who, upSweep, res)
+
+	// Downward sweep, root toward the leaves: a message either turns at v
+	// (its LCA is v, and it still holds a child-side up wire) or descends
+	// through v (it holds the parent-side down wire above v).
+	for level := 0; level < leafLevel; level++ {
+		first := 1 << uint(level)
+		for i := range flights {
+			f := &flights[i]
+			switch f.state {
+			case flightUp: // waiting to turn at its LCA
+				e.own(first, f.lca, i)
+			case flightDown: // holds the down wire above f.node
+				e.own(first, f.node, i)
+			}
+		}
+		e.routeLevel(pool, first, false, &res)
+	}
+
+	delivered := e.collect(pending, flights, &res)
+	return delivered, res
+}
+
+// own buckets flight i under switch v if v belongs to the sweep level whose
+// first node is first, recording the first touch of each bucket in nodes.
+//
+//ftlint:hotpath
+func (e *Engine) own(first, v, i int) {
+	scr := &e.scr
+	if v >= first && v < 2*first {
+		if len(scr.buckets[v-first]) == 0 {
+			scr.nodes = append(scr.nodes, v)
+		}
+		scr.buckets[v-first] = append(scr.buckets[v-first], i)
+	}
+}
+
+// routeLevel contests one sweep step's non-empty switches — inline in node
+// order on a nil pool, fanned out over the pool's workers otherwise — then
+// merges per-switch drop counts in node order and resets the buckets.
+//
+//ftlint:hotpath
+func (e *Engine) routeLevel(pool *par.Pool, first int, upSweep bool, res *CycleResult) {
+	scr := &e.scr
+	scr.curFirst, scr.curUp = first, upSweep
+	pool.ForEach(len(scr.nodes), e.levelWorker)
+	// Deterministic merge in node order. Only drops occur mid-sweep
+	// (delivery and deferral are counted at collect/inject time).
+	for _, v := range scr.nodes {
+		res.Dropped += scr.dropped[v-first]
+		scr.buckets[v-first] = scr.buckets[v-first][:0]
+	}
+	scr.nodes = scr.nodes[:0]
 }
 
 // routeGathered contests node v's concentrators with the flights in who (in
 // order) and applies the wire assignments. In the upward sweep only the
 // ToParent output is contested; in the downward sweep the two child outputs
-// are. It touches only the listed flights, switch v, and res.Dropped, so
-// calls for distinct nodes of one level are independent.
+// are. It touches only the listed flights, switch v, v's scratch slot, and
+// res.Dropped, so calls for distinct nodes of one level are independent.
+//
+//ftlint:hotpath
 func (e *Engine) routeGathered(v int, flights []flight, who []int, upSweep bool, res *CycleResult) {
 	if len(who) == 0 {
 		return
 	}
-	t := e.tree
-	leafLevel := t.Levels()
-	reqs := make([]concentrator.Request, 0, len(who))
+	leafLevel := e.tree.Levels()
+	vLevel := bits.Len(uint(v)) - 1
+	ns := &e.scr.node[v]
+	reqs := ns.reqs[:0]
 
 	for _, i := range who {
 		f := &flights[i]
-		m := f.msg
 		if upSweep {
 			in := concentrator.Left
 			if f.node == 2*v+1 {
@@ -310,19 +488,22 @@ func (e *Engine) routeGathered(v int, flights []flight, who []int, upSweep bool,
 		} else { // descending on the parent-side down wire
 			in = concentrator.Parent
 		}
+		// Steer toward the destination leaf: the next node down is the
+		// dstLeaf ancestor one level below v, and its low bit picks the side.
 		out := concentrator.Left
-		if t.Contains(2*v+1, m.Dst) {
+		if (f.dstLeaf>>uint(leafLevel-vLevel-1))&1 == 1 {
 			out = concentrator.Right
 		}
 		reqs = append(reqs, concentrator.Request{In: in, InWire: f.wire, Out: out})
 	}
+	ns.reqs = reqs
 
 	outWires, _ := e.switches[v].Route(reqs)
 	// Hardware invariant: a concentrator never assigns more wires to a
 	// channel than the channel has, and never the same wire twice. The
-	// checks are cheap and guard the whole delivery pipeline.
-	usedUp := make(map[int]bool)
-	usedDown := [2]map[int]bool{make(map[int]bool), make(map[int]bool)}
+	// epoch-stamped guards are cheap and protect the whole delivery
+	// pipeline without per-sweep clearing.
+	ns.gen++
 	for j, i := range who {
 		f := &flights[i]
 		if outWires[j] < 0 {
@@ -332,11 +513,10 @@ func (e *Engine) routeGathered(v int, flights []flight, who []int, upSweep bool,
 		}
 		switch reqs[j].Out {
 		case concentrator.Parent:
-			capUp := t.Capacity(core.Channel{Node: v, Dir: core.Up})
-			if outWires[j] >= capUp || usedUp[outWires[j]] {
+			if outWires[j] >= e.caps[v] || ns.upStamp[outWires[j]] == ns.gen {
 				panic("sim: up-channel wire oversubscribed (switch bug)")
 			}
-			usedUp[outWires[j]] = true
+			ns.upStamp[outWires[j]] = ns.gen
 		case concentrator.Left, concentrator.Right:
 			side := 0
 			child := 2 * v
@@ -344,14 +524,14 @@ func (e *Engine) routeGathered(v int, flights []flight, who []int, upSweep bool,
 				side = 1
 				child = 2*v + 1
 			}
-			capDown := t.Capacity(core.Channel{Node: child, Dir: core.Down})
-			if outWires[j] >= capDown || usedDown[side][outWires[j]] {
+			if outWires[j] >= e.caps[child] || ns.downStamp[side][outWires[j]] == ns.gen {
 				panic("sim: down-channel wire oversubscribed (switch bug)")
 			}
-			usedDown[side][outWires[j]] = true
+			ns.downStamp[side][outWires[j]] = ns.gen
 		}
 		f.wire = outWires[j]
-		f.hist = append(f.hist, outWires[j])
+		e.scr.histArena[f.histOff+f.histLen] = outWires[j]
+		f.histLen++
 		if upSweep {
 			f.state = flightUp
 			f.node = v // now holds a wire in the up channel above v
@@ -369,8 +549,26 @@ func (e *Engine) routeGathered(v int, flights []flight, who []int, upSweep bool,
 		}
 		f.node = child
 		f.state = flightDown
-		if t.Level(child) == leafLevel {
+		if vLevel+1 == leafLevel {
 			f.state = flightDone
 		}
 	}
+}
+
+// histories materializes the per-message wire paths of the last cycle as
+// freshly allocated slices safe to retain: hist[i] is message i's wire
+// sequence in path order, nil unless it was delivered. Used by the settings
+// compiler; the hot retry loops never materialize.
+func (e *Engine) histories(flights []flight) [][]int {
+	hist := make([][]int, len(flights))
+	for i := range flights {
+		f := &flights[i]
+		if f.state != flightDone {
+			continue
+		}
+		h := make([]int, f.histLen)
+		copy(h, e.scr.histArena[f.histOff:f.histOff+f.histLen])
+		hist[i] = h
+	}
+	return hist
 }

@@ -94,5 +94,37 @@ func FuzzEngineParallelEquivalence(f *testing.F) {
 		if sr != pr || !reflect.DeepEqual(sd, pd) {
 			t.Fatalf("RunCycle diverges: serial %+v %v, parallel %+v %v", sr, sd, pr, pd)
 		}
+
+		// Engine reuse: one engine runs many scenarios back to back, so any
+		// state the scratch arena leaks between runs (a stale stamp, an
+		// unreset bucket, a dirty wire guard) breaks the lockstep serial ==
+		// parallel comparison below. The scenario sizes shrink and grow again
+		// to stress arena reuse across resizes.
+		scenarios := []core.MessageSet{ms, ms[:len(ms)/2], ms, ms[:len(ms)/3], ms}
+		reusedSerial := mkEngine(1)
+		reusedParallel := mkEngine(2)
+		for rep, sc := range scenarios {
+			rs := reusedSerial.Run(sc)
+			rp := reusedParallel.RunParallel(sc)
+			if !reflect.DeepEqual(rs, rp) {
+				t.Fatalf("rep %d: reused engines diverge\nserial   %+v\nparallel %+v", rep, rs, rp)
+			}
+			// Without injected loss no RNG is consumed while routing (the
+			// partial graphs are fixed at construction), so a reused engine
+			// must also be indistinguishable from a fresh one.
+			if loss == 0 {
+				if fresh := mkEngine(1).Run(sc); !reflect.DeepEqual(rs, fresh) {
+					t.Fatalf("rep %d: reused engine diverges from fresh\nreused %+v\nfresh  %+v", rep, rs, fresh)
+				}
+			}
+		}
+
+		// Reused single cycles after full runs: the delivered vector (scratch-
+		// owned, valid until the engine's next cycle) must still agree.
+		rd, rr := reusedSerial.RunCycle(ms)
+		qd, qr := reusedParallel.RunCycleParallel(ms)
+		if rr != qr || !reflect.DeepEqual(rd, qd) {
+			t.Fatalf("reused RunCycle diverges: serial %+v %v, parallel %+v %v", rr, rd, qr, qd)
+		}
 	})
 }

@@ -4,115 +4,71 @@ import (
 	"fattree/internal/core"
 )
 
-// This file implements the parallel delivery-cycle path. A cycle's switching
-// work is embarrassingly parallel within one tree level: during a sweep, the
-// switches at level L contest disjoint message sets (each in-flight message
-// belongs to exactly one level-L node) and disjoint channels, exactly the
-// independence the Theorem 1 parallel scheduler exploits per subtree. The
-// engine therefore routes each level with the shared worker pool of
-// internal/par: flights are bucketed by owning node in message-index order (a
-// single O(m) pass, replacing the serial path's per-node scan), the nodes of
-// the level are fanned out over the pool, and per-node drop counts are merged
-// in node order. Every bucket preserves message-index order, so each switch
-// sees the identical request list the serial path builds, and all
-// per-switch randomness is pre-seeded by (seed, node) — the cycle's outcome
-// is bit-identical to runCycleWithHistory for any worker count.
+// This file holds the cycle-path entry points and retry loops around the
+// shared data plane in engine.go. A cycle's switching work is embarrassingly
+// parallel within one tree level: during a sweep, the switches at level L
+// contest disjoint message sets (each in-flight message belongs to exactly
+// one level-L node) and disjoint channels, exactly the independence the
+// Theorem 1 parallel scheduler exploits per subtree. The parallel entry
+// points execute the bucketed data plane on the engine's worker pool
+// (internal/par); the serial entry points execute the identical data plane
+// inline. Every bucket preserves message-index order and all per-switch
+// randomness is pre-seeded by (seed, node), so the cycle's outcome is
+// bit-identical across executions for any worker count.
+
+// runCycleWithHistory runs one delivery cycle on the serial execution and
+// materializes the per-message wire histories (path order: leaf up channel
+// first) as retainable slices. The histories feed the off-line settings
+// compiler; the retry loops use the non-materializing runCycle instead.
+func (e *Engine) runCycleWithHistory(pending core.MessageSet) ([]bool, CycleResult, [][]int) {
+	delivered, res := e.runCycle(pending, nil)
+	return delivered, res, e.histories(e.scr.flights)
+}
 
 // runCycleParallelWithHistory is the parallel twin of runCycleWithHistory.
 func (e *Engine) runCycleParallelWithHistory(pending core.MessageSet) ([]bool, CycleResult, [][]int) {
-	t := e.tree
-	leafLevel := t.Levels()
-	flights, res := e.inject(pending)
+	delivered, res := e.runCycle(pending, e.pool)
+	return delivered, res, e.histories(e.scr.flights)
+}
 
-	// Reused per level: bucket[v-first] lists the flights node v owns this
-	// sweep step, in message-index order; dropped[v-first] is v's drop count.
-	maxNodes := 1 << uint(leafLevel-1)
-	buckets := make([][]int, maxNodes)
-	nodes := make([]int, 0, maxNodes) // nodes with non-empty buckets, in first-message order
-	dropped := make([]int, maxNodes)
-
-	routeLevel := func(first int, upSweep bool) {
-		e.pool.ForEach(len(nodes), func(k int) {
-			v := nodes[k]
-			var local CycleResult
-			e.routeGathered(v, flights, buckets[v-first], upSweep, &local)
-			dropped[v-first] = local.Dropped
-		})
-		// Deterministic merge in node order. Only drops occur mid-sweep
-		// (delivery and deferral are counted at collect/inject time).
-		for _, v := range nodes {
-			res.Dropped += dropped[v-first]
-			buckets[v-first] = buckets[v-first][:0]
-		}
-		nodes = nodes[:0]
+// runCycleAutoWithHistory dispatches the materializing cycle on the engine's
+// worker bound.
+func (e *Engine) runCycleAutoWithHistory(pending core.MessageSet) ([]bool, CycleResult, [][]int) {
+	if e.pool.Workers() > 1 {
+		return e.runCycleParallelWithHistory(pending)
 	}
-	own := func(first, v, i int) {
-		if v >= first && v < 2*first {
-			if len(buckets[v-first]) == 0 {
-				nodes = append(nodes, v)
-			}
-			buckets[v-first] = append(buckets[v-first], i)
-		}
-	}
-
-	// Upward sweep, leaf parents toward the root.
-	for level := leafLevel - 1; level >= 0; level-- {
-		first := 1 << uint(level)
-		for i := range flights {
-			f := &flights[i]
-			if f.state != flightUp || f.lca == f.node>>1 {
-				continue
-			}
-			own(first, f.node>>1, i)
-		}
-		routeLevel(first, true)
-	}
-
-	// Downward sweep, root toward the leaves.
-	for level := 0; level < leafLevel; level++ {
-		first := 1 << uint(level)
-		for i := range flights {
-			f := &flights[i]
-			switch f.state {
-			case flightUp: // waiting to turn at its LCA
-				own(first, f.lca, i)
-			case flightDown: // holds the down wire above f.node
-				own(first, f.node, i)
-			}
-		}
-		routeLevel(first, false)
-	}
-
-	delivered, hist := collect(pending, flights, &res)
-	return delivered, res, hist
+	return e.runCycleWithHistory(pending)
 }
 
 // RunCycleParallel is RunCycle on the level-sharded parallel path regardless
 // of the engine's worker bound (with one worker the level fan-out runs inline
 // but the bucketed algorithm is still used). The result is bit-identical to
-// the serial path.
+// the serial path. Like RunCycle, the returned slice is scratch-owned and
+// valid only until the engine's next cycle.
 func (e *Engine) RunCycleParallel(pending core.MessageSet) ([]bool, CycleResult) {
-	delivered, res, _ := e.runCycleParallelWithHistory(pending)
-	return delivered, res
+	return e.runCycle(pending, e.pool)
 }
 
 // runLoop is the online retry protocol of Section II parameterized by the
 // cycle implementation: every cycle, all undelivered messages are offered to
-// the network; losers are negatively acknowledged and retried.
-func (e *Engine) runLoop(ms core.MessageSet, cycle func(core.MessageSet) ([]bool, CycleResult, [][]int)) Stats {
+// the network; losers are negatively acknowledged and retried. The pending
+// sets live in the engine's ping-pong scratch buffers, so steady-state
+// cycles allocate nothing (stats.PerCycle grows amortized).
+func (e *Engine) runLoop(ms core.MessageSet, cycle func(core.MessageSet) ([]bool, CycleResult)) Stats {
 	if err := ms.Validate(e.tree); err != nil {
 		panic(err)
 	}
 	var stats Stats
-	pending := ms.Clone()
+	pending := append(e.scr.pendA[:0], ms...)
+	next := e.scr.pendB[:0]
 	for len(pending) > 0 && stats.Cycles < maxCyclesDefault {
-		delivered, res, _ := cycle(pending)
+		delivered, res := cycle(pending)
 		stats.Cycles++
 		stats.Delivered += res.Delivered
 		stats.Drops += res.Dropped
 		stats.Deferrals += res.Deferred
 		stats.PerCycle = append(stats.PerCycle, res.Delivered)
-		var next core.MessageSet
+		next = next[:0]
 		for i, ok := range delivered {
 			if !ok {
 				next = append(next, pending[i])
@@ -121,18 +77,21 @@ func (e *Engine) runLoop(ms core.MessageSet, cycle func(core.MessageSet) ([]bool
 		if res.Delivered == 0 && len(next) == len(pending) {
 			// No progress: with partial concentrators an unlucky matching can
 			// stall identical retries forever; report and stop.
-			return stats
+			break
 		}
-		pending = next
+		pending, next = next, pending
 	}
+	e.scr.pendA, e.scr.pendB = pending[:0], next[:0]
 	return stats
 }
 
 // Run delivers ms with the greedy online protocol on the serial reference
-// path, regardless of the engine's worker bound. It is the baseline
+// execution, regardless of the engine's worker bound. It is the baseline
 // RunParallel is proven bit-identical to.
 func (e *Engine) Run(ms core.MessageSet) Stats {
-	return e.runLoop(ms, e.runCycleWithHistory)
+	return e.runLoop(ms, func(pending core.MessageSet) ([]bool, CycleResult) {
+		return e.runCycle(pending, nil)
+	})
 }
 
 // RunParallel delivers ms with the greedy online protocol on the parallel
@@ -142,25 +101,28 @@ func (e *Engine) Run(ms core.MessageSet) Stats {
 // delivery profile, and every wire assignment are bit-identical to Run for
 // any worker count.
 func (e *Engine) RunParallel(ms core.MessageSet) Stats {
-	return e.runLoop(ms, e.runCycleParallelWithHistory)
+	return e.runLoop(ms, func(pending core.MessageSet) ([]bool, CycleResult) {
+		return e.runCycle(pending, e.pool)
+	})
 }
 
 // runCyclesLoop plays a precomputed sequence of one-cycle message sets
 // through the given cycle implementation, carrying losses forward and
 // draining them at the end (losses only occur with partial concentrators or
-// injected faults).
-func (e *Engine) runCyclesLoop(cycles []core.MessageSet, cycle func(core.MessageSet) ([]bool, CycleResult, [][]int)) Stats {
+// injected faults). Pending and carry sets live in engine scratch.
+func (e *Engine) runCyclesLoop(cycles []core.MessageSet, cycle func(core.MessageSet) ([]bool, CycleResult)) Stats {
 	var stats Stats
-	var carry core.MessageSet
+	pending := e.scr.pendA[:0]
+	carry := e.scr.pendB[:0]
 	for _, cyc := range cycles {
-		pending := core.Concat(carry, cyc)
-		delivered, res, _ := cycle(pending)
+		pending = append(append(pending[:0], carry...), cyc...)
+		delivered, res := cycle(pending)
 		stats.Cycles++
 		stats.Delivered += res.Delivered
 		stats.Drops += res.Dropped
 		stats.Deferrals += res.Deferred
 		stats.PerCycle = append(stats.PerCycle, res.Delivered)
-		carry = nil
+		carry = carry[:0]
 		for i, ok := range delivered {
 			if !ok {
 				carry = append(carry, pending[i])
@@ -168,35 +130,40 @@ func (e *Engine) runCyclesLoop(cycles []core.MessageSet, cycle func(core.Message
 		}
 	}
 	for len(carry) > 0 && stats.Cycles < maxCyclesDefault {
-		delivered, res, _ := cycle(carry)
+		pending = append(pending[:0], carry...)
+		delivered, res := cycle(pending)
 		stats.Cycles++
 		stats.Delivered += res.Delivered
 		stats.Drops += res.Dropped
 		stats.Deferrals += res.Deferred
 		stats.PerCycle = append(stats.PerCycle, res.Delivered)
-		var next core.MessageSet
+		carry = carry[:0]
 		for i, ok := range delivered {
 			if !ok {
-				next = append(next, carry[i])
+				carry = append(carry, pending[i])
 			}
 		}
-		if res.Delivered == 0 && len(next) == len(carry) {
-			return stats
+		if res.Delivered == 0 && len(carry) == len(pending) {
+			break
 		}
-		carry = next
 	}
+	e.scr.pendA, e.scr.pendB = pending[:0], carry[:0]
 	return stats
 }
 
 // RunCycles plays a precomputed sequence of one-cycle message sets (for
-// example a schedule's Cycles) on the serial reference path: cycle i injects
-// exactly the i-th set plus any earlier losses.
+// example a schedule's Cycles) on the serial reference execution: cycle i
+// injects exactly the i-th set plus any earlier losses.
 func (e *Engine) RunCycles(cycles []core.MessageSet) Stats {
-	return e.runCyclesLoop(cycles, e.runCycleWithHistory)
+	return e.runCyclesLoop(cycles, func(pending core.MessageSet) ([]bool, CycleResult) {
+		return e.runCycle(pending, nil)
+	})
 }
 
 // RunCyclesParallel is RunCycles on the parallel cycle path; its stats are
 // bit-identical to RunCycles for any worker count.
 func (e *Engine) RunCyclesParallel(cycles []core.MessageSet) Stats {
-	return e.runCyclesLoop(cycles, e.runCycleParallelWithHistory)
+	return e.runCyclesLoop(cycles, func(pending core.MessageSet) ([]bool, CycleResult) {
+		return e.runCycle(pending, e.pool)
+	})
 }

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"math/rand"
+	"reflect"
 	"testing"
 	"testing/quick"
 
@@ -70,6 +71,43 @@ func TestEngineCycleConservation(t *testing.T) {
 		return res.Dropped+res.Deferred == undelivered
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestEngineReuseMatchesFresh fuzzes the scratch-arena reuse contract: one
+// engine running a sequence of unrelated workloads (of varying size, so the
+// arena shrinks and regrows) must produce exactly the stats a fresh engine
+// produces for each workload, on both switch kinds and both cycle paths.
+// Any cross-cycle residue in the arena — a stale epoch stamp, an unreset
+// bucket, a dirty wire guard — shows up as a divergence here.
+func TestEngineReuseMatchesFresh(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 << (3 + rng.Intn(3))
+		ft := workload.RandomTreeProfile(n, 8, seed)
+		kind := concentrator.KindIdeal
+		if seed%2 == 0 {
+			kind = concentrator.KindPartial
+		}
+		reusedSerial := NewWithOptions(ft, kind, seed, Options{Workers: 1})
+		reusedParallel := NewWithOptions(ft, kind, seed, Options{Workers: 2})
+		for rep := 0; rep < 4; rep++ {
+			ms := workload.Random(n, 1+rng.Intn(4*n), seed+int64(rep))
+			got := reusedSerial.Run(ms)
+			want := NewWithOptions(ft, kind, seed, Options{Workers: 1}).Run(ms)
+			if !reflect.DeepEqual(got, want) {
+				t.Logf("seed %d rep %d: reused serial %+v, fresh %+v", seed, rep, got, want)
+				return false
+			}
+			if par := reusedParallel.RunParallel(ms); !reflect.DeepEqual(par, want) {
+				t.Logf("seed %d rep %d: reused parallel %+v, fresh %+v", seed, rep, par, want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
 		t.Error(err)
 	}
 }

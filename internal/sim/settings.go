@@ -53,7 +53,7 @@ func CompileSettings(t *core.FatTree, s *sched.Schedule) *Settings {
 	e := New(t, concentrator.KindIdeal, 0)
 	st := &Settings{Tree: t, Cycles: make([][]WirePath, len(s.Cycles))}
 	for ci, cyc := range s.Cycles {
-		delivered, res, paths := e.runCycleAuto(cyc)
+		delivered, res, paths := e.runCycleAutoWithHistory(cyc)
 		for i, ok := range delivered {
 			if !ok {
 				panic(fmt.Sprintf("sim: compile dropped message %v in cycle %d (%+v) — unverified schedule?",
@@ -70,10 +70,27 @@ func CompileSettings(t *core.FatTree, s *sched.Schedule) *Settings {
 // consistent (one wire per channel on the unique route, within capacity,
 // no two messages sharing a wire) and returns the delivery count. It is the
 // software analog of streaming the program through dumb switches.
+//
+// The wire-occupancy check uses one flat arena over all channels — an offset
+// table built from the memoized capacity table plus a cycle-stamped wire
+// array — rather than nested per-channel maps, so replaying a program does
+// O(total wires) setup once and O(1) work per wire thereafter.
 func (st *Settings) Replay() (delivered int, err error) {
+	caps := st.Tree.CapTable()
+	// off[2*v+dir] is the arena offset of channel (v, dir); both directions
+	// of an edge have the same width but occupy distinct wire slots.
+	off := make([]int, 2*len(caps))
+	total := 0
+	for v := 1; v < len(caps); v++ {
+		off[2*v] = total
+		off[2*v+1] = total + caps[v]
+		total += 2 * caps[v]
+	}
+	used := make([]int, total) // stamped with cycle index + 1; zero = free
+
 	var buf []core.Channel
 	for ci, cyc := range st.Cycles {
-		used := make(map[core.Channel]map[int]bool)
+		stamp := ci + 1
 		for _, wp := range cyc {
 			buf = st.Tree.Path(wp.Msg, buf[:0])
 			if len(buf) != len(wp.Wires) {
@@ -82,17 +99,15 @@ func (st *Settings) Replay() (delivered int, err error) {
 			}
 			for i, c := range buf {
 				w := wp.Wires[i]
-				if w < 0 || w >= st.Tree.Capacity(c) {
+				if w < 0 || w >= caps[c.Node] {
 					return delivered, fmt.Errorf("sim: cycle %d message %v: wire %d out of range on %v",
 						ci, wp.Msg, w, c)
 				}
-				if used[c] == nil {
-					used[c] = make(map[int]bool)
-				}
-				if used[c][w] {
+				slot := off[2*c.Node+int(c.Dir)] + w
+				if used[slot] == stamp {
 					return delivered, fmt.Errorf("sim: cycle %d: wire %d of %v assigned twice", ci, w, c)
 				}
-				used[c][w] = true
+				used[slot] = stamp
 			}
 			delivered++
 		}
