@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint lint-extra fuzz bench-json check
+.PHONY: all build test race lint lint-extra fuzz bench-json trace-demo check
 
 all: check
 
@@ -45,6 +45,13 @@ lint-extra:
 # OffLineSchedule at n = 256, 1024, 4096.
 bench-json:
 	$(GO) run ./cmd/ftbench -bench -json > BENCH_3.json
+
+# Sample observability artifact: a chrome://tracing-loadable trace of one
+# online permutation run plus the per-level counter report (DESIGN.md §8).
+# Load trace-demo.json via chrome://tracing or https://ui.perfetto.dev.
+trace-demo:
+	$(GO) run ./cmd/ftsim -n 256 -workload perm -policy online \
+		-counters -trace-out trace-demo.json
 
 # Short fuzz shakeout of the two cross-check targets (serial vs parallel).
 fuzz:

@@ -1,0 +1,56 @@
+package fattree_test
+
+import (
+	"testing"
+
+	"fattree"
+)
+
+// TestRouteCycleSerialZeroAllocs is the runtime half of the observability
+// cost contract (the hotalloc ftlint analyzer is the static half): with the
+// observer disabled, a warmed engine's delivery cycle performs zero heap
+// allocations at every standard size. The CI bench-guard job additionally
+// asserts the same figure out of BenchmarkRouteCycleSerial's -benchmem
+// output.
+func TestRouteCycleSerialZeroAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("alloc guard is covered at full size in CI")
+	}
+	for _, n := range []int{256, 1024, 4096} {
+		ft := fattree.NewUniversal(n, n/4)
+		ms := fattree.RandomPermutation(n, 1)
+		e := fattree.NewEngineWithOptions(ft, fattree.SwitchIdeal, 0, fattree.Options{Workers: 1})
+		e.RunCycle(ms) // warm the scratch arena
+		allocs := testing.AllocsPerRun(10, func() {
+			if _, res := e.RunCycle(ms); res.Delivered == 0 {
+				t.Fatal("cycle delivered nothing")
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("n=%d: %v allocs/op with observers disabled, want 0", n, allocs)
+		}
+	}
+}
+
+// TestRouteCycleObservedSteadyStateAllocs pins the "cheap when enabled" half:
+// counters are flat-array adds and trace events are fixed-slot ring writes,
+// so even an observed steady-state cycle allocates nothing once the ring has
+// been created.
+func TestRouteCycleObservedSteadyStateAllocs(t *testing.T) {
+	n := 256
+	ft := fattree.NewUniversal(n, n/4)
+	ms := fattree.RandomPermutation(n, 1)
+	o := fattree.NewObserver(ft)
+	o.EnableTrace(1 << 12)
+	e := fattree.NewEngineWithOptions(ft, fattree.SwitchIdeal, 0,
+		fattree.Options{Workers: 1, Observer: o})
+	e.RunCycle(ms) // warm the arena and fill the ring to steady state
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, res := e.RunCycle(ms); res.Delivered == 0 {
+			t.Fatal("cycle delivered nothing")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("%v allocs/op with observers enabled, want 0 (ring writes must not allocate)", allocs)
+	}
+}

@@ -10,6 +10,9 @@
 //	ftbench -run E8,E9      # selected experiments
 //	ftbench -list           # list experiment ids
 //	ftbench -bench -json    # delivery-engine micro-benchmarks as JSON
+//	ftbench -bench -profile cpu,mem  # with pprof profiles of the run
+//
+// Exit status: 0 success, 1 runtime failure, 2 usage error.
 package main
 
 import (
@@ -22,26 +25,61 @@ import (
 
 	"fattree/internal/experiments"
 	"fattree/internal/metrics"
+	"fattree/internal/obsv"
 	"fattree/internal/par"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() (code int) {
 	quick := flag.Bool("quick", false, "run with reduced problem sizes")
-	run := flag.String("run", "", "comma-separated experiment ids (default all)")
+	runIDs := flag.String("run", "", "comma-separated experiment ids (default all)")
 	list := flag.Bool("list", false, "list experiments and exit")
 	seed := flag.Int64("seed", 1, "random seed for all experiments")
 	asJSON := flag.Bool("json", false, "emit results as JSON")
 	parallel := flag.Bool("parallel", false, "run experiments concurrently (results print in order)")
 	bench := flag.Bool("bench", false,
 		"run the delivery-engine micro-benchmarks (ns/op, B/op, allocs/op) instead of the experiment suite")
+	profile := flag.String("profile", "", "comma-separated profiles to record: cpu|mem|trace")
+	profileOut := flag.String("profile-out", "ftbench", "base path for -profile output files")
 	flag.Parse()
+
+	if *profile != "" {
+		for _, k := range strings.Split(*profile, ",") {
+			switch strings.TrimSpace(k) {
+			case "cpu", "mem", "trace":
+			default:
+				fmt.Fprintf(os.Stderr, "ftbench: unknown -profile kind %q (want cpu|mem|trace)\n", k)
+				return 2
+			}
+		}
+		stop, err := obsv.StartProfiles(*profile, *profileOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ftbench: %v\n", err)
+			return 1
+		}
+		// The pprof label on the internal/par workers ("pool"="par") splits
+		// the CPU profile between the delivery fan-out and the coordinator.
+		defer func() {
+			if err := stop(); err != nil {
+				fmt.Fprintf(os.Stderr, "ftbench: %v\n", err)
+				if code == 0 {
+					code = 1
+				}
+				return
+			}
+			fmt.Printf("profiles written to %s.*\n", *profileOut)
+		}()
+	}
 
 	if *bench {
 		if err := runMicroBenchmarks(*asJSON); err != nil {
 			fmt.Fprintf(os.Stderr, "ftbench: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 
 	all := experiments.All()
@@ -49,17 +87,17 @@ func main() {
 		for _, e := range all {
 			fmt.Printf("%-4s %s (%s)\n", e.ID, e.Title, e.Source)
 		}
-		return
+		return 0
 	}
 
 	selected := all
-	if *run != "" {
+	if *runIDs != "" {
 		selected = nil
-		for _, id := range strings.Split(*run, ",") {
+		for _, id := range strings.Split(*runIDs, ",") {
 			e, ok := experiments.ByID(strings.TrimSpace(id))
 			if !ok {
 				fmt.Fprintf(os.Stderr, "ftbench: unknown experiment %q (use -list)\n", id)
-				os.Exit(2)
+				return 2
 			}
 			selected = append(selected, e)
 		}
@@ -83,9 +121,9 @@ func main() {
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(out); err != nil {
 			fmt.Fprintf(os.Stderr, "ftbench: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 
 	start := time.Now()
@@ -107,7 +145,7 @@ func main() {
 		for _, r := range outputs {
 			if r.err != nil {
 				fmt.Fprintf(os.Stderr, "ftbench: %v\n", r.err)
-				os.Exit(1)
+				return 1
 			}
 			fmt.Print(r.out)
 		}
@@ -116,10 +154,11 @@ func main() {
 			t0 := time.Now()
 			if err := e.RunAndPrint(os.Stdout, opts); err != nil {
 				fmt.Fprintf(os.Stderr, "ftbench: %v\n", err)
-				os.Exit(1)
+				return 1
 			}
 			fmt.Printf("(%s took %v)\n\n", e.ID, time.Since(t0).Round(time.Millisecond))
 		}
 	}
 	fmt.Printf("suite complete: %d experiments in %v\n", len(selected), time.Since(start).Round(time.Millisecond))
+	return 0
 }

@@ -71,11 +71,13 @@ func run(args []string) int {
 	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
 		n, err := lint.RunVetTool(args[0], lint.All())
 		if err != nil {
+			// Load failure, matching the standalone convention: exit 2.
 			fmt.Fprintf(os.Stderr, "ftlint: %v\n", err)
-			return 1
+			return 2
 		}
 		if n > 0 {
-			return 2
+			// Diagnostics reported: exit 1, like standalone mode.
+			return 1
 		}
 		return 0
 	}

@@ -8,12 +8,17 @@
 //	ftsim -n 256 -w 64 -workload bitrev -policy offline
 //	ftsim -n 1024 -w 1024 -workload perm -policy online -switches partial
 //	ftsim -n 256 -w 32 -workload local -k 2048 -radius 4 -policy offlinebig
+//	ftsim -n 256 -counters -trace-out trace.json   # open in chrome://tracing
+//
+// Exit status: 0 success, 1 runtime failure, 2 usage error.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 
 	"fattree"
 	"fattree/internal/viz"
@@ -33,10 +38,16 @@ func main() {
 	showViz := flag.Bool("viz", false, "render per-level utilization bars and schedule occupancy")
 	saveSchedule := flag.String("save-schedule", "", "write the compiled schedule to this file (JSON)")
 	loadSchedule := flag.String("load-schedule", "", "load a precompiled schedule instead of scheduling")
+	counters := flag.Bool("counters", false, "print the per-level observability counter report after the run")
+	traceOut := flag.String("trace-out", "", "write a chrome://tracing trace_event JSON file of the run")
+	traceJSONL := flag.String("trace-jsonl", "", "write the raw event stream as JSON Lines")
+	traceCap := flag.Int("trace-cap", 1<<16, "event ring capacity for -trace-out/-trace-jsonl (oldest events overwritten)")
+	profile := flag.String("profile", "", "comma-separated profiles to record: cpu|mem|trace")
+	profileOut := flag.String("profile-out", "ftsim", "base path for -profile output files")
 	flag.Parse()
 
 	if *n < 2 || *n&(*n-1) != 0 {
-		fail("-n must be a power of two >= 2 (got %d)", *n)
+		usage("-n must be a power of two >= 2 (got %d)", *n)
 	}
 	if *w == 0 {
 		*w = *n / 4
@@ -47,6 +58,9 @@ func main() {
 	if *k == 0 {
 		*k = 4 * *n
 	}
+
+	var obs *fattree.Observer
+	var stopProfiles func() error
 
 	ft := fattree.NewUniversal(*n, *w)
 	ms := buildWorkload(*workloadName, *n, *k, *radius, *seed)
@@ -61,9 +75,34 @@ func main() {
 	if *switches == "partial" {
 		kind = fattree.SwitchPartial
 	} else if *switches != "ideal" {
-		fail("unknown -switches %q", *switches)
+		usage("unknown -switches %q", *switches)
 	}
-	engine := fattree.NewEngineWithOptions(ft, kind, *seed, fattree.Options{Workers: *workers})
+
+	if *counters || *traceOut != "" || *traceJSONL != "" {
+		obs = fattree.NewObserver(ft)
+		if *traceOut != "" || *traceJSONL != "" {
+			if *traceCap < 1 {
+				usage("-trace-cap must be >= 1 (got %d)", *traceCap)
+			}
+			obs.EnableTrace(*traceCap)
+		}
+	}
+	if *profile != "" {
+		for _, k := range strings.Split(*profile, ",") {
+			switch strings.TrimSpace(k) {
+			case "cpu", "mem", "trace":
+			default:
+				usage("unknown -profile kind %q (want cpu|mem|trace)", k)
+			}
+		}
+		var err error
+		stopProfiles, err = fattree.StartProfiles(*profile, *profileOut)
+		if err != nil {
+			fail("%v", err)
+		}
+	}
+
+	engine := fattree.NewEngineWithOptions(ft, kind, *seed, fattree.Options{Workers: *workers, Observer: obs})
 
 	var stats fattree.Stats
 	var cycles []fattree.MessageSet
@@ -123,7 +162,7 @@ func main() {
 			viz.CycleProfile(os.Stdout, stats.PerCycle)
 		}
 	default:
-		fail("unknown -policy %q", *policy)
+		usage("unknown -policy %q", *policy)
 	}
 
 	fmt.Printf("delivered %d/%d in %d cycles, %d drops, %d deferrals\n",
@@ -134,6 +173,43 @@ func main() {
 	} else {
 		fmt.Printf("bit-serial time: <= %d ticks (%d cycles × %d ticks/cycle)\n",
 			stats.Cycles*fattree.MaxCycleTicks(ft, *payload), stats.Cycles, fattree.MaxCycleTicks(ft, *payload))
+	}
+
+	if stopProfiles != nil {
+		if err := stopProfiles(); err != nil {
+			fail("%v", err)
+		}
+		fmt.Printf("profiles written to %s.*\n", *profileOut)
+	}
+	if *counters {
+		fmt.Println()
+		if err := obs.Report(os.Stdout); err != nil {
+			fail("%v", err)
+		}
+	}
+	if *traceOut != "" {
+		writeFile(*traceOut, obs.WriteChromeTrace)
+		fmt.Printf("chrome trace written to %s (open via chrome://tracing or ui.perfetto.dev)\n", *traceOut)
+	}
+	if *traceJSONL != "" {
+		writeFile(*traceJSONL, obs.WriteJSONL)
+		fmt.Printf("event stream written to %s\n", *traceJSONL)
+	}
+}
+
+// writeFile creates path and streams write's output into it, failing the run
+// on any error (a close error on the write path means lost buffered data).
+func writeFile(path string, write func(io.Writer) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		fail("%v", err)
+	}
+	err = write(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fail("writing %s: %v", path, err)
 	}
 }
 
@@ -160,11 +236,19 @@ func buildWorkload(name string, n, k, radius int, seed int64) fattree.MessageSet
 	case "alltoall":
 		return fattree.AllToAll(n)
 	}
-	fail("unknown -workload %q", name)
+	usage("unknown -workload %q", name)
 	return nil
+}
+
+// usage reports a command-line mistake (bad flag value) and exits 2; fail
+// reports a runtime failure (I/O, invalid schedule) and exits 1 — the exit
+// convention shared by every CLI in this repository.
+func usage(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "ftsim: "+format+"\n", args...)
+	os.Exit(2)
 }
 
 func fail(format string, args ...interface{}) {
 	fmt.Fprintf(os.Stderr, "ftsim: "+format+"\n", args...)
-	os.Exit(2)
+	os.Exit(1)
 }

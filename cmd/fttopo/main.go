@@ -7,6 +7,8 @@
 //
 //	fttopo -n 1024 -w 256
 //	fttopo -n 4096 -volume 1e6
+//
+// Exit status: 0 success, 1 runtime failure, 2 usage error.
 package main
 
 import (

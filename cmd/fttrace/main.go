@@ -9,6 +9,8 @@
 //	fttrace -trace multigrid -k 32 -w 64
 //	fttrace -trace femsolve -k 16 -iters 5
 //	fttrace -trace samplesort -n 256 -w 64
+//
+// Exit status: 0 success, 1 runtime failure, 2 usage error.
 package main
 
 import (

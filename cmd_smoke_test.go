@@ -1,8 +1,12 @@
 package fattree_test
 
 import (
+	"encoding/json"
+	"os"
 	"os/exec"
+	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -60,6 +64,151 @@ func TestSmokeCmds(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+var (
+	buildCLIsOnce sync.Once
+	builtCLIDir   string
+	buildCLIsErr  error
+	buildCLIsOut  string
+)
+
+// builtCLI compiles every cmd/ binary once per test process (go run cannot
+// be used here: it collapses every nonzero child exit into its own exit 1)
+// and returns the path of the named one.
+func builtCLI(t *testing.T, name string) string {
+	t.Helper()
+	buildCLIsOnce.Do(func() {
+		builtCLIDir, buildCLIsErr = os.MkdirTemp("", "fattree-cli")
+		if buildCLIsErr != nil {
+			return
+		}
+		out, err := exec.Command("go", "build", "-o", builtCLIDir, "./cmd/...").CombinedOutput()
+		buildCLIsErr, buildCLIsOut = err, string(out)
+	})
+	if buildCLIsErr != nil {
+		t.Fatalf("building CLIs: %v\n%s", buildCLIsErr, buildCLIsOut)
+	}
+	return filepath.Join(builtCLIDir, name)
+}
+
+// runCLIExit executes one built CLI binary and returns its exit code with
+// combined output.
+func runCLIExit(t *testing.T, name string, args ...string) (int, string) {
+	t.Helper()
+	out, err := exec.Command(builtCLI(t, name), args...).CombinedOutput()
+	if err == nil {
+		return 0, string(out)
+	}
+	exit, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("%s %v: %v\n%s", name, args, err, out)
+	}
+	return exit.ExitCode(), string(out)
+}
+
+// TestCLIExitCodes pins the exit-code convention shared by every CLI:
+// 0 success, 1 runtime failure, 2 usage error (ftlint's "runtime failure"
+// is diagnostics reported — a clean lint is its success).
+func TestCLIExitCodes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smoke test")
+	}
+	cases := []struct {
+		name string
+		bin  string
+		args []string
+		want int
+	}{
+		// Usage errors: malformed or unknown flag values exit 2.
+		{"ftsim bad n", "ftsim", []string{"-n", "63"}, 2},
+		{"ftsim unknown workload", "ftsim", []string{"-n", "16", "-workload", "nope"}, 2},
+		{"ftsim unknown policy", "ftsim", []string{"-n", "16", "-policy", "nope"}, 2},
+		{"ftsim unknown switches", "ftsim", []string{"-n", "16", "-switches", "nope"}, 2},
+		{"ftsim bad trace cap", "ftsim", []string{"-n", "16", "-trace-out", "t.json", "-trace-cap", "0"}, 2},
+		{"ftsim unknown profile", "ftsim", []string{"-n", "16", "-profile", "heap"}, 2},
+		{"ftbench unknown experiment", "ftbench", []string{"-run", "NOPE"}, 2},
+		{"ftbench unknown profile", "ftbench", []string{"-list", "-profile", "heap"}, 2},
+		{"fttopo bad n", "fttopo", []string{"-n", "63"}, 2},
+		{"fttopo w and volume", "fttopo", []string{"-n", "64", "-w", "16", "-volume", "100"}, 2},
+		{"fttrace unknown trace", "fttrace", []string{"-trace", "nope"}, 2},
+		{"ftlint unknown analyzer", "ftlint", []string{"-only", "nope", "./..."}, 2},
+
+		// Runtime failures exit 1.
+		{"ftsim missing schedule", "ftsim", []string{"-n", "16", "-load-schedule", "/nonexistent/s.json"}, 1},
+
+		// Success exits 0.
+		{"ftsim counters run", "ftsim", []string{"-n", "16", "-policy", "online", "-counters"}, 0},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			t.Parallel()
+			got, out := runCLIExit(t, c.bin, c.args...)
+			if got != c.want {
+				t.Errorf("%s %v: exit %d, want %d\noutput:\n%s", c.bin, c.args, got, c.want, out)
+			}
+		})
+	}
+}
+
+// TestSmokeTraceOut runs a real simulation with -trace-out/-trace-jsonl and
+// verifies the chrome://tracing file is loadable — valid JSON whose
+// traceEvents all carry the mandatory ph field — and that every JSONL line
+// decodes to an event with a kind.
+func TestSmokeTraceOut(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smoke test")
+	}
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "trace.json")
+	jsonl := filepath.Join(dir, "trace.jsonl")
+	out := runGo(t, "./cmd/ftsim",
+		"-n", "32", "-policy", "online", "-counters",
+		"-trace-out", trace, "-trace-jsonl", jsonl)
+	for _, want := range []string{"observed", "chrome trace written", "event stream written"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in output:\n%s", want, out)
+		}
+	}
+
+	raw, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph  string `json:"ph"`
+			Pid *int   `json:"pid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("trace file is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("trace file has no traceEvents")
+	}
+	for i, ev := range doc.TraceEvents {
+		if ev.Ph == "" || ev.Pid == nil {
+			t.Fatalf("traceEvents[%d] missing mandatory ph/pid fields", i)
+		}
+	}
+
+	lines, err := os.ReadFile(jsonl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, line := range strings.Split(strings.TrimSpace(string(lines)), "\n") {
+		var ev struct {
+			Kind string `json:"kind"`
+		}
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("jsonl line %d: %v", i+1, err)
+		}
+		if ev.Kind == "" {
+			t.Fatalf("jsonl line %d has no kind", i+1)
+		}
 	}
 }
 

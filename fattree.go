@@ -27,6 +27,7 @@ import (
 
 	"fattree/internal/concentrator"
 	"fattree/internal/core"
+	"fattree/internal/obsv"
 	"fattree/internal/sched"
 	"fattree/internal/sim"
 )
@@ -183,6 +184,48 @@ type BufferedStats = sim.BufferedStats
 // Section VII's "different design decisions" remark anticipates.
 func RunBuffered(t *FatTree, ms MessageSet, queueDepth int) BufferedStats {
 	return sim.RunBuffered(t, ms, queueDepth)
+}
+
+// Observability.
+type (
+	// Observer is the zero-overhead-when-disabled observability layer:
+	// per-channel/per-switch counters and an optional ring-buffer event trace,
+	// recorded at the engine's deterministic serial merge points. Attach with
+	// Options.Observer or Engine.SetObserver.
+	Observer = obsv.Observer
+	// ObsvCounters is an observer's flat counter block.
+	ObsvCounters = obsv.Counters
+	// TraceRing is the fixed-capacity event ring buffer of an observer.
+	TraceRing = obsv.Ring
+	// TraceEvent is one traced simulator event.
+	TraceEvent = obsv.Event
+)
+
+// NewObserver builds an observer bound to t; every counter array is
+// preallocated so recording never allocates.
+func NewObserver(t *FatTree) *Observer { return obsv.New(t) }
+
+// ObserversEqual reports whether two observers hold identical counter totals
+// — the parallel == serial equivalence assertion.
+func ObserversEqual(a, b *Observer) bool { return obsv.CountersEqual(a, b) }
+
+// StartProfiles starts the comma-separated profile kinds ("cpu", "mem",
+// "trace") writing to files derived from base, returning the stop function —
+// the CLIs' -profile flag family.
+func StartProfiles(spec, base string) (func() error, error) {
+	return obsv.StartProfiles(spec, base)
+}
+
+// ScheduleOfflineObserved is ScheduleOffline with per-level scheduler
+// counters recorded into o; the schedule is identical.
+func ScheduleOfflineObserved(t *FatTree, ms MessageSet, o *Observer) *Schedule {
+	return sched.OffLineObserved(t, ms, o)
+}
+
+// RunBufferedObserved is RunBuffered with per-channel stall and queue-depth
+// counters recorded into o; the stats are identical.
+func RunBufferedObserved(t *FatTree, ms MessageSet, queueDepth int, o *Observer) BufferedStats {
+	return sim.RunBufferedObserved(t, ms, queueDepth, o)
 }
 
 // Open-loop (sustained) operation.

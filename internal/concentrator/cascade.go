@@ -62,6 +62,16 @@ func (c *Cascade) Components() int {
 	return total
 }
 
+// MatchingRounds returns the cumulative Hopcroft–Karp BFS phases summed over
+// the cascade's stages since construction.
+func (c *Cascade) MatchingRounds() int64 {
+	total := int64(0)
+	for _, st := range c.stages {
+		total += st.MatchingRounds()
+	}
+	return total
+}
+
 // Route pushes the active inputs through the stages. A message lost at any
 // stage is lost overall. It returns the final output wire per active input
 // (-1 if lost) and the total number lost. The returned slice is reused by

@@ -224,6 +224,10 @@ func (c *Partial) Route(active []int) ([]int, int) {
 	return matched, len(active) - size
 }
 
+// MatchingRounds returns the cumulative number of Hopcroft–Karp BFS phases
+// this concentrator has run since construction.
+func (c *Partial) MatchingRounds() int64 { return c.m.rounds }
+
 // MeasureAlpha estimates the concentration constant of the graph: the largest
 // fraction α such that every sampled subset of ceil(α·s) inputs was fully
 // connected to distinct outputs. It samples `trials` random subsets at each

@@ -13,9 +13,10 @@ import (
 // are simply negatively acknowledged and retried — and experiment E17
 // measures the cost.
 type Lossy struct {
-	inner Concentrator
-	rate  float64
-	rng   *rand.Rand
+	inner     Concentrator
+	rate      float64
+	rng       *rand.Rand
+	corrupted int64 // cumulative fault corruptions, for the observability layer
 }
 
 // NewLossy wraps inner with the given corruption rate in [0, 1).
@@ -45,10 +46,19 @@ func (l *Lossy) Route(active []int) ([]int, int) {
 		if o >= 0 && l.rng.Float64() < l.rate {
 			out[i] = -1
 			lost++
+			l.corrupted++
 		}
 	}
 	return out, lost
 }
+
+// Corrupted returns the cumulative number of messages this wrapper has
+// corrupted since construction.
+func (l *Lossy) Corrupted() int64 { return l.corrupted }
+
+// MatchingRounds forwards the inner concentrator's cumulative Hopcroft–Karp
+// round count (faults add no matching work).
+func (l *Lossy) MatchingRounds() int64 { return matchingRoundsOf(l.inner) }
 
 var _ Concentrator = (*Lossy)(nil)
 

@@ -27,6 +27,12 @@ type matcher struct {
 	queue    []int
 	sub      [][]int
 	adj      [][]int // adjacency of the current run (set by run, for bfs/dfs)
+
+	// rounds counts BFS phases cumulatively across runs — the matching effort
+	// the Section IV routing hardware would spend. The observability layer
+	// reads it through Switch.MatchingRounds and differences snapshots, so it
+	// is monotone and never reset.
+	rounds int64
 }
 
 // growInts returns s resized to length n, reusing the backing array when
@@ -75,6 +81,7 @@ func (m *matcher) run(nInputs, nOutputs int, adj [][]int) (matchIn []int, size i
 		m.matchOut[i] = -1
 	}
 	for m.bfs(nInputs) {
+		m.rounds++
 		for u := 0; u < nInputs; u++ {
 			if m.matchIn[u] == -1 && m.dfs(u) {
 				size++

@@ -226,6 +226,39 @@ func (s *Switch) Route(reqs []Request) (outWires []int, lost int) {
 	return outWires, lost
 }
 
+// MatchingRounds returns the cumulative Hopcroft–Karp BFS phases run by the
+// node's three concentrators since construction — 0 for ideal or pass-through
+// ports, which route without matching. The observability layer snapshots this
+// monotone counter and differences it per sweep.
+func (s *Switch) MatchingRounds() int64 {
+	return matchingRoundsOf(s.toParent) + matchingRoundsOf(s.toLeft) + matchingRoundsOf(s.toRight)
+}
+
+// FaultDrops returns the cumulative number of messages corrupted by injected
+// transient faults (the Lossy wrapper) across the node's three concentrators;
+// 0 when no loss is injected. Monotone, for observability snapshots.
+func (s *Switch) FaultDrops() int64 {
+	return corruptedOf(s.toParent) + corruptedOf(s.toLeft) + corruptedOf(s.toRight)
+}
+
+// matchingRoundsOf reads a concentrator's cumulative matching-round counter,
+// or 0 for implementations that do no matching.
+func matchingRoundsOf(c Concentrator) int64 {
+	if m, ok := c.(interface{ MatchingRounds() int64 }); ok {
+		return m.MatchingRounds()
+	}
+	return 0
+}
+
+// corruptedOf reads a concentrator's cumulative fault-corruption counter, or
+// 0 for fault-free implementations.
+func corruptedOf(c Concentrator) int64 {
+	if f, ok := c.(interface{ Corrupted() int64 }); ok {
+		return f.Corrupted()
+	}
+	return 0
+}
+
 // portWidth returns the wire count of a port (per direction).
 func (s *Switch) portWidth(p Port) int {
 	if p == Parent {

@@ -9,7 +9,7 @@ import (
 // hot functions — the functions annotated with the //ftlint:hotpath
 // directive in the simulator, scheduler, and concentrator packages. The
 // engine's performance contract is zero steady-state allocation per delivery
-// cycle (see DESIGN.md "Scratch-arena ownership"); the two patterns that
+// cycle (see DESIGN.md "Scratch-arena ownership"); the three patterns that
 // historically broke it are:
 //
 //   - allocating a map (make(map[...]) or a map composite literal) as
@@ -19,17 +19,30 @@ import (
 //     variable declared in the same function with a nil or empty
 //     initializer (`var x []T`, `x := []T{}`, `x := make([]T, 0)`), where
 //     the sanctioned form reuses pooled scratch (`x := e.scr.buf[:0]` or
-//     growInts) so the backing array survives across cycles.
+//     growInts) so the backing array survives across cycles;
+//   - converting a non-pointer concrete value to an interface — passing a
+//     struct, int, or slice to an interface-typed parameter, or an explicit
+//     I(x) conversion — which boxes the value on the heap every call. This
+//     is the rule that keeps the observability hooks free when disabled:
+//     the engine holds its observer as a concrete *obsv.Observer pointer
+//     behind a nil check, never as an interface, so the hot path performs
+//     no conversion at all.
 //
 // Parameters, named results, and slices initialized from existing storage
-// are exempt: building a result the caller retains is legitimate, and
-// reslicing pooled scratch is exactly the sanctioned idiom. Warm-up
-// allocations that must stay (one-time table builds) carry an
-// //ftlint:ignore hotalloc directive with a reason.
+// are exempt append bases: building a result the caller retains is
+// legitimate, and reslicing pooled scratch is exactly the sanctioned idiom.
+// Pointer, channel, map, and func values are exempt interface operands
+// (pointer-shaped: boxed without allocation), as are constants (the
+// compiler materializes them in static data) — so `panic("msg")` and
+// nil-guarded pointer observers stay clean. panic call trees are skipped
+// wholesale: a crash path may allocate. Warm-up allocations that must stay
+// (one-time table builds) carry an //ftlint:ignore hotalloc directive with
+// a reason.
 var HotAlloc = &Analyzer{
 	Name: "hotalloc",
-	Doc: "flags map allocation and fresh-local-slice append growth inside //ftlint:hotpath " +
-		"functions of the simulator, scheduler, and concentrator packages",
+	Doc: "flags map allocation, fresh-local-slice append growth, and non-pointer-to-interface " +
+		"boxing inside //ftlint:hotpath functions of the simulator, scheduler, and " +
+		"concentrator packages",
 	Match: func(path string) bool {
 		return pathHasSuffix(path, "internal/sim") ||
 			pathHasSuffix(path, "internal/sched") ||
@@ -68,13 +81,18 @@ func isHotPath(fn *ast.FuncDecl) bool {
 	return false
 }
 
-// checkHotFunc applies both hot-path rules to one annotated function.
+// checkHotFunc applies the hot-path rules to one annotated function.
 func checkHotFunc(pass *Pass, fn *ast.FuncDecl) {
 	fresh := freshLocalSlices(pass, fn.Body)
 	ast.Inspect(fn.Body, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.CallExpr:
 			switch builtinName(pass, n) {
+			case "panic":
+				// Crash paths are exempt wholesale: the fmt.Sprintf and
+				// string boxing feeding a panic allocate, and that is fine —
+				// the process is about to die.
+				return false
 			case "make":
 				if len(n.Args) > 0 {
 					if t := pass.TypeOf(n.Args[0]); t != nil {
@@ -96,6 +114,8 @@ func checkHotFunc(pass *Pass, fn *ast.FuncDecl) {
 					pass.Reportf(n.Pos(),
 						"hot path grows fresh local slice %q with append; reuse pooled scratch (buf[:0] or growInts)", id.Name)
 				}
+			default:
+				checkIfaceBoxing(pass, n)
 			}
 		case *ast.CompositeLit:
 			if t := pass.TypeOf(n); t != nil {
@@ -183,6 +203,75 @@ func isEmptySliceExpr(pass *Pass, e ast.Expr) bool {
 		return ok && lit.Value == "0"
 	}
 	return false
+}
+
+// checkIfaceBoxing flags call arguments (and explicit conversions) that box a
+// non-pointer concrete value into an interface: each such conversion heap-
+// allocates a copy of the value at the call site. Pointer-shaped operands
+// (pointers, channels, maps, funcs, unsafe.Pointer) are stored in the
+// interface word directly and constants are materialized in static data, so
+// neither allocates and neither is flagged. This is what statically pins the
+// disabled-observer hot path at 0 allocs/op: a nil-guarded concrete pointer
+// passes this rule, an interface-typed observer field would not.
+func checkIfaceBoxing(pass *Pass, call *ast.CallExpr) {
+	// Explicit conversion I(x).
+	if tv, ok := pass.Info.Types[call.Fun]; ok && tv.IsType() {
+		if types.IsInterface(tv.Type) && len(call.Args) == 1 {
+			reportIfaceBoxing(pass, call.Args[0])
+		}
+		return
+	}
+	sig, ok := pass.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var param types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				// xs... passes the existing slice through: no per-element
+				// conversion happens at this call site.
+				continue
+			}
+			param = params.At(params.Len() - 1).Type().Underlying().(*types.Slice).Elem()
+		case i < params.Len():
+			param = params.At(i).Type()
+		default:
+			continue
+		}
+		if types.IsInterface(param) {
+			reportIfaceBoxing(pass, arg)
+		}
+	}
+}
+
+// reportIfaceBoxing reports arg if converting it to an interface allocates:
+// its static type is a concrete, non-pointer-shaped type and it is not a
+// constant.
+func reportIfaceBoxing(pass *Pass, arg ast.Expr) {
+	tv, ok := pass.Info.Types[ast.Unparen(arg)]
+	if !ok || tv.Type == nil {
+		return
+	}
+	if tv.Value != nil {
+		return // constants live in static data; boxing one does not allocate
+	}
+	t := tv.Type
+	if b, isBasic := t.Underlying().(*types.Basic); isBasic &&
+		(b.Kind() == types.UntypedNil || b.Kind() == types.UnsafePointer) {
+		return
+	}
+	switch t.Underlying().(type) {
+	case *types.Interface:
+		return // interface-to-interface copies two words, no allocation
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return // pointer-shaped: stored in the interface word directly
+	}
+	pass.Reportf(arg.Pos(),
+		"hot path boxes non-pointer %s into an interface (heap-allocates per call); pass a pointer or keep the concrete type (nil-guarded, like the engine's observer)",
+		types.TypeString(t, types.RelativeTo(pass.Pkg)))
 }
 
 // builtinName returns the name of the builtin a call invokes, or "".

@@ -86,6 +86,59 @@ func warmUp(n int) int {
 	return len(table)
 }
 
+// sink models an observer interface a hot function might report into.
+type sink interface{ observe(v int) }
+
+// tally implements sink with a pointer receiver: handing a *tally to an
+// interface stores the pointer directly, no allocation.
+type tally struct{ n int }
+
+func (t *tally) observe(v int) { t.n += v }
+
+// sample implements sink by value: boxing a sample copies it to the heap.
+type sample struct{ n int }
+
+func (s sample) observe(int) {}
+
+func emit(s sink)                        {}
+func record(tag string, vs ...sink)      {}
+func describe(msg string, s sink) string { return msg }
+
+// routeObserved exercises the interface-boxing rule: value types handed to
+// interface parameters, variadic slots, and explicit conversions are flagged;
+// nil-guarded concrete pointers, nil literals, constants, and pass-through
+// variadic slices are the sanctioned forms and pass.
+//
+//ftlint:hotpath
+func (e *engine) routeObserved(active []int, obs *tally) int {
+	if obs != nil {
+		emit(obs) // concrete pointer into interface: no allocation, exempt
+	}
+	emit(nil) // untyped nil: exempt
+	for _, w := range active {
+		emit(sample{n: w})        // want `boxes non-pointer sample into an interface`
+		record("cycle", sample{}) // want `boxes non-pointer sample into an interface`
+		_ = sink(sample{n: w})    // want `boxes non-pointer sample into an interface`
+		_ = any(w)                // want `boxes non-pointer int into an interface`
+	}
+	record("const-tag") // constant string tag only: exempt
+	pool := []sink{obs}
+	record("spread", pool...) // xs... passes the slice through: exempt
+	return len(active)
+}
+
+// guarded shows the crash-path exemption: everything under a panic call is
+// skipped, including interface boxing in the arguments that build the
+// message.
+//
+//ftlint:hotpath
+func guarded(obs *tally, s sample) {
+	if obs == nil {
+		panic(describe("nil observer", s)) // boxing inside panic: exempt
+	}
+	emit(obs)
+}
+
 // cold is not annotated, so identical patterns pass: the analyzer only
 // polices declared hot paths.
 func cold(active []int) []int {

@@ -1,0 +1,452 @@
+// Package obsv is the structured observability layer of the simulator: it
+// turns the delivery engine, the Theorem 1 scheduler, and the buffered
+// simulator from black boxes that report totals into instruments that show
+// *where* congestion concentrates and *why* a cycle stalls — the per-resource
+// visibility the paper's quantitative claims (Theorems 1–10 bound delivery
+// cycles, channel loading, and bit-serial ticks) invite.
+//
+// The layer has three parts:
+//
+//   - Counters: per-channel and per-switch tallies (wire use against the
+//     Theorem-bound channel capacity, concentrator requests/grants/drops,
+//     Hopcroft–Karp matching rounds, retries under loss injection)
+//     accumulated into flat arrays preallocated when the observer is bound
+//     to a tree, so recording is an array add — no maps, no allocation.
+//   - A fixed-capacity ring-buffer event tracer (cycle start/end, flight
+//     injected/advanced/blocked/delivered) with exporters to Chrome
+//     trace_event JSON (chrome://tracing, Perfetto) and a JSONL stream; see
+//     export.go.
+//   - pprof plumbing: profile start/stop helpers for the CLIs' -profile
+//     flag family (profile.go) and runtime/pprof labels on the worker-pool
+//     goroutines (internal/par), so CPU profiles attribute samples to the
+//     delivery fan-out.
+//
+// # Cost contract
+//
+// Disabled observability is free: an engine whose observer is nil performs
+// one pointer compare per deterministic merge point and allocates nothing —
+// the hotalloc ftlint analyzer statically guarantees the hot path stays at
+// 0 allocs/op, and the alloc-guard test asserts it at runtime. Enabled
+// observability is cheap: counters are flat-array adds and events are
+// fixed-slot ring writes, so steady-state cycles still allocate nothing.
+//
+// # Determinism contract
+//
+// An Observer is driven only from the engine's deterministic serial merge
+// points (injection, the node-order level merge, collection), never from
+// worker goroutines, so counter totals and the event stream are bit-identical
+// for any worker count, and attaching an observer never perturbs routing.
+// The extended FuzzEngineParallelEquivalence pins both properties.
+package obsv
+
+import (
+	"fmt"
+	"io"
+
+	"fattree/internal/core"
+)
+
+// Counters is the flat-array tally block of one Observer. Arrays are indexed
+// the same way as the engine's own arenas: channels by 2·node+dir (dir 0 =
+// Up, 1 = Down) and switches by heap node id, so recording is a single array
+// add and cross-run comparison is plain slice equality.
+type Counters struct {
+	// Cycles is the number of delivery cycles observed.
+	Cycles int64
+	// Offered counts flight offers: a message offered in k cycles (retries
+	// included) counts k times. Every offered flight ends the cycle in
+	// exactly one of the three buckets below, so
+	// Offered == Delivered + Dropped + Deferred always holds — the
+	// conservation law TestDeliveryConservation pins.
+	Offered int64
+	// Delivered, Dropped, Deferred partition the offered flights by outcome:
+	// reached the destination channel, lost at a concentrator (congestion or
+	// injected fault), or unable to inject at the source leaf.
+	Delivered int64
+	Dropped   int64
+	Deferred  int64
+	// Retried counts flights re-offered after a failed cycle (the Section II
+	// negative-acknowledgment protocol): the undelivered count summed over
+	// cycles, excluding messages abandoned when a run stalls or hits its
+	// cycle bound.
+	Retried int64
+
+	// WireUse[2·node+dir] counts wire-cycles actually carrying a message in
+	// that channel: injections onto leaf up channels and the root down
+	// channel, upward-sweep grants onto the up channel above the switch, and
+	// downward-sweep grants onto the down channel above the chosen child.
+	// Divided by Cycles × cap(channel) it is the channel's utilization
+	// against the Theorem-bound capacity (see Report).
+	WireUse []int64
+
+	// Per-switch concentrator contention, indexed by heap node id (internal
+	// nodes 1..n-1): requests contesting the node's concentrators, grants
+	// (requests that won an output wire), and drops (requests lost to
+	// congestion, a partial-concentrator miss, or an injected fault).
+	Requests []int64
+	Grants   []int64
+	Drops    []int64
+
+	// MatchRounds[node] counts Hopcroft–Karp BFS phases run by the node's
+	// partial concentrators (0 for ideal switches) — the matching effort the
+	// Section IV hardware would spend in its routing circuitry.
+	MatchRounds []int64
+
+	// Faults[node] counts drops caused by injected transient faults (the
+	// Lossy wrapper) rather than congestion; Drops[node] includes them.
+	Faults []int64
+
+	// Buffered-simulator counters (RunBufferedObserved), per channel:
+	// head-of-line stalls charged to the full downstream channel and the
+	// peak queue occupancy observed.
+	Stalls    []int64
+	QueuePeak []int64
+
+	// Scheduler counters (sched.OffLineObserved), indexed by tree level
+	// (root = 0, leaves = lg n); index lg n + 1 holds the external-traffic
+	// block. LevelCycles is the delivery cycles the level contributed to the
+	// schedule, LevelMessages the messages whose LCA sits at the level.
+	LevelCycles   []int64
+	LevelMessages []int64
+}
+
+// Observer collects counters and (optionally) an event trace from the
+// simulator. Bind it to a tree with New, attach it to an engine with
+// sim.Engine.SetObserver (or sim.Options.Observer), and read the counters
+// directly or render them with Report.
+//
+// An Observer is not safe for concurrent use and must not be shared by
+// engines running concurrently; the engine invokes it only from its
+// deterministic serial merge points.
+type Observer struct {
+	C Counters
+
+	nodes  int   // heap nodes + 1 (valid ids are 1..nodes-1)
+	levels int   // leaf level = lg n
+	caps   []int // capacity of the channel above node v, by heap id
+
+	// lastRounds/lastFaults are per-switch snapshots of the cumulative
+	// hardware counters (matching rounds, fault corruptions), so Switch can
+	// attribute deltas per sweep. Primed by PrimeSwitch when the observer is
+	// attached to an engine whose switches have already routed.
+	lastRounds []int64
+	lastFaults []int64
+
+	ring *Ring // nil until EnableTrace
+}
+
+// New returns an observer bound to t: every counter array is preallocated to
+// the tree's size so recording never allocates.
+func New(t *core.FatTree) *Observer {
+	n2 := 2 * t.Processors()
+	o := &Observer{
+		nodes:  n2,
+		levels: t.Levels(),
+		caps:   t.CapTable(),
+	}
+	o.C = Counters{
+		WireUse:       make([]int64, 2*n2),
+		Requests:      make([]int64, n2),
+		Grants:        make([]int64, n2),
+		Drops:         make([]int64, n2),
+		MatchRounds:   make([]int64, n2),
+		Faults:        make([]int64, n2),
+		Stalls:        make([]int64, 2*n2),
+		QueuePeak:     make([]int64, 2*n2),
+		LevelCycles:   make([]int64, t.Levels()+2),
+		LevelMessages: make([]int64, t.Levels()+2),
+	}
+	o.lastRounds = make([]int64, n2)
+	o.lastFaults = make([]int64, n2)
+	return o
+}
+
+// Levels returns the leaf level (lg n) of the bound tree.
+func (o *Observer) Levels() int { return o.levels }
+
+// Nodes returns one past the largest valid heap node id of the bound tree.
+func (o *Observer) Nodes() int { return o.nodes }
+
+// ChannelCapacity returns the capacity of the channel above heap node v
+// (both directions share one capacity), as snapshotted at New.
+func (o *Observer) ChannelCapacity(v int) int { return o.caps[v] }
+
+// EnableTrace attaches a fixed-capacity event ring buffer. The ring holds
+// the most recent `capacity` events; older events are overwritten (the
+// overwrite count is reported by Ring.Overwritten). capacity must be >= 1.
+func (o *Observer) EnableTrace(capacity int) *Ring {
+	o.ring = NewRing(capacity)
+	return o.ring
+}
+
+// Trace returns the event ring, or nil when tracing is disabled.
+func (o *Observer) Trace() *Ring { return o.ring }
+
+// Tracing reports whether an event ring is attached.
+func (o *Observer) Tracing() bool { return o.ring != nil }
+
+// Reset zeroes every counter and drops all traced events; the binding (tree
+// size, capacities, ring capacity) is kept. Use it to reuse one observer
+// across runs that should be tallied separately.
+func (o *Observer) Reset() {
+	c := &o.C
+	c.Cycles, c.Offered, c.Delivered, c.Dropped, c.Deferred, c.Retried = 0, 0, 0, 0, 0, 0
+	for _, s := range [][]int64{
+		c.WireUse, c.Requests, c.Grants, c.Drops, c.MatchRounds, c.Faults,
+		c.Stalls, c.QueuePeak, c.LevelCycles, c.LevelMessages,
+	} {
+		for i := range s {
+			s[i] = 0
+		}
+	}
+	if o.ring != nil {
+		o.ring.Reset()
+	}
+}
+
+// CountersEqual reports whether two observers hold identical counter totals
+// — the equality the parallel == serial equivalence tests assert. Ring
+// contents are compared only when both observers trace.
+func CountersEqual(a, b *Observer) bool {
+	x, y := &a.C, &b.C
+	if x.Cycles != y.Cycles || x.Offered != y.Offered ||
+		x.Delivered != y.Delivered || x.Dropped != y.Dropped ||
+		x.Deferred != y.Deferred || x.Retried != y.Retried {
+		return false
+	}
+	for _, pair := range [][2][]int64{
+		{x.WireUse, y.WireUse}, {x.Requests, y.Requests},
+		{x.Grants, y.Grants}, {x.Drops, y.Drops},
+		{x.MatchRounds, y.MatchRounds}, {x.Faults, y.Faults},
+		{x.Stalls, y.Stalls},
+		{x.QueuePeak, y.QueuePeak},
+		{x.LevelCycles, y.LevelCycles}, {x.LevelMessages, y.LevelMessages},
+	} {
+		if len(pair[0]) != len(pair[1]) {
+			return false
+		}
+		for i := range pair[0] {
+			if pair[0][i] != pair[1][i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Recording methods. Each is a guarded array add — no allocation, no map,
+// no branch beyond the bounds the caller already established — so the
+// engine can call them from hot-path merge points when an observer is
+// attached without breaking its zero-allocation steady state.
+
+// CycleStart records the start of a delivery cycle offering `offered`
+// flights.
+func (o *Observer) CycleStart(offered int) {
+	o.C.Offered += int64(offered)
+	if o.ring != nil {
+		o.ring.push(Event{Kind: EvCycleStart, Cycle: o.C.Cycles, Count: int32(offered)})
+	}
+}
+
+// CycleEnd records the end of the current delivery cycle with its outcome
+// partition and advances the cycle counter.
+func (o *Observer) CycleEnd(delivered, dropped, deferred int) {
+	o.C.Delivered += int64(delivered)
+	o.C.Dropped += int64(dropped)
+	o.C.Deferred += int64(deferred)
+	if o.ring != nil {
+		o.ring.push(Event{Kind: EvCycleEnd, Cycle: o.C.Cycles, Count: int32(delivered)})
+	}
+	o.C.Cycles++
+}
+
+// Retries records flights re-offered after the current cycle.
+func (o *Observer) Retries(n int) { o.C.Retried += int64(n) }
+
+// Inject records flight i of the current cycle entering the network on a
+// wire of the channel above `node` (the source leaf, or the root for
+// external inputs).
+func (o *Observer) Inject(i int, m core.Message, node, wire int) {
+	o.C.WireUse[2*node+channelDirOf(node, m)]++
+	if o.ring != nil {
+		o.ring.push(Event{
+			Kind: EvInject, Cycle: o.C.Cycles, Node: int32(node), Flight: int32(i),
+			Src: int32(m.Src), Dst: int32(m.Dst), Wire: int32(wire),
+		})
+	}
+}
+
+// channelDirOf picks the direction of an injection channel: external inputs
+// hold root *down* wires, everything else a leaf *up* wire.
+func channelDirOf(node int, m core.Message) int {
+	if node == 1 && m.Src == core.External {
+		return int(core.Down)
+	}
+	return int(core.Up)
+}
+
+// Defer records flight i failing to inject (source channel full).
+func (o *Observer) Defer(i int, m core.Message, node int) {
+	if o.ring != nil {
+		o.ring.push(Event{
+			Kind: EvDefer, Cycle: o.C.Cycles, Node: int32(node), Flight: int32(i),
+			Src: int32(m.Src), Dst: int32(m.Dst), Wire: -1,
+		})
+	}
+}
+
+// Switch records the outcome of one switch's concentrator contest in one
+// sweep step: reqs requests, drops losses, plus the switch's *cumulative*
+// hardware counters (Hopcroft–Karp BFS rounds, fault corruptions), which the
+// observer converts to per-sweep deltas against its PrimeSwitch baseline.
+func (o *Observer) Switch(node, reqs, drops int, roundsCum, faultsCum int64) {
+	o.C.Requests[node] += int64(reqs)
+	o.C.Grants[node] += int64(reqs - drops)
+	o.C.Drops[node] += int64(drops)
+	o.C.MatchRounds[node] += roundsCum - o.lastRounds[node]
+	o.lastRounds[node] = roundsCum
+	o.C.Faults[node] += faultsCum - o.lastFaults[node]
+	o.lastFaults[node] = faultsCum
+}
+
+// PrimeSwitch snapshots a switch's cumulative hardware counters without
+// tallying them, so deltas recorded by Switch start from the attach point
+// rather than from the engine's construction. The engine primes every switch
+// when an observer is attached.
+func (o *Observer) PrimeSwitch(node int, roundsCum, faultsCum int64) {
+	o.lastRounds[node] = roundsCum
+	o.lastFaults[node] = faultsCum
+}
+
+// Advance records flight i winning a wire of the channel (chanNode, dir) at
+// switch `node` during a sweep.
+func (o *Observer) Advance(i int, m core.Message, node, chanNode, dir, wire int) {
+	o.C.WireUse[2*chanNode+dir]++
+	if o.ring != nil {
+		o.ring.push(Event{
+			Kind: EvAdvance, Cycle: o.C.Cycles, Node: int32(node), Flight: int32(i),
+			Src: int32(m.Src), Dst: int32(m.Dst), Wire: int32(wire),
+		})
+	}
+}
+
+// Block records flight i losing the concentrator contest at switch `node`
+// (dropped; it will be negatively acknowledged and retried).
+func (o *Observer) Block(i int, m core.Message, node int) {
+	if o.ring != nil {
+		o.ring.push(Event{
+			Kind: EvBlock, Cycle: o.C.Cycles, Node: int32(node), Flight: int32(i),
+			Src: int32(m.Src), Dst: int32(m.Dst), Wire: -1,
+		})
+	}
+}
+
+// Deliver records flight i reaching its destination channel at switch
+// `node`.
+func (o *Observer) Deliver(i int, m core.Message, node int) {
+	if o.ring != nil {
+		o.ring.push(Event{
+			Kind: EvDeliver, Cycle: o.C.Cycles, Node: int32(node), Flight: int32(i),
+			Src: int32(m.Src), Dst: int32(m.Dst), Wire: -1,
+		})
+	}
+}
+
+// Stall records a head-of-line stall on the buffered simulator's channel
+// (2·node+dir index ch).
+func (o *Observer) Stall(ch int) { o.C.Stalls[ch]++ }
+
+// Queue records the occupancy of buffered channel ch, keeping the peak.
+func (o *Observer) Queue(ch, depth int) {
+	if int64(depth) > o.C.QueuePeak[ch] {
+		o.C.QueuePeak[ch] = int64(depth)
+	}
+}
+
+// SchedLevel records the Theorem 1 scheduler routing `messages` messages
+// whose LCAs sit at `level` in `cycles` delivery cycles. Level levels+1
+// holds the external-traffic block.
+func (o *Observer) SchedLevel(level, cycles, messages int) {
+	o.C.LevelCycles[level] += int64(cycles)
+	o.C.LevelMessages[level] += int64(messages)
+}
+
+// LevelSummary is one row of the per-level counter report.
+type LevelSummary struct {
+	Level    int
+	Nodes    int // switches (or leaves) at the level
+	Capacity int // wires per channel at the level (uniform levels only; -1 if mixed)
+	// WireUse and Utilization aggregate both directions of every channel
+	// beneath the level's nodes... see Report for the exact definition.
+	WireUse     int64
+	Utilization float64 // WireUse / (Cycles × total wires at level)
+	Requests    int64
+	Grants      int64
+	Drops       int64
+	MatchRounds int64
+}
+
+// PerLevel aggregates the channel and switch counters by tree level: level k
+// covers the channels above the 2^k nodes at depth k and the concentrator
+// activity of the switches there (leaf level channels carry injections; the
+// leaf "switches" are processors, so their contention fields are zero).
+func (o *Observer) PerLevel() []LevelSummary {
+	out := make([]LevelSummary, o.levels+1)
+	for level := 0; level <= o.levels; level++ {
+		first := 1 << uint(level)
+		s := &out[level]
+		s.Level = level
+		s.Nodes = first
+		s.Capacity = o.caps[first]
+		totalWires := int64(0)
+		for v := first; v < 2*first && v < o.nodes; v++ {
+			if o.caps[v] != s.Capacity {
+				s.Capacity = -1 // per-channel overrides make the level mixed
+			}
+			totalWires += int64(o.caps[v])
+			s.WireUse += o.C.WireUse[2*v] + o.C.WireUse[2*v+1]
+			s.Requests += o.C.Requests[v]
+			s.Grants += o.C.Grants[v]
+			s.Drops += o.C.Drops[v]
+			s.MatchRounds += o.C.MatchRounds[v]
+		}
+		if o.C.Cycles > 0 && totalWires > 0 {
+			// Both directions of every channel are available each cycle.
+			s.Utilization = float64(s.WireUse) / float64(o.C.Cycles*2*totalWires)
+		}
+	}
+	return out
+}
+
+// Report writes a human-readable counter summary: the outcome totals, the
+// conservation check, and the per-level utilization/contention table.
+func (o *Observer) Report(w io.Writer) error {
+	c := &o.C
+	if _, err := fmt.Fprintf(w,
+		"observed %d cycles: offered %d = delivered %d + dropped %d + deferred %d (retried %d)\n",
+		c.Cycles, c.Offered, c.Delivered, c.Dropped, c.Deferred, c.Retried); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%5s %6s %9s %10s %6s %9s %8s %7s %7s\n",
+		"level", "nodes", "cap/chan", "wire-use", "util", "requests", "grants", "drops", "hkbfs"); err != nil {
+		return err
+	}
+	for _, s := range o.PerLevel() {
+		capStr := fmt.Sprintf("%d", s.Capacity)
+		if s.Capacity < 0 {
+			capStr = "mixed"
+		}
+		if _, err := fmt.Fprintf(w, "%5d %6d %9s %10d %5.1f%% %9d %8d %7d %7d\n",
+			s.Level, s.Nodes, capStr, s.WireUse, 100*s.Utilization,
+			s.Requests, s.Grants, s.Drops, s.MatchRounds); err != nil {
+			return err
+		}
+	}
+	if tr := o.ring; tr != nil {
+		if _, err := fmt.Fprintf(w, "trace: %d events buffered, %d overwritten\n",
+			tr.Len(), tr.Overwritten()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

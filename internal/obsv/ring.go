@@ -1,0 +1,120 @@
+package obsv
+
+import "fmt"
+
+// EventKind enumerates the traced event types.
+type EventKind uint8
+
+const (
+	// EvCycleStart marks the start of a delivery cycle; Count is the number
+	// of flights offered.
+	EvCycleStart EventKind = iota
+	// EvCycleEnd marks the end of a delivery cycle; Count is the number of
+	// flights delivered.
+	EvCycleEnd
+	// EvInject marks a flight entering the network on a wire of its source
+	// channel.
+	EvInject
+	// EvDefer marks a flight that could not inject (source channel full).
+	EvDefer
+	// EvAdvance marks a flight winning a concentrator contest and moving one
+	// channel along its path.
+	EvAdvance
+	// EvBlock marks a flight dropped at a congested or faulty concentrator.
+	EvBlock
+	// EvDeliver marks a flight reaching its destination channel.
+	EvDeliver
+)
+
+// String returns the kind's lowercase name.
+func (k EventKind) String() string {
+	switch k {
+	case EvCycleStart:
+		return "cycle-start"
+	case EvCycleEnd:
+		return "cycle-end"
+	case EvInject:
+		return "inject"
+	case EvDefer:
+		return "defer"
+	case EvAdvance:
+		return "advance"
+	case EvBlock:
+		return "block"
+	case EvDeliver:
+		return "deliver"
+	}
+	return fmt.Sprintf("event(%d)", uint8(k))
+}
+
+// Event is one traced occurrence. Fields not meaningful for a kind are zero
+// (Wire is -1 where no wire was assigned). Flight indices are per-cycle
+// message positions; Src/Dst are processor ids (or core.External).
+type Event struct {
+	Kind   EventKind
+	Cycle  int64
+	Node   int32
+	Flight int32
+	Src    int32
+	Dst    int32
+	Wire   int32
+	Count  int32
+}
+
+// Ring is a fixed-capacity event buffer: pushes never allocate, and once
+// full the oldest events are overwritten — the flight-recorder semantics a
+// long soak run needs. Not safe for concurrent use (the observer is driven
+// from serial merge points only).
+type Ring struct {
+	buf         []Event
+	start, size int
+	overwritten int64
+}
+
+// NewRing returns a ring holding at most capacity events.
+func NewRing(capacity int) *Ring {
+	if capacity < 1 {
+		panic(fmt.Sprintf("obsv: ring capacity %d must be >= 1", capacity))
+	}
+	return &Ring{buf: make([]Event, capacity)}
+}
+
+// push appends e, overwriting the oldest event when full.
+func (r *Ring) push(e Event) {
+	if r.size < len(r.buf) {
+		r.buf[(r.start+r.size)%len(r.buf)] = e
+		r.size++
+		return
+	}
+	r.buf[r.start] = e
+	r.start = (r.start + 1) % len(r.buf)
+	r.overwritten++
+}
+
+// Len returns the number of buffered events.
+func (r *Ring) Len() int { return r.size }
+
+// Cap returns the ring's fixed capacity.
+func (r *Ring) Cap() int { return len(r.buf) }
+
+// Overwritten returns how many events were lost to overwriting.
+func (r *Ring) Overwritten() int64 { return r.overwritten }
+
+// Reset discards all events (capacity is kept).
+func (r *Ring) Reset() { r.start, r.size, r.overwritten = 0, 0, 0 }
+
+// Events returns the buffered events oldest-first as a fresh slice.
+func (r *Ring) Events() []Event {
+	out := make([]Event, r.size)
+	for i := 0; i < r.size; i++ {
+		out[i] = r.buf[(r.start+i)%len(r.buf)]
+	}
+	return out
+}
+
+// Do calls fn on each buffered event oldest-first without copying.
+func (r *Ring) Do(fn func(Event)) {
+	for i := 0; i < r.size; i++ {
+		fn(r.buf[(r.start+i)%len(r.buf)])
+	}
+}

@@ -13,10 +13,20 @@
 package par
 
 import (
+	"context"
 	"runtime"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
 )
+
+// workerLabels tags every pool worker goroutine for CPU profiling, so
+// `go tool pprof -tagfocus pool=par` isolates the samples spent inside the
+// parallel fan-out (the delivery engine's level sharding, the scheduler's
+// subtree recursion, the benchmark runner). Built once; pprof.Do on the
+// worker body is outside the allocation-free serial path, which never spawns
+// goroutines.
+var workerLabels = pprof.Labels("pool", "par")
 
 // Pool is a bounded worker pool. It holds no goroutines between calls — the
 // bound is applied per ForEach/Map invocation — so a Pool is cheap to create,
@@ -67,13 +77,15 @@ func (p *Pool) ForEach(n int, fn func(i int)) {
 	for g := 0; g < w; g++ {
 		go func() {
 			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
+			pprof.Do(context.Background(), workerLabels, func(context.Context) {
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= n {
+						return
+					}
+					fn(i)
 				}
-				fn(i)
-			}
+			})
 		}()
 	}
 	wg.Wait()

@@ -6,6 +6,7 @@ import (
 	"math/bits"
 
 	"fattree/internal/core"
+	"fattree/internal/obsv"
 )
 
 // A Schedule is a partition of a message set into one-cycle message sets
@@ -202,6 +203,21 @@ func externalCycles(t *core.FatTree, extOut, extIn core.MessageSet) []core.Messa
 // time. The schedule length satisfies d = O(λ(M)·lg n); Theorem 1's explicit
 // form is d <= sum over levels of 2·ceil(λ_level) <= 2(λ(M)+1)·lg n.
 func OffLine(t *core.FatTree, ms core.MessageSet) *Schedule {
+	return offLine(t, ms, nil)
+}
+
+// OffLineObserved is OffLine with the observability layer attached: the
+// observer's SchedLevel counters record, per tree level, how many delivery
+// cycles the level contributed to the schedule and how many messages have
+// their LCA there (index lg n + 1 holds the external-traffic block). The
+// schedule produced is identical to OffLine's.
+func OffLineObserved(t *core.FatTree, ms core.MessageSet, o *obsv.Observer) *Schedule {
+	return offLine(t, ms, o)
+}
+
+// offLine is the shared implementation of OffLine and OffLineObserved; o may
+// be nil.
+func offLine(t *core.FatTree, ms core.MessageSet, o *obsv.Observer) *Schedule {
 	if err := ms.Validate(t); err != nil {
 		panic(err)
 	}
@@ -210,7 +226,11 @@ func OffLine(t *core.FatTree, ms core.MessageSet) *Schedule {
 
 	// External traffic crosses the root interface and shares channels with
 	// every level, so it gets its own leading block of cycles.
-	s.Cycles = append(s.Cycles, externalCycles(t, extOut, extIn)...)
+	ext := externalCycles(t, extOut, extIn)
+	s.Cycles = append(s.Cycles, ext...)
+	if o != nil && len(extOut)+len(extIn) > 0 {
+		o.SchedLevel(t.Levels()+1, len(ext), len(extOut)+len(extIn))
+	}
 
 	// Per level, every node's crossing sets are partitioned independently; the
 	// i-th parts of all nodes at the level are unioned into one delivery
@@ -220,11 +240,13 @@ func OffLine(t *core.FatTree, ms core.MessageSet) *Schedule {
 		first := 1 << uint(level)
 		var levelParts [][]core.MessageSet // per node: padded pair-merged parts
 		maxParts := 0
+		levelMessages := 0
 		for v := first; v < 2*first; v++ {
 			x := &byNode[v]
 			if x.empty() {
 				continue
 			}
+			levelMessages += len(x.lr) + len(x.rl)
 			lrParts := partitionUntilOneCycle(t, v, x.lr)
 			rlParts := partitionUntilOneCycle(t, v, x.rl)
 			merged := mergeOriented(lrParts, rlParts)
@@ -233,6 +255,7 @@ func OffLine(t *core.FatTree, ms core.MessageSet) *Schedule {
 				maxParts = len(merged)
 			}
 		}
+		added := 0
 		for i := 0; i < maxParts; i++ {
 			var cycle core.MessageSet
 			for _, parts := range levelParts {
@@ -242,7 +265,11 @@ func OffLine(t *core.FatTree, ms core.MessageSet) *Schedule {
 			}
 			if len(cycle) > 0 {
 				s.Cycles = append(s.Cycles, cycle)
+				added++
 			}
+		}
+		if o != nil && levelMessages > 0 {
+			o.SchedLevel(level, added, levelMessages)
 		}
 	}
 	s.Bound = 2 * (math.Ceil(s.LoadFactor) + 1) * float64(t.Levels())

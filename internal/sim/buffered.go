@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"fattree/internal/core"
+	"fattree/internal/obsv"
 	"fattree/internal/par"
 )
 
@@ -44,6 +45,20 @@ const bufferedLimit = 1 << 22
 // cap(c) messages per hop). queueDepth must be at least 1. Source processors
 // buffer their own backlog without limit, as in Section II.
 func RunBuffered(t *core.FatTree, ms core.MessageSet, queueDepth int) BufferedStats {
+	return runBuffered(t, ms, queueDepth, nil)
+}
+
+// RunBufferedObserved is RunBuffered with the observability layer attached:
+// the observer's per-channel Stalls and QueuePeak counters record where
+// backpressure bites and how deep the FIFO queues actually get (channel index
+// 2·node+dir, the buffered model's own layout). The stats returned are
+// identical to RunBuffered's.
+func RunBufferedObserved(t *core.FatTree, ms core.MessageSet, queueDepth int, o *obsv.Observer) BufferedStats {
+	return runBuffered(t, ms, queueDepth, o)
+}
+
+// runBuffered is the shared implementation; o may be nil.
+func runBuffered(t *core.FatTree, ms core.MessageSet, queueDepth int, o *obsv.Observer) BufferedStats {
 	if queueDepth < 1 {
 		panic(fmt.Sprintf("sim: queue depth %d must be >= 1", queueDepth))
 	}
@@ -143,6 +158,9 @@ func RunBuffered(t *core.FatTree, ms core.MessageSet, queueDepth int) BufferedSt
 				if to != -1 {
 					if room[to] <= 0 {
 						stats.Stalls++
+						if o != nil {
+							o.Stall(to)
+						}
 						break // FIFO head-of-line blocking
 					}
 					room[to]--
@@ -167,6 +185,9 @@ func RunBuffered(t *core.FatTree, ms core.MessageSet, queueDepth int) BufferedSt
 				}
 				if room[c] <= 0 {
 					stats.Stalls++ // backpressure reached the source
+					if o != nil {
+						o.Stall(c)
+					}
 					break
 				}
 				room[c]--
@@ -201,6 +222,9 @@ func RunBuffered(t *core.FatTree, ms core.MessageSet, queueDepth int) BufferedSt
 		for c := range queues {
 			if len(queues[c]) > stats.MaxQueue {
 				stats.MaxQueue = len(queues[c])
+			}
+			if o != nil {
+				o.Queue(c, len(queues[c]))
 			}
 		}
 		stats.Hops = hop

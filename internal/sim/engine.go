@@ -60,6 +60,7 @@ import (
 
 	"fattree/internal/concentrator"
 	"fattree/internal/core"
+	"fattree/internal/obsv"
 	"fattree/internal/par"
 )
 
@@ -72,6 +73,13 @@ type Options struct {
 	// delivered messages, drop counts, and wire assignments are identical
 	// for every value — workers only change wall-clock time.
 	Workers int
+
+	// Observer, when non-nil, attaches the observability layer (internal/
+	// obsv) to the engine: per-channel and per-switch counters plus the
+	// optional event trace, recorded at the deterministic serial merge points
+	// of the cycle data plane. A nil Observer costs one pointer compare per
+	// merge point and nothing else. Equivalent to calling SetObserver.
+	Observer *obsv.Observer
 }
 
 // Engine simulates delivery cycles on one fat-tree with persistent switch
@@ -93,6 +101,12 @@ type Engine struct {
 	// never consults the tree's override map. Snapshotted at construction,
 	// consistent with the switch hardware built from the same values.
 	caps []int
+
+	// obs is the attached observability layer, nil when disabled. It is a
+	// concrete pointer (never an interface) so the disabled hot path is a
+	// single nil compare with no interface-conversion allocation; see
+	// observe.go for the hook points and the determinism argument.
+	obs *obsv.Observer
 
 	scr scratch
 
@@ -189,6 +203,9 @@ func NewWithOptions(t *core.FatTree, kind concentrator.Kind, seed int64, opts Op
 		var local CycleResult
 		e.routeGathered(v, scr.flights, scr.buckets[v-scr.curFirst], scr.curUp, &local)
 		scr.dropped[v-scr.curFirst] = local.Dropped
+	}
+	if opts.Observer != nil {
+		e.SetObserver(opts.Observer)
 	}
 	return e
 }
@@ -383,6 +400,9 @@ func (e *Engine) runCycle(pending core.MessageSet, pool *par.Pool) ([]bool, Cycl
 	scr := &e.scr
 	leafLevel := t.Levels()
 	flights, res := e.inject(pending)
+	if e.obs != nil {
+		e.observeInject(pending, flights)
+	}
 	scr.nodes = scr.nodes[:0]
 
 	// Upward sweep, leaf parents toward the root: a message ascending
@@ -418,6 +438,9 @@ func (e *Engine) runCycle(pending core.MessageSet, pool *par.Pool) ([]bool, Cycl
 	}
 
 	delivered := e.collect(pending, flights, &res)
+	if e.obs != nil {
+		e.obs.CycleEnd(res.Delivered, res.Dropped, res.Deferred)
+	}
 	return delivered, res
 }
 
@@ -444,6 +467,11 @@ func (e *Engine) routeLevel(pool *par.Pool, first int, upSweep bool, res *CycleR
 	scr := &e.scr
 	scr.curFirst, scr.curUp = first, upSweep
 	pool.ForEach(len(scr.nodes), e.levelWorker)
+	if e.obs != nil {
+		// Observation happens here, after the fan-out has joined and before
+		// the buckets are reset — a serial point with a deterministic order.
+		e.observeLevel(first, upSweep)
+	}
 	// Deterministic merge in node order. Only drops occur mid-sweep
 	// (delivery and deferral are counted at collect/inject time).
 	for _, v := range scr.nodes {

@@ -2,10 +2,12 @@ package sim
 
 import (
 	"reflect"
+	"runtime"
 	"testing"
 
 	"fattree/internal/concentrator"
 	"fattree/internal/core"
+	"fattree/internal/obsv"
 )
 
 // decodeEngineFuzz turns raw fuzz bytes into a delivery scenario: byte 0
@@ -84,6 +86,34 @@ func FuzzEngineParallelEquivalence(f *testing.F) {
 			if !reflect.DeepEqual(serial.PerCycle, parallel.PerCycle) {
 				t.Fatalf("workers=%d: per-cycle delivery profile diverges\nserial   %v\nparallel %v",
 					workers, serial.PerCycle, parallel.PerCycle)
+			}
+		}
+
+		// Observed runs: attaching an observer must not perturb the stats, and
+		// the counter totals must be identical for every worker count — the
+		// observer only sees the deterministic serial merge points.
+		runObserved := func(workers int) (*obsv.Observer, Stats) {
+			o := obsv.New(ft)
+			e := mkEngine(workers)
+			e.SetObserver(o)
+			return o, e.RunParallel(ms)
+		}
+		obsRef, obsStats := runObserved(1)
+		if !reflect.DeepEqual(obsStats, serial) {
+			t.Fatalf("observer perturbed the run\nplain    %+v\nobserved %+v", serial, obsStats)
+		}
+		if c := &obsRef.C; c.Offered != c.Delivered+c.Dropped+c.Deferred {
+			t.Fatalf("conservation broken: offered %d != delivered %d + dropped %d + deferred %d",
+				c.Offered, c.Delivered, c.Dropped, c.Deferred)
+		}
+		for _, workers := range []int{2, runtime.GOMAXPROCS(0)} {
+			o, stats := runObserved(workers)
+			if !reflect.DeepEqual(stats, serial) {
+				t.Fatalf("workers=%d: observed stats diverge\nserial   %+v\nobserved %+v",
+					workers, serial, stats)
+			}
+			if !obsv.CountersEqual(obsRef, o) {
+				t.Fatalf("workers=%d: observed counter totals diverge from workers=1", workers)
 			}
 		}
 

@@ -49,6 +49,9 @@ func RunOnlineRandom(e *Engine, ms core.MessageSet, seed int64) Stats {
 		rng.Shuffle(len(pending), func(i, j int) {
 			pending[i], pending[j] = pending[j], pending[i]
 		})
+		if stats.Cycles > 0 && e.obs != nil {
+			e.obs.Retries(len(pending)) // re-offered losers of earlier cycles
+		}
 		delivered, res := e.RunCycle(pending)
 		stats.Cycles++
 		stats.Delivered += res.Delivered

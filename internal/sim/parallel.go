@@ -62,6 +62,11 @@ func (e *Engine) runLoop(ms core.MessageSet, cycle func(core.MessageSet) ([]bool
 	pending := append(e.scr.pendA[:0], ms...)
 	next := e.scr.pendB[:0]
 	for len(pending) > 0 && stats.Cycles < maxCyclesDefault {
+		if stats.Cycles > 0 && e.obs != nil {
+			// Everything offered after the first cycle is a retry (the
+			// Section II negative-acknowledgment protocol re-offering losers).
+			e.obs.Retries(len(pending))
+		}
 		delivered, res := cycle(pending)
 		stats.Cycles++
 		stats.Delivered += res.Delivered
@@ -116,6 +121,9 @@ func (e *Engine) runCyclesLoop(cycles []core.MessageSet, cycle func(core.Message
 	carry := e.scr.pendB[:0]
 	for _, cyc := range cycles {
 		pending = append(append(pending[:0], carry...), cyc...)
+		if len(carry) > 0 && e.obs != nil {
+			e.obs.Retries(len(carry)) // carried losses are re-offered
+		}
 		delivered, res := cycle(pending)
 		stats.Cycles++
 		stats.Delivered += res.Delivered
@@ -131,6 +139,9 @@ func (e *Engine) runCyclesLoop(cycles []core.MessageSet, cycle func(core.Message
 	}
 	for len(carry) > 0 && stats.Cycles < maxCyclesDefault {
 		pending = append(pending[:0], carry...)
+		if e.obs != nil {
+			e.obs.Retries(len(pending)) // the drain loop only re-offers losses
+		}
 		delivered, res := cycle(pending)
 		stats.Cycles++
 		stats.Delivered += res.Delivered

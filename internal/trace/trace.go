@@ -40,7 +40,10 @@ func (tr *Trace) Messages() int {
 	return total
 }
 
-// Validate checks all phases against a fat-tree.
+// Validate checks all phases against a fat-tree. Phase message endpoints
+// must name processors the trace itself declares (< tr.Procs), not merely
+// processors the tree happens to have: a 64-processor trace placed on a
+// 1024-processor tree must still reject a message to processor 1000.
 func (tr *Trace) Validate(t *core.FatTree) error {
 	if t.Processors() < tr.Procs {
 		return fmt.Errorf("trace: %s needs %d processors, tree has %d", tr.Name, tr.Procs, t.Processors())
@@ -51,6 +54,16 @@ func (tr *Trace) Validate(t *core.FatTree) error {
 		}
 		if err := p.Messages.Validate(t); err != nil {
 			return fmt.Errorf("trace: phase %s: %w", p.Name, err)
+		}
+		for i, m := range p.Messages {
+			if m.Src != core.External && m.Src >= tr.Procs {
+				return fmt.Errorf("trace: phase %s: message %d (%v): source outside the trace's %d processors",
+					p.Name, i, m, tr.Procs)
+			}
+			if m.Dst != core.External && m.Dst >= tr.Procs {
+				return fmt.Errorf("trace: phase %s: message %d (%v): destination outside the trace's %d processors",
+					p.Name, i, m, tr.Procs)
+			}
 		}
 	}
 	return nil

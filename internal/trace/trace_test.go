@@ -176,3 +176,41 @@ func TestValidateCatchesOversizedTrace(t *testing.T) {
 		t.Errorf("64-proc trace accepted on 16-proc tree")
 	}
 }
+
+// TestValidateChecksEndpointsAgainstTraceProcs is the regression test for a
+// validation hole: endpoints were checked only against the tree's processor
+// count, so a small trace placed on a big tree accepted messages to
+// processors the trace does not declare.
+func TestValidateChecksEndpointsAgainstTraceProcs(t *testing.T) {
+	ft := core.NewUniversal(1024, 64)
+	mk := func(ms core.MessageSet) *Trace {
+		return &Trace{
+			Name:   "undersized",
+			Procs:  64,
+			Phases: []Phase{{Name: "p", Messages: ms, Repeat: 1}},
+		}
+	}
+
+	// In-range endpoints and External messages remain valid on the big tree.
+	good := mk(core.MessageSet{
+		{Src: 0, Dst: 63},
+		{Src: 5, Dst: core.External},
+		{Src: core.External, Dst: 63},
+	})
+	if err := good.Validate(ft); err != nil {
+		t.Fatalf("valid 64-proc trace rejected on 1024-proc tree: %v", err)
+	}
+
+	// Endpoints the tree has but the trace does not declare must be
+	// rejected: both the plain and the External-paired side.
+	for name, ms := range map[string]core.MessageSet{
+		"dst":          {{Src: 0, Dst: 1000}},
+		"src":          {{Src: 1000, Dst: 0}},
+		"external-dst": {{Src: core.External, Dst: 1000}},
+		"external-src": {{Src: 1000, Dst: core.External}},
+	} {
+		if err := mk(ms).Validate(ft); err == nil {
+			t.Errorf("%s outside the trace's 64 processors accepted", name)
+		}
+	}
+}
