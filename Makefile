@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint lint-extra fuzz bench-json trace-demo check
+.PHONY: all build test race lint lint-extra fuzz bench-json bench-diff serve trace-demo check
 
 all: check
 
@@ -42,9 +42,25 @@ lint-extra:
 
 # Delivery-engine micro-benchmarks (EXPERIMENTS.md §A4) as machine-readable
 # JSON: ns/op, B/op, allocs/op for RouteCycle{Serial,Parallel} and
-# OffLineSchedule at n = 256, 1024, 4096.
+# OffLineSchedule at n = 256, 1024, 4096, plus run metadata (go version,
+# GOOS/GOARCH, CPU count, timestamp) so snapshots are comparable across
+# machines and PRs.
 bench-json:
-	$(GO) run ./cmd/ftbench -bench -json > BENCH_3.json
+	$(GO) run ./cmd/ftbench -bench -json > BENCH_5.json
+
+# Compare a fresh benchmark run against the committed baseline and flag
+# ns/op regressions above 10% (and any allocs/op increase). Advisory: the
+# report always exits 0; CI runs it the same way on its noisy shared runners.
+# Use `go run ./cmd/ftbenchdiff -strict old.json new.json` to fail on
+# regressions.
+bench-diff:
+	$(GO) run ./cmd/ftbench -bench -json > /tmp/bench-current.json
+	$(GO) run ./cmd/ftbenchdiff BENCH_5.json /tmp/bench-current.json
+
+# Run the live-telemetry daemon locally: Prometheus metrics at
+# http://127.0.0.1:8080/metrics while simulations rotate underneath.
+serve:
+	$(GO) run ./cmd/ftserve -addr 127.0.0.1:8080
 
 # Sample observability artifact: a chrome://tracing-loadable trace of one
 # online permutation run plus the per-level counter report (DESIGN.md §8).

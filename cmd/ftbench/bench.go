@@ -4,7 +4,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"runtime"
 	"testing"
+	"time"
 
 	"fattree"
 )
@@ -12,42 +14,97 @@ import (
 // This file is ftbench's micro-benchmark mode (-bench): the delivery-cycle
 // and off-line-scheduler benchmarks tracked by EXPERIMENTS.md §A4, measured
 // with the standard testing.Benchmark harness and emitted as a table or, with
-// -json, as machine-readable records (make bench-json writes BENCH_3.json).
+// -json, as machine-readable records (make bench-json writes BENCH_5.json).
 // The benchmark bodies mirror BenchmarkRouteCycle{Serial,Parallel} and
 // BenchmarkOffLineSchedule in bench_test.go so the two entry points measure
-// the same work.
+// the same work. With -hist, the serial delivery cycle additionally runs with
+// an observer attached and the resulting latency/congestion histograms are
+// reported (text) or embedded per record (JSON).
 
-// benchResult is one micro-benchmark measurement.
+// benchMeta records where and when a benchmark snapshot was taken, so
+// BENCH_*.json files are comparable across machines and PRs (ftbenchdiff
+// prints both sides' meta before the numbers).
+type benchMeta struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	Timestamp  string `json:"timestamp_utc"`
+}
+
+func currentBenchMeta() benchMeta {
+	return benchMeta{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+	}
+}
+
+// benchResult is one micro-benchmark measurement. Hist is only set for the
+// observed serial delivery cycle under -hist.
 type benchResult struct {
-	Name        string  `json:"name"`
-	N           int     `json:"n"`
-	Iterations  int     `json:"iterations"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
+	Name        string                `json:"name"`
+	N           int                   `json:"n"`
+	Iterations  int                   `json:"iterations"`
+	NsPerOp     float64               `json:"ns_per_op"`
+	BytesPerOp  int64                 `json:"bytes_per_op"`
+	AllocsPerOp int64                 `json:"allocs_per_op"`
+	Hist        *fattree.ObsvSnapshot `json:"hist,omitempty"`
+}
+
+// benchDoc is the -json output shape since PR 5. ftbenchdiff also accepts
+// the bare []benchResult array emitted before the meta header existed.
+type benchDoc struct {
+	Meta       benchMeta     `json:"meta"`
+	Benchmarks []benchResult `json:"benchmarks"`
 }
 
 // benchSizes are the processor counts every micro-benchmark runs at.
 var benchSizes = []int{256, 1024, 4096}
 
 // runMicroBenchmarks measures the suite and writes it to stdout.
-func runMicroBenchmarks(asJSON bool) error {
+func runMicroBenchmarks(asJSON, withHist bool) error {
 	var results []benchResult
 	for _, n := range benchSizes {
+		var obs *fattree.Observer
+		if withHist {
+			// Same deterministic topology the benchmark builds internally.
+			obs = fattree.NewObserver(fattree.NewUniversal(n, n/4))
+		}
+		serial := measureBench("RouteCycleSerial", n, routeCycleBench(n, 1, obs))
+		if obs != nil {
+			snap := obs.Snapshot()
+			serial.Hist = &snap
+		}
 		results = append(results,
-			measureBench("RouteCycleSerial", n, routeCycleBench(n, 1)),
-			measureBench("RouteCycleParallel", n, routeCycleBench(n, 0)),
+			serial,
+			measureBench("RouteCycleParallel", n, routeCycleBench(n, 0, nil)),
 			measureBench("OffLineSchedule", n, offLineBench(n)),
 		)
 	}
 	if asJSON {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		return enc.Encode(results)
+		return enc.Encode(benchDoc{Meta: currentBenchMeta(), Benchmarks: results})
 	}
 	fmt.Printf("%-20s %6s %14s %12s %12s\n", "benchmark", "n", "ns/op", "B/op", "allocs/op")
 	for _, r := range results {
 		fmt.Printf("%-20s %6d %14.0f %12d %12d\n", r.Name, r.N, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+	}
+	if withHist {
+		for _, r := range results {
+			if r.Hist == nil {
+				continue
+			}
+			fmt.Printf("\n%s n=%d observed histograms:\n", r.Name, r.N)
+			if err := r.Hist.WriteHistSummary(os.Stdout); err != nil {
+				return err
+			}
+		}
 	}
 	return nil
 }
@@ -66,12 +123,15 @@ func measureBench(name string, n int, fn func(*testing.B)) benchResult {
 }
 
 // routeCycleBench measures one steady-state delivery cycle on a warmed
-// engine; workers = 1 pins the serial path, 0 uses GOMAXPROCS.
-func routeCycleBench(n, workers int) func(*testing.B) {
+// engine; workers = 1 pins the serial path, 0 uses GOMAXPROCS. A non-nil obs
+// is attached to the engine (its tree must match n), so the measurement also
+// covers the histogram-update cost at the serial merge points.
+func routeCycleBench(n, workers int, obs *fattree.Observer) func(*testing.B) {
 	return func(b *testing.B) {
 		ft := fattree.NewUniversal(n, n/4)
 		ms := fattree.RandomPermutation(n, 1)
-		e := fattree.NewEngineWithOptions(ft, fattree.SwitchIdeal, 0, fattree.Options{Workers: workers})
+		e := fattree.NewEngineWithOptions(ft, fattree.SwitchIdeal, 0,
+			fattree.Options{Workers: workers, Observer: obs})
 		// Warm the scratch arena so the measured loop is steady state.
 		e.RunCycle(ms)
 		b.ReportAllocs()

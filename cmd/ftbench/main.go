@@ -42,6 +42,8 @@ func run() (code int) {
 	parallel := flag.Bool("parallel", false, "run experiments concurrently (results print in order)")
 	bench := flag.Bool("bench", false,
 		"run the delivery-engine micro-benchmarks (ns/op, B/op, allocs/op) instead of the experiment suite")
+	hist := flag.Bool("hist", false,
+		"with -bench: attach an observer to the serial delivery cycle and report its latency/congestion histograms")
 	profile := flag.String("profile", "", "comma-separated profiles to record: cpu|mem|trace")
 	profileOut := flag.String("profile-out", "ftbench", "base path for -profile output files")
 	flag.Parse()
@@ -74,8 +76,12 @@ func run() (code int) {
 		}()
 	}
 
+	if *hist && !*bench {
+		fmt.Fprintln(os.Stderr, "ftbench: -hist requires -bench")
+		return 2
+	}
 	if *bench {
-		if err := runMicroBenchmarks(*asJSON); err != nil {
+		if err := runMicroBenchmarks(*asJSON, *hist); err != nil {
 			fmt.Fprintf(os.Stderr, "ftbench: %v\n", err)
 			return 1
 		}

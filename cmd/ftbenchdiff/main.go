@@ -1,0 +1,192 @@
+// Command ftbenchdiff compares two BENCH_*.json micro-benchmark snapshots
+// (written by `ftbench -bench -json` / `make bench-json`) and flags ns/op
+// regressions above a threshold, plus any allocs/op increase. It accepts both
+// the current {"meta": ..., "benchmarks": [...]} shape and the bare array
+// emitted before the meta header existed.
+//
+// Usage:
+//
+//	ftbenchdiff old.json new.json             # report, always exit 0
+//	ftbenchdiff -threshold 5 old.json new.json
+//	ftbenchdiff -strict old.json new.json     # exit 1 if regressions found
+//
+// The default mode is advisory (exit 0 even with regressions) so CI can run
+// it on shared, noisy runners without failing the build; -strict turns
+// regressions into a nonzero exit for environments with stable timing.
+//
+// Exit status: 0 success (or advisory regressions), 1 runtime failure or
+// regressions under -strict, 2 usage error.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// benchMeta and benchResult mirror the ftbench -json output; unknown fields
+// (embedded histograms, future additions) are ignored.
+type benchMeta struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	Timestamp  string `json:"timestamp_utc"`
+}
+
+type benchResult struct {
+	Name        string  `json:"name"`
+	N           int     `json:"n"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+type benchDoc struct {
+	Meta       benchMeta     `json:"meta"`
+	Benchmarks []benchResult `json:"benchmarks"`
+}
+
+// readBench loads one snapshot, accepting either JSON shape.
+func readBench(path string) (benchDoc, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return benchDoc{}, err
+	}
+	trimmed := bytes.TrimLeft(raw, " \t\r\n")
+	if len(trimmed) > 0 && trimmed[0] == '[' {
+		var doc benchDoc
+		if err := json.Unmarshal(raw, &doc.Benchmarks); err != nil {
+			return benchDoc{}, fmt.Errorf("%s: %v", path, err)
+		}
+		return doc, nil
+	}
+	var doc benchDoc
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return benchDoc{}, fmt.Errorf("%s: %v", path, err)
+	}
+	return doc, nil
+}
+
+func metaLine(m benchMeta) string {
+	if m == (benchMeta{}) {
+		return "(no metadata: pre-PR-5 snapshot)"
+	}
+	return fmt.Sprintf("%s %s/%s gomaxprocs=%d cpus=%d at %s",
+		m.GoVersion, m.GOOS, m.GOARCH, m.GOMAXPROCS, m.NumCPU, m.Timestamp)
+}
+
+// run is the testable entry point; it returns the process exit code. The
+// report is rendered into buffers and flushed with one checked write per
+// stream, so a broken pipe can't silently truncate it mid-table.
+func run(args []string, stdout, stderr io.Writer) int {
+	var out, errb bytes.Buffer
+	code := diff(args, &out, &errb)
+	if _, err := stdout.Write(out.Bytes()); err != nil {
+		return 1
+	}
+	if _, err := stderr.Write(errb.Bytes()); err != nil {
+		return 1
+	}
+	return code
+}
+
+func diff(args []string, stdout, stderr *bytes.Buffer) int {
+	fs := flag.NewFlagSet("ftbenchdiff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	threshold := fs.Float64("threshold", 10, "flag ns/op regressions above this percentage")
+	strict := fs.Bool("strict", false, "exit 1 when regressions are flagged (default is advisory)")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: ftbenchdiff [-threshold pct] [-strict] old.json new.json")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 2 {
+		fs.Usage()
+		return 2
+	}
+	if *threshold < 0 {
+		fmt.Fprintf(stderr, "ftbenchdiff: -threshold must be non-negative (got %v)\n", *threshold)
+		return 2
+	}
+
+	old, err := readBench(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintf(stderr, "ftbenchdiff: %v\n", err)
+		return 1
+	}
+	cur, err := readBench(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintf(stderr, "ftbenchdiff: %v\n", err)
+		return 1
+	}
+
+	fmt.Fprintf(stdout, "old: %s\nnew: %s\n\n", metaLine(old.Meta), metaLine(cur.Meta))
+	fmt.Fprintf(stdout, "%-22s %6s %14s %14s %9s %11s\n",
+		"benchmark", "n", "old ns/op", "new ns/op", "delta", "allocs/op")
+
+	type key struct {
+		name string
+		n    int
+	}
+	oldBy := make(map[key]benchResult, len(old.Benchmarks))
+	for _, r := range old.Benchmarks {
+		oldBy[key{r.Name, r.N}] = r
+	}
+
+	regressions := 0
+	matched := make(map[key]bool, len(cur.Benchmarks))
+	for _, now := range cur.Benchmarks {
+		k := key{now.Name, now.N}
+		was, ok := oldBy[k]
+		if !ok {
+			fmt.Fprintf(stdout, "%-22s %6d %14s %14.0f %9s %11d  (new benchmark)\n",
+				now.Name, now.N, "-", now.NsPerOp, "-", now.AllocsPerOp)
+			continue
+		}
+		matched[k] = true
+		delta := 0.0
+		if was.NsPerOp > 0 {
+			delta = 100 * (now.NsPerOp - was.NsPerOp) / was.NsPerOp
+		}
+		flags := ""
+		if delta > *threshold {
+			flags += fmt.Sprintf("  REGRESSION: ns/op +%.1f%% > %.0f%%", delta, *threshold)
+			regressions++
+		}
+		if now.AllocsPerOp > was.AllocsPerOp {
+			flags += fmt.Sprintf("  REGRESSION: allocs/op %d -> %d", was.AllocsPerOp, now.AllocsPerOp)
+			regressions++
+		}
+		fmt.Fprintf(stdout, "%-22s %6d %14.0f %14.0f %+8.1f%% %5d -> %-4d%s\n",
+			now.Name, now.N, was.NsPerOp, now.NsPerOp, delta, was.AllocsPerOp, now.AllocsPerOp, flags)
+	}
+	for _, was := range old.Benchmarks {
+		if !matched[key{was.Name, was.N}] {
+			fmt.Fprintf(stdout, "%-22s %6d %14.0f %14s %9s %11s  (dropped benchmark)\n",
+				was.Name, was.N, was.NsPerOp, "-", "-", "-")
+		}
+	}
+
+	if regressions > 0 {
+		fmt.Fprintf(stdout, "\n%d regression(s) flagged (threshold %.0f%% ns/op; any allocs/op increase)\n",
+			regressions, *threshold)
+		if *strict {
+			return 1
+		}
+		fmt.Fprintln(stdout, "advisory mode: exiting 0 (use -strict to fail on regressions)")
+		return 0
+	}
+	fmt.Fprintf(stdout, "\nno regressions above %.0f%% ns/op, no allocs/op increases\n", *threshold)
+	return 0
+}

@@ -1,0 +1,138 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeTemp writes one snapshot file and returns its path.
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const oldDoc = `{
+  "meta": {"go_version": "go1.22", "goos": "linux", "goarch": "amd64",
+           "gomaxprocs": 8, "num_cpu": 8, "timestamp_utc": "2026-01-01T00:00:00Z"},
+  "benchmarks": [
+    {"name": "RouteCycleSerial", "n": 256, "ns_per_op": 1000, "allocs_per_op": 0},
+    {"name": "RouteCycleSerial", "n": 1024, "ns_per_op": 4000, "allocs_per_op": 0},
+    {"name": "OffLineSchedule", "n": 256, "ns_per_op": 9000, "allocs_per_op": 100}
+  ]
+}`
+
+// flatDoc is the pre-meta array shape (BENCH_3.json vintage).
+const flatDoc = `[
+  {"name": "RouteCycleSerial", "n": 256, "ns_per_op": 1000, "allocs_per_op": 0}
+]`
+
+func runDiff(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errb strings.Builder
+	code := run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestUsageErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{},
+		{"one.json"},
+		{"a.json", "b.json", "c.json"},
+		{"-threshold", "-3", "a.json", "b.json"},
+		{"-nope", "a.json", "b.json"},
+	} {
+		if code, _, _ := runDiff(t, args...); code != 2 {
+			t.Errorf("args %v: exit %d, want 2", args, code)
+		}
+	}
+}
+
+func TestFileErrors(t *testing.T) {
+	good := writeTemp(t, "good.json", oldDoc)
+	bad := writeTemp(t, "bad.json", "{not json")
+	if code, _, _ := runDiff(t, "/nonexistent/x.json", good); code != 1 {
+		t.Error("missing old file: want exit 1")
+	}
+	if code, _, _ := runDiff(t, good, bad); code != 1 {
+		t.Error("malformed new file: want exit 1")
+	}
+}
+
+func TestNoRegressions(t *testing.T) {
+	a := writeTemp(t, "a.json", oldDoc)
+	newDoc := strings.ReplaceAll(oldDoc, `"ns_per_op": 1000`, `"ns_per_op": 1050`)
+	b := writeTemp(t, "b.json", newDoc)
+	code, out, _ := runDiff(t, a, b)
+	if code != 0 || !strings.Contains(out, "no regressions") {
+		t.Fatalf("exit %d, output:\n%s", code, out)
+	}
+	if !strings.Contains(out, "go1.22 linux/amd64") {
+		t.Errorf("meta header missing:\n%s", out)
+	}
+}
+
+func TestNsPerOpRegression(t *testing.T) {
+	a := writeTemp(t, "a.json", oldDoc)
+	newDoc := strings.ReplaceAll(oldDoc, `"ns_per_op": 4000`, `"ns_per_op": 5000`)
+	b := writeTemp(t, "b.json", newDoc)
+
+	// Advisory by default: flagged, but exit 0.
+	code, out, _ := runDiff(t, a, b)
+	if code != 0 {
+		t.Fatalf("advisory mode: exit %d, want 0", code)
+	}
+	if !strings.Contains(out, "REGRESSION: ns/op +25.0%") || !strings.Contains(out, "advisory mode") {
+		t.Fatalf("regression not flagged:\n%s", out)
+	}
+
+	// -strict fails; a raised threshold clears it.
+	if code, _, _ = runDiff(t, "-strict", a, b); code != 1 {
+		t.Fatalf("-strict: exit %d, want 1", code)
+	}
+	if code, _, _ = runDiff(t, "-strict", "-threshold", "30", a, b); code != 0 {
+		t.Fatalf("-threshold 30: exit %d, want 0", code)
+	}
+}
+
+func TestAllocRegression(t *testing.T) {
+	a := writeTemp(t, "a.json", oldDoc)
+	newDoc := strings.ReplaceAll(oldDoc,
+		`{"name": "RouteCycleSerial", "n": 256, "ns_per_op": 1000, "allocs_per_op": 0}`,
+		`{"name": "RouteCycleSerial", "n": 256, "ns_per_op": 1000, "allocs_per_op": 2}`)
+	b := writeTemp(t, "b.json", newDoc)
+	code, out, _ := runDiff(t, "-strict", a, b)
+	if code != 1 || !strings.Contains(out, "REGRESSION: allocs/op 0 -> 2") {
+		t.Fatalf("alloc regression not flagged (exit %d):\n%s", code, out)
+	}
+}
+
+func TestFlatArrayCompat(t *testing.T) {
+	a := writeTemp(t, "a.json", flatDoc)
+	b := writeTemp(t, "b.json", oldDoc)
+	code, out, _ := runDiff(t, a, b)
+	if code != 0 {
+		t.Fatalf("flat-array old file: exit %d\n%s", code, out)
+	}
+	if !strings.Contains(out, "pre-PR-5 snapshot") {
+		t.Errorf("missing no-metadata note:\n%s", out)
+	}
+	// Benchmarks absent from the flat file are reported as new, not errors.
+	if !strings.Contains(out, "(new benchmark)") {
+		t.Errorf("missing new-benchmark note:\n%s", out)
+	}
+}
+
+func TestDroppedBenchmark(t *testing.T) {
+	a := writeTemp(t, "a.json", oldDoc)
+	b := writeTemp(t, "b.json", flatDoc)
+	_, out, _ := runDiff(t, a, b)
+	if !strings.Contains(out, "(dropped benchmark)") {
+		t.Errorf("missing dropped-benchmark note:\n%s", out)
+	}
+}

@@ -1,0 +1,376 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fattree"
+)
+
+// config is the parsed ftserve command line.
+type config struct {
+	addr      string
+	sizes     []int
+	rootCap   int
+	workloads []string
+	k         int
+	policy    string
+	switches  fattree.SwitchKind
+	loss      float64
+	seed      int64
+	workers   int
+	runs      int
+	interval  time.Duration
+	history   int
+}
+
+// serveWorkloads are the workload generators the rotation may use.
+var serveWorkloads = map[string]bool{
+	"perm": true, "random": true, "bitrev": true, "transpose": true,
+	"shuffle": true, "reversal": true, "nn": true, "alltoall": true,
+	"hotspot": true, "local": true,
+}
+
+// parseConfig parses and validates args; any error is a usage error (exit 2).
+func parseConfig(args []string) (config, error) {
+	var cfg config
+	var sizes, workloads, switches string
+	fs := flag.NewFlagSet("ftserve", flag.ContinueOnError)
+	var usage bytes.Buffer
+	fs.SetOutput(&usage)
+	fs.StringVar(&cfg.addr, "addr", "127.0.0.1:8080", "HTTP listen address (host:port; port 0 picks an ephemeral port)")
+	fs.StringVar(&sizes, "n", "256", "comma-separated tree sizes to rotate through (powers of two)")
+	fs.IntVar(&cfg.rootCap, "w", 0, "root capacity for every tree (0 = n/4 per tree)")
+	fs.StringVar(&workloads, "workloads", "perm,random,transpose", "comma-separated workload rotation: perm|random|bitrev|transpose|shuffle|reversal|nn|alltoall|hotspot|local")
+	fs.IntVar(&cfg.k, "k", 0, "message count for random/local/hotspot workloads (0 = 4n)")
+	fs.StringVar(&cfg.policy, "policy", "online", "delivery policy per run: online|random")
+	fs.StringVar(&switches, "switches", "ideal", "concentrator kind: ideal|partial")
+	fs.Float64Var(&cfg.loss, "loss", 0, "transient-fault injection rate in [0,1)")
+	fs.Int64Var(&cfg.seed, "seed", 1, "base random seed (varied per run)")
+	fs.IntVar(&cfg.workers, "workers", 0, "delivery-cycle workers per engine: 0 = GOMAXPROCS, 1 = serial")
+	fs.IntVar(&cfg.runs, "runs", 0, "stop after this many runs and exit 0 (0 = run until signalled)")
+	fs.DurationVar(&cfg.interval, "interval", 0, "pause between runs (0 = back to back)")
+	fs.IntVar(&cfg.history, "history", 64, "completed runs retained for /runs")
+	if err := fs.Parse(args); err != nil {
+		return cfg, fmt.Errorf("%w\n%s", err, usage.String())
+	}
+	if fs.NArg() > 0 {
+		return cfg, fmt.Errorf("unexpected arguments %q", fs.Args())
+	}
+	for _, f := range strings.Split(sizes, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 4 || n&(n-1) != 0 {
+			return cfg, fmt.Errorf("-n entries must be powers of two >= 4 (got %q)", f)
+		}
+		cfg.sizes = append(cfg.sizes, n)
+	}
+	for _, w := range strings.Split(workloads, ",") {
+		w = strings.TrimSpace(w)
+		if !serveWorkloads[w] {
+			return cfg, fmt.Errorf("unknown workload %q in -workloads", w)
+		}
+		if w == "transpose" {
+			for _, n := range cfg.sizes {
+				if fattree.Lg(n)%2 != 0 {
+					return cfg, fmt.Errorf("workload transpose needs an even power of two, but -n includes %d", n)
+				}
+			}
+		}
+		cfg.workloads = append(cfg.workloads, w)
+	}
+	switch cfg.policy {
+	case "online", "random":
+	default:
+		return cfg, fmt.Errorf("unknown -policy %q (want online|random)", cfg.policy)
+	}
+	switch switches {
+	case "ideal":
+		cfg.switches = fattree.SwitchIdeal
+	case "partial":
+		cfg.switches = fattree.SwitchPartial
+	default:
+		return cfg, fmt.Errorf("unknown -switches %q (want ideal|partial)", switches)
+	}
+	if cfg.loss < 0 || cfg.loss >= 1 {
+		return cfg, fmt.Errorf("-loss must be in [0,1) (got %v)", cfg.loss)
+	}
+	if cfg.runs < 0 || cfg.workers < 0 || cfg.interval < 0 {
+		return cfg, fmt.Errorf("-runs, -workers, and -interval must be non-negative")
+	}
+	if cfg.history < 1 {
+		return cfg, fmt.Errorf("-history must be >= 1 (got %d)", cfg.history)
+	}
+	return cfg, nil
+}
+
+// instance is one simulated tree of the rotation: the engine and observer
+// persist across runs, so the observer's counters are the monotone totals
+// Prometheus expects. Only the sim loop touches eng; handlers read obs via
+// Snapshot, which is safe mid-run.
+type instance struct {
+	size int
+	eng  *fattree.Engine
+	obs  *fattree.Observer
+}
+
+// runRecord is one completed simulation run, as served by /runs.
+type runRecord struct {
+	Seq        int       `json:"seq"`
+	Tree       int       `json:"tree"`
+	Workload   string    `json:"workload"`
+	Policy     string    `json:"policy"`
+	Messages   int       `json:"messages"`
+	Delivered  int       `json:"delivered"`
+	Cycles     int       `json:"cycles"`
+	Drops      int       `json:"drops"`
+	Deferrals  int       `json:"deferrals"`
+	DurationUS int64     `json:"duration_us"`
+	Start      time.Time `json:"start"`
+}
+
+// server owns the simulation instances and the HTTP handlers.
+type server struct {
+	cfg       config
+	instances []*instance
+	start     time.Time
+
+	ready atomic.Bool // first run completed
+
+	mu        sync.Mutex
+	history   []runRecord // newest last, capped at cfg.history
+	total     int
+	runCounts [][]int64 // [size index][workload index] completed runs
+}
+
+// newServer builds the per-size engines and observers.
+func newServer(cfg config) (*server, error) {
+	s := &server{cfg: cfg, start: time.Now()}
+	for i, n := range cfg.sizes {
+		w := cfg.rootCap
+		if w == 0 {
+			w = n / 4
+		}
+		ft := fattree.NewUniversal(n, w)
+		obs := fattree.NewObserver(ft)
+		eng := fattree.NewEngineWithOptions(ft, cfg.switches, cfg.seed+int64(i),
+			fattree.Options{Workers: cfg.workers, Observer: obs})
+		if cfg.loss > 0 {
+			eng.InjectLoss(cfg.loss, cfg.seed+int64(7*i+3))
+		}
+		s.instances = append(s.instances, &instance{size: n, eng: eng, obs: obs})
+		s.runCounts = append(s.runCounts, make([]int64, len(cfg.workloads)))
+	}
+	return s, nil
+}
+
+// simLoop runs simulations until the context is cancelled or (with -runs
+// N > 0) the budget is spent, rotating through size × workload combinations.
+func (s *server) simLoop(ctx context.Context) {
+	for r := 0; ctx.Err() == nil; r++ {
+		combo := r % (len(s.instances) * len(s.cfg.workloads))
+		inst := s.instances[combo/len(s.cfg.workloads)]
+		wlIdx := combo % len(s.cfg.workloads)
+		wl := s.cfg.workloads[wlIdx]
+		ms := buildWorkload(wl, inst.size, s.cfg.k, s.cfg.seed+int64(r))
+
+		begin := time.Now()
+		var stats fattree.Stats
+		if s.cfg.policy == "random" {
+			stats = fattree.RunOnlineRandom(inst.eng, ms, s.cfg.seed+int64(2*r+1))
+		} else {
+			stats = fattree.RunOnline(inst.eng, ms)
+		}
+
+		s.mu.Lock()
+		s.total++
+		s.runCounts[combo/len(s.cfg.workloads)][wlIdx]++
+		s.history = append(s.history, runRecord{
+			Seq: s.total, Tree: inst.size, Workload: wl, Policy: s.cfg.policy,
+			Messages: len(ms), Delivered: stats.Delivered, Cycles: stats.Cycles,
+			Drops: stats.Drops, Deferrals: stats.Deferrals,
+			DurationUS: time.Since(begin).Microseconds(), Start: begin.UTC(),
+		})
+		if len(s.history) > s.cfg.history {
+			s.history = s.history[len(s.history)-s.cfg.history:]
+		}
+		s.mu.Unlock()
+		s.ready.Store(true)
+
+		if s.cfg.runs > 0 && s.total >= s.cfg.runs {
+			return
+		}
+		if s.cfg.interval > 0 {
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(s.cfg.interval):
+			}
+		}
+	}
+}
+
+// totalRuns returns the number of completed runs.
+func (s *server) totalRuns() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.total
+}
+
+// buildWorkload builds one run's message set (the ftserve subset of the
+// ftsim workload menu; local uses a fixed radius of 4).
+func buildWorkload(name string, n, k int, seed int64) fattree.MessageSet {
+	if k == 0 {
+		k = 4 * n
+	}
+	switch name {
+	case "perm":
+		return fattree.RandomPermutation(n, seed)
+	case "random":
+		return fattree.Random(n, k, seed)
+	case "bitrev":
+		return fattree.BitReversal(n)
+	case "transpose":
+		return fattree.Transpose(n)
+	case "shuffle":
+		return fattree.Shuffle(n)
+	case "reversal":
+		return fattree.Reversal(n)
+	case "nn":
+		return fattree.NearestNeighbor(n)
+	case "alltoall":
+		return fattree.AllToAll(n)
+	case "hotspot":
+		return fattree.HotSpot(n, k, seed)
+	case "local":
+		return fattree.KLocal(n, k, 4, seed)
+	}
+	panic("ftserve: unvalidated workload " + name)
+}
+
+// mux builds the HTTP handler tree.
+func (s *server) mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
+	mux.HandleFunc("/runs", s.handleRuns)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// handleMetrics renders the full exposition into a buffer first, so a slow
+// or aborted client can never leave a half-written scrape.
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var buf bytes.Buffer
+	s.writeServerMetrics(&buf)
+	snaps := make([]fattree.LabeledSnapshot, 0, len(s.instances))
+	for _, inst := range s.instances {
+		snaps = append(snaps, fattree.LabeledSnapshot{
+			Labels: []fattree.PromLabel{{Name: "tree", Value: strconv.Itoa(inst.size)}},
+			Snap:   inst.obs.Snapshot(),
+		})
+	}
+	if err := fattree.WritePrometheus(&buf, snaps...); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if _, err := w.Write(buf.Bytes()); err != nil {
+		return // client went away; nothing to clean up
+	}
+}
+
+// writeServerMetrics writes the daemon's own families (distinct from the
+// snapshot families WritePrometheus owns).
+func (s *server) writeServerMetrics(buf *bytes.Buffer) {
+	fmt.Fprintf(buf, "# HELP fattree_server_info Build and configuration of this ftserve process.\n")
+	fmt.Fprintf(buf, "# TYPE fattree_server_info gauge\n")
+	fmt.Fprintf(buf, "fattree_server_info{go_version=%q,policy=%q,switches=%q} 1\n",
+		runtime.Version(), s.cfg.policy, switchName(s.cfg.switches))
+	fmt.Fprintf(buf, "# HELP fattree_server_ready Whether the first simulation run has completed.\n")
+	fmt.Fprintf(buf, "# TYPE fattree_server_ready gauge\n")
+	ready := 0
+	if s.ready.Load() {
+		ready = 1
+	}
+	fmt.Fprintf(buf, "fattree_server_ready %d\n", ready)
+	fmt.Fprintf(buf, "# HELP fattree_server_uptime_seconds Seconds since process start.\n")
+	fmt.Fprintf(buf, "# TYPE fattree_server_uptime_seconds gauge\n")
+	fmt.Fprintf(buf, "fattree_server_uptime_seconds %g\n", time.Since(s.start).Seconds())
+	fmt.Fprintf(buf, "# HELP fattree_server_runs_total Completed simulation runs per tree and workload.\n")
+	fmt.Fprintf(buf, "# TYPE fattree_server_runs_total counter\n")
+	s.mu.Lock()
+	for i, inst := range s.instances {
+		for j, wl := range s.cfg.workloads {
+			fmt.Fprintf(buf, "fattree_server_runs_total{tree=\"%d\",workload=%q} %d\n",
+				inst.size, wl, s.runCounts[i][j])
+		}
+	}
+	s.mu.Unlock()
+}
+
+func switchName(k fattree.SwitchKind) string {
+	if k == fattree.SwitchPartial {
+		return "partial"
+	}
+	return "ideal"
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if _, err := fmt.Fprintln(w, "ok"); err != nil {
+		return
+	}
+}
+
+func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if !s.ready.Load() {
+		http.Error(w, "no run completed yet", http.StatusServiceUnavailable)
+		return
+	}
+	if _, err := fmt.Fprintln(w, "ready"); err != nil {
+		return
+	}
+}
+
+// handleRuns serves the recent run history as JSON, newest first.
+func (s *server) handleRuns(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	recent := make([]runRecord, len(s.history))
+	for i, rec := range s.history {
+		recent[len(s.history)-1-i] = rec
+	}
+	total := s.total
+	s.mu.Unlock()
+	doc := struct {
+		Total         int         `json:"total"`
+		Ready         bool        `json:"ready"`
+		UptimeSeconds float64     `json:"uptime_seconds"`
+		Runs          []runRecord `json:"runs"`
+	}{total, s.ready.Load(), time.Since(s.start).Seconds(), recent}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if _, err := w.Write(buf.Bytes()); err != nil {
+		return
+	}
+}

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -39,6 +40,8 @@ func main() {
 	saveSchedule := flag.String("save-schedule", "", "write the compiled schedule to this file (JSON)")
 	loadSchedule := flag.String("load-schedule", "", "load a precompiled schedule instead of scheduling")
 	counters := flag.Bool("counters", false, "print the per-level observability counter report after the run")
+	hist := flag.Bool("hist", false, "print latency/congestion histogram summaries after the run")
+	histJSON := flag.String("hist-json", "", "write the full observability snapshot (counters + histograms) as JSON to this file")
 	traceOut := flag.String("trace-out", "", "write a chrome://tracing trace_event JSON file of the run")
 	traceJSONL := flag.String("trace-jsonl", "", "write the raw event stream as JSON Lines")
 	traceCap := flag.Int("trace-cap", 1<<16, "event ring capacity for -trace-out/-trace-jsonl (oldest events overwritten)")
@@ -78,7 +81,7 @@ func main() {
 		usage("unknown -switches %q", *switches)
 	}
 
-	if *counters || *traceOut != "" || *traceJSONL != "" {
+	if *counters || *hist || *histJSON != "" || *traceOut != "" || *traceJSONL != "" {
 		obs = fattree.NewObserver(ft)
 		if *traceOut != "" || *traceJSONL != "" {
 			if *traceCap < 1 {
@@ -186,6 +189,21 @@ func main() {
 		if err := obs.Report(os.Stdout); err != nil {
 			fail("%v", err)
 		}
+	}
+	if *hist {
+		fmt.Println()
+		if err := obs.Snapshot().WriteHistSummary(os.Stdout); err != nil {
+			fail("%v", err)
+		}
+	}
+	if *histJSON != "" {
+		snap := obs.Snapshot()
+		writeFile(*histJSON, func(w io.Writer) error {
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			return enc.Encode(snap)
+		})
+		fmt.Printf("observability snapshot written to %s\n", *histJSON)
 	}
 	if *traceOut != "" {
 		writeFile(*traceOut, obs.WriteChromeTrace)

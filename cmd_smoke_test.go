@@ -40,6 +40,8 @@ func TestSmokeCmds(t *testing.T) {
 			[]string{"schedule:", "delivered 56/56", "0 drops", "occupancy"}},
 		{"./cmd/ftsim", []string{"-n", "32", "-workload", "perm", "-policy", "online"},
 			[]string{"delivered", "bit-serial"}},
+		{"./cmd/ftsim", []string{"-n", "32", "-workload", "perm", "-policy", "online", "-switches", "partial", "-hist"},
+			[]string{"delivery latency (cycles)", "per-level utilization", "p99<="}},
 		{"./cmd/ftbench", []string{"-quick", "-run", "E1"},
 			[]string{"E1", "Per-level channel capacities", "suite complete"}},
 		{"./cmd/ftbench", []string{"-quick", "-run", "E12", "-json"},
@@ -134,12 +136,23 @@ func TestCLIExitCodes(t *testing.T) {
 		{"fttopo w and volume", "fttopo", []string{"-n", "64", "-w", "16", "-volume", "100"}, 2},
 		{"fttrace unknown trace", "fttrace", []string{"-trace", "nope"}, 2},
 		{"ftlint unknown analyzer", "ftlint", []string{"-only", "nope", "./..."}, 2},
+		{"ftserve bad n", "ftserve", []string{"-n", "63"}, 2},
+		{"ftserve unknown workload", "ftserve", []string{"-workloads", "nope"}, 2},
+		{"ftserve unknown policy", "ftserve", []string{"-policy", "offline"}, 2},
+		{"ftserve transpose odd lg", "ftserve", []string{"-n", "32", "-workloads", "transpose"}, 2},
+		{"ftserve positional args", "ftserve", []string{"extra"}, 2},
+		{"ftbench hist without bench", "ftbench", []string{"-hist"}, 2},
+		{"ftbenchdiff no args", "ftbenchdiff", nil, 2},
+		{"ftbenchdiff bad threshold", "ftbenchdiff", []string{"-threshold", "-1", "a.json", "b.json"}, 2},
 
 		// Runtime failures exit 1.
 		{"ftsim missing schedule", "ftsim", []string{"-n", "16", "-load-schedule", "/nonexistent/s.json"}, 1},
+		{"ftserve unlistenable addr", "ftserve", []string{"-addr", "256.256.256.256:0", "-runs", "1"}, 1},
+		{"ftbenchdiff missing file", "ftbenchdiff", []string{"/nonexistent/a.json", "/nonexistent/b.json"}, 1},
 
 		// Success exits 0.
 		{"ftsim counters run", "ftsim", []string{"-n", "16", "-policy", "online", "-counters"}, 0},
+		{"ftserve bounded run", "ftserve", []string{"-addr", "127.0.0.1:0", "-n", "16", "-runs", "2"}, 0},
 	}
 	for _, c := range cases {
 		c := c

@@ -199,7 +199,28 @@ type (
 	TraceRing = obsv.Ring
 	// TraceEvent is one traced simulator event.
 	TraceEvent = obsv.Event
+	// ObsvSnapshot is an immutable deep copy of an observer's counters and
+	// histograms, safe to take from any goroutine while a run is in flight;
+	// diff two with Sub, render with WriteHistSummary.
+	ObsvSnapshot = obsv.Snapshot
+	// ObsvHistSnap is an immutable copy of one telemetry histogram.
+	ObsvHistSnap = obsv.HistSnap
+	// PromLabel is one label pair of a Prometheus exposition sample.
+	PromLabel = obsv.PromLabel
+	// LabeledSnapshot pairs an observer snapshot with the label set
+	// identifying its source in a Prometheus exposition.
+	LabeledSnapshot = obsv.LabeledSnapshot
 )
+
+// WritePrometheus writes the snapshots as Prometheus text exposition
+// (fattree_* metric families, one HELP/TYPE header per family).
+func WritePrometheus(w io.Writer, snaps ...LabeledSnapshot) error {
+	return obsv.WritePrometheus(w, snaps...)
+}
+
+// ValidatePromExposition strictly parses text as Prometheus text exposition,
+// returning the first syntax or histogram-consistency violation.
+func ValidatePromExposition(text []byte) error { return obsv.ValidateExposition(text) }
 
 // NewObserver builds an observer bound to t; every counter array is
 // preallocated so recording never allocates.

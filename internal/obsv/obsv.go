@@ -42,6 +42,7 @@ package obsv
 import (
 	"fmt"
 	"io"
+	"sync"
 
 	"fattree/internal/core"
 )
@@ -110,20 +111,40 @@ type Counters struct {
 	LevelMessages []int64
 }
 
-// Observer collects counters and (optionally) an event trace from the
-// simulator. Bind it to a tree with New, attach it to an engine with
-// sim.Engine.SetObserver (or sim.Options.Observer), and read the counters
-// directly or render them with Report.
+// Observer collects counters, histograms, and (optionally) an event trace
+// from the simulator. Bind it to a tree with New, attach it to an engine
+// with sim.Engine.SetObserver (or sim.Options.Observer), and read the
+// counters directly, render them with Report, or take an immutable Snapshot.
 //
-// An Observer is not safe for concurrent use and must not be shared by
-// engines running concurrently; the engine invokes it only from its
-// deterministic serial merge points.
+// An Observer must be driven by one simulation goroutine at a time (the
+// engine invokes it only from its deterministic serial merge points), and
+// must not be shared by engines running concurrently. Snapshot, however, is
+// safe to call from any goroutine while a run is in flight: recording is
+// bracketed by an internal mutex held from CycleStart to CycleEnd (and
+// around every out-of-cycle hook), so a snapshot observes only whole
+// delivery cycles — the conservation law Offered == Delivered + Dropped +
+// Deferred holds in every snapshot, mid-run included. Direct reads of C are
+// only safe once the run has finished.
 type Observer struct {
 	C Counters
+
+	// mu brackets recording so Snapshot can read mid-run. CycleStart
+	// acquires it and CycleEnd releases it — one lock per delivery cycle,
+	// not per hook — and the infrequent out-of-cycle hooks (Retries,
+	// Latencies, Stall, Queue, SchedLevel) lock around themselves.
+	mu sync.Mutex
 
 	nodes  int   // heap nodes + 1 (valid ids are 1..nodes-1)
 	levels int   // leaf level = lg n
 	caps   []int // capacity of the channel above node v, by heap id
+
+	// hist holds the fixed-size distribution instruments (see hist.go);
+	// cycleLevelUse accumulates the current cycle's per-level wire use so
+	// CycleEnd can bucket the cycle's utilization, and levelWires memoizes
+	// each level's total channel capacity (the denominator).
+	hist          hists
+	cycleLevelUse []int64
+	levelWires    []int64
 
 	// lastRounds/lastFaults are per-switch snapshots of the cumulative
 	// hardware counters (matching rounds, fault corruptions), so Switch can
@@ -158,6 +179,15 @@ func New(t *core.FatTree) *Observer {
 	}
 	o.lastRounds = make([]int64, n2)
 	o.lastFaults = make([]int64, n2)
+	o.hist = newHists(t.Levels())
+	o.cycleLevelUse = make([]int64, t.Levels()+1)
+	o.levelWires = make([]int64, t.Levels()+1)
+	for level := 0; level <= t.Levels(); level++ {
+		first := 1 << uint(level)
+		for v := first; v < 2*first && v < n2; v++ {
+			o.levelWires[level] += int64(o.caps[v])
+		}
+	}
 	return o
 }
 
@@ -185,10 +215,12 @@ func (o *Observer) Trace() *Ring { return o.ring }
 // Tracing reports whether an event ring is attached.
 func (o *Observer) Tracing() bool { return o.ring != nil }
 
-// Reset zeroes every counter and drops all traced events; the binding (tree
-// size, capacities, ring capacity) is kept. Use it to reuse one observer
-// across runs that should be tallied separately.
+// Reset zeroes every counter and histogram and drops all traced events; the
+// binding (tree size, capacities, bucket bounds, ring capacity) is kept. Use
+// it to reuse one observer across runs that should be tallied separately.
 func (o *Observer) Reset() {
+	o.mu.Lock()
+	defer o.mu.Unlock()
 	c := &o.C
 	c.Cycles, c.Offered, c.Delivered, c.Dropped, c.Deferred, c.Retried = 0, 0, 0, 0, 0, 0
 	for _, s := range [][]int64{
@@ -199,15 +231,20 @@ func (o *Observer) Reset() {
 			s[i] = 0
 		}
 	}
+	o.hist.reset()
 	if o.ring != nil {
 		o.ring.Reset()
 	}
 }
 
 // CountersEqual reports whether two observers hold identical counter totals
-// — the equality the parallel == serial equivalence tests assert. Ring
-// contents are compared only when both observers trace.
+// and identical histogram bucket arrays — the equality the parallel ==
+// serial equivalence tests assert. Ring contents are compared only when both
+// observers trace. Not safe while either observer's run is in flight.
 func CountersEqual(a, b *Observer) bool {
+	if !a.hist.equal(&b.hist) {
+		return false
+	}
 	x, y := &a.C, &b.C
 	if x.Cycles != y.Cycles || x.Offered != y.Offered ||
 		x.Delivered != y.Delivered || x.Dropped != y.Dropped ||
@@ -240,34 +277,69 @@ func CountersEqual(a, b *Observer) bool {
 // attached without breaking its zero-allocation steady state.
 
 // CycleStart records the start of a delivery cycle offering `offered`
-// flights.
+// flights. It acquires the observer's snapshot mutex, which the matching
+// CycleEnd releases: every recording hook between the two runs inside one
+// critical section, so a concurrent Snapshot sees only whole cycles.
 func (o *Observer) CycleStart(offered int) {
+	o.mu.Lock()
 	o.C.Offered += int64(offered)
+	for i := range o.cycleLevelUse {
+		o.cycleLevelUse[i] = 0
+	}
 	if o.ring != nil {
 		o.ring.push(Event{Kind: EvCycleStart, Cycle: o.C.Cycles, Count: int32(offered)})
 	}
 }
 
 // CycleEnd records the end of the current delivery cycle with its outcome
-// partition and advances the cycle counter.
+// partition, buckets the cycle's per-level wire utilization, advances the
+// cycle counter, and releases the snapshot mutex taken by CycleStart.
 func (o *Observer) CycleEnd(delivered, dropped, deferred int) {
 	o.C.Delivered += int64(delivered)
 	o.C.Dropped += int64(dropped)
 	o.C.Deferred += int64(deferred)
+	for level, use := range o.cycleLevelUse {
+		// Both directions of every channel are available each cycle, so the
+		// per-cycle ceiling is 2 × the level's total capacity. Integer
+		// per-mille keeps bucketing exact across worker counts.
+		if wires := o.levelWires[level]; wires > 0 {
+			o.hist.levelUtil[level].Observe(1000 * use / (2 * wires))
+		}
+	}
 	if o.ring != nil {
 		o.ring.push(Event{Kind: EvCycleEnd, Cycle: o.C.Cycles, Count: int32(delivered)})
 	}
 	o.C.Cycles++
+	o.mu.Unlock()
 }
 
-// Retries records flights re-offered after the current cycle.
-func (o *Observer) Retries(n int) { o.C.Retried += int64(n) }
+// Retries records flights re-offered after the current cycle. Called by the
+// retry loops between cycles, outside the CycleStart–CycleEnd section.
+func (o *Observer) Retries(n int) {
+	o.mu.Lock()
+	o.C.Retried += int64(n)
+	o.mu.Unlock()
+}
+
+// Latencies records the delivery latency, in delivery cycles from first
+// offer to delivery, of every message delivered by the cycle that just
+// ended (1 = delivered in the cycle it was first offered). The engine's
+// retry loops batch one call per cycle, outside the CycleStart–CycleEnd
+// section.
+func (o *Observer) Latencies(lat []int64) {
+	o.mu.Lock()
+	for _, v := range lat {
+		o.hist.latency.Observe(v)
+	}
+	o.mu.Unlock()
+}
 
 // Inject records flight i of the current cycle entering the network on a
 // wire of the channel above `node` (the source leaf, or the root for
 // external inputs).
 func (o *Observer) Inject(i int, m core.Message, node, wire int) {
 	o.C.WireUse[2*node+channelDirOf(node, m)]++
+	o.cycleLevelUse[levelOf(int32(node))]++
 	if o.ring != nil {
 		o.ring.push(Event{
 			Kind: EvInject, Cycle: o.C.Cycles, Node: int32(node), Flight: int32(i),
@@ -303,7 +375,9 @@ func (o *Observer) Switch(node, reqs, drops int, roundsCum, faultsCum int64) {
 	o.C.Requests[node] += int64(reqs)
 	o.C.Grants[node] += int64(reqs - drops)
 	o.C.Drops[node] += int64(drops)
-	o.C.MatchRounds[node] += roundsCum - o.lastRounds[node]
+	rounds := roundsCum - o.lastRounds[node]
+	o.C.MatchRounds[node] += rounds
+	o.hist.matchRounds.Observe(rounds)
 	o.lastRounds[node] = roundsCum
 	o.C.Faults[node] += faultsCum - o.lastFaults[node]
 	o.lastFaults[node] = faultsCum
@@ -314,14 +388,17 @@ func (o *Observer) Switch(node, reqs, drops int, roundsCum, faultsCum int64) {
 // rather than from the engine's construction. The engine primes every switch
 // when an observer is attached.
 func (o *Observer) PrimeSwitch(node int, roundsCum, faultsCum int64) {
+	o.mu.Lock()
 	o.lastRounds[node] = roundsCum
 	o.lastFaults[node] = faultsCum
+	o.mu.Unlock()
 }
 
 // Advance records flight i winning a wire of the channel (chanNode, dir) at
 // switch `node` during a sweep.
 func (o *Observer) Advance(i int, m core.Message, node, chanNode, dir, wire int) {
 	o.C.WireUse[2*chanNode+dir]++
+	o.cycleLevelUse[levelOf(int32(chanNode))]++
 	if o.ring != nil {
 		o.ring.push(Event{
 			Kind: EvAdvance, Cycle: o.C.Cycles, Node: int32(node), Flight: int32(i),
@@ -354,28 +431,41 @@ func (o *Observer) Deliver(i int, m core.Message, node int) {
 
 // Stall records a head-of-line stall on the buffered simulator's channel
 // (2·node+dir index ch).
-func (o *Observer) Stall(ch int) { o.C.Stalls[ch]++ }
+func (o *Observer) Stall(ch int) {
+	o.mu.Lock()
+	o.C.Stalls[ch]++
+	o.mu.Unlock()
+}
 
-// Queue records the occupancy of buffered channel ch, keeping the peak.
+// Queue records the occupancy of buffered channel ch, keeping the peak and
+// bucketing every non-empty occupancy into the queue-depth histogram.
 func (o *Observer) Queue(ch, depth int) {
+	o.mu.Lock()
 	if int64(depth) > o.C.QueuePeak[ch] {
 		o.C.QueuePeak[ch] = int64(depth)
 	}
+	if depth > 0 {
+		o.hist.queueDepth.Observe(int64(depth))
+	}
+	o.mu.Unlock()
 }
 
 // SchedLevel records the Theorem 1 scheduler routing `messages` messages
 // whose LCAs sit at `level` in `cycles` delivery cycles. Level levels+1
 // holds the external-traffic block.
 func (o *Observer) SchedLevel(level, cycles, messages int) {
+	o.mu.Lock()
 	o.C.LevelCycles[level] += int64(cycles)
 	o.C.LevelMessages[level] += int64(messages)
+	o.mu.Unlock()
 }
 
 // LevelSummary is one row of the per-level counter report.
 type LevelSummary struct {
 	Level    int
-	Nodes    int // switches (or leaves) at the level
-	Capacity int // wires per channel at the level (uniform levels only; -1 if mixed)
+	Nodes    int   // switches (or leaves) at the level
+	Wires    int64 // total wires across the level's channels (one direction)
+	Capacity int   // wires per channel at the level (uniform levels only; -1 if mixed)
 	// WireUse and Utilization aggregate both directions of every channel
 	// beneath the level's nodes... see Report for the exact definition.
 	WireUse     int64
@@ -398,21 +488,20 @@ func (o *Observer) PerLevel() []LevelSummary {
 		s.Level = level
 		s.Nodes = first
 		s.Capacity = o.caps[first]
-		totalWires := int64(0)
 		for v := first; v < 2*first && v < o.nodes; v++ {
 			if o.caps[v] != s.Capacity {
 				s.Capacity = -1 // per-channel overrides make the level mixed
 			}
-			totalWires += int64(o.caps[v])
+			s.Wires += int64(o.caps[v])
 			s.WireUse += o.C.WireUse[2*v] + o.C.WireUse[2*v+1]
 			s.Requests += o.C.Requests[v]
 			s.Grants += o.C.Grants[v]
 			s.Drops += o.C.Drops[v]
 			s.MatchRounds += o.C.MatchRounds[v]
 		}
-		if o.C.Cycles > 0 && totalWires > 0 {
+		if o.C.Cycles > 0 && s.Wires > 0 {
 			// Both directions of every channel are available each cycle.
-			s.Utilization = float64(s.WireUse) / float64(o.C.Cycles*2*totalWires)
+			s.Utilization = float64(s.WireUse) / float64(o.C.Cycles*2*s.Wires)
 		}
 	}
 	return out

@@ -1,0 +1,552 @@
+package obsv
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file renders snapshots in the Prometheus text exposition format
+// (version 0.0.4), hand-rolled on the stdlib — the repo takes no external
+// dependencies. The writer groups samples by metric family (one HELP/TYPE
+// header per family even when several labeled snapshots are exposed) and
+// emits histogram buckets cumulatively with inclusive `le` bounds, exactly
+// the convention obsv.Hist already uses internally. ValidateExposition is
+// the matching strict parser used by the ftserve tests and the CI smoke job
+// to prove the output is well-formed without importing a Prometheus client.
+
+// PromLabel is one label pair attached to every sample of a snapshot.
+type PromLabel struct {
+	Name  string
+	Value string
+}
+
+// LabeledSnapshot pairs a snapshot with the label set identifying its source
+// (for example tree="256", workload="perm") in the exposition.
+type LabeledSnapshot struct {
+	Labels []PromLabel
+	Snap   Snapshot
+}
+
+// promFamily describes one metric family of the exposition.
+type promFamily struct {
+	name string
+	typ  string // "counter", "gauge", or "histogram"
+	help string
+}
+
+// The fattree_* metric families, in exposition order. Counter families use
+// the _total suffix; histogram families carry their unit in the name.
+var promFamilies = []promFamily{
+	{"fattree_cycles_total", "counter", "Delivery cycles simulated."},
+	{"fattree_messages_offered_total", "counter", "Flight offers (retries counted once per offer)."},
+	{"fattree_messages_delivered_total", "counter", "Flights that reached their destination channel."},
+	{"fattree_messages_dropped_total", "counter", "Flights lost at a concentrator (congestion or injected fault)."},
+	{"fattree_messages_deferred_total", "counter", "Flights unable to inject at the source leaf."},
+	{"fattree_messages_retried_total", "counter", "Flights re-offered after a failed cycle."},
+	{"fattree_buffered_stalls_total", "counter", "Buffered-model head-of-line stalls."},
+	{"fattree_buffered_queue_peak_messages", "gauge", "Peak buffered-channel queue occupancy."},
+	{"fattree_level_wire_use_total", "counter", "Wire-cycles carrying a message, by tree level."},
+	{"fattree_level_requests_total", "counter", "Concentrator requests, by tree level."},
+	{"fattree_level_grants_total", "counter", "Concentrator grants, by tree level."},
+	{"fattree_level_drops_total", "counter", "Concentrator drops, by tree level."},
+	{"fattree_level_match_rounds_total", "counter", "Hopcroft-Karp BFS phases, by tree level."},
+	{"fattree_level_utilization_ratio", "gauge", "Mean wire utilization against capacity, by tree level."},
+	{"fattree_sched_level_cycles_total", "counter", "Scheduler delivery cycles attributed to each LCA level."},
+	{"fattree_sched_level_messages_total", "counter", "Scheduler messages attributed to each LCA level."},
+	{"fattree_delivery_latency_cycles", "histogram", "Delivery latency in cycles from first offer to delivery."},
+	{"fattree_match_rounds_per_matching", "histogram", "Hopcroft-Karp BFS phases per switch contest."},
+	{"fattree_buffered_queue_depth_messages", "histogram", "Buffered-channel queue occupancy per hop."},
+	{"fattree_level_utilization_permille", "histogram", "Per-cycle wire utilization in permille of capacity, by tree level."},
+}
+
+// WritePrometheus writes the snapshots as Prometheus text exposition. Each
+// family's HELP/TYPE header appears once, followed by that family's samples
+// from every snapshot in order, distinguished by the snapshots' label sets
+// (which must therefore differ when more than one snapshot is passed).
+func WritePrometheus(w io.Writer, snaps ...LabeledSnapshot) error {
+	for _, fam := range promFamilies {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n",
+			fam.name, fam.help, fam.name, fam.typ); err != nil {
+			return err
+		}
+		for _, ls := range snaps {
+			if err := writeFamily(w, fam.name, ls); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// writeFamily writes one snapshot's samples for one family.
+func writeFamily(w io.Writer, name string, ls LabeledSnapshot) error {
+	c := &ls.Snap.Counters
+	scalar := func(v int64) error { return writeSample(w, name, ls.Labels, nil, float64(v)) }
+	switch name {
+	case "fattree_cycles_total":
+		return scalar(c.Cycles)
+	case "fattree_messages_offered_total":
+		return scalar(c.Offered)
+	case "fattree_messages_delivered_total":
+		return scalar(c.Delivered)
+	case "fattree_messages_dropped_total":
+		return scalar(c.Dropped)
+	case "fattree_messages_deferred_total":
+		return scalar(c.Deferred)
+	case "fattree_messages_retried_total":
+		return scalar(c.Retried)
+	case "fattree_buffered_stalls_total":
+		return scalar(sumInt64(c.Stalls))
+	case "fattree_buffered_queue_peak_messages":
+		return scalar(maxInt64(c.QueuePeak))
+	case "fattree_level_wire_use_total":
+		return writePerLevel(w, name, ls, func(s LevelSummary) float64 { return float64(s.WireUse) })
+	case "fattree_level_requests_total":
+		return writePerLevel(w, name, ls, func(s LevelSummary) float64 { return float64(s.Requests) })
+	case "fattree_level_grants_total":
+		return writePerLevel(w, name, ls, func(s LevelSummary) float64 { return float64(s.Grants) })
+	case "fattree_level_drops_total":
+		return writePerLevel(w, name, ls, func(s LevelSummary) float64 { return float64(s.Drops) })
+	case "fattree_level_match_rounds_total":
+		return writePerLevel(w, name, ls, func(s LevelSummary) float64 { return float64(s.MatchRounds) })
+	case "fattree_level_utilization_ratio":
+		return writePerLevel(w, name, ls, func(s LevelSummary) float64 { return s.Utilization })
+	case "fattree_sched_level_cycles_total":
+		return writeSchedLevels(w, name, ls, c.LevelCycles)
+	case "fattree_sched_level_messages_total":
+		return writeSchedLevels(w, name, ls, c.LevelMessages)
+	case "fattree_delivery_latency_cycles":
+		return writeHistogram(w, name, ls.Labels, ls.Snap.Latency)
+	case "fattree_match_rounds_per_matching":
+		return writeHistogram(w, name, ls.Labels, ls.Snap.MatchRounds)
+	case "fattree_buffered_queue_depth_messages":
+		return writeHistogram(w, name, ls.Labels, ls.Snap.QueueDepth)
+	case "fattree_level_utilization_permille":
+		for level, h := range ls.Snap.LevelUtil {
+			labels := append(append([]PromLabel(nil), ls.Labels...),
+				PromLabel{"level", strconv.Itoa(level)})
+			if err := writeHistogram(w, name, labels, h); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	panic("obsv: unknown metric family " + name)
+}
+
+// writePerLevel writes one sample per tree level with a `level` label.
+func writePerLevel(w io.Writer, name string, ls LabeledSnapshot, get func(LevelSummary) float64) error {
+	for _, s := range ls.Snap.PerLevel {
+		labels := append(append([]PromLabel(nil), ls.Labels...),
+			PromLabel{"level", strconv.Itoa(s.Level)})
+		if err := writeSample(w, name, labels, nil, get(s)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeSchedLevels writes the scheduler per-level block; the final slot (lg n
+// + 1) is the external-traffic block, labeled level="external".
+func writeSchedLevels(w io.Writer, name string, ls LabeledSnapshot, vals []int64) error {
+	for level, v := range vals {
+		lv := strconv.Itoa(level)
+		if level == len(vals)-1 {
+			lv = "external"
+		}
+		labels := append(append([]PromLabel(nil), ls.Labels...), PromLabel{"level", lv})
+		if err := writeSample(w, name, labels, nil, float64(v)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeHistogram writes one histogram's cumulative buckets, sum, and count.
+func writeHistogram(w io.Writer, name string, labels []PromLabel, h HistSnap) error {
+	cum := int64(0)
+	for i, b := range h.Bounds {
+		cum += h.Counts[i]
+		le := PromLabel{"le", strconv.FormatInt(b, 10)}
+		if err := writeSample(w, name+"_bucket", labels, &le, float64(cum)); err != nil {
+			return err
+		}
+	}
+	inf := PromLabel{"le", "+Inf"}
+	if err := writeSample(w, name+"_bucket", labels, &inf, float64(h.Count)); err != nil {
+		return err
+	}
+	if err := writeSample(w, name+"_sum", labels, nil, float64(h.Sum)); err != nil {
+		return err
+	}
+	return writeSample(w, name+"_count", labels, nil, float64(h.Count))
+}
+
+// writeSample writes one `name{labels} value` line; extra, when non-nil, is
+// appended after the shared labels (the histogram `le` slot).
+func writeSample(w io.Writer, name string, labels []PromLabel, extra *PromLabel, v float64) error {
+	var sb strings.Builder
+	sb.WriteString(name)
+	n := len(labels)
+	if extra != nil {
+		n++
+	}
+	if n > 0 {
+		sb.WriteByte('{')
+		for i, l := range labels {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			writeLabel(&sb, l)
+		}
+		if extra != nil {
+			if len(labels) > 0 {
+				sb.WriteByte(',')
+			}
+			writeLabel(&sb, *extra)
+		}
+		sb.WriteByte('}')
+	}
+	sb.WriteByte(' ')
+	sb.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+	sb.WriteByte('\n')
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// writeLabel writes name="value" with the exposition's escaping rules.
+func writeLabel(sb *strings.Builder, l PromLabel) {
+	sb.WriteString(l.Name)
+	sb.WriteString(`="`)
+	for _, r := range l.Value {
+		switch r {
+		case '\\':
+			sb.WriteString(`\\`)
+		case '"':
+			sb.WriteString(`\"`)
+		case '\n':
+			sb.WriteString(`\n`)
+		default:
+			sb.WriteRune(r)
+		}
+	}
+	sb.WriteByte('"')
+}
+
+func sumInt64(s []int64) int64 {
+	var t int64
+	for _, v := range s {
+		t += v
+	}
+	return t
+}
+
+func maxInt64(s []int64) int64 {
+	var m int64
+	for _, v := range s {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// ValidateExposition parses text as Prometheus text exposition (format
+// 0.0.4) and returns the first violation found: malformed metric or label
+// syntax, an unparsable value, a sample whose family has no preceding TYPE
+// declaration, a duplicate HELP/TYPE header, or a histogram whose buckets
+// are non-cumulative, missing le="+Inf", or inconsistent with _count. It is
+// deliberately stricter than a Prometheus scraper — every byte the repo's
+// own writer emits must pass, so the tests can assert exposition validity
+// without a client library.
+func ValidateExposition(text []byte) error {
+	types := map[string]string{}
+	helped := map[string]bool{}
+	samples := map[string][]promSample{} // family -> samples, histograms only
+	counts := map[string]float64{}       // _count series by family+labels
+	sawSample := map[string]bool{}
+	for lineNo, line := range strings.Split(string(text), "\n") {
+		ln := lineNo + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := parseHeader(line, ln, types, helped, sawSample); err != nil {
+				return err
+			}
+			continue
+		}
+		s, err := parseSample(line, ln)
+		if err != nil {
+			return err
+		}
+		fam := familyOf(s.name, types)
+		if _, ok := types[fam]; !ok {
+			return fmt.Errorf("line %d: sample %q has no preceding # TYPE", ln, s.name)
+		}
+		sawSample[fam] = true
+		if types[fam] == "histogram" {
+			switch {
+			case s.name == fam+"_bucket":
+				samples[fam] = append(samples[fam], s)
+			case s.name == fam+"_count":
+				counts[fam+"|"+s.labelKey("")] = s.value
+			}
+		}
+	}
+	return validateHistograms(types, samples, counts)
+}
+
+// promSample is one parsed sample line.
+type promSample struct {
+	name   string
+	labels []PromLabel
+	value  float64
+	line   int
+}
+
+// labelKey canonicalizes the label set (minus `drop`) for grouping.
+func (s promSample) labelKey(drop string) string {
+	kept := make([]string, 0, len(s.labels))
+	for _, l := range s.labels {
+		if l.Name != drop {
+			kept = append(kept, l.Name+"="+l.Value)
+		}
+	}
+	sort.Strings(kept)
+	return strings.Join(kept, ",")
+}
+
+// le returns the sample's le label, or "" if absent.
+func (s promSample) le() string {
+	for _, l := range s.labels {
+		if l.Name == "le" {
+			return l.Value
+		}
+	}
+	return ""
+}
+
+// parseHeader validates a # HELP / # TYPE comment line (other comments pass).
+func parseHeader(line string, ln int, types map[string]string, helped, sawSample map[string]bool) error {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 2 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+		return nil // free-form comment
+	}
+	if len(fields) < 3 || !validMetricName(fields[2]) {
+		return fmt.Errorf("line %d: malformed %s comment", ln, fields[1])
+	}
+	name := fields[2]
+	if fields[1] == "HELP" {
+		if helped[name] {
+			return fmt.Errorf("line %d: duplicate HELP for %s", ln, name)
+		}
+		helped[name] = true
+		return nil
+	}
+	if len(fields) < 4 {
+		return fmt.Errorf("line %d: TYPE %s missing a type", ln, name)
+	}
+	switch fields[3] {
+	case "counter", "gauge", "histogram", "summary", "untyped":
+	default:
+		return fmt.Errorf("line %d: TYPE %s has invalid type %q", ln, name, fields[3])
+	}
+	if _, dup := types[name]; dup {
+		return fmt.Errorf("line %d: duplicate TYPE for %s", ln, name)
+	}
+	if sawSample[name] {
+		return fmt.Errorf("line %d: TYPE for %s after its samples", ln, name)
+	}
+	types[name] = fields[3]
+	return nil
+}
+
+// parseSample parses one `name{labels} value [timestamp]` line.
+func parseSample(line string, ln int) (promSample, error) {
+	s := promSample{line: ln}
+	rest := line
+	i := 0
+	for i < len(rest) && rest[i] != '{' && rest[i] != ' ' {
+		i++
+	}
+	s.name = rest[:i]
+	if !validMetricName(s.name) {
+		return s, fmt.Errorf("line %d: invalid metric name %q", ln, s.name)
+	}
+	rest = rest[i:]
+	if strings.HasPrefix(rest, "{") {
+		end := strings.Index(rest, "}")
+		if end < 0 {
+			return s, fmt.Errorf("line %d: unterminated label set", ln)
+		}
+		var err error
+		if s.labels, err = parseLabels(rest[1:end], ln); err != nil {
+			return s, err
+		}
+		rest = rest[end+1:]
+	}
+	rest = strings.TrimLeft(rest, " ")
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return s, fmt.Errorf("line %d: expected value [timestamp], got %q", ln, rest)
+	}
+	v, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return s, fmt.Errorf("line %d: invalid sample value %q", ln, fields[0])
+	}
+	s.value = v
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return s, fmt.Errorf("line %d: invalid timestamp %q", ln, fields[1])
+		}
+	}
+	return s, nil
+}
+
+// parseLabels parses the inside of a {...} label set.
+func parseLabels(body string, ln int) ([]PromLabel, error) {
+	var out []PromLabel
+	for body != "" {
+		eq := strings.Index(body, "=")
+		if eq < 0 {
+			return nil, fmt.Errorf("line %d: label without '='", ln)
+		}
+		name := body[:eq]
+		if !validLabelName(name) {
+			return nil, fmt.Errorf("line %d: invalid label name %q", ln, name)
+		}
+		body = body[eq+1:]
+		if !strings.HasPrefix(body, `"`) {
+			return nil, fmt.Errorf("line %d: label %s value not quoted", ln, name)
+		}
+		body = body[1:]
+		var val strings.Builder
+		closed := false
+		for i := 0; i < len(body); i++ {
+			c := body[i]
+			if c == '\\' {
+				if i+1 >= len(body) {
+					return nil, fmt.Errorf("line %d: dangling escape in label %s", ln, name)
+				}
+				i++
+				switch body[i] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return nil, fmt.Errorf("line %d: bad escape \\%c in label %s", ln, body[i], name)
+				}
+				continue
+			}
+			if c == '"' {
+				body = body[i+1:]
+				closed = true
+				break
+			}
+			val.WriteByte(c)
+		}
+		if !closed {
+			return nil, fmt.Errorf("line %d: unterminated label value for %s", ln, name)
+		}
+		out = append(out, PromLabel{name, val.String()})
+		body = strings.TrimPrefix(body, ",")
+	}
+	return out, nil
+}
+
+// familyOf strips the histogram sample suffixes when the base name is a
+// declared histogram family.
+func familyOf(name string, types map[string]string) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suf)
+		if base != name && types[base] == "histogram" {
+			return base
+		}
+	}
+	return name
+}
+
+// validateHistograms checks every histogram series for cumulative buckets,
+// a +Inf bucket, and bucket/count agreement.
+func validateHistograms(types map[string]string, samples map[string][]promSample, counts map[string]float64) error {
+	for fam, typ := range types {
+		if typ != "histogram" {
+			continue
+		}
+		bySeries := map[string][]promSample{}
+		for _, s := range samples[fam] {
+			k := s.labelKey("le")
+			bySeries[k] = append(bySeries[k], s)
+		}
+		for key, buckets := range bySeries {
+			prevLe, prevCum := -1.0, -1.0
+			sawInf := false
+			var infVal float64
+			for _, b := range buckets {
+				leStr := b.le()
+				if leStr == "" {
+					return fmt.Errorf("line %d: %s_bucket without le label", b.line, fam)
+				}
+				le := 0.0
+				if leStr == "+Inf" {
+					sawInf, infVal = true, b.value
+					le = prevLe + 1 // any finite le must have come first
+				} else {
+					v, err := strconv.ParseFloat(leStr, 64)
+					if err != nil {
+						return fmt.Errorf("line %d: %s_bucket has invalid le %q", b.line, fam, leStr)
+					}
+					if sawInf {
+						return fmt.Errorf("line %d: %s_bucket after le=\"+Inf\"", b.line, fam)
+					}
+					le = v
+				}
+				if le <= prevLe && prevCum >= 0 {
+					return fmt.Errorf("line %d: %s buckets not in increasing le order", b.line, fam)
+				}
+				if b.value < prevCum {
+					return fmt.Errorf("line %d: %s buckets not cumulative", b.line, fam)
+				}
+				prevLe, prevCum = le, b.value
+			}
+			if !sawInf {
+				return fmt.Errorf("%s{%s}: missing le=\"+Inf\" bucket", fam, key)
+			}
+			count, ok := counts[fam+"|"+key]
+			if !ok {
+				return fmt.Errorf("%s{%s}: missing _count series", fam, key)
+			}
+			if infVal != count {
+				return fmt.Errorf("%s{%s}: le=\"+Inf\" bucket %v != _count %v", fam, key, infVal, count)
+			}
+		}
+	}
+	return nil
+}
+
+// validMetricName reports whether s matches [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validMetricName(s string) bool { return validName(s, true) }
+
+// validLabelName reports whether s matches [a-zA-Z_][a-zA-Z0-9_]*.
+func validLabelName(s string) bool { return validName(s, false) }
+
+func validName(s string, allowColon bool) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		ok := r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(allowColon && r == ':') || (i > 0 && r >= '0' && r <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

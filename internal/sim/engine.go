@@ -147,6 +147,12 @@ type scratch struct {
 
 	// Ping-pong pending buffers for the retry loops.
 	pendA, pendB core.MessageSet
+
+	// Ping-pong first-offer cycle stamps parallel to pendA/pendB, plus the
+	// per-cycle latency batch handed to the observer. Touched only when an
+	// observer is attached, so the unobserved retry loops stay allocation-
+	// free and identical.
+	ageA, ageB, latBuf []int64
 }
 
 // nodeScratch is the per-switch slice of the arena: the request list handed
@@ -286,6 +292,16 @@ func growInts(s []int, n int) []int {
 		return s[:n]
 	}
 	out := make([]int, n, n+n/2)
+	copy(out, s)
+	return out
+}
+
+// growInt64s is growInts for int64 slices (the latency age stamps).
+func growInt64s(s []int64, n int) []int64 {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	out := make([]int64, n, n+n/2)
 	copy(out, s)
 	return out
 }

@@ -40,6 +40,13 @@ func RunOnlineRandom(e *Engine, ms core.MessageSet, seed int64) Stats {
 	rng := rand.New(rand.NewSource(seed))
 	var stats Stats
 	pending := ms.Clone()
+	// First-offer cycle stamps for the latency histogram; they ride the same
+	// shuffle as pending (the swap consumes no randomness, so observing never
+	// perturbs the routing).
+	var ages, lat []int64
+	if e.obs != nil {
+		ages = make([]int64, len(pending))
+	}
 	// With random priorities (and possibly injected transient faults), an
 	// individual cycle can make zero progress by bad luck; only a long streak
 	// indicates genuine livelock.
@@ -48,6 +55,9 @@ func RunOnlineRandom(e *Engine, ms core.MessageSet, seed int64) Stats {
 	for len(pending) > 0 && stats.Cycles < maxCyclesDefault {
 		rng.Shuffle(len(pending), func(i, j int) {
 			pending[i], pending[j] = pending[j], pending[i]
+			if ages != nil {
+				ages[i], ages[j] = ages[j], ages[i]
+			}
 		})
 		if stats.Cycles > 0 && e.obs != nil {
 			e.obs.Retries(len(pending)) // re-offered losers of earlier cycles
@@ -59,10 +69,20 @@ func RunOnlineRandom(e *Engine, ms core.MessageSet, seed int64) Stats {
 		stats.Deferrals += res.Deferred
 		stats.PerCycle = append(stats.PerCycle, res.Delivered)
 		var next core.MessageSet
+		var nextAges []int64
 		for i, ok := range delivered {
 			if !ok {
 				next = append(next, pending[i])
+				if ages != nil {
+					nextAges = append(nextAges, ages[i])
+				}
+			} else if ages != nil {
+				lat = append(lat, int64(stats.Cycles)-ages[i])
 			}
+		}
+		if e.obs != nil {
+			e.obs.Latencies(lat)
+			lat = lat[:0]
 		}
 		if res.Delivered == 0 {
 			zeroStreak++
@@ -72,7 +92,7 @@ func RunOnlineRandom(e *Engine, ms core.MessageSet, seed int64) Stats {
 		} else {
 			zeroStreak = 0
 		}
-		pending = next
+		pending, ages = next, nextAges
 	}
 	return stats
 }

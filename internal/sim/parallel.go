@@ -53,7 +53,11 @@ func (e *Engine) RunCycleParallel(pending core.MessageSet) ([]bool, CycleResult)
 // cycle implementation: every cycle, all undelivered messages are offered to
 // the network; losers are negatively acknowledged and retried. The pending
 // sets live in the engine's ping-pong scratch buffers, so steady-state
-// cycles allocate nothing (stats.PerCycle grows amortized).
+// cycles allocate nothing (stats.PerCycle grows amortized). When an observer
+// is attached, first-offer cycle stamps ride along in a parallel ping-pong
+// pair so every delivery's latency (in cycles, 1 = delivered on first offer)
+// is batched to the observer; the stamps live in the engine's serial loop,
+// so latency histograms are bit-identical for any worker count.
 func (e *Engine) runLoop(ms core.MessageSet, cycle func(core.MessageSet) ([]bool, CycleResult)) Stats {
 	if err := ms.Validate(e.tree); err != nil {
 		panic(err)
@@ -61,6 +65,15 @@ func (e *Engine) runLoop(ms core.MessageSet, cycle func(core.MessageSet) ([]bool
 	var stats Stats
 	pending := append(e.scr.pendA[:0], ms...)
 	next := e.scr.pendB[:0]
+	var ages, agesNext, lat []int64
+	if e.obs != nil {
+		ages = growInt64s(e.scr.ageA, len(pending))
+		for i := range ages {
+			ages[i] = 0 // every message is first offered in cycle 0
+		}
+		agesNext = e.scr.ageB[:0]
+		lat = e.scr.latBuf[:0]
+	}
 	for len(pending) > 0 && stats.Cycles < maxCyclesDefault {
 		if stats.Cycles > 0 && e.obs != nil {
 			// Everything offered after the first cycle is a retry (the
@@ -79,14 +92,30 @@ func (e *Engine) runLoop(ms core.MessageSet, cycle func(core.MessageSet) ([]bool
 				next = append(next, pending[i])
 			}
 		}
+		if e.obs != nil {
+			lat, agesNext = lat[:0], agesNext[:0]
+			for i, ok := range delivered {
+				if ok {
+					lat = append(lat, int64(stats.Cycles)-ages[i])
+				} else {
+					agesNext = append(agesNext, ages[i])
+				}
+			}
+			e.obs.Latencies(lat)
+			ages, agesNext = agesNext, ages
+		}
 		if res.Delivered == 0 && len(next) == len(pending) {
 			// No progress: with partial concentrators an unlucky matching can
-			// stall identical retries forever; report and stop.
+			// stall identical retries forever; report and stop. Abandoned
+			// messages record no latency.
 			break
 		}
 		pending, next = next, pending
 	}
 	e.scr.pendA, e.scr.pendB = pending[:0], next[:0]
+	if e.obs != nil {
+		e.scr.ageA, e.scr.ageB, e.scr.latBuf = ages[:0], agesNext[:0], lat[:0]
+	}
 	return stats
 }
 
@@ -119,10 +148,35 @@ func (e *Engine) runCyclesLoop(cycles []core.MessageSet, cycle func(core.Message
 	var stats Stats
 	pending := e.scr.pendA[:0]
 	carry := e.scr.pendB[:0]
+	var ages, carryAges, lat []int64
+	if e.obs != nil {
+		ages = e.scr.ageA[:0]
+		carryAges = e.scr.ageB[:0]
+		lat = e.scr.latBuf[:0]
+	}
+	// observeOutcomes batches the finished cycle's latencies and carries the
+	// losers' first-offer stamps forward, mirroring the carry rebuild below.
+	observeOutcomes := func(delivered []bool) {
+		lat, carryAges = lat[:0], carryAges[:0]
+		for i, ok := range delivered {
+			if ok {
+				lat = append(lat, int64(stats.Cycles)-ages[i])
+			} else {
+				carryAges = append(carryAges, ages[i])
+			}
+		}
+		e.obs.Latencies(lat)
+	}
 	for _, cyc := range cycles {
 		pending = append(append(pending[:0], carry...), cyc...)
-		if len(carry) > 0 && e.obs != nil {
-			e.obs.Retries(len(carry)) // carried losses are re-offered
+		if e.obs != nil {
+			ages = append(ages[:0], carryAges...)
+			for range cyc {
+				ages = append(ages, int64(stats.Cycles)) // first offered this cycle
+			}
+			if len(carry) > 0 {
+				e.obs.Retries(len(carry)) // carried losses are re-offered
+			}
 		}
 		delivered, res := cycle(pending)
 		stats.Cycles++
@@ -136,10 +190,14 @@ func (e *Engine) runCyclesLoop(cycles []core.MessageSet, cycle func(core.Message
 				carry = append(carry, pending[i])
 			}
 		}
+		if e.obs != nil {
+			observeOutcomes(delivered)
+		}
 	}
 	for len(carry) > 0 && stats.Cycles < maxCyclesDefault {
 		pending = append(pending[:0], carry...)
 		if e.obs != nil {
+			ages = append(ages[:0], carryAges...)
 			e.obs.Retries(len(pending)) // the drain loop only re-offers losses
 		}
 		delivered, res := cycle(pending)
@@ -154,11 +212,17 @@ func (e *Engine) runCyclesLoop(cycles []core.MessageSet, cycle func(core.Message
 				carry = append(carry, pending[i])
 			}
 		}
+		if e.obs != nil {
+			observeOutcomes(delivered)
+		}
 		if res.Delivered == 0 && len(carry) == len(pending) {
 			break
 		}
 	}
 	e.scr.pendA, e.scr.pendB = pending[:0], carry[:0]
+	if e.obs != nil {
+		e.scr.ageA, e.scr.ageB, e.scr.latBuf = ages[:0], carryAges[:0], lat[:0]
+	}
 	return stats
 }
 
