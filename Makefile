@@ -46,16 +46,17 @@ lint-extra:
 # GOOS/GOARCH, CPU count, timestamp) so snapshots are comparable across
 # machines and PRs.
 bench-json:
-	$(GO) run ./cmd/ftbench -bench -json > BENCH_5.json
+	$(GO) run ./cmd/ftbench -bench -json > BENCH_6.json
 
 # Compare a fresh benchmark run against the committed baseline and flag
 # ns/op regressions above 10% (and any allocs/op increase). Advisory: the
-# report always exits 0; CI runs it the same way on its noisy shared runners.
-# Use `go run ./cmd/ftbenchdiff -strict old.json new.json` to fail on
-# regressions.
+# report always exits 0; CI additionally holds the OffLineSchedule family to
+# -strict (it is allocation-free and far less noisy than wall-clock on shared
+# runners). Use `go run ./cmd/ftbenchdiff -strict old.json new.json` to fail
+# on any regression.
 bench-diff:
 	$(GO) run ./cmd/ftbench -bench -json > /tmp/bench-current.json
-	$(GO) run ./cmd/ftbenchdiff BENCH_5.json /tmp/bench-current.json
+	$(GO) run ./cmd/ftbenchdiff BENCH_6.json /tmp/bench-current.json
 
 # Run the live-telemetry daemon locally: Prometheus metrics at
 # http://127.0.0.1:8080/metrics while simulations rotate underneath.

@@ -32,6 +32,66 @@ func TestRouteCycleSerialZeroAllocs(t *testing.T) {
 	}
 }
 
+// TestOffLineScheduleAllocs pins the scheduler half of the allocation
+// contract: a warmed reusable Scheduler runs the full Theorem 1 pipeline —
+// λ computation, LCA grouping, repeated even-bisection, one-cycle assembly —
+// at zero steady-state heap allocations, both unobserved and with the
+// per-level counters attached, at every standard size. The CI bench-guard job
+// additionally asserts the same figure out of BenchmarkOffLineSchedule's
+// -benchmem output, and ftbenchdiff -strict pins the ns/op.
+func TestOffLineScheduleAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("alloc guard is covered at full size in CI")
+	}
+	for _, n := range []int{256, 1024, 4096} {
+		ft := fattree.NewUniversal(n, n/4)
+		ms := fattree.Random(n, 4*n, 1)
+		sc := fattree.NewScheduler(ft)
+		sc.OffLine(ms) // warm the scratch arena
+		allocs := testing.AllocsPerRun(10, func() {
+			if s := sc.OffLine(ms); s.Length() == 0 {
+				t.Fatal("empty schedule")
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("n=%d: %v allocs/op unobserved, want 0", n, allocs)
+		}
+		// Observed path: counters are flat-array adds at the serial merge
+		// points, so attaching an observer must not reintroduce allocation.
+		o := fattree.NewObserver(ft)
+		sc.OffLineObserved(ms, o) // warm the observed path
+		allocs = testing.AllocsPerRun(10, func() {
+			if s := sc.OffLineObserved(ms, o); s.Length() == 0 {
+				t.Fatal("empty schedule")
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("n=%d: %v allocs/op observed, want 0", n, allocs)
+		}
+	}
+}
+
+// TestOffLineCompactAllocs extends the guard to the production entry point:
+// scheduling plus greedy compaction on a warmed scheduler stays at zero.
+func TestOffLineCompactAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("alloc guard is covered at full size in CI")
+	}
+	n := 1024
+	ft := fattree.NewUniversal(n, n/4)
+	ms := fattree.Random(n, 4*n, 1)
+	sc := fattree.NewScheduler(ft)
+	sc.OffLineCompact(ms) // warm both arenas
+	allocs := testing.AllocsPerRun(10, func() {
+		if s := sc.OffLineCompact(ms); s.Length() == 0 {
+			t.Fatal("empty schedule")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("%v allocs/op for OffLineCompact, want 0", allocs)
+	}
+}
+
 // TestRouteCycleObservedSteadyStateAllocs pins the "cheap when enabled" half:
 // counters are flat-array adds and trace events are fixed-slot ring writes,
 // so even an observed steady-state cycle allocates nothing once the ring has

@@ -14,7 +14,7 @@ import (
 // This file is ftbench's micro-benchmark mode (-bench): the delivery-cycle
 // and off-line-scheduler benchmarks tracked by EXPERIMENTS.md §A4, measured
 // with the standard testing.Benchmark harness and emitted as a table or, with
-// -json, as machine-readable records (make bench-json writes BENCH_5.json).
+// -json, as machine-readable records (make bench-json writes BENCH_6.json).
 // The benchmark bodies mirror BenchmarkRouteCycle{Serial,Parallel} and
 // BenchmarkOffLineSchedule in bench_test.go so the two entry points measure
 // the same work. With -hist, the serial delivery cycle additionally runs with
@@ -145,15 +145,21 @@ func routeCycleBench(n, workers int, obs *fattree.Observer) func(*testing.B) {
 	}
 }
 
-// offLineBench measures the Theorem 1 scheduler end to end.
+// offLineBench measures the Theorem 1 scheduler end to end on a warmed
+// reusable Scheduler — the steady state of any caller that schedules more
+// than once, pinned at 0 allocs/op by TestOffLineScheduleAllocs and the CI
+// bench-guard.
 func offLineBench(n int) func(*testing.B) {
 	return func(b *testing.B) {
 		ft := fattree.NewUniversal(n, n/4)
 		ms := fattree.Random(n, 4*n, 1)
+		sc := fattree.NewScheduler(ft)
+		// Warm the scratch arena so the measured loop is steady state.
+		sc.OffLine(ms)
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			s := fattree.ScheduleOffline(ft, ms)
+			s := sc.OffLine(ms)
 			if s.Length() == 0 {
 				b.Fatal("empty schedule")
 			}

@@ -9,10 +9,14 @@
 //	ftbenchdiff old.json new.json             # report, always exit 0
 //	ftbenchdiff -threshold 5 old.json new.json
 //	ftbenchdiff -strict old.json new.json     # exit 1 if regressions found
+//	ftbenchdiff -only OffLineSchedule old.json new.json
 //
 // The default mode is advisory (exit 0 even with regressions) so CI can run
 // it on shared, noisy runners without failing the build; -strict turns
 // regressions into a nonzero exit for environments with stable timing.
+// -only restricts the comparison to benchmarks whose name matches the given
+// regular expression, so CI can hold one stable family to -strict while the
+// noisier ones stay advisory.
 //
 // Exit status: 0 success (or advisory regressions), 1 runtime failure or
 // regressions under -strict, 2 usage error.
@@ -25,6 +29,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"regexp"
 )
 
 func main() {
@@ -53,6 +58,17 @@ type benchResult struct {
 type benchDoc struct {
 	Meta       benchMeta     `json:"meta"`
 	Benchmarks []benchResult `json:"benchmarks"`
+}
+
+// filterBench keeps only the results whose name matches re.
+func filterBench(rs []benchResult, re *regexp.Regexp) []benchResult {
+	out := rs[:0]
+	for _, r := range rs {
+		if re.MatchString(r.Name) {
+			out = append(out, r)
+		}
+	}
+	return out
 }
 
 // readBench loads one snapshot, accepting either JSON shape.
@@ -104,8 +120,9 @@ func diff(args []string, stdout, stderr *bytes.Buffer) int {
 	fs.SetOutput(stderr)
 	threshold := fs.Float64("threshold", 10, "flag ns/op regressions above this percentage")
 	strict := fs.Bool("strict", false, "exit 1 when regressions are flagged (default is advisory)")
+	only := fs.String("only", "", "compare only benchmarks whose name matches this regexp")
 	fs.Usage = func() {
-		fmt.Fprintln(stderr, "usage: ftbenchdiff [-threshold pct] [-strict] old.json new.json")
+		fmt.Fprintln(stderr, "usage: ftbenchdiff [-threshold pct] [-strict] [-only regexp] old.json new.json")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -119,6 +136,14 @@ func diff(args []string, stdout, stderr *bytes.Buffer) int {
 		fmt.Fprintf(stderr, "ftbenchdiff: -threshold must be non-negative (got %v)\n", *threshold)
 		return 2
 	}
+	var filter *regexp.Regexp
+	if *only != "" {
+		var err error
+		if filter, err = regexp.Compile(*only); err != nil {
+			fmt.Fprintf(stderr, "ftbenchdiff: invalid -only pattern: %v\n", err)
+			return 2
+		}
+	}
 
 	old, err := readBench(fs.Arg(0))
 	if err != nil {
@@ -129,6 +154,14 @@ func diff(args []string, stdout, stderr *bytes.Buffer) int {
 	if err != nil {
 		fmt.Fprintf(stderr, "ftbenchdiff: %v\n", err)
 		return 1
+	}
+	if filter != nil {
+		old.Benchmarks = filterBench(old.Benchmarks, filter)
+		cur.Benchmarks = filterBench(cur.Benchmarks, filter)
+		if len(old.Benchmarks) == 0 && len(cur.Benchmarks) == 0 {
+			fmt.Fprintf(stderr, "ftbenchdiff: -only %q matches no benchmark on either side\n", *only)
+			return 1
+		}
 	}
 
 	fmt.Fprintf(stdout, "old: %s\nnew: %s\n\n", metaLine(old.Meta), metaLine(cur.Meta))

@@ -128,6 +128,40 @@ func TestFlatArrayCompat(t *testing.T) {
 	}
 }
 
+func TestOnlyFilter(t *testing.T) {
+	a := writeTemp(t, "a.json", oldDoc)
+	// Regress RouteCycleSerial only; a diff restricted to OffLineSchedule
+	// must not see it, even under -strict.
+	newDoc := strings.ReplaceAll(oldDoc, `"ns_per_op": 4000`, `"ns_per_op": 9000`)
+	b := writeTemp(t, "b.json", newDoc)
+
+	code, out, _ := runDiff(t, "-strict", "-only", "OffLineSchedule", a, b)
+	if code != 0 {
+		t.Fatalf("-only OffLineSchedule: exit %d, want 0\n%s", code, out)
+	}
+	if strings.Contains(out, "RouteCycleSerial") {
+		t.Errorf("filtered-out benchmark still reported:\n%s", out)
+	}
+	if !strings.Contains(out, "OffLineSchedule") {
+		t.Errorf("kept benchmark missing from report:\n%s", out)
+	}
+
+	// The same diff without the filter (or with one matching the regressed
+	// family) fails under -strict.
+	if code, _, _ := runDiff(t, "-strict", "-only", "RouteCycle", a, b); code != 1 {
+		t.Errorf("-only RouteCycle on a regressed family: exit %d, want 1", code)
+	}
+
+	// A pattern matching nothing is a runtime error, a malformed one a usage
+	// error.
+	if code, _, errb := runDiff(t, "-only", "NoSuchBench", a, b); code != 1 || !strings.Contains(errb, "matches no benchmark") {
+		t.Errorf("empty -only match: exit %d stderr %q, want 1 + note", code, errb)
+	}
+	if code, _, _ := runDiff(t, "-only", "(", a, b); code != 2 {
+		t.Errorf("invalid -only regexp: want usage error")
+	}
+}
+
 func TestDroppedBenchmark(t *testing.T) {
 	a := writeTemp(t, "a.json", oldDoc)
 	b := writeTemp(t, "b.json", flatDoc)

@@ -141,6 +141,24 @@ func TestStream(t *testing.T) {
 	}
 }
 
+// TestRepoClean runs ftlint over this repository itself and requires a zero
+// exit: every //ftlint:hotpath annotation in the tree — including the
+// scheduler arena's — must satisfy the hotalloc rules, and the other
+// analyzers must stay quiet. This is the static half of the allocation
+// contract; TestOffLineScheduleAllocs and the RouteCycle guards are the
+// runtime half.
+func TestRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-repo lint run is covered in CI")
+	}
+	bin := buildFtlint(t)
+	cmd := exec.Command(bin, "./...")
+	cmd.Dir = filepath.Join("..", "..")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("ftlint ./... on the repository: %v\n%s", err, out)
+	}
+}
+
 // TestListFlag sanity-checks the -list output names every analyzer.
 func TestListFlag(t *testing.T) {
 	bin := buildFtlint(t)

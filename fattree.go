@@ -107,7 +107,18 @@ func Concat(sets ...MessageSet) MessageSet { return core.Concat(sets...) }
 type (
 	// Schedule is a partition of a message set into one-cycle message sets.
 	Schedule = sched.Schedule
+	// Scheduler is a reusable, allocation-free Theorem 1 scheduler bound to
+	// one fat-tree: a warmed Scheduler runs OffLine/OffLineCompact at zero
+	// steady-state allocations. Schedules it returns are loans from its
+	// arena, valid until the next call; use Schedule.Clone to keep one.
+	Scheduler = sched.Scheduler
 )
+
+// NewScheduler builds a reusable Theorem 1 scheduler for t. Loops that
+// schedule many message sets on one tree should hold a Scheduler and call its
+// methods; the package-level ScheduleOffline* functions construct a fresh one
+// per call.
+func NewScheduler(t *FatTree) *Scheduler { return sched.NewScheduler(t) }
 
 // ScheduleOffline runs the Theorem 1 off-line scheduler:
 // d = O(λ(M)·lg n) delivery cycles on any fat-tree.

@@ -99,7 +99,7 @@ type Partial struct {
 	// Reusable routing scratch: the matching working set and the
 	// epoch-stamped duplicate-input guard (seen[u] == gen means input u
 	// already appeared in the current Route call).
-	m    matcher
+	m    Matcher
 	seen []int64
 	gen  int64
 }
@@ -220,13 +220,13 @@ func (c *Partial) Route(active []int) ([]int, int) {
 		}
 		c.seen[u] = c.gen
 	}
-	matched, size := c.m.matchSubset(active, c.s, c.adj)
+	matched, size := c.m.MatchSubset(active, c.s, c.adj)
 	return matched, len(active) - size
 }
 
 // MatchingRounds returns the cumulative number of Hopcroft–Karp BFS phases
 // this concentrator has run since construction.
-func (c *Partial) MatchingRounds() int64 { return c.m.rounds }
+func (c *Partial) MatchingRounds() int64 { return c.m.Rounds() }
 
 // MeasureAlpha estimates the concentration constant of the graph: the largest
 // fraction α such that every sampled subset of ceil(α·s) inputs was fully
@@ -241,7 +241,7 @@ func (c *Partial) MeasureAlpha(trials int, seed int64) float64 {
 		ok := true
 		for t := 0; t < trials && ok; t++ {
 			subset := rng.Perm(c.r)[:k]
-			_, size := c.m.matchSubset(subset, c.s, c.adj)
+			_, size := c.m.MatchSubset(subset, c.s, c.adj)
 			if size < k {
 				ok = false
 			}

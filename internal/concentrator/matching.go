@@ -15,12 +15,14 @@ package concentrator
 // matchInf marks BFS-unreachable inputs in Hopcroft–Karp.
 const matchInf = int(^uint(0) >> 1)
 
-// matcher holds the reusable working set of Hopcroft–Karp maximum matching:
+// Matcher holds the reusable working set of Hopcroft–Karp maximum matching:
 // the match arrays of both sides, the BFS layer distances and queue, and the
 // subset adjacency view. Every buffer is grown on demand and reused across
-// runs, so a warm matcher performs matchings without heap allocation. A
-// matcher is not safe for concurrent use; each Partial owns one.
-type matcher struct {
+// runs, so a warm Matcher performs matchings without heap allocation — the
+// same pooled-scratch discipline as the delivery engine and scheduler arenas
+// (DESIGN.md §7, §9). The zero value is ready to use. A Matcher is not safe
+// for concurrent use; each Partial owns one.
+type Matcher struct {
 	matchIn  []int
 	matchOut []int
 	dist     []int
@@ -45,13 +47,13 @@ func growInts(s []int, n int) []int {
 	return s[:n]
 }
 
-// matchSubset computes a maximum matching restricted to the given subset of
+// MatchSubset computes a maximum matching restricted to the given subset of
 // inputs. It returns the matched output for each element of subset (parallel
 // slice, -1 if unmatched) and the matching size. The returned slice lives in
-// the matcher's scratch and is valid only until its next run.
+// the Matcher's scratch and is valid only until its next Run.
 //
 //ftlint:hotpath
-func (m *matcher) matchSubset(subset []int, nOutputs int, adj [][]int) ([]int, int) {
+func (m *Matcher) MatchSubset(subset []int, nOutputs int, adj [][]int) ([]int, int) {
 	if cap(m.sub) < len(subset) {
 		m.sub = make([][]int, len(subset), len(subset)+len(subset)/2)
 	}
@@ -59,16 +61,16 @@ func (m *matcher) matchSubset(subset []int, nOutputs int, adj [][]int) ([]int, i
 	for i, u := range subset {
 		m.sub[i] = adj[u]
 	}
-	return m.run(len(subset), nOutputs, m.sub)
+	return m.Run(len(subset), nOutputs, m.sub)
 }
 
-// run computes a maximum matching in a bipartite graph given as adjacency
+// Run computes a maximum matching in a bipartite graph given as adjacency
 // lists from the nInputs left vertices to right vertices 0..nOutputs-1. It
-// returns matchIn (input -> matched output or -1, scratch-owned) and the
-// matching size. Runs in O(E·sqrt(V)).
+// returns matchIn (input -> matched output or -1, scratch-owned, valid until
+// the next Run) and the matching size. Runs in O(E·sqrt(V)).
 //
 //ftlint:hotpath
-func (m *matcher) run(nInputs, nOutputs int, adj [][]int) (matchIn []int, size int) {
+func (m *Matcher) Run(nInputs, nOutputs int, adj [][]int) (matchIn []int, size int) {
 	m.matchIn = growInts(m.matchIn, nInputs)
 	m.matchOut = growInts(m.matchOut, nOutputs)
 	m.dist = growInts(m.dist, nInputs)
@@ -94,7 +96,7 @@ func (m *matcher) run(nInputs, nOutputs int, adj [][]int) (matchIn []int, size i
 
 // bfs layers the alternating-path BFS from all free inputs and reports
 // whether an augmenting path exists.
-func (m *matcher) bfs(nInputs int) bool {
+func (m *Matcher) bfs(nInputs int) bool {
 	queue := m.queue[:0]
 	for u := 0; u < nInputs; u++ {
 		if m.matchIn[u] == -1 {
@@ -121,7 +123,7 @@ func (m *matcher) bfs(nInputs int) bool {
 }
 
 // dfs extends an augmenting path from input u along the BFS layers.
-func (m *matcher) dfs(u int) bool {
+func (m *Matcher) dfs(u int) bool {
 	for _, v := range m.adj[u] {
 		w := m.matchOut[v]
 		if w == -1 || (m.dist[w] == m.dist[u]+1 && m.dfs(w)) {
@@ -134,9 +136,14 @@ func (m *matcher) dfs(u int) bool {
 	return false
 }
 
-// hopcroftKarp is the one-shot form of matcher.run, for callers without a
-// matcher to warm (tests, offline analysis).
+// Rounds reports the cumulative BFS-phase count across every Run — the
+// matching effort the Section IV routing hardware would spend. It is monotone
+// and never reset; observers difference successive readings.
+func (m *Matcher) Rounds() int64 { return m.rounds }
+
+// hopcroftKarp is the one-shot form of Matcher.Run, for callers without a
+// Matcher to warm (tests, offline analysis).
 func hopcroftKarp(nInputs, nOutputs int, adj [][]int) (matchIn []int, size int) {
-	var m matcher
-	return m.run(nInputs, nOutputs, adj)
+	var m Matcher
+	return m.Run(nInputs, nOutputs, adj)
 }

@@ -63,6 +63,14 @@ func (l *Loads) Remove(m Message) {
 	}
 }
 
+// Clear resets every channel's load to zero, so a long-lived Loads can be
+// reused across message sets without reallocating its tables (the scheduler
+// arena recomputes λ this way on every call).
+func (l *Loads) Clear() {
+	clear(l.up)
+	clear(l.down)
+}
+
 // Load returns load(M, c) for the channel c.
 func (l *Loads) Load(c Channel) int {
 	if c.Dir == Up {

@@ -139,6 +139,48 @@ func guarded(obs *tally, s sample) {
 	emit(obs)
 }
 
+// msg and scheduler mimic the sched arena (DESIGN.md §9): ping-pong message
+// slabs, an int32 boundary slab carved into per-node regions, and reusable
+// cycle headers.
+type msg struct{ src, dst int }
+
+type scheduler struct {
+	groupA, groupB []msg
+	bndSlab        []int32
+	cycles         [][]msg
+}
+
+// partitionNaive is the pre-arena shape of the even-bisection loop: a
+// per-call grouping map and a fresh boundary list, both flagged.
+//
+//ftlint:hotpath
+func (s *scheduler) partitionNaive(q []msg) int {
+	byNode := make(map[int][]msg, len(q)) // want `hot path allocates a map`
+	var bnd []int32
+	for i, m := range q {
+		byNode[m.src] = append(byNode[m.src], m)
+		bnd = append(bnd, int32(i)) // want `grows fresh local slice "bnd"`
+	}
+	return len(byNode) + len(bnd)
+}
+
+// partitionArena is the sanctioned scheduler form: boundary lists are carved
+// from the pooled slab, messages ping-pong between pooled group slabs, and
+// cycle headers append to a pooled field. Nothing is flagged.
+//
+//ftlint:hotpath
+func (s *scheduler) partitionArena(q []msg) int {
+	bnd := s.bndSlab[:0]
+	buf := s.groupA[:0]
+	for i, m := range q {
+		bnd = append(bnd, int32(i))
+		buf = append(buf, m)
+	}
+	s.bndSlab, s.groupA = bnd, buf
+	s.cycles = append(s.cycles, buf) // append to pooled field: exempt
+	return len(bnd)
+}
+
 // cold is not annotated, so identical patterns pass: the analyzer only
 // polices declared hot paths.
 func cold(active []int) []int {

@@ -95,9 +95,21 @@ func (p *Pool) ForEach(n int, fn func(i int)) {
 // the deterministic merge: out[i] = fn(i) regardless of worker count or
 // completion order.
 func Map[T any](p *Pool, n int, fn func(i int) T) []T {
-	out := make([]T, n)
+	return MapInto(p, make([]T, n), n, fn)
+}
+
+// MapInto is Map with caller-owned result storage: dst is resized (reusing its
+// backing array when capacity allows) to n and dst[i] = fn(i) for every i in
+// [0, n). Arena-backed callers — the scheduler's level fan-out, the engine's
+// shard merge — pass a scratch slice they reuse across calls, so the
+// steady-state fan-out allocates nothing.
+func MapInto[T any](p *Pool, dst []T, n int, fn func(i int) T) []T {
+	if cap(dst) < n {
+		dst = make([]T, n)
+	}
+	dst = dst[:n]
 	p.ForEach(n, func(i int) {
-		out[i] = fn(i)
+		dst[i] = fn(i)
 	})
-	return out
+	return dst
 }

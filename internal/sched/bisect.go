@@ -11,13 +11,16 @@ package sched
 
 import (
 	"fmt"
-	"sort"
 
 	"fattree/internal/core"
 )
 
 // end encoding: message q[i] has a source end 2i and a destination end 2i+1.
-// mate(e) — the other end of the same string — is e^1.
+// mate(e) — the other end of the same string — is e^1. The matching-and-
+// tracing machinery itself (bisectPart, matchSorted, traceStrands) lives in
+// scheduler.go, where the Scheduler arena drives it allocation-free; the
+// exported primitives here validate their preconditions and allocate
+// call-local scratch.
 
 // EvenBisect partitions q into two message sets (a, b) such that for every
 // channel c of the fat-tree, |load(a,c) - load(b,c)| <= 1, and moreover
@@ -43,77 +46,7 @@ func EvenBisect(t *core.FatTree, v int, q core.MessageSet) (a, b core.MessageSet
 				m, v, srcChild, dstChild))
 		}
 	}
-
-	// partner[e] is the end matched with e by the hierarchical matching, or -1.
-	partner := make([]int, 2*len(q))
-	for i := range partner {
-		partner[i] = -1
-	}
-
-	// Hierarchically match source ends within the source subtree and
-	// destination ends within the destination subtree. At each leaf as many
-	// pairs as possible are matched; at each internal node the (at most one)
-	// unmatched end from each child is paired. Source ends match only source
-	// ends and destination ends only destination ends, because all of q
-	// crosses v in the same direction.
-	srcEnds := make([]int, len(q))
-	dstEnds := make([]int, len(q))
-	for i := range q {
-		srcEnds[i] = 2 * i
-		dstEnds[i] = 2*i + 1
-	}
-	unmatchedSrc := hierMatch(t, srcChild, srcEnds, leafOfEnd(t, q, true), partner)
-	hierMatch(t, dstChild, dstEnds, leafOfEnd(t, q, false), partner)
-
-	// Tracing phase: follow strings, alternating sides. Traversing a string
-	// from source to destination assigns its message to side 0; traversing
-	// destination to source assigns to side 1. Start with the unmatched source
-	// end if there is one (the single open path when |q| is odd), then pick
-	// arbitrary unassigned source ends (the remaining components are cycles).
-	side := make([]int8, len(q))
-	for i := range side {
-		side[i] = -1
-	}
-	trace := func(startSrcEnd int) {
-		e := startSrcEnd
-		for {
-			m := e / 2
-			if side[m] != -1 {
-				return
-			}
-			side[m] = 0 // traversed source -> destination
-			p := partner[2*m+1]
-			if p == -1 {
-				return // reached the unmatched destination end
-			}
-			m2 := p / 2
-			if side[m2] != -1 {
-				return // completed a cycle
-			}
-			side[m2] = 1 // traversed destination -> source
-			e = partner[2*m2]
-			if e == -1 {
-				return
-			}
-		}
-	}
-	if unmatchedSrc != -1 {
-		trace(unmatchedSrc)
-	}
-	for i := range q {
-		if side[i] == -1 {
-			trace(2 * i)
-		}
-	}
-
-	for i, m := range q {
-		if side[i] == 0 {
-			a = append(a, m)
-		} else {
-			b = append(b, m)
-		}
-	}
-	return a, b
+	return evenBisectOwned(t, v, q, false, false)
 }
 
 // EvenBisectExternal is the analog of EvenBisect for external traffic: all
@@ -135,125 +68,24 @@ func EvenBisectExternal(t *core.FatTree, q core.MessageSet) (a, b core.MessageSe
 			panic(fmt.Sprintf("sched: message %v does not match the external direction", m))
 		}
 	}
-	procOf := func(m core.Message) int {
-		if outbound {
-			return m.Src
-		}
-		return m.Dst
-	}
-
-	partner := make([]int, 2*len(q))
-	for i := range partner {
-		partner[i] = -1
-	}
-	procEnds := make([]int, len(q))
-	for i := range q {
-		procEnds[i] = 2 * i
-	}
-	unmatchedProc := hierMatch(t, 1, procEnds, func(e int) int { return procOf(q[e/2]) }, partner)
-	// External ends pair consecutively at the interface.
-	for i := 0; i+1 < len(q); i += 2 {
-		partner[2*i+1] = 2*(i+1) + 1
-		partner[2*(i+1)+1] = 2*i + 1
-	}
-
-	side := make([]int8, len(q))
-	for i := range side {
-		side[i] = -1
-	}
-	trace := func(startProcEnd int) {
-		e := startProcEnd
-		for {
-			m := e / 2
-			if side[m] != -1 {
-				return
-			}
-			side[m] = 0
-			p := partner[2*m+1]
-			if p == -1 {
-				return
-			}
-			m2 := p / 2
-			if side[m2] != -1 {
-				return
-			}
-			side[m2] = 1
-			e = partner[2*m2]
-			if e == -1 {
-				return
-			}
-		}
-	}
-	if unmatchedProc != -1 {
-		trace(unmatchedProc)
-	}
-	for i := range q {
-		if side[i] == -1 {
-			trace(2 * i)
-		}
-	}
-	for i, m := range q {
-		if side[i] == 0 {
-			a = append(a, m)
-		} else {
-			b = append(b, m)
-		}
-	}
-	return a, b
+	return evenBisectOwned(t, 0, q, true, outbound)
 }
 
-// leafOfEnd returns a function giving the leaf processor where an end lives:
-// for source ends (src=true) the message's source, else its destination.
-func leafOfEnd(t *core.FatTree, q core.MessageSet, src bool) func(e int) int {
-	return func(e int) int {
-		m := q[e/2]
-		if src {
-			return m.Src
-		}
-		return m.Dst
+// evenBisectOwned runs bisectPart with freshly allocated scratch and returns
+// independently owned halves (b is nil when every message lands on side 0,
+// preserving the historical return shape for k <= 1 edge cases).
+func evenBisectOwned(t *core.FatTree, v int, q core.MessageSet, external, outbound bool) (a, b core.MessageSet) {
+	k := len(q)
+	bi := bisector{
+		partner: make([]int32, 2*k),
+		side:    make([]int8, k),
+		keys:    make([]int64, k),
 	}
-}
-
-// hierMatch performs the hierarchical matching of ends over the subtree rooted
-// at root. ends is the list of end ids to be matched; leafOf maps an end to
-// the processor (leaf) where it lives. Pairs are recorded symmetrically in
-// partner. It returns the single unmatched end, or -1 if none.
-func hierMatch(t *core.FatTree, root int, ends []int, leafOf func(int) int, partner []int) int {
-	// Sort ends by leaf so each subtree owns a contiguous segment.
-	sort.Slice(ends, func(i, j int) bool { return leafOf(ends[i]) < leafOf(ends[j]) })
-
-	var rec func(node int, seg []int) int
-	rec = func(node int, seg []int) int {
-		if len(seg) == 0 {
-			return -1
-		}
-		lo, hi := t.SubtreeLeaves(node)
-		if lo+1 == hi {
-			// Leaf: match as many pairs as possible; at most one end remains.
-			for i := 0; i+1 < len(seg); i += 2 {
-				partner[seg[i]] = seg[i+1]
-				partner[seg[i+1]] = seg[i]
-			}
-			if len(seg)%2 == 1 {
-				return seg[len(seg)-1]
-			}
-			return -1
-		}
-		// Split the segment at the boundary between the children's leaf
-		// ranges.
-		mid := (lo + hi) / 2
-		cut := sort.Search(len(seg), func(i int) bool { return leafOf(seg[i]) >= mid })
-		l := rec(2*node, seg[:cut])
-		r := rec(2*node+1, seg[cut:])
-		if l != -1 && r != -1 {
-			partner[l] = r
-			partner[r] = l
-			return -1
-		}
-		if l != -1 {
-			return l
-		}
-		return r
+	out := make(core.MessageSet, k)
+	la := bisectPart(t, v, q, out, &bi, external, outbound)
+	a = out[:la:la]
+	if la == k {
+		return a, nil
 	}
-	return rec(root, ends)
+	return a, out[la:]
 }

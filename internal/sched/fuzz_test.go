@@ -2,6 +2,7 @@ package sched
 
 import (
 	"reflect"
+	"runtime"
 	"testing"
 
 	"fattree/internal/core"
@@ -31,12 +32,33 @@ func decodeFuzzMessages(data []byte) (*core.FatTree, core.MessageSet) {
 	return ft, ms
 }
 
+// sameSchedule fails the test unless got is bit-identical to want — same
+// cycles in the same order, same bound, same load factor. Loan semantics make
+// call order matter: compare a scheduler's result before its next call.
+func sameSchedule(t *testing.T, label string, want, got *Schedule) {
+	t.Helper()
+	if len(got.Cycles) != len(want.Cycles) {
+		t.Fatalf("%s: %d cycles, want %d", label, len(got.Cycles), len(want.Cycles))
+	}
+	for c := range want.Cycles {
+		if !reflect.DeepEqual(want.Cycles[c], got.Cycles[c]) {
+			t.Fatalf("%s: cycle %d differs:\nwant %v\ngot  %v",
+				label, c, want.Cycles[c], got.Cycles[c])
+		}
+	}
+	if want.Bound != got.Bound || want.LoadFactor != got.LoadFactor {
+		t.Fatalf("%s: bound/load-factor mismatch", label)
+	}
+}
+
 // FuzzSchedule cross-checks the serial Theorem 1 scheduler against its
-// parallel twin on fuzz-generated message sets: both schedules must verify
-// as valid partitions of the input, and the parallel schedule must be
-// bit-identical to the serial one (same cycles, same bound, same load
-// factor) — the deterministic-merge guarantee of internal/par. Seed inputs
-// live in testdata/fuzz/FuzzSchedule.
+// parallel twin and against a reused arena-backed Scheduler on fuzz-generated
+// message sets: every schedule must verify as a valid partition of the input,
+// the parallel schedule must be bit-identical to the serial one for workers
+// {1, 2, GOMAXPROCS} (the deterministic-merge guarantee of internal/par), and
+// a reused scheduler must match a fresh one across shrinking and regrowing
+// message sets (the arena reuse contract of DESIGN.md §9). Seed inputs live
+// in testdata/fuzz/FuzzSchedule.
 func FuzzSchedule(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{0, 0, 7, 3, 4})
@@ -48,24 +70,27 @@ func FuzzSchedule(f *testing.F) {
 		if err := serial.Verify(ms); err != nil {
 			t.Fatalf("OffLine produced an invalid schedule: %v", err)
 		}
-		for _, workers := range []int{0, 1, 3} {
-			parallel := OffLineParallelWorkers(ft, ms, workers)
+		sc := NewScheduler(ft)
+		for _, workers := range []int{1, 2, runtime.GOMAXPROCS(0)} {
+			parallel := sc.OffLineParallel(ms, workers)
 			if err := parallel.Verify(ms); err != nil {
-				t.Fatalf("OffLineParallelWorkers(%d) produced an invalid schedule: %v", workers, err)
+				t.Fatalf("OffLineParallel(%d) produced an invalid schedule: %v", workers, err)
 			}
-			if len(parallel.Cycles) != len(serial.Cycles) {
-				t.Fatalf("workers=%d: %d cycles parallel vs %d serial",
-					workers, len(parallel.Cycles), len(serial.Cycles))
+			sameSchedule(t, "parallel", serial, parallel)
+		}
+		// Scheduler-reuse phases: shrink the message set, then regrow it. The
+		// reused scheduler's arena has been stretched by the full set and
+		// dirtied by every intermediate call; each result must still be
+		// bit-identical to a fresh scheduler's. Each loan is compared before
+		// the next call invalidates it.
+		phases := []core.MessageSet{ms[:len(ms)/2], ms[:len(ms)/4], ms}
+		for i, phase := range phases {
+			fresh := OffLine(ft, phase)
+			reused := sc.OffLine(phase)
+			if err := reused.Verify(phase); err != nil {
+				t.Fatalf("phase %d: reused scheduler produced an invalid schedule: %v", i, err)
 			}
-			for c := range serial.Cycles {
-				if !reflect.DeepEqual(serial.Cycles[c], parallel.Cycles[c]) {
-					t.Fatalf("workers=%d: cycle %d differs:\nserial   %v\nparallel %v",
-						workers, c, serial.Cycles[c], parallel.Cycles[c])
-				}
-			}
-			if serial.Bound != parallel.Bound || serial.LoadFactor != parallel.LoadFactor {
-				t.Fatalf("workers=%d: bound/load-factor mismatch", workers)
-			}
+			sameSchedule(t, "reused", fresh, reused)
 		}
 	})
 }

@@ -2,6 +2,7 @@ package sched
 
 import (
 	"reflect"
+	"runtime"
 	"testing"
 
 	"fattree/internal/core"
@@ -42,5 +43,83 @@ func TestOffLineObserved(t *testing.T) {
 	}
 	if o.C.LevelMessages[ft.Levels()+1] != 2 {
 		t.Fatalf("external block holds %d messages, want 2", o.C.LevelMessages[ft.Levels()+1])
+	}
+}
+
+// TestOffLineObservedArenaReuse re-checks the conservation laws on a reused
+// arena-backed scheduler: across repeated observed calls on one Scheduler
+// (with a different-sized set in between to dirty the slabs), every call must
+// attribute exactly its input messages and exactly its schedule's cycles to
+// the per-level counters — no double counting from stale arena state and no
+// messages lost to recycled buffers.
+func TestOffLineObservedArenaReuse(t *testing.T) {
+	n := 32
+	ft := core.NewUniversal(n, 8)
+	ms := workload.Random(n, 4*n, 3)
+	ms = append(ms, core.Message{Src: core.External, Dst: 5},
+		core.Message{Src: 7, Dst: core.External})
+	small := workload.Random(n, n/2, 9)
+
+	want := OffLine(ft, ms)
+	sc := NewScheduler(ft)
+	o := obsv.New(ft)
+	prevMsgs, prevCycles := int64(0), int64(0)
+	for round := 0; round < 3; round++ {
+		observed := sc.OffLineObserved(ms, o)
+		if !reflect.DeepEqual(want, observed) {
+			t.Fatalf("round %d: reused observed scheduler changed the schedule", round)
+		}
+		msgs, cycles := int64(0), int64(0)
+		for level := range o.C.LevelMessages {
+			msgs += o.C.LevelMessages[level]
+			cycles += o.C.LevelCycles[level]
+		}
+		// Counters are cumulative; each round must add exactly one run's worth.
+		if msgs-prevMsgs != int64(len(ms)) {
+			t.Fatalf("round %d: %d messages attributed, want %d", round, msgs-prevMsgs, len(ms))
+		}
+		if cycles-prevCycles != int64(want.Length()) {
+			t.Fatalf("round %d: %d cycles attributed, want %d", round, cycles-prevCycles, want.Length())
+		}
+		prevMsgs, prevCycles = msgs, cycles
+		// Dirty the arena with an unobserved, differently sized workload.
+		sc.OffLine(small)
+	}
+}
+
+// TestOffLineObservedWorkerCounts pins the determinism of the observed
+// counters across worker counts: the per-level counter snapshot after an
+// observed parallel schedule must be bit-identical whether the level fan-out
+// ran on 1, 2, or GOMAXPROCS workers, because counter updates happen only at
+// the serial merge points.
+func TestOffLineObservedWorkerCounts(t *testing.T) {
+	n := 64
+	ft := core.NewUniversal(n, 16)
+	ms := workload.Random(n, 4*n, 5)
+
+	var want obsv.Snapshot
+	for i, workers := range []int{1, 2, runtime.GOMAXPROCS(0)} {
+		o := obsv.New(ft)
+		sc := NewScheduler(ft)
+		s := sc.OffLineParallelObserved(ms, workers, o)
+		if err := s.Verify(ms); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		snap := o.Snapshot()
+		if i == 0 {
+			want = snap
+			continue
+		}
+		if !reflect.DeepEqual(want.Counters.LevelMessages, snap.Counters.LevelMessages) {
+			t.Errorf("workers=%d: LevelMessages differ from serial:\nwant %v\ngot  %v",
+				workers, want.Counters.LevelMessages, snap.Counters.LevelMessages)
+		}
+		if !reflect.DeepEqual(want.Counters.LevelCycles, snap.Counters.LevelCycles) {
+			t.Errorf("workers=%d: LevelCycles differ from serial:\nwant %v\ngot  %v",
+				workers, want.Counters.LevelCycles, snap.Counters.LevelCycles)
+		}
+		if !reflect.DeepEqual(want, snap) {
+			t.Errorf("workers=%d: full snapshot (histograms included) differs from serial", workers)
+		}
 	}
 }

@@ -1,19 +1,14 @@
 package sched
 
-import (
-	"math"
-
-	"fattree/internal/core"
-	"fattree/internal/par"
-)
+import "fattree/internal/core"
 
 // OffLineParallel is the Theorem 1 scheduler with the per-node partitioning
-// parallelized: subtrees rooted at the same level use disjoint channels and
-// disjoint message sets, so their matching-and-tracing work is embarrassingly
-// parallel. The nodes of each level are fanned out over the shared bounded
-// worker pool (internal/par, GOMAXPROCS workers) and the per-node cycle lists
-// are merged deterministically in node order, so the schedule is identical to
-// OffLine's.
+// parallelized: subtrees rooted at the same level use disjoint channels,
+// disjoint message sets, and disjoint arena scratch regions, so their
+// matching-and-tracing work is embarrassingly parallel. The nodes of each
+// level are fanned out over the shared bounded worker pool (internal/par,
+// GOMAXPROCS workers) and the per-node partitions are assembled serially in
+// node order, so the schedule is bit-identical to OffLine's.
 func OffLineParallel(t *core.FatTree, ms core.MessageSet) *Schedule {
 	return OffLineParallelWorkers(t, ms, 0)
 }
@@ -21,57 +16,5 @@ func OffLineParallel(t *core.FatTree, ms core.MessageSet) *Schedule {
 // OffLineParallelWorkers is OffLineParallel with an explicit worker bound
 // (<= 0 means GOMAXPROCS). The schedule is identical for every bound.
 func OffLineParallelWorkers(t *core.FatTree, ms core.MessageSet, workers int) *Schedule {
-	if err := ms.Validate(t); err != nil {
-		panic(err)
-	}
-	byNode, extOut, extIn := groupByLCA(t, ms)
-	s := &Schedule{Tree: t, LoadFactor: core.LoadFactor(t, ms)}
-	s.Cycles = append(s.Cycles, externalCycles(t, extOut, extIn)...)
-	pool := par.New(workers)
-
-	for level := 0; level < t.Levels(); level++ {
-		first := 1 << uint(level)
-		type nodeWork struct {
-			v int
-			x *crossing
-		}
-		var work []nodeWork
-		for v := first; v < 2*first; v++ {
-			if x := &byNode[v]; !x.empty() {
-				work = append(work, nodeWork{v, x})
-			}
-		}
-		if len(work) == 0 {
-			continue
-		}
-
-		// Fan the level's nodes out over the pool; par.Map returns the
-		// per-node cycle lists in node order regardless of worker count.
-		parts := par.Map(pool, len(work), func(i int) []core.MessageSet {
-			w := work[i]
-			lr := partitionUntilOneCycle(t, w.v, w.x.lr)
-			rl := partitionUntilOneCycle(t, w.v, w.x.rl)
-			return mergeOriented(lr, rl)
-		})
-
-		maxParts := 0
-		for _, p := range parts {
-			if len(p) > maxParts {
-				maxParts = len(p)
-			}
-		}
-		for i := 0; i < maxParts; i++ {
-			var cycle core.MessageSet
-			for _, p := range parts {
-				if i < len(p) {
-					cycle = append(cycle, p[i]...)
-				}
-			}
-			if len(cycle) > 0 {
-				s.Cycles = append(s.Cycles, cycle)
-			}
-		}
-	}
-	s.Bound = 2 * (math.Ceil(s.LoadFactor) + 1) * float64(t.Levels())
-	return s
+	return NewScheduler(t).OffLineParallel(ms, workers)
 }

@@ -3,6 +3,7 @@ package sched
 import (
 	"math"
 	"math/rand"
+	"reflect"
 	"testing"
 	"testing/quick"
 
@@ -42,6 +43,38 @@ func TestOfflineScheduleProperty(t *testing.T) {
 		return float64(s.Length()) <= bound
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSchedulerReuseProperty fuzzes the arena reuse contract: one Scheduler
+// fed a random sequence of shrinking and regrowing workloads (random tree
+// profiles included) must produce, at every phase, a schedule bit-identical
+// to a fresh scheduler's on the same input — dirty slabs, stretched tables,
+// and stale boundary lists from earlier phases must never leak into a result.
+func TestSchedulerReuseProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 << (3 + rng.Intn(4)) // 8..64
+		ft := workload.RandomTreeProfile(n, 12, seed)
+		sc := NewScheduler(ft)
+		sizes := []int{4 * n, n / 2, 1, 6 * n, 0, 2 * n}
+		for phase, size := range sizes {
+			ms := workload.Random(n, size, seed+int64(phase))
+			fresh := OffLine(ft, ms)
+			reused := sc.OffLine(ms)
+			if err := reused.Verify(ms); err != nil {
+				t.Logf("seed %d phase %d: %v", seed, phase, err)
+				return false
+			}
+			if !reflect.DeepEqual(fresh, reused) {
+				t.Logf("seed %d phase %d (size %d): reused schedule differs from fresh", seed, phase, size)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Error(err)
 	}
 }

@@ -136,65 +136,6 @@ func groupByLCA(t *core.FatTree, ms core.MessageSet) (byNode []crossing, extOut,
 // empty reports whether no message crosses this node.
 func (x *crossing) empty() bool { return len(x.lr) == 0 && len(x.rl) == 0 }
 
-// partitionUntilOneCycle iteratively bisects q (messages crossing node v in
-// one direction) until every part is a one-cycle message set on t. Per the
-// proof of Theorem 1, at most 2·ceil(λ(q)) parts result (the number of parts
-// is the smallest adequate power of two).
-func partitionUntilOneCycle(t *core.FatTree, v int, q core.MessageSet) []core.MessageSet {
-	return partitionWith(t, q, func(p core.MessageSet) (core.MessageSet, core.MessageSet) {
-		return EvenBisect(t, v, p)
-	})
-}
-
-// partitionWith iteratively applies an even-bisection until every part fits
-// all channel capacities.
-func partitionWith(t *core.FatTree, q core.MessageSet,
-	bisect func(core.MessageSet) (core.MessageSet, core.MessageSet)) []core.MessageSet {
-	if len(q) == 0 {
-		return nil
-	}
-	parts := []core.MessageSet{q}
-	for {
-		allFit := true
-		for _, p := range parts {
-			if !core.IsOneCycle(t, p) {
-				allFit = false
-				break
-			}
-		}
-		if allFit {
-			return parts
-		}
-		next := make([]core.MessageSet, 0, 2*len(parts))
-		for _, p := range parts {
-			a, b := bisect(p)
-			next = append(next, a, b)
-		}
-		parts = next
-	}
-}
-
-// externalCycles schedules the external traffic: outputs and inputs are each
-// partitioned into one-cycle sets by EvenBisectExternal, and the i-th output
-// part shares a delivery cycle with the i-th input part (outputs use only up
-// channels, inputs only down channels).
-func externalCycles(t *core.FatTree, extOut, extIn core.MessageSet) []core.MessageSet {
-	outParts := partitionWith(t, extOut, func(p core.MessageSet) (core.MessageSet, core.MessageSet) {
-		return EvenBisectExternal(t, p)
-	})
-	inParts := partitionWith(t, extIn, func(p core.MessageSet) (core.MessageSet, core.MessageSet) {
-		return EvenBisectExternal(t, p)
-	})
-	merged := mergeOriented(outParts, inParts)
-	var cycles []core.MessageSet
-	for _, p := range merged {
-		if len(p) > 0 {
-			cycles = append(cycles, p)
-		}
-	}
-	return cycles
-}
-
 // OffLine schedules ms on t using the algorithm of Theorem 1: the messages
 // through the root are partitioned into one-cycle sets by repeated even
 // bisection (left-to-right and right-to-left crossings routed simultaneously),
@@ -202,8 +143,12 @@ func externalCycles(t *core.FatTree, extOut, extIn core.MessageSet) []core.Messa
 // partitioned; subtrees with roots at the same level are routed at the same
 // time. The schedule length satisfies d = O(λ(M)·lg n); Theorem 1's explicit
 // form is d <= sum over levels of 2·ceil(λ_level) <= 2(λ(M)+1)·lg n.
+//
+// OffLine constructs a fresh Scheduler per call, so the returned schedule is
+// independently owned; loops that schedule many message sets on one tree
+// should hold a Scheduler and call its OffLine method instead.
 func OffLine(t *core.FatTree, ms core.MessageSet) *Schedule {
-	return offLine(t, ms, nil)
+	return NewScheduler(t).OffLine(ms)
 }
 
 // OffLineObserved is OffLine with the observability layer attached: the
@@ -212,89 +157,7 @@ func OffLine(t *core.FatTree, ms core.MessageSet) *Schedule {
 // their LCA there (index lg n + 1 holds the external-traffic block). The
 // schedule produced is identical to OffLine's.
 func OffLineObserved(t *core.FatTree, ms core.MessageSet, o *obsv.Observer) *Schedule {
-	return offLine(t, ms, o)
-}
-
-// offLine is the shared implementation of OffLine and OffLineObserved; o may
-// be nil.
-func offLine(t *core.FatTree, ms core.MessageSet, o *obsv.Observer) *Schedule {
-	if err := ms.Validate(t); err != nil {
-		panic(err)
-	}
-	byNode, extOut, extIn := groupByLCA(t, ms)
-	s := &Schedule{Tree: t, LoadFactor: core.LoadFactor(t, ms)}
-
-	// External traffic crosses the root interface and shares channels with
-	// every level, so it gets its own leading block of cycles.
-	ext := externalCycles(t, extOut, extIn)
-	s.Cycles = append(s.Cycles, ext...)
-	if o != nil && len(extOut)+len(extIn) > 0 {
-		o.SchedLevel(t.Levels()+1, len(ext), len(extOut)+len(extIn))
-	}
-
-	// Per level, every node's crossing sets are partitioned independently; the
-	// i-th parts of all nodes at the level are unioned into one delivery
-	// cycle. Different subtrees use disjoint channels, and the lr/rl sets of
-	// one node also use disjoint channels, so the union stays one-cycle.
-	for level := 0; level < t.Levels(); level++ {
-		first := 1 << uint(level)
-		var levelParts [][]core.MessageSet // per node: padded pair-merged parts
-		maxParts := 0
-		levelMessages := 0
-		for v := first; v < 2*first; v++ {
-			x := &byNode[v]
-			if x.empty() {
-				continue
-			}
-			levelMessages += len(x.lr) + len(x.rl)
-			lrParts := partitionUntilOneCycle(t, v, x.lr)
-			rlParts := partitionUntilOneCycle(t, v, x.rl)
-			merged := mergeOriented(lrParts, rlParts)
-			levelParts = append(levelParts, merged)
-			if len(merged) > maxParts {
-				maxParts = len(merged)
-			}
-		}
-		added := 0
-		for i := 0; i < maxParts; i++ {
-			var cycle core.MessageSet
-			for _, parts := range levelParts {
-				if i < len(parts) {
-					cycle = append(cycle, parts[i]...)
-				}
-			}
-			if len(cycle) > 0 {
-				s.Cycles = append(s.Cycles, cycle)
-				added++
-			}
-		}
-		if o != nil && levelMessages > 0 {
-			o.SchedLevel(level, added, levelMessages)
-		}
-	}
-	s.Bound = 2 * (math.Ceil(s.LoadFactor) + 1) * float64(t.Levels())
-	return s
-}
-
-// mergeOriented overlays the left-to-right and right-to-left partitions of one
-// node: part i of each is routed in the same delivery cycle ("each of these
-// message sets can, in fact, be routed at the same time as one of the Q_i"),
-// since opposite crossings use disjoint channels.
-func mergeOriented(lr, rl []core.MessageSet) []core.MessageSet {
-	n := len(lr)
-	if len(rl) > n {
-		n = len(rl)
-	}
-	out := make([]core.MessageSet, n)
-	for i := 0; i < n; i++ {
-		if i < len(lr) {
-			out[i] = append(out[i], lr[i]...)
-		}
-		if i < len(rl) {
-			out[i] = append(out[i], rl[i]...)
-		}
-	}
-	return out
+	return NewScheduler(t).OffLineObserved(ms, o)
 }
 
 // OffLineBig schedules ms on t using the algorithm of Corollary 2, which

@@ -83,6 +83,22 @@ func ReadSchedule(r io.Reader, t *core.FatTree) (*Schedule, error) {
 	return s, nil
 }
 
+// Clone returns a deep copy of the schedule with independently owned cycle
+// storage. Schedules produced by a reusable Scheduler are loans from its
+// arena, invalidated by the scheduler's next call; Clone is the escape hatch
+// that turns a loan into a durable artifact (the Tree pointer is shared —
+// fat-trees are immutable apart from capacity overrides).
+func (s *Schedule) Clone() *Schedule {
+	out := &Schedule{Tree: s.Tree, LoadFactor: s.LoadFactor, Bound: s.Bound}
+	if s.Cycles != nil {
+		out.Cycles = make([]core.MessageSet, len(s.Cycles))
+		for i, cyc := range s.Cycles {
+			out.Cycles[i] = cyc.Clone()
+		}
+	}
+	return out
+}
+
 // countingWriter tracks bytes written for the io.WriterTo contract.
 type countingWriter struct {
 	w io.Writer

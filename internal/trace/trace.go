@@ -98,8 +98,12 @@ func Run(t *core.FatTree, tr *Trace, payloadBits int) *Result {
 		panic(err)
 	}
 	res := &Result{Trace: tr.Name}
+	// One arena-backed scheduler serves every phase: each schedule is a loan
+	// consumed (ticks counted, lengths recorded) before the next phase
+	// overwrites it, so the reuse is safe and the loop stops allocating.
+	sc := sched.NewScheduler(t)
 	for _, p := range tr.Phases {
-		s := sched.OffLine(t, p.Messages)
+		s := sc.OffLine(p.Messages)
 		ticks := sim.ScheduleTicks(t, s.Cycles, payloadBits)
 		pr := PhaseResult{
 			Name:        p.Name,
