@@ -18,6 +18,7 @@ package main
 
 import (
 	"crypto/sha256"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -26,6 +27,17 @@ import (
 
 	"fattree/internal/lint"
 )
+
+// jsonDiagnostic is the machine-readable shape of one finding, emitted by
+// -json as a sorted array (empty array, not null, on a clean run) so CI can
+// archive and diff lint results across commits.
+type jsonDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
 
 func main() {
 	os.Exit(run(os.Args[1:]))
@@ -84,11 +96,12 @@ func run(args []string) int {
 
 	fs := flag.NewFlagSet("ftlint", flag.ContinueOnError)
 	var (
-		only = fs.String("only", "", "comma-separated analyzer names to run (default: all)")
-		list = fs.Bool("list", false, "list the analyzers and exit")
+		only     = fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+		list     = fs.Bool("list", false, "list the analyzers and exit")
+		jsonMode = fs.Bool("json", false, "emit diagnostics as a JSON array on stdout")
 	)
 	fs.Usage = func() {
-		fmt.Fprint(os.Stderr, "usage: ftlint [-only a,b] [-list] [packages]\n\n"+
+		fmt.Fprint(os.Stderr, "usage: ftlint [-only a,b] [-json] [-list] [packages]\n\n"+
 			"Runs the fat-tree determinism analyzers over the packages\n"+
 			"(go list patterns, default ./...). Also usable as\n"+
 			"`go vet -vettool=$(which ftlint) ./...`.\n\n")
@@ -112,7 +125,7 @@ func run(args []string) int {
 	}
 	if *list {
 		for _, a := range lint.All() {
-			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+			fmt.Printf("%-18s %s\n", a.Name, a.Doc)
 		}
 		return 0
 	}
@@ -132,8 +145,27 @@ func run(args []string) int {
 		fmt.Fprintf(os.Stderr, "ftlint: %v\n", err)
 		return 2
 	}
-	for _, d := range diags {
-		fmt.Println(d)
+	if *jsonMode {
+		out := make([]jsonDiagnostic, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, jsonDiagnostic{
+				File:     d.Pos.Filename,
+				Line:     d.Pos.Line,
+				Col:      d.Pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(os.Stderr, "ftlint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "ftlint: %d diagnostic(s)\n", len(diags))

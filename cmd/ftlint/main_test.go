@@ -1,6 +1,8 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -56,11 +58,37 @@ const badMetricsSource = `package metrics
 func Same(a, b float64) bool { return a == b }
 `
 
+const badParSource = `package par
+
+func Spin() {
+	go func() {
+		for {
+		}
+	}()
+}
+`
+
+const badSchedSource = `package sched
+
+type Schedule struct{ n int }
+
+type Scheduler struct{ arena Schedule }
+
+//ftlint:loan
+func (s *Scheduler) OffLine() *Schedule { return &s.arena }
+
+var last *Schedule
+
+func Keep(s *Scheduler) { last = s.OffLine() }
+`
+
 func badModule(t *testing.T) string {
 	return writeModule(t, map[string]string{
 		"go.mod":                  "module badmod\n\ngo 1.22\n",
 		"internal/sim/bad.go":     badSimSource,
 		"internal/metrics/bad.go": badMetricsSource,
+		"internal/par/bad.go":     badParSource,
+		"internal/sched/bad.go":   badSchedSource,
 	})
 }
 
@@ -80,6 +108,8 @@ func TestSmokeStandalone(t *testing.T) {
 		"[nondeterm] time.Now",
 		"[seedplumbing] rand.NewSource seeded from a constant",
 		"[floatcompare] floating-point == comparison",
+		"[goroshutdown] goroutine is not provably joinable",
+		"[loanescape] loan from //ftlint:loan (*Scheduler).OffLine stored into package-level variable",
 	} {
 		if !strings.Contains(string(out), want) {
 			t.Errorf("missing diagnostic %q in output:\n%s", want, out)
@@ -97,7 +127,7 @@ func TestSmokeVetTool(t *testing.T) {
 	if err == nil {
 		t.Fatalf("go vet -vettool on bad module succeeded; want failure\n%s", out)
 	}
-	for _, want := range []string{"[nondeterm]", "[seedplumbing]", "[floatcompare]"} {
+	for _, want := range []string{"[nondeterm]", "[seedplumbing]", "[floatcompare]", "[goroshutdown]", "[loanescape]"} {
 		if !strings.Contains(string(out), want) {
 			t.Errorf("missing diagnostic %q in go vet output:\n%s", want, out)
 		}
@@ -157,6 +187,13 @@ func TestRepoClean(t *testing.T) {
 	if out, err := cmd.CombinedOutput(); err != nil {
 		t.Fatalf("ftlint ./... on the repository: %v\n%s", err, out)
 	}
+	// The interprocedural trio again, explicitly, so a future edit that drops
+	// one from All() cannot silently shrink this check.
+	cmd = exec.Command(bin, "-only", "callgraphhotalloc,loanescape,goroshutdown", "./...")
+	cmd.Dir = filepath.Join("..", "..")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("ftlint -only callgraphhotalloc,loanescape,goroshutdown on the repository: %v\n%s", err, out)
+	}
 }
 
 // TestListFlag sanity-checks the -list output names every analyzer.
@@ -166,9 +203,122 @@ func TestListFlag(t *testing.T) {
 	if err != nil {
 		t.Fatalf("ftlint -list: %v\n%s", err, out)
 	}
-	for _, name := range []string{"nondeterm", "poolcapture", "floatcompare", "seedplumbing", "errdiscard"} {
+	for _, name := range []string{
+		"nondeterm", "poolcapture", "floatcompare", "seedplumbing", "errdiscard",
+		"hotalloc", "callgraphhotalloc", "loanescape", "goroshutdown",
+	} {
 		if !strings.Contains(string(out), name) {
 			t.Errorf("-list output missing analyzer %q:\n%s", name, out)
 		}
+	}
+}
+
+// TestSmokeJSON asserts the -json shape on both a dirty and a clean run: a
+// sorted array of {file, line, col, analyzer, message} objects, and the
+// empty (but non-null) array when nothing is found.
+func TestSmokeJSON(t *testing.T) {
+	bin := buildFtlint(t)
+	cmd := exec.Command(bin, "-json", "./...")
+	cmd.Dir = badModule(t)
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	err := cmd.Run()
+	if exit, ok := err.(*exec.ExitError); !ok || exit.ExitCode() != 1 {
+		t.Fatalf("ftlint -json ./... on bad module: err=%v (want exit 1)\n%s%s", err, stdout.String(), stderr.String())
+	}
+	var diags []jsonDiagnostic
+	if err := json.Unmarshal(stdout.Bytes(), &diags); err != nil {
+		t.Fatalf("-json output is not a diagnostic array: %v\n%s", err, stdout.String())
+	}
+	if len(diags) == 0 {
+		t.Fatal("-json output is empty on a module full of violations")
+	}
+	byAnalyzer := make(map[string]int)
+	for i, d := range diags {
+		if d.File == "" || d.Line <= 0 || d.Col <= 0 || d.Analyzer == "" || d.Message == "" {
+			t.Errorf("diagnostic %d has empty fields: %+v", i, d)
+		}
+		byAnalyzer[d.Analyzer]++
+	}
+	for _, name := range []string{"nondeterm", "floatcompare", "goroshutdown", "loanescape"} {
+		if byAnalyzer[name] == 0 {
+			t.Errorf("-json output has no %s diagnostics; got %v", name, byAnalyzer)
+		}
+	}
+
+	clean := exec.Command(bin, "-json", "./internal/metrics/...")
+	clean.Dir = writeModule(t, map[string]string{
+		"go.mod":                   "module goodmod\n\ngo 1.22\n",
+		"internal/metrics/good.go": "package metrics\n\nfunc Twice(x int) int { return 2 * x }\n",
+	})
+	out, err := clean.Output()
+	if err != nil {
+		t.Fatalf("ftlint -json on clean module: %v", err)
+	}
+	if got := strings.TrimSpace(string(out)); got != "[]" {
+		t.Errorf("clean -json run printed %q, want the empty array", got)
+	}
+}
+
+// crossFactsModule plants a //ftlint:hotpath root in one package whose only
+// allocation lives two packages away: the diagnostic can exist only if the
+// callee's allocation witness crossed both package boundaries through facts.
+func crossFactsModule(t *testing.T) string {
+	return writeModule(t, map[string]string{
+		"go.mod": "module xmod\n\ngo 1.22\n",
+		"internal/concentrator/c.go": `package concentrator
+
+func Route(n int) map[int]int {
+	m := make(map[int]int, n)
+	for i := 0; i < n; i++ {
+		m[i] = i
+	}
+	return m
+}
+
+func Relay(n int) int { return len(Route(n)) }
+`,
+		"internal/sim/hot.go": `package sim
+
+import "xmod/internal/concentrator"
+
+//ftlint:hotpath
+func Step(n int) int {
+	return concentrator.Relay(n)
+}
+`,
+	})
+}
+
+const crossFactsWant = "hot path reaches an allocation in another package: concentrator.Relay → Route → allocates a map"
+
+// TestCrossPackageFactsStandalone proves the in-memory facts path: the
+// interprocedural witness survives the topological standalone run.
+func TestCrossPackageFactsStandalone(t *testing.T) {
+	bin := buildFtlint(t)
+	cmd := exec.Command(bin, "-only", "callgraphhotalloc", "./...")
+	cmd.Dir = crossFactsModule(t)
+	out, err := cmd.CombinedOutput()
+	if exit, ok := err.(*exec.ExitError); !ok || exit.ExitCode() != 1 {
+		t.Fatalf("ftlint on cross-package module: err=%v (want exit 1)\n%s", err, out)
+	}
+	if !strings.Contains(string(out), crossFactsWant) {
+		t.Errorf("missing cross-package witness diagnostic %q in output:\n%s", crossFactsWant, out)
+	}
+}
+
+// TestCrossPackageFactsVetTool proves the .vetx round trip: go vet analyzes
+// concentrator first, serializes its witness facts to a .vetx file, and the
+// sim unit must read them back to produce the same diagnostic.
+func TestCrossPackageFactsVetTool(t *testing.T) {
+	bin := buildFtlint(t)
+	cmd := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	cmd.Dir = crossFactsModule(t)
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("go vet -vettool on cross-package module succeeded; want failure\n%s", out)
+	}
+	if !strings.Contains(string(out), crossFactsWant) {
+		t.Errorf("missing cross-package witness diagnostic %q in go vet output:\n%s", crossFactsWant, out)
 	}
 }

@@ -5,9 +5,12 @@ package lint
 // enrolls it everywhere at once.
 func All() []*Analyzer {
 	return []*Analyzer{
+		CallGraphHotAlloc,
 		ErrDiscard,
 		FloatCompare,
+		GoroShutdown,
 		HotAlloc,
+		LoanEscape,
 		Nondeterm,
 		PoolCapture,
 		SeedPlumbing,

@@ -1,0 +1,344 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// CallGraphHotAlloc is the interprocedural companion of HotAlloc: where the
+// intraprocedural rule checks only the body of each //ftlint:hotpath
+// function, this analyzer follows the static call graph, so a hot root like
+// sim.Engine.routeCycle is allocation-checked end to end — through its
+// same-package helpers and across package boundaries into, e.g.,
+// concentrator.Matcher.Run.
+//
+// Per package it computes, for every declared function, a transitive
+// "allocation witness": the first reachable allocation along any static call
+// chain, as a human-readable hop list ("(*Matcher).Run → allocates a map at
+// matching.go:88"). Witnesses are exported as facts, so when a dependent
+// package's hot root calls into this one, the dependent's pass sees the
+// callee's witness without re-analyzing its source — the unitchecker .vetx
+// round-trip in vet mode, the in-memory fact store standalone.
+//
+// The allocation sites recognized in callee bodies are the union of the
+// intraprocedural rules (map make/literal, fresh-local-slice append growth,
+// non-pointer→interface boxing) plus two patterns only visible once calls are
+// followed: fmt.Sprintf/Sprint/Sprintln/Errorf/Appendf (every call builds a
+// fresh string or boxes its operands) and the evaluation of a
+// variable-capturing func literal (each evaluation materializes a closure on
+// the heap).
+//
+// Division of labor with HotAlloc: inside a root's own body, map/append/
+// boxing sites stay with the intraprocedural rule (one diagnostic, not two);
+// this analyzer adds the fmt and closure rules there, and everything in
+// callees. As everywhere, panic trees are exempt — a crash path may allocate
+// — and warm-up calls that must allocate (grow paths, one-time table builds)
+// carry //ftlint:ignore callgraphhotalloc with a reason. Blind spots: calls
+// through func values and interface methods produce no edge, and standard-
+// library callees outside the fmt denylist are assumed allocation-free.
+var CallGraphHotAlloc = &Analyzer{
+	Name: "callgraphhotalloc",
+	Doc: "interprocedural hotalloc: follows the static call graph from every //ftlint:hotpath " +
+		"root, across package boundaries via exported allocation facts, and flags any " +
+		"reachable allocation (maps, fresh-slice growth, boxing, fmt.Sprintf, capturing closures)",
+	NeedsFacts: true,
+	Run:        runCallGraphHotAlloc,
+}
+
+// hotAllocFacts is the gob payload exported per package: function key →
+// transitive allocation witness (absent means allocation-free as far as the
+// static call graph shows).
+type hotAllocFacts struct {
+	Witness map[string]string
+}
+
+// allocSite is one direct allocation in a function body.
+type allocSite struct {
+	node ast.Node // anchors the diagnostic position
+	desc string   // "allocates a map", "calls fmt.Sprintf (allocates)", ...
+	kind allocKind
+}
+
+type allocKind int
+
+const (
+	allocMap     allocKind = iota // make(map)/map literal — HotAlloc's rule
+	allocAppend                   // fresh-local-slice growth — HotAlloc's rule
+	allocBoxing                   // non-pointer→interface — HotAlloc's rule
+	allocFmt                      // fmt.Sprintf and family — this analyzer's rule
+	allocClosure                  // capturing func literal — this analyzer's rule
+)
+
+// coveredByHotAlloc reports whether the intraprocedural analyzer already
+// flags this site kind when it appears directly in a //ftlint:hotpath body.
+func (k allocKind) coveredByHotAlloc() bool {
+	return k == allocMap || k == allocAppend || k == allocBoxing
+}
+
+// fmtAllocators is the standard-library denylist: calls that allocate their
+// result by contract. Everything else in std is assumed clean (blind spot).
+var fmtAllocators = map[string]bool{
+	"fmt.Sprintf":  true,
+	"fmt.Sprint":   true,
+	"fmt.Sprintln": true,
+	"fmt.Errorf":   true,
+	"fmt.Appendf":  true,
+}
+
+func runCallGraphHotAlloc(pass *Pass) error {
+	idx := declIndex(pass)
+	order := declsInSourceOrder(idx)
+
+	// Phase 1: direct allocation sites and intra-package call edges.
+	sites := make(map[*types.Func][]allocSite, len(idx))
+	intraCalls := make(map[*types.Func][]*types.Func, len(idx))
+	crossCalls := make(map[*types.Func][]crossEdge, len(idx))
+	for _, fn := range order {
+		decl := idx[fn]
+		sites[fn] = directAllocSites(pass, decl.Body)
+		staticCallees(pass, decl.Body, func(call *ast.CallExpr, callee *types.Func) {
+			switch {
+			case callee.Pkg() == pass.Pkg:
+				if _, declared := idx[callee]; declared {
+					intraCalls[fn] = append(intraCalls[fn], callee)
+				}
+			case callee.Pkg() != nil:
+				crossCalls[fn] = append(crossCalls[fn], crossEdge{call: call, callee: callee})
+			}
+		})
+	}
+
+	// Phase 2: transitive witnesses, consulting imported facts at
+	// cross-package edges. Cycles resolve to "no witness" on the back edge —
+	// any real allocation inside the cycle is still found from the node
+	// whose direct sites or other callees carry it.
+	imported := make(map[string]*hotAllocFacts)
+	factsFor := func(pkgPath string) *hotAllocFacts {
+		if f, ok := imported[pkgPath]; ok {
+			return f
+		}
+		f := decodeHotAllocFacts(pass.ImportFacts(pkgPath))
+		imported[pkgPath] = f
+		return f
+	}
+	witness := make(map[*types.Func]string, len(idx))
+	state := make(map[*types.Func]int, len(idx)) // 0 unvisited, 1 visiting, 2 done
+	var resolve func(fn *types.Func) string
+	resolve = func(fn *types.Func) string {
+		if state[fn] == 2 {
+			return witness[fn]
+		}
+		if state[fn] == 1 {
+			return ""
+		}
+		state[fn] = 1
+		w := ""
+		if own := sites[fn]; len(own) > 0 {
+			w = own[0].desc + " at " + shortPos(pass, own[0].node)
+		} else {
+		edges:
+			for _, callee := range intraCalls[fn] {
+				if sub := resolve(callee); sub != "" {
+					w = funcKey(callee) + " → " + sub
+					break edges
+				}
+			}
+			if w == "" {
+				for _, edge := range crossCalls[fn] {
+					f := factsFor(edge.callee.Pkg().Path())
+					if f == nil {
+						continue
+					}
+					if sub := f.Witness[funcKey(edge.callee)]; sub != "" {
+						w = displayKey(pass, edge.callee) + " → " + sub
+						break
+					}
+				}
+			}
+		}
+		if len(w) > 220 {
+			w = w[:220] + "…"
+		}
+		state[fn] = 2
+		witness[fn] = w
+		return w
+	}
+	for _, fn := range order {
+		resolve(fn)
+	}
+
+	// Export this package's witnesses for dependents.
+	out := hotAllocFacts{Witness: make(map[string]string)}
+	for fn, w := range witness {
+		if w != "" {
+			out.Witness[funcKey(fn)] = w
+		}
+	}
+	if len(out.Witness) > 0 {
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(out); err != nil {
+			return fmt.Errorf("encoding hotalloc facts: %v", err)
+		}
+		pass.ExportFacts(buf.Bytes())
+	}
+
+	// Phase 3: reporting, from each //ftlint:hotpath root. Sites and edges
+	// are reported once, attributed to the first root (in source order) that
+	// reaches them.
+	reported := make(map[ast.Node]bool)
+	for _, root := range order {
+		if !isHotPath(idx[root]) {
+			continue
+		}
+		rootKey := funcKey(root)
+		// The root's own body: only the rules HotAlloc does not cover.
+		for _, s := range sites[root] {
+			if s.kind.coveredByHotAlloc() || reported[s.node] {
+				continue
+			}
+			reported[s.node] = true
+			pass.Reportf(s.node.Pos(), "hot path %s (//ftlint:hotpath %s)", s.desc, rootKey)
+		}
+		reportHotEdges(pass, root, rootKey, idx, sites, intraCalls, crossCalls, factsFor, reported)
+	}
+	return nil
+}
+
+// crossEdge is one statically resolved call into another package.
+type crossEdge struct {
+	call   *ast.CallExpr
+	callee *types.Func
+}
+
+// reportHotEdges walks the intra-package call graph from root, reporting
+// every direct allocation site in reached (non-root-annotated) functions and
+// every cross-package edge whose callee carries an allocation witness.
+func reportHotEdges(pass *Pass, root *types.Func, rootKey string,
+	idx map[*types.Func]*ast.FuncDecl, sites map[*types.Func][]allocSite,
+	intraCalls map[*types.Func][]*types.Func, crossCalls map[*types.Func][]crossEdge,
+	factsFor func(string) *hotAllocFacts, reported map[ast.Node]bool) {
+
+	seen := map[*types.Func]bool{root: true}
+	stack := []*types.Func{root}
+	for len(stack) > 0 {
+		fn := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		// Cross-package edges out of fn: consult the callee's facts.
+		for _, edge := range crossCalls[fn] {
+			f := factsFor(edge.callee.Pkg().Path())
+			if f == nil {
+				continue
+			}
+			w := f.Witness[funcKey(edge.callee)]
+			if w == "" || reported[edge.call] {
+				continue
+			}
+			reported[edge.call] = true
+			pass.Reportf(edge.call.Pos(),
+				"hot path reaches an allocation in another package: %s → %s (reachable from //ftlint:hotpath %s)",
+				displayKey(pass, edge.callee), w, rootKey)
+		}
+		// Same-package callees: report their direct sites and keep walking.
+		for _, callee := range intraCalls[fn] {
+			if seen[callee] {
+				continue
+			}
+			seen[callee] = true
+			if isHotPath(idx[callee]) {
+				// The callee is itself a root: its body is covered by its
+				// own iteration (and by HotAlloc for the classic rules),
+				// and everything below it by its own walk.
+				continue
+			}
+			for _, s := range sites[callee] {
+				if reported[s.node] {
+					continue
+				}
+				reported[s.node] = true
+				pass.Reportf(s.node.Pos(),
+					"%s on a hot path: %s is reachable from //ftlint:hotpath %s",
+					s.desc, funcKey(callee), rootKey)
+			}
+			stack = append(stack, callee)
+		}
+		// Deterministic order: stack DFS visits the last pushed first; the
+		// sort in RunAnalyzers orders the final diagnostics anyway, and
+		// "first root wins" only needs root iteration order, which is
+		// source order.
+	}
+}
+
+// directAllocSites scans one function body for the allocation patterns this
+// analyzer recognizes, skipping panic trees.
+func directAllocSites(pass *Pass, body *ast.BlockStmt) []allocSite {
+	var out []allocSite
+	fresh := freshLocalSlices(pass, body)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			switch builtinName(pass, n) {
+			case "panic":
+				return false // crash paths may allocate
+			case "make":
+				if len(n.Args) > 0 {
+					if t := pass.TypeOf(n.Args[0]); t != nil {
+						if _, isMap := t.Underlying().(*types.Map); isMap {
+							out = append(out, allocSite{n, "allocates a map", allocMap})
+						}
+					}
+				}
+			case "append":
+				if len(n.Args) == 0 {
+					break
+				}
+				if id, ok := ast.Unparen(n.Args[0]).(*ast.Ident); ok {
+					if obj := pass.ObjectOf(id); obj != nil && fresh[obj] {
+						out = append(out, allocSite{n,
+							fmt.Sprintf("grows fresh local slice %q with append", id.Name), allocAppend})
+					}
+				}
+			default:
+				if fn := calleeFunc(pass.Info, n); fn != nil && fn.Pkg() != nil &&
+					fmtAllocators[fn.Pkg().Path()+"."+fn.Name()] {
+					out = append(out, allocSite{n,
+						"calls fmt." + fn.Name() + " (allocates its result)", allocFmt})
+					break
+				}
+				forEachIfaceBoxing(pass, n, func(arg ast.Expr, t types.Type) {
+					out = append(out, allocSite{arg,
+						"boxes non-pointer " + types.TypeString(t, types.RelativeTo(pass.Pkg)) + " into an interface",
+						allocBoxing})
+				})
+			}
+		case *ast.CompositeLit:
+			if t := pass.TypeOf(n); t != nil {
+				if _, isMap := t.Underlying().(*types.Map); isMap {
+					out = append(out, allocSite{n, "allocates a map", allocMap})
+				}
+			}
+		case *ast.FuncLit:
+			if capturesVariables(pass, n) {
+				out = append(out, allocSite{n, "creates a capturing closure", allocClosure})
+			}
+		}
+		return true
+	})
+	sort.SliceStable(out, func(i, j int) bool { return out[i].node.Pos() < out[j].node.Pos() })
+	return out
+}
+
+// decodeHotAllocFacts parses an imported fact payload; nil in, nil out.
+func decodeHotAllocFacts(payload []byte) *hotAllocFacts {
+	if len(payload) == 0 {
+		return nil
+	}
+	var f hotAllocFacts
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&f); err != nil {
+		return nil // treat undecodable facts as absent (stale format)
+	}
+	return &f
+}

@@ -1,0 +1,19 @@
+package lint
+
+import "testing"
+
+// The callgraph fixture is split across two packages: callgraph/b is loaded
+// facts-only, and callgraph/a's // want expectations include diagnostics
+// whose witnesses could only have arrived through b's exported facts.
+func TestCallGraphHotAllocFixture(t *testing.T) {
+	RunFixture(t, CallGraphHotAlloc, ".", "callgraph/a")
+}
+
+func TestCallGraphHotAllocNeedsFacts(t *testing.T) {
+	if !CallGraphHotAlloc.NeedsFacts {
+		t.Fatal("callgraphhotalloc must declare NeedsFacts so drivers run it facts-only on non-matching packages")
+	}
+	if CallGraphHotAlloc.Match != nil {
+		t.Fatal("callgraphhotalloc must run on every package: hot roots may live anywhere")
+	}
+}

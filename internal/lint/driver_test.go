@@ -1,0 +1,301 @@
+package lint
+
+import (
+	"encoding/json"
+	"go/types"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// This file tests the driver plumbing in-process: the facts-file format, the
+// topological ordering, the standalone Load→RunAnalyzers path, and the
+// -vettool protocol including the .vetx facts round trip. The cmd/ftlint
+// smoke tests cover the same paths through the real binary; these run them
+// under the coverage profile.
+
+func TestFactsFileRoundTrip(t *testing.T) {
+	in := map[string][]byte{
+		"callgraphhotalloc": []byte("witness-payload"),
+		"loanescape":        []byte{0x00, 0x01, 0x02},
+	}
+	blob, err := encodeFactsFile(in)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	out, err := decodeFactsFile(blob)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("round trip lost entries: got %d, want %d", len(out), len(in))
+	}
+	for name, payload := range in {
+		if string(out[name]) != string(payload) {
+			t.Errorf("payload of %q corrupted: got %q, want %q", name, out[name], payload)
+		}
+	}
+}
+
+func TestFactsFileEmpty(t *testing.T) {
+	blob, err := encodeFactsFile(nil)
+	if err != nil {
+		t.Fatalf("encoding no facts: %v", err)
+	}
+	if len(blob) != 0 {
+		t.Fatalf("no facts must encode to an empty file (the pre-facts format), got %d bytes", len(blob))
+	}
+	out, err := decodeFactsFile(nil)
+	if err != nil {
+		t.Fatalf("decoding the empty file: %v", err)
+	}
+	if len(out) != 0 {
+		t.Fatalf("empty file decoded to %d entries", len(out))
+	}
+}
+
+func TestFactStore(t *testing.T) {
+	s := make(factStore)
+	if got := s.get("p", "a"); got != nil {
+		t.Fatalf("empty store returned %q", got)
+	}
+	s.set("p", "a", []byte("x"))
+	s.set("p", "b", []byte("y"))
+	if got := string(s.get("p", "a")); got != "x" {
+		t.Errorf(`get("p","a") = %q, want "x"`, got)
+	}
+	s.set("p", "a", []byte("z"))
+	if got := string(s.get("p", "a")); got != "z" {
+		t.Errorf("overwrite did not stick: got %q", got)
+	}
+}
+
+// TestTopoOrder builds a synthetic diamond a→{b,c}→d handed over in reverse
+// and asserts every import precedes its importer.
+func TestTopoOrder(t *testing.T) {
+	mk := func(path string, imports ...*types.Package) *types.Package {
+		p := types.NewPackage(path, filepath.Base(path))
+		p.SetImports(imports)
+		return p
+	}
+	d := mk("m/d")
+	b := mk("m/b", d)
+	c := mk("m/c", d)
+	a := mk("m/a", b, c)
+	var pkgs []*Package
+	for _, tp := range []*types.Package{a, c, b, d} {
+		pkgs = append(pkgs, &Package{PkgPath: tp.Path(), Types: tp})
+	}
+	order := topoOrder(pkgs)
+	if len(order) != len(pkgs) {
+		t.Fatalf("topoOrder dropped packages: got %d, want %d", len(order), len(pkgs))
+	}
+	pos := make(map[string]int)
+	for i, p := range order {
+		pos[p.PkgPath] = i
+	}
+	for _, edge := range [][2]string{{"m/d", "m/b"}, {"m/d", "m/c"}, {"m/b", "m/a"}, {"m/c", "m/a"}} {
+		if pos[edge[0]] > pos[edge[1]] {
+			t.Errorf("%s ordered after its importer %s: %v", edge[0], edge[1], pos)
+		}
+	}
+}
+
+// writeTestModule materializes a throwaway module from path -> contents.
+func writeTestModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, content := range files {
+		path := filepath.Join(dir, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o777); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// crossModule is the two-package shape every facts test wants: a hot root in
+// sim whose only allocation lives in concentrator.
+func crossModule(t *testing.T) string {
+	return writeTestModule(t, map[string]string{
+		"go.mod": "module xmod\n\ngo 1.22\n",
+		"internal/concentrator/c.go": `package concentrator
+
+func Route(n int) map[int]int {
+	m := make(map[int]int, n)
+	for i := 0; i < n; i++ {
+		m[i] = i
+	}
+	return m
+}
+`,
+		"internal/sim/hot.go": `package sim
+
+import "xmod/internal/concentrator"
+
+//ftlint:hotpath
+func Step(n int) int {
+	return len(concentrator.Route(n))
+}
+`,
+	})
+}
+
+// TestRunAnalyzersCrossPackage drives the standalone path end to end:
+// Load resolves both packages, topoOrder puts the callee first, and the
+// in-memory fact store carries its witness into the sim pass.
+func TestRunAnalyzersCrossPackage(t *testing.T) {
+	dir := crossModule(t)
+	pkgs, err := Load(dir, "./...")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) != 2 {
+		t.Fatalf("Load returned %d packages, want 2", len(pkgs))
+	}
+	diags, err := RunAnalyzers(pkgs, []*Analyzer{CallGraphHotAlloc})
+	if err != nil {
+		t.Fatalf("RunAnalyzers: %v", err)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want 1: %v", len(diags), diags)
+	}
+	want := "hot path reaches an allocation in another package: concentrator.Route → allocates a map"
+	if got := diags[0].String(); !strings.Contains(got, want) || !strings.Contains(got, "[callgraphhotalloc]") {
+		t.Errorf("diagnostic %q does not carry the cross-package witness %q", got, want)
+	}
+}
+
+// TestRunVetToolFactsRoundTrip exercises the -vettool protocol without the
+// go command in the middle: one VetxOnly invocation for the dependency
+// writes its facts file, and the dependent's invocation must read the
+// witness back from disk to produce the diagnostic.
+func TestRunVetToolFactsRoundTrip(t *testing.T) {
+	dir := crossModule(t)
+	exports, err := listExports(dir, "./...")
+	if err != nil {
+		t.Fatalf("listing export data: %v", err)
+	}
+	concExport, ok := exports["xmod/internal/concentrator"]
+	if !ok {
+		t.Fatalf("no export data for the concentrator package: %v", exports)
+	}
+	work := t.TempDir()
+	concVetx := filepath.Join(work, "conc.vetx")
+	simVetx := filepath.Join(work, "sim.vetx")
+
+	writeCfg := func(name string, cfg vetConfig) string {
+		t.Helper()
+		path := filepath.Join(work, name)
+		blob, err := json.Marshal(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, blob, 0o666); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+
+	// Dependency first, facts only — the go command's order.
+	concCfg := writeCfg("conc.cfg", vetConfig{
+		ID:         "xmod/internal/concentrator",
+		Dir:        filepath.Join(dir, "internal", "concentrator"),
+		ImportPath: "xmod/internal/concentrator",
+		GoFiles:    []string{filepath.Join(dir, "internal", "concentrator", "c.go")},
+		VetxOnly:   true,
+		VetxOutput: concVetx,
+	})
+	n, err := RunVetTool(concCfg, All())
+	if err != nil {
+		t.Fatalf("RunVetTool(concentrator): %v", err)
+	}
+	if n != 0 {
+		t.Fatalf("VetxOnly invocation reported %d diagnostics", n)
+	}
+	blob, err := os.ReadFile(concVetx)
+	if err != nil {
+		t.Fatalf("the VetxOnly invocation must write its facts file: %v", err)
+	}
+	facts, err := decodeFactsFile(blob)
+	if err != nil {
+		t.Fatalf("decoding the facts file: %v", err)
+	}
+	if len(facts["callgraphhotalloc"]) == 0 {
+		t.Fatalf("facts file carries no callgraphhotalloc witness: %v", facts)
+	}
+
+	// Dependent second, fed the dependency's .vetx file.
+	simCfg := writeCfg("sim.cfg", vetConfig{
+		ID:          "xmod/internal/sim",
+		Dir:         filepath.Join(dir, "internal", "sim"),
+		ImportPath:  "xmod/internal/sim",
+		GoFiles:     []string{filepath.Join(dir, "internal", "sim", "hot.go")},
+		ImportMap:   map[string]string{"xmod/internal/concentrator": "xmod/internal/concentrator"},
+		PackageFile: map[string]string{"xmod/internal/concentrator": concExport},
+		PackageVetx: map[string]string{"xmod/internal/concentrator": concVetx},
+		VetxOutput:  simVetx,
+	})
+	n, err = RunVetTool(simCfg, All())
+	if err != nil {
+		t.Fatalf("RunVetTool(sim): %v", err)
+	}
+	if n != 1 {
+		t.Fatalf("sim invocation reported %d diagnostics, want exactly the cross-package witness", n)
+	}
+	if _, err := os.Stat(simVetx); err != nil {
+		t.Errorf("sim invocation must write its own facts file too: %v", err)
+	}
+}
+
+// TestRunVetToolSkipsTestUnits: a unit carrying test sources is skipped but
+// must still write its (empty) facts file so the vet cache works.
+func TestRunVetToolSkipsTestUnits(t *testing.T) {
+	work := t.TempDir()
+	vetx := filepath.Join(work, "out.vetx")
+	blob, err := json.Marshal(vetConfig{
+		ID:         "p [p.test]",
+		ImportPath: "p [p.test]",
+		GoFiles:    []string{"p_test.go"},
+		VetxOutput: vetx,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgPath := filepath.Join(work, "vet.cfg")
+	if err := os.WriteFile(cfgPath, blob, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	n, err := RunVetTool(cfgPath, All())
+	if err != nil || n != 0 {
+		t.Fatalf("test unit: n=%d err=%v, want 0, nil", n, err)
+	}
+	st, err := os.Stat(vetx)
+	if err != nil {
+		t.Fatalf("test unit must write an empty facts file: %v", err)
+	}
+	if st.Size() != 0 {
+		t.Errorf("test unit's facts file has %d bytes, want 0", st.Size())
+	}
+}
+
+func TestAllAndByName(t *testing.T) {
+	all := All()
+	for i := 1; i < len(all); i++ {
+		if all[i-1].Name >= all[i].Name {
+			t.Errorf("All() not in strict name order: %q before %q", all[i-1].Name, all[i].Name)
+		}
+	}
+	for _, a := range all {
+		if ByName(a.Name) != a {
+			t.Errorf("ByName(%q) did not return the analyzer", a.Name)
+		}
+	}
+	if ByName("nope") != nil {
+		t.Error(`ByName("nope") returned an analyzer`)
+	}
+}

@@ -70,15 +70,7 @@ func runHotAlloc(pass *Pass) error {
 // isHotPath reports whether the function's doc comment carries the
 // //ftlint:hotpath directive.
 func isHotPath(fn *ast.FuncDecl) bool {
-	if fn.Doc == nil {
-		return false
-	}
-	for _, c := range fn.Doc.List {
-		if c.Text == hotPathDirective {
-			return true
-		}
-	}
-	return false
+	return hasFuncDirective(fn, hotPathDirective)
 }
 
 // checkHotFunc applies the hot-path rules to one annotated function.
@@ -214,10 +206,22 @@ func isEmptySliceExpr(pass *Pass, e ast.Expr) bool {
 // disabled-observer hot path at 0 allocs/op: a nil-guarded concrete pointer
 // passes this rule, an interface-typed observer field would not.
 func checkIfaceBoxing(pass *Pass, call *ast.CallExpr) {
+	forEachIfaceBoxing(pass, call, func(arg ast.Expr, t types.Type) {
+		pass.Reportf(arg.Pos(),
+			"hot path boxes non-pointer %s into an interface (heap-allocates per call); pass a pointer or keep the concrete type (nil-guarded, like the engine's observer)",
+			types.TypeString(t, types.RelativeTo(pass.Pkg)))
+	})
+}
+
+// forEachIfaceBoxing invokes report for every argument of call (or operand of
+// an explicit conversion) whose passing boxes a non-pointer concrete value
+// into an interface. Shared by the intraprocedural hotalloc rule and the
+// call-graph analyzer's allocation-site scanner.
+func forEachIfaceBoxing(pass *Pass, call *ast.CallExpr, report func(arg ast.Expr, t types.Type)) {
 	// Explicit conversion I(x).
 	if tv, ok := pass.Info.Types[call.Fun]; ok && tv.IsType() {
 		if types.IsInterface(tv.Type) && len(call.Args) == 1 {
-			reportIfaceBoxing(pass, call.Args[0])
+			ifaceBoxing(pass, call.Args[0], report)
 		}
 		return
 	}
@@ -242,15 +246,15 @@ func checkIfaceBoxing(pass *Pass, call *ast.CallExpr) {
 			continue
 		}
 		if types.IsInterface(param) {
-			reportIfaceBoxing(pass, arg)
+			ifaceBoxing(pass, arg, report)
 		}
 	}
 }
 
-// reportIfaceBoxing reports arg if converting it to an interface allocates:
-// its static type is a concrete, non-pointer-shaped type and it is not a
-// constant.
-func reportIfaceBoxing(pass *Pass, arg ast.Expr) {
+// ifaceBoxing calls report(arg, type) if converting arg to an interface
+// allocates: its static type is a concrete, non-pointer-shaped type and it is
+// not a constant.
+func ifaceBoxing(pass *Pass, arg ast.Expr, report func(arg ast.Expr, t types.Type)) {
 	tv, ok := pass.Info.Types[ast.Unparen(arg)]
 	if !ok || tv.Type == nil {
 		return
@@ -269,9 +273,7 @@ func reportIfaceBoxing(pass *Pass, arg ast.Expr) {
 	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
 		return // pointer-shaped: stored in the interface word directly
 	}
-	pass.Reportf(arg.Pos(),
-		"hot path boxes non-pointer %s into an interface (heap-allocates per call); pass a pointer or keep the concrete type (nil-guarded, like the engine's observer)",
-		types.TypeString(t, types.RelativeTo(pass.Pkg)))
+	report(arg, t)
 }
 
 // builtinName returns the name of the builtin a call invokes, or "".

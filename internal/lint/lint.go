@@ -46,7 +46,18 @@ type Analyzer struct {
 	// given import path during a whole-repo run. A nil Match applies
 	// everywhere. Fixture tests bypass Match: they run the analyzer
 	// directly on the fixture package.
+	//
+	// For a NeedsFacts analyzer, Match gates only reporting: the analyzer
+	// still runs on non-matching packages in facts-only mode, because its
+	// dependents need the facts.
 	Match func(pkgPath string) bool
+	// NeedsFacts marks an analyzer that exports per-package facts for its
+	// dependents (and imports theirs). The drivers run fact-based analyzers
+	// over packages in dependency order — imports before importers — and
+	// plumb each package's exported payload to the passes analyzing its
+	// dependents: in memory for standalone and fixture runs, through the
+	// .vetx facts files for `go vet -vettool` runs.
+	NeedsFacts bool
 	// Run inspects one package and reports diagnostics through the pass.
 	Run func(*Pass) error
 }
@@ -60,7 +71,40 @@ type Pass struct {
 	Pkg      *types.Package
 	Info     *types.Info
 
+	// FactsOnly is set when this pass runs only to compute exported facts —
+	// the package is outside the analyzer's Match scope, or the vet driver
+	// requested a facts-only (VetxOnly) analysis. Reportf is a no-op on a
+	// facts-only pass.
+	FactsOnly bool
+
+	// importFacts returns the payload the same analyzer exported for a
+	// directly imported package, or nil when none is known (package outside
+	// the analyzed set, standard library, or analyzer exported nothing).
+	importFacts func(pkgPath string) []byte
+	// exportFacts records this package's payload for dependent passes.
+	exportFacts func(payload []byte)
+
 	diags *[]Diagnostic
+}
+
+// ImportFacts returns the fact payload this analyzer exported while analyzing
+// the directly imported package pkgPath, or nil when no facts are known for
+// it. The payload encoding is private to the analyzer (the drivers treat it
+// as opaque bytes).
+func (p *Pass) ImportFacts(pkgPath string) []byte {
+	if p.importFacts == nil {
+		return nil
+	}
+	return p.importFacts(pkgPath)
+}
+
+// ExportFacts records payload as this package's facts for dependent passes of
+// the same analyzer. Calling it more than once overwrites; a package with no
+// exportable facts simply never calls it.
+func (p *Pass) ExportFacts(payload []byte) {
+	if p.exportFacts != nil {
+		p.exportFacts(payload)
+	}
 }
 
 // Diagnostic is one reported finding, resolved to a concrete file position.
@@ -74,8 +118,12 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
 }
 
-// Reportf records a diagnostic at pos.
+// Reportf records a diagnostic at pos. On a facts-only pass it is a no-op:
+// the package is analyzed solely so its dependents see its facts.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	if p.FactsOnly {
+		return
+	}
 	*p.diags = append(*p.diags, Diagnostic{
 		Analyzer: p.Analyzer.Name,
 		Pos:      p.Fset.Position(pos),
@@ -95,17 +143,22 @@ func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
 }
 
 // RunAnalyzers applies every analyzer (subject to its Match filter) to every
-// package and returns the surviving diagnostics sorted by position. Findings
-// on lines carrying an //ftlint:ignore directive for the analyzer are
-// dropped.
+// package and returns the surviving diagnostics sorted by position. Packages
+// are processed in dependency order — imports before importers — so
+// fact-based analyzers see the facts of every analyzed import; facts flow
+// through an in-memory store, the standalone equivalent of the vet driver's
+// .vetx files. Findings on lines carrying an //ftlint:ignore directive for
+// the analyzer are dropped.
 func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	var diags []Diagnostic
-	for _, pkg := range pkgs {
+	store := make(factStore)
+	for _, pkg := range topoOrder(pkgs) {
 		for _, a := range analyzers {
-			if a.Match != nil && !a.Match(pkg.PkgPath) {
+			match := a.Match == nil || a.Match(pkg.PkgPath)
+			if !match && !a.NeedsFacts {
 				continue
 			}
-			if err := runOne(pkg, a, &diags); err != nil {
+			if err := runOne(pkg, a, &diags, store, !match); err != nil {
 				return nil, fmt.Errorf("%s on %s: %w", a.Name, pkg.PkgPath, err)
 			}
 		}
@@ -128,14 +181,21 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) 
 }
 
 // runOne applies a single analyzer to a single package, appending to diags.
-func runOne(pkg *Package, a *Analyzer, diags *[]Diagnostic) error {
+// store may be nil for analyzers that use no facts; factsOnly suppresses
+// reporting (the pass runs solely to export facts).
+func runOne(pkg *Package, a *Analyzer, diags *[]Diagnostic, store factStore, factsOnly bool) error {
 	pass := &Pass{
-		Analyzer: a,
-		Fset:     pkg.Fset,
-		Files:    pkg.Files,
-		Pkg:      pkg.Types,
-		Info:     pkg.Info,
-		diags:    diags,
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		Info:      pkg.Info,
+		FactsOnly: factsOnly,
+		diags:     diags,
+	}
+	if store != nil {
+		pass.importFacts = func(path string) []byte { return store.get(path, a.Name) }
+		pass.exportFacts = func(payload []byte) { store.set(pkg.PkgPath, a.Name, payload) }
 	}
 	return a.Run(pass)
 }

@@ -1,0 +1,19 @@
+package lint
+
+import "testing"
+
+// The loanescape fixture imports loanescape/api, whose //ftlint:loan
+// annotations reach the use package only through exported facts; the local
+// re-loaning cases ride in the same package.
+func TestLoanEscapeFixture(t *testing.T) {
+	RunFixture(t, LoanEscape, ".", "loanescape/use")
+}
+
+func TestLoanEscapeNeedsFacts(t *testing.T) {
+	if !LoanEscape.NeedsFacts {
+		t.Fatal("loanescape must declare NeedsFacts so loan annotations cross package boundaries")
+	}
+	if LoanEscape.Match != nil {
+		t.Fatal("loanescape must run on every package: loans may be consumed anywhere")
+	}
+}

@@ -1,0 +1,29 @@
+// Package b is the imported half of the callgraph fixtures. It is analyzed
+// facts-only — no diagnostics are expected here — but its allocation
+// witnesses must reach package a through the exported facts payload, exactly
+// as internal/concentrator's reach internal/sim in the real repo.
+package b
+
+// Build allocates a map directly; the witness package a sees is one hop.
+func Build(n int) map[int]int {
+	m := make(map[int]int, n)
+	for i := 0; i < n; i++ {
+		m[i] = i
+	}
+	return m
+}
+
+// Outer allocates two hops deep, so package a's diagnostic quotes a chained
+// witness: Outer → inner → the append site.
+func Outer(n int) int { return inner(n) }
+
+func inner(n int) int {
+	var out []int
+	for i := 0; i < n; i++ {
+		out = append(out, i)
+	}
+	return len(out)
+}
+
+// Clean is allocation-free on every static path; hot callers are fine.
+func Clean(n int) int { return 2 * n }

@@ -1,0 +1,23 @@
+// Package dep holds loop bodies whose shutdown bits must reach the
+// goroshutdown fixture through exported facts.
+package dep
+
+// Loop selects on its quit channel, so its "carries a shutdown signal" fact
+// is exported and spawners in other packages may rely on it.
+func Loop(quit chan struct{}, work func()) {
+	for {
+		select {
+		case <-quit:
+			return
+		default:
+			work()
+		}
+	}
+}
+
+// Spin never checks anything; spawning it is a leak wherever it happens.
+func Spin(work func()) {
+	for {
+		work()
+	}
+}

@@ -1,0 +1,125 @@
+// Package goroshutdown exercises every joinability proof and every failure
+// mode of the goroshutdown analyzer.
+package goroshutdown
+
+import (
+	"context"
+	"sync"
+
+	"goroshutdown/dep"
+)
+
+func poll() {}
+
+// leaky spins forever with no signal anywhere in reach.
+func leaky() {
+	go func() { // want `goroutine is not provably joinable`
+		for {
+			poll()
+		}
+	}()
+}
+
+// waitGroup passes on the WaitGroup proof: Done anywhere in the body.
+func waitGroup(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			poll()
+		}()
+	}
+	wg.Wait()
+}
+
+// cancellable passes on the ctx.Done() receive.
+func cancellable(ctx context.Context) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			default:
+				poll()
+			}
+		}
+	}()
+}
+
+// quitChannel passes on the quit-style channel-name heuristic.
+func quitChannel(quit chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-quit:
+				return
+			default:
+				poll()
+			}
+		}
+	}()
+}
+
+// ranger passes because ranging over a channel ends when the producer closes.
+func ranger(jobs chan int) {
+	go func() {
+		for range jobs {
+			poll()
+		}
+	}()
+}
+
+// spawnerAwaited passes on the third proof: the literal sends on a captured
+// channel the enclosing function receives from (the serve-error idiom). The
+// channel name deliberately matches no quit-style word.
+func spawnerAwaited() error {
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run()
+	}()
+	return <-errc
+}
+
+func run() error { return nil }
+
+// transitive passes through the call graph: the named callee reaches a
+// quit-channel select two frames down.
+func transitive(quit chan struct{}) {
+	go worker(quit)
+}
+
+func worker(quit chan struct{}) {
+	inner(quit)
+}
+
+func inner(quit chan struct{}) {
+	for {
+		select {
+		case <-quit:
+			return
+		default:
+			poll()
+		}
+	}
+}
+
+// crossPackage relies on facts: dep.Loop's shutdown bit crossed the package
+// boundary; dep.Spin's absence of one is just as visible.
+func crossPackage(quit chan struct{}) {
+	go dep.Loop(quit, poll)
+	go func() {
+		dep.Loop(quit, poll)
+	}()
+	go dep.Spin(poll) // want `goroutine runs dep\.Spin, which carries no shutdown signal`
+}
+
+// named spawns a resolvable callee with no signal on any path.
+func named() {
+	go poll() // want `goroutine runs poll, which carries no shutdown signal`
+}
+
+// funcValue cannot be resolved statically, so joinability is unprovable.
+func funcValue(f func()) {
+	go f() // want `goroutine target cannot be resolved statically`
+}

@@ -1,0 +1,34 @@
+// Package api is the imported half of the loanescape fixtures: the
+// //ftlint:loan annotations live here, and the use package must learn them
+// through exported facts, exactly as cmd/ftbench learns internal/sched's.
+package api
+
+// Schedule mimics an arena-backed result with the sanctioned Clone() escape
+// hatch.
+type Schedule struct {
+	Cycles []int
+}
+
+// Clone returns an independently owned deep copy.
+func (s *Schedule) Clone() *Schedule {
+	out := &Schedule{Cycles: make([]int, len(s.Cycles))}
+	copy(out.Cycles, s.Cycles)
+	return out
+}
+
+// Owner mimics a Scheduler: loans point into its arena.
+type Owner struct {
+	arena Schedule
+}
+
+// Loan returns a view of the arena, valid until the next call on the owner.
+//
+//ftlint:loan
+func (o *Owner) Loan() *Schedule {
+	return &o.arena
+}
+
+// Fresh is not a loan: every call returns an independently owned value.
+func Fresh() *Schedule {
+	return &Schedule{}
+}

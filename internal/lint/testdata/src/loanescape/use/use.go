@@ -1,0 +1,84 @@
+// Package use exercises every loanescape rule against loans from the api
+// package (known only through facts) and from a local re-loaning function.
+package use
+
+import "loanescape/api"
+
+var owner api.Owner
+
+var leakedGlobal = owner.Loan() // want `package-level variable initialized with a loan from //ftlint:loan api\.\(\*Owner\)\.Loan; loans die at the owner's next call`
+
+var savedGlobal = owner.Loan().Clone() // laundered through Clone(): independently owned
+
+var freshGlobal = api.Fresh() // not a loan: fine
+
+var latest *api.Schedule
+
+type cache struct {
+	sched *api.Schedule
+	byKey map[int]*api.Schedule
+}
+
+// fill stores loans straight from the call into every escaping destination.
+func (c *cache) fill(o *api.Owner, key int) {
+	c.sched = o.Loan()      // want `loan from //ftlint:loan api\.\(\*Owner\)\.Loan stored into struct field "sched"`
+	latest = o.Loan()       // want `loan from //ftlint:loan api\.\(\*Owner\)\.Loan stored into package-level variable "latest"`
+	c.byKey[key] = o.Loan() // want `loan from //ftlint:loan api\.\(\*Owner\)\.Loan stored into a map element`
+	c.sched = o.Loan().Clone()
+}
+
+// track follows the loan through a local variable, and sees the release when
+// the variable is reassigned with an owned value.
+func (c *cache) track(o *api.Owner) {
+	s := o.Loan()
+	c.sched = s // want `loan from //ftlint:loan api\.\(\*Owner\)\.Loan stored into struct field "sched"`
+	s = s.Clone()
+	c.sched = s // reassigned with an owned value: fine
+}
+
+// snapshot re-loans without declaring it.
+func snapshot(o *api.Owner) *api.Schedule {
+	return o.Loan() // want `returns a loan from //ftlint:loan api\.\(\*Owner\)\.Loan, but snapshot is not annotated //ftlint:loan`
+}
+
+// reloan declares the re-loan, so its returns are fine — and its own callers
+// are now tracked through the local loan set.
+//
+//ftlint:loan
+func reloan(o *api.Owner) *api.Schedule {
+	return o.Loan()
+}
+
+// keep shows a local //ftlint:loan function's result escaping: the source in
+// the diagnostic is unqualified because the annotation is in this package.
+func keep(o *api.Owner) {
+	s := reloan(o)
+	latest = s // want `loan from //ftlint:loan reloan stored into package-level variable "latest"`
+}
+
+// fanOut hands loans to goroutines, as an argument and by capture.
+func fanOut(o *api.Owner) {
+	s := o.Loan()
+	go consume(s) // want `loan from //ftlint:loan api\.\(\*Owner\)\.Loan passed to a goroutine, which may outlive it`
+	go func() {
+		n := len(s.Cycles) // want `loaned value "s" \(from //ftlint:loan api\.\(\*Owner\)\.Loan\) captured by a goroutine, which may outlive it`
+		_ = n
+	}()
+	go consume(s.Clone()) // laundered before the handoff: fine
+}
+
+func consume(s *api.Schedule) { _ = s }
+
+// local consumes a loan before the owner's next call — the sanctioned
+// pattern; var-declaration tracking keeps it quiet, not blindness.
+func local(o *api.Owner) int {
+	var s = o.Loan()
+	return len(s.Cycles)
+}
+
+// facade mirrors the repo's package-level wrappers: a fresh Owner per call
+// makes the loan independently owned, recorded with a sanctioned ignore.
+func facade() *api.Schedule {
+	//ftlint:ignore loanescape fresh Owner per call: its arena is unreachable elsewhere
+	return new(api.Owner).Loan()
+}

@@ -43,24 +43,14 @@ type testingT interface {
 // analyzer (bypassing its Match filter — fixtures choose their analyzer
 // explicitly), and compares the diagnostics against the // want
 // expectations in the fixture source.
+//
+// For a NeedsFacts analyzer, any fixture-local imports (sibling directories
+// under testdata/src) are first analyzed in facts-only mode in dependency
+// order, so the main fixture package sees their facts exactly as a real
+// driver would — this is how the cross-package call-graph fixtures work.
 func RunFixture(t testingT, a *Analyzer, dir, fixture string) {
 	t.Helper()
 	src := filepath.Join(dir, "testdata", "src")
-	pkg, err := loadFixture(src, fixture)
-	if err != nil {
-		t.Fatalf("loading fixture %s: %v", fixture, err)
-	}
-	var diags []Diagnostic
-	if err := runOne(pkg, a, &diags); err != nil {
-		t.Fatalf("running %s on fixture %s: %v", a.Name, fixture, err)
-	}
-	diags = filterIgnored([]*Package{pkg}, diags)
-	checkExpectations(t, pkg, diags)
-}
-
-// loadFixture type-checks the single package at src/<path>, resolving
-// fixture-local imports from sibling directories.
-func loadFixture(src, path string) (*Package, error) {
 	fset := token.NewFileSet()
 	fi := &fixtureImporter{
 		src:      src,
@@ -68,7 +58,30 @@ func loadFixture(src, path string) (*Package, error) {
 		std:      importer.ForCompiler(fset, "gc", stdLookup(src)),
 		packages: make(map[string]*types.Package),
 	}
-	return fi.load(path)
+	pkg, err := fi.load(fixture)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", fixture, err)
+	}
+	var diags []Diagnostic
+	store := make(factStore)
+	if a.NeedsFacts {
+		// fi.loaded is in completion order — imports finish loading before
+		// their importers — so it is already topological; the main fixture
+		// package is last and skipped here.
+		for _, dep := range fi.loaded {
+			if dep.PkgPath == fixture {
+				continue
+			}
+			if err := runOne(dep, a, &diags, store, true); err != nil {
+				t.Fatalf("running %s on fixture dep %s: %v", a.Name, dep.PkgPath, err)
+			}
+		}
+	}
+	if err := runOne(pkg, a, &diags, store, false); err != nil {
+		t.Fatalf("running %s on fixture %s: %v", a.Name, fixture, err)
+	}
+	diags = filterIgnored([]*Package{pkg}, diags)
+	checkExpectations(t, pkg, diags)
 }
 
 // stdLookup satisfies standard-library imports from compiler export data,
@@ -130,6 +143,7 @@ type fixtureImporter struct {
 	fset     *token.FileSet
 	std      types.Importer
 	packages map[string]*types.Package
+	loaded   []*Package // fixture-local packages in completion (topological) order
 }
 
 func (fi *fixtureImporter) Import(path string) (*types.Package, error) {
@@ -174,14 +188,16 @@ func (fi *fixtureImporter) load(path string) (*Package, error) {
 		return nil, fmt.Errorf("type-checking fixture %s: %v", path, err)
 	}
 	fi.packages[path] = tpkg
-	return &Package{
+	pkg := &Package{
 		PkgPath: path,
 		Dir:     dir,
 		Fset:    fi.fset,
 		Files:   files,
 		Types:   tpkg,
 		Info:    info,
-	}, nil
+	}
+	fi.loaded = append(fi.loaded, pkg)
+	return pkg, nil
 }
 
 func dirExists(path string) bool {

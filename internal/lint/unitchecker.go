@@ -23,10 +23,13 @@ func hasTestFile(files []string) bool {
 // This file implements the driver side of cmd/vet's -vettool protocol, so
 // ftlint can run as `go vet -vettool=$(which ftlint) ./...`. The go command
 // invokes the tool once per package with a JSON config file argument
-// (<dir>/vet.cfg) naming the package's sources and the export-data files of
-// its imports, and expects the tool to write the "facts" output file, print
-// diagnostics to stderr, and exit non-zero when it found any. ftlint
-// computes no cross-package facts, so the facts file is written empty.
+// (<dir>/vet.cfg) naming the package's sources, the export-data files of its
+// imports, and the .vetx facts files its imports produced in earlier
+// invocations; the tool must write this package's facts file, print
+// diagnostics to stderr, and exit non-zero when it found any. Fact-based
+// analyzers (Analyzer.NeedsFacts) run even on VetxOnly invocations — where
+// the go command wants only the facts file, because the package is analyzed
+// purely as a dependency — with reporting suppressed.
 
 // vetConfig mirrors the fields of the go command's vet config JSON that
 // ftlint consumes (the file carries more; unknown fields are ignored).
@@ -37,6 +40,7 @@ type vetConfig struct {
 	GoFiles                   []string
 	ImportMap                 map[string]string
 	PackageFile               map[string]string
+	PackageVetx               map[string]string
 	VetxOnly                  bool
 	VetxOutput                string
 	SucceedOnTypecheckFailure bool
@@ -53,24 +57,15 @@ func RunVetTool(cfgPath string, analyzers []*Analyzer) (int, error) {
 	if err := json.Unmarshal(data, &cfg); err != nil {
 		return 0, fmt.Errorf("parsing vet config %s: %v", cfgPath, err)
 	}
-	// The facts file must exist for the go command to cache the result,
-	// even when this package is only analyzed for its dependents.
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
-			return 0, err
-		}
-	}
-	if cfg.VetxOnly {
-		return 0, nil
-	}
 	// The invariants are production-code rules: tests may use fixed seeds
 	// and exact comparisons deliberately. The go command compiles test
 	// variants as separate units ("p [p.test]", "p_test"); skip any unit
 	// carrying test sources, mirroring the standalone loader, which
-	// analyzes GoFiles only.
+	// analyzes GoFiles only. The facts file must still exist for the go
+	// command to cache the result, so write it empty.
 	if strings.Contains(cfg.ImportPath, " [") || strings.HasSuffix(cfg.ImportPath, ".test") ||
 		strings.HasSuffix(cfg.ImportPath, "_test") || hasTestFile(cfg.GoFiles) {
-		return 0, nil
+		return 0, writeFactsFile(cfg.VetxOutput, nil)
 	}
 
 	fset := token.NewFileSet()
@@ -87,23 +82,63 @@ func RunVetTool(cfgPath string, analyzers []*Analyzer) (int, error) {
 	pkg, err := checkPackage(fset, imp, cfg.ImportPath, cfg.Dir, cfg.GoFiles)
 	if err != nil {
 		if cfg.SucceedOnTypecheckFailure {
-			return 0, nil
+			return 0, writeFactsFile(cfg.VetxOutput, nil)
 		}
 		return 0, err
 	}
 
+	// Seed the fact store with the imports' facts files, keyed by canonical
+	// import path (the paths analyzers see through types.Package.Path).
+	store := make(factStore)
+	for path, file := range cfg.PackageVetx {
+		blob, err := os.ReadFile(file)
+		if err != nil {
+			return 0, fmt.Errorf("reading facts of %s: %v", path, err)
+		}
+		byAnalyzer, err := decodeFactsFile(blob)
+		if err != nil {
+			return 0, fmt.Errorf("facts of %s: %v", path, err)
+		}
+		for name, payload := range byAnalyzer {
+			store.set(path, name, payload)
+		}
+	}
+
 	var diags []Diagnostic
 	for _, a := range analyzers {
-		if a.Match != nil && !a.Match(cfg.ImportPath) {
+		match := a.Match == nil || a.Match(cfg.ImportPath)
+		if !match && !a.NeedsFacts {
 			continue
 		}
-		if err := runOne(pkg, a, &diags); err != nil {
+		factsOnly := cfg.VetxOnly || !match
+		if err := runOne(pkg, a, &diags, store, factsOnly); err != nil {
 			return 0, err
 		}
+	}
+	if err := writeFactsFile(cfg.VetxOutput, store[cfg.ImportPath]); err != nil {
+		return 0, err
+	}
+	if cfg.VetxOnly {
+		return 0, nil
 	}
 	diags = filterIgnored([]*Package{pkg}, diags)
 	for _, d := range diags {
 		fmt.Fprintln(os.Stderr, d)
 	}
 	return len(diags), nil
+}
+
+// writeFactsFile encodes the analyzer-name → payload map of the analyzed
+// package into the .vetx file the go command asked for. A nil map writes an
+// empty file: the file must exist for the vet result to be cacheable even
+// when there are no facts.
+func writeFactsFile(path string, facts map[string][]byte) error {
+	if path == "" {
+		return nil
+	}
+	blob, err := encodeFactsFile(facts)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, blob, 0o666)
 }

@@ -15,6 +15,7 @@ import "fattree/internal/core"
 // independent of the OffLine arena, so compacting the last OffLine result is
 // safe).
 //
+//ftlint:loan
 //ftlint:hotpath
 func (sc *Scheduler) Compact(s *Schedule) *Schedule {
 	if s.Tree != sc.tree {
@@ -74,6 +75,8 @@ func (sc *Scheduler) Compact(s *Schedule) *Schedule {
 // OffLineCompact schedules ms with Theorem 1 and compacts the result — the
 // recommended production entry point: same worst-case guarantee, fewer cycles
 // in practice. The result is a loan from the scheduler's arena.
+//
+//ftlint:loan
 func (sc *Scheduler) OffLineCompact(ms core.MessageSet) *Schedule {
 	return sc.Compact(sc.schedule(ms, nil, nil))
 }
@@ -82,6 +85,7 @@ func (sc *Scheduler) OffLineCompact(ms core.MessageSet) *Schedule {
 // usually fewer). It constructs a fresh Scheduler per call, so the result is
 // independently owned.
 func Compact(s *Schedule) *Schedule {
+	//ftlint:ignore loanescape fresh Scheduler per call: its arena is unreachable elsewhere, so the result is independently owned
 	return NewScheduler(s.Tree).Compact(s)
 }
 
@@ -89,5 +93,6 @@ func Compact(s *Schedule) *Schedule {
 // constructs a fresh Scheduler per call; loops should hold a Scheduler and
 // call its OffLineCompact method instead.
 func OffLineCompact(t *core.FatTree, ms core.MessageSet) *Schedule {
+	//ftlint:ignore loanescape fresh Scheduler per call: its arena is unreachable elsewhere, so the result is independently owned
 	return NewScheduler(t).OffLineCompact(ms)
 }

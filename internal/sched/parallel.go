@@ -16,5 +16,6 @@ func OffLineParallel(t *core.FatTree, ms core.MessageSet) *Schedule {
 // OffLineParallelWorkers is OffLineParallel with an explicit worker bound
 // (<= 0 means GOMAXPROCS). The schedule is identical for every bound.
 func OffLineParallelWorkers(t *core.FatTree, ms core.MessageSet, workers int) *Schedule {
+	//ftlint:ignore loanescape fresh Scheduler per call: its arena is unreachable elsewhere, so the result is independently owned
 	return NewScheduler(t).OffLineParallel(ms, workers)
 }

@@ -148,6 +148,7 @@ func (x *crossing) empty() bool { return len(x.lr) == 0 && len(x.rl) == 0 }
 // independently owned; loops that schedule many message sets on one tree
 // should hold a Scheduler and call its OffLine method instead.
 func OffLine(t *core.FatTree, ms core.MessageSet) *Schedule {
+	//ftlint:ignore loanescape fresh Scheduler per call: its arena is unreachable elsewhere, so the result is independently owned
 	return NewScheduler(t).OffLine(ms)
 }
 
@@ -157,6 +158,7 @@ func OffLine(t *core.FatTree, ms core.MessageSet) *Schedule {
 // their LCA there (index lg n + 1 holds the external-traffic block). The
 // schedule produced is identical to OffLine's.
 func OffLineObserved(t *core.FatTree, ms core.MessageSet, o *obsv.Observer) *Schedule {
+	//ftlint:ignore loanescape fresh Scheduler per call: its arena is unreachable elsewhere, so the result is independently owned
 	return NewScheduler(t).OffLineObserved(ms, o)
 }
 

@@ -137,12 +137,16 @@ func (sc *Scheduler) Tree() *core.FatTree { return sc.tree }
 
 // OffLine schedules ms with the Theorem 1 algorithm. The returned schedule is
 // a loan from the scheduler's arena, valid until the next call.
+//
+//ftlint:loan
 func (sc *Scheduler) OffLine(ms core.MessageSet) *Schedule {
 	return sc.schedule(ms, nil, nil)
 }
 
 // OffLineObserved is OffLine with the observability layer attached; the
 // schedule produced is identical to OffLine's.
+//
+//ftlint:loan
 func (sc *Scheduler) OffLineObserved(ms core.MessageSet, o *obsv.Observer) *Schedule {
 	return sc.schedule(ms, o, nil)
 }
@@ -152,6 +156,8 @@ func (sc *Scheduler) OffLineObserved(ms core.MessageSet, o *obsv.Observer) *Sche
 // at the same level use disjoint channels, messages, and scratch regions, and
 // the per-node results are assembled serially in node order, so the schedule
 // is bit-identical to OffLine's for every worker count.
+//
+//ftlint:loan
 func (sc *Scheduler) OffLineParallel(ms core.MessageSet, workers int) *Schedule {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -166,6 +172,8 @@ func (sc *Scheduler) OffLineParallel(ms core.MessageSet, workers int) *Schedule 
 // OffLineParallelObserved combines OffLineParallel and OffLineObserved.
 // Counters are updated only at the serial merge points between levels, so the
 // observer sees identical values for every worker count.
+//
+//ftlint:loan
 func (sc *Scheduler) OffLineParallelObserved(ms core.MessageSet, workers int, o *obsv.Observer) *Schedule {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -181,9 +189,11 @@ func (sc *Scheduler) OffLineParallelObserved(ms core.MessageSet, workers int, o 
 // the external block and then every level (optionally in parallel), and
 // assemble delivery cycles. o and pool may be nil.
 //
+//ftlint:loan
 //ftlint:hotpath
 func (sc *Scheduler) schedule(ms core.MessageSet, o *obsv.Observer, pool *par.Pool) *Schedule {
 	t := sc.tree
+	//ftlint:ignore callgraphhotalloc Validate allocates only on its error path, which feeds the panic below; the happy path is allocation-free.
 	if err := ms.Validate(t); err != nil {
 		panic(err)
 	}
@@ -285,6 +295,7 @@ func (sc *Scheduler) schedule(ms core.MessageSet, o *obsv.Observer, pool *par.Po
 		if len(sc.nodes) == 0 {
 			continue
 		}
+		//ftlint:ignore callgraphhotalloc parallel fan-out spawns worker closures by design; the serial path (nil pool) returns before allocating.
 		pool.ForEach(len(sc.nodes), sc.nodeWorker)
 
 		maxParts := 0

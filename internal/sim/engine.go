@@ -482,6 +482,7 @@ func (e *Engine) own(first, v, i int) {
 func (e *Engine) routeLevel(pool *par.Pool, first int, upSweep bool, res *CycleResult) {
 	scr := &e.scr
 	scr.curFirst, scr.curUp = first, upSweep
+	//ftlint:ignore callgraphhotalloc parallel fan-out spawns worker closures by design; the serial path (nil pool) returns before allocating.
 	pool.ForEach(len(scr.nodes), e.levelWorker)
 	if e.obs != nil {
 		// Observation happens here, after the fan-out has joined and before
