@@ -40,23 +40,25 @@ lint-extra:
 		echo "govulncheck not installed; skipping (CI runs it pinned)"; \
 	fi
 
-# Delivery-engine micro-benchmarks (EXPERIMENTS.md §A4) as machine-readable
-# JSON: ns/op, B/op, allocs/op for RouteCycle{Serial,Parallel} and
-# OffLineSchedule at n = 256, 1024, 4096, plus run metadata (go version,
-# GOOS/GOARCH, CPU count, timestamp) so snapshots are comparable across
-# machines and PRs.
+# Delivery-engine micro-benchmarks (EXPERIMENTS.md §A4/§A6) as
+# machine-readable JSON: ns/op, B/op, allocs/op for
+# RouteCycle{Serial,Parallel} and OffLineSchedule at n = 256, 1024, 4096, the
+# implicit-topology streaming rows RouteCycleImplicit{,Par} at n = 2^16, 2^18,
+# 2^20 with bytes/endpoint, plus run metadata (go version, GOOS/GOARCH, CPU
+# count, timestamp) so snapshots are comparable across machines and PRs.
 bench-json:
-	$(GO) run ./cmd/ftbench -bench -json > BENCH_6.json
+	$(GO) run ./cmd/ftbench -bench -json > BENCH_8.json
 
 # Compare a fresh benchmark run against the committed baseline and flag
 # ns/op regressions above 10% (and any allocs/op increase). Advisory: the
-# report always exits 0; CI additionally holds the OffLineSchedule family to
-# -strict (it is allocation-free and far less noisy than wall-clock on shared
-# runners). Use `go run ./cmd/ftbenchdiff -strict old.json new.json` to fail
-# on any regression.
+# report always exits 0; CI additionally holds the OffLineSchedule and
+# RouteCycle/Implicit families to -strict (they are allocation-free, so the
+# allocs/op half is noise-immune, and the ns/op half gets a wide band). Use
+# `go run ./cmd/ftbenchdiff -strict old.json new.json` to fail on any
+# regression.
 bench-diff:
 	$(GO) run ./cmd/ftbench -bench -json > /tmp/bench-current.json
-	$(GO) run ./cmd/ftbenchdiff BENCH_6.json /tmp/bench-current.json
+	$(GO) run ./cmd/ftbenchdiff BENCH_8.json /tmp/bench-current.json
 
 # Run the live-telemetry daemon locally: Prometheus metrics at
 # http://127.0.0.1:8080/metrics while simulations rotate underneath.

@@ -32,6 +32,31 @@ func TestRouteCycleSerialZeroAllocs(t *testing.T) {
 	}
 }
 
+// TestRouteCycleImplicitZeroAllocs extends the contract to the streaming
+// engine: on an implicit topology, a warmed delivery cycle performs zero heap
+// allocations even at sizes where the materialized engine could not be built.
+// The CI bench-guard job additionally asserts the same figure out of
+// BenchmarkRouteCycleImplicit's -benchmem output.
+func TestRouteCycleImplicitZeroAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("alloc guard is covered at full size in CI")
+	}
+	for _, n := range []int{1 << 16, 1 << 18} {
+		ft := fattree.NewImplicitUniversal(n, n/4)
+		ms := fattree.Random(n, n/64, 1)
+		e := fattree.NewEngineWithOptions(ft, fattree.SwitchIdeal, 0, fattree.Options{Workers: 1})
+		e.RunCycle(ms) // warm the scratch arena
+		allocs := testing.AllocsPerRun(10, func() {
+			if _, res := e.RunCycle(ms); res.Delivered == 0 {
+				t.Fatal("cycle delivered nothing")
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("n=%d: %v allocs/op on the streaming engine, want 0", n, allocs)
+		}
+	}
+}
+
 // TestOffLineScheduleAllocs pins the scheduler half of the allocation
 // contract: a warmed reusable Scheduler runs the full Theorem 1 pipeline —
 // λ computation, LCA grouping, repeated even-bisection, one-cycle assembly —

@@ -230,6 +230,32 @@ func BenchmarkRouteCycleParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkRouteCycleImplicit isolates one steady-state delivery cycle on
+// the implicit-topology streaming engine at scales the materialized engine
+// cannot reach in memory. Like RouteCycleSerial it is pinned at 0 allocs/op
+// by the CI bench-guard; the retained-footprint half of the contract
+// (bytes/endpoint at n = 2^20) is pinned by TestSoakImplicitHugeBoundedMemory
+// and recorded in EXPERIMENTS.md §A6.
+func BenchmarkRouteCycleImplicit(b *testing.B) {
+	for _, n := range []int{1 << 16, 1 << 20} {
+		b.Run("n="+itoa(n), func(b *testing.B) {
+			ft := fattree.NewImplicitUniversal(n, n/4)
+			ms := fattree.Random(n, n/64, 1)
+			e := fattree.NewEngineWithOptions(ft, fattree.SwitchIdeal, 0, fattree.Options{Workers: 1})
+			// Warm the scratch arena so the measured loop is steady state.
+			e.RunCycle(ms)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				delivered, res := e.RunCycle(ms)
+				if res.Delivered == 0 || len(delivered) != len(ms) {
+					b.Fatalf("cycle delivered %d of %d", res.Delivered, len(ms))
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkOffLineSchedule tracks the Theorem 1 scheduler's allocation
 // behaviour alongside its speed at the three standard sizes. The schedule is
 // produced by a warmed reusable Scheduler — the steady state of any caller

@@ -45,15 +45,18 @@ func currentBenchMeta() benchMeta {
 }
 
 // benchResult is one micro-benchmark measurement. Hist is only set for the
-// observed serial delivery cycle under -hist.
+// observed serial delivery cycle under -hist; BytesPerEndpoint only for the
+// implicit-topology rows, where the retained-heap footprint per endpoint is
+// the tracked figure (ISSUE 8: 2^20 endpoints in bounded memory).
 type benchResult struct {
-	Name        string                `json:"name"`
-	N           int                   `json:"n"`
-	Iterations  int                   `json:"iterations"`
-	NsPerOp     float64               `json:"ns_per_op"`
-	BytesPerOp  int64                 `json:"bytes_per_op"`
-	AllocsPerOp int64                 `json:"allocs_per_op"`
-	Hist        *fattree.ObsvSnapshot `json:"hist,omitempty"`
+	Name             string                `json:"name"`
+	N                int                   `json:"n"`
+	Iterations       int                   `json:"iterations"`
+	NsPerOp          float64               `json:"ns_per_op"`
+	BytesPerOp       int64                 `json:"bytes_per_op"`
+	AllocsPerOp      int64                 `json:"allocs_per_op"`
+	BytesPerEndpoint float64               `json:"bytes_per_endpoint,omitempty"`
+	Hist             *fattree.ObsvSnapshot `json:"hist,omitempty"`
 }
 
 // benchDoc is the -json output shape since PR 5. ftbenchdiff also accepts
@@ -65,6 +68,12 @@ type benchDoc struct {
 
 // benchSizes are the processor counts every micro-benchmark runs at.
 var benchSizes = []int{256, 1024, 4096}
+
+// implicitBenchSizes are the large-n rows the streaming engine runs at. They
+// are implicit-topology only: a materialized tree at 2^20 endpoints would
+// allocate per-node switch state far beyond the memory ceiling these rows
+// exist to pin, so the dense engine has no row here by design.
+var implicitBenchSizes = []int{1 << 16, 1 << 18, 1 << 20}
 
 // runMicroBenchmarks measures the suite and writes it to stdout.
 func runMicroBenchmarks(asJSON, withHist bool) error {
@@ -86,14 +95,23 @@ func runMicroBenchmarks(asJSON, withHist bool) error {
 			measureBench("OffLineSchedule", n, offLineBench(n)),
 		)
 	}
+	for _, n := range implicitBenchSizes {
+		results = append(results, implicitRouteBenches(n)...)
+	}
 	if asJSON {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		return enc.Encode(benchDoc{Meta: currentBenchMeta(), Benchmarks: results})
 	}
-	fmt.Printf("%-20s %6s %14s %12s %12s\n", "benchmark", "n", "ns/op", "B/op", "allocs/op")
+	fmt.Printf("%-22s %8s %14s %12s %12s %12s\n",
+		"benchmark", "n", "ns/op", "B/op", "allocs/op", "B/endpoint")
 	for _, r := range results {
-		fmt.Printf("%-20s %6d %14.0f %12d %12d\n", r.Name, r.N, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+		perEndpoint := "-"
+		if r.BytesPerEndpoint > 0 {
+			perEndpoint = fmt.Sprintf("%.1f", r.BytesPerEndpoint)
+		}
+		fmt.Printf("%-22s %8d %14.0f %12d %12d %12s\n",
+			r.Name, r.N, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp, perEndpoint)
 	}
 	if withHist {
 		for _, r := range results {
@@ -134,6 +152,57 @@ func routeCycleBench(n, workers int, obs *fattree.Observer) func(*testing.B) {
 			fattree.Options{Workers: workers, Observer: obs})
 		// Warm the scratch arena so the measured loop is steady state.
 		e.RunCycle(ms)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			delivered, res := e.RunCycle(ms)
+			if res.Delivered == 0 || len(delivered) != len(ms) {
+				b.Fatalf("cycle delivered %d of %d", res.Delivered, len(ms))
+			}
+		}
+	}
+}
+
+// implicitRouteBenches measures the streaming engine on an implicit
+// universal tree at one large n: a serial row (pinned at 0 allocs/op, like
+// the dense RouteCycleSerial) and a parallel row, plus the retained-heap
+// footprint per endpoint on the serial row. The footprint is the delta of two
+// GC'd heap readings around topology + engine construction and one warm-up
+// cycle, so it captures exactly what the data plane retains at steady state —
+// O(messages × path length) arena plus the O(levels) capacity profile,
+// independent of n. The CI memory-guard pins the same figure out of
+// TestSoakImplicitHugeBoundedMemory.
+func implicitRouteBenches(n int) []benchResult {
+	ms := fattree.Random(n, n/64, 1)
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	ft := fattree.NewImplicitUniversal(n, n/4)
+	e := fattree.NewEngineWithOptions(ft, fattree.SwitchIdeal, 0, fattree.Options{Workers: 1})
+	e.RunCycle(ms) // warm the scratch arena to its high-water mark
+	runtime.GC()
+	runtime.ReadMemStats(&after)
+	retained := int64(after.HeapAlloc) - int64(before.HeapAlloc)
+	if retained < 0 {
+		retained = 0 // the first GC collected more than the engine retains
+	}
+
+	serial := measureBench("RouteCycleImplicit", n, implicitCycleBench(e, ms))
+	serial.BytesPerEndpoint = float64(retained) / float64(n)
+
+	fp := fattree.NewImplicitUniversal(n, n/4)
+	ep := fattree.NewEngineWithOptions(fp, fattree.SwitchIdeal, 0, fattree.Options{Workers: 0})
+	ep.RunCycle(ms)
+	parallel := measureBench("RouteCycleImplicitPar", n, implicitCycleBench(ep, ms))
+	return []benchResult{serial, parallel}
+}
+
+// implicitCycleBench measures one steady-state delivery cycle on a warmed
+// streaming engine; random large-n sets are not one-cycle, so the invariant
+// is progress plus a full delivered vector, not full delivery.
+func implicitCycleBench(e *fattree.Engine, ms fattree.MessageSet) func(*testing.B) {
+	return func(b *testing.B) {
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {

@@ -33,6 +33,7 @@ type config struct {
 	runs      int
 	interval  time.Duration
 	history   int
+	implicit  bool
 }
 
 // serveWorkloads are the workload generators the rotation may use.
@@ -62,6 +63,7 @@ func parseConfig(args []string) (config, error) {
 	fs.IntVar(&cfg.runs, "runs", 0, "stop after this many runs and exit 0 (0 = run until signalled)")
 	fs.DurationVar(&cfg.interval, "interval", 0, "pause between runs (0 = back to back)")
 	fs.IntVar(&cfg.history, "history", 64, "completed runs retained for /runs")
+	fs.BoolVar(&cfg.implicit, "implicit", false, "compute topologies on the fly and route with the streaming engine (per-level /metrics counters; lets -n reach 2^20)")
 	if err := fs.Parse(args); err != nil {
 		return cfg, fmt.Errorf("%w\n%s", err, usage.String())
 	}
@@ -161,8 +163,20 @@ func newServer(cfg config) (*server, error) {
 		if w == 0 {
 			w = n / 4
 		}
-		ft := fattree.NewUniversal(n, w)
-		obs := fattree.NewObserver(ft)
+		// Implicit mode trades the per-node counter arrays for per-level
+		// ones (the exposition is per-level anyway) and computes the tree on
+		// demand, so one rotation can hold a 2^20-endpoint instance.
+		var ft fattree.Topology
+		var obs *fattree.Observer
+		if cfg.implicit {
+			imp := fattree.NewImplicitUniversal(n, w)
+			ft = imp
+			obs = fattree.NewObserverCompact(imp)
+		} else {
+			dense := fattree.NewUniversal(n, w)
+			ft = dense
+			obs = fattree.NewObserver(dense)
+		}
 		eng := fattree.NewEngineWithOptions(ft, cfg.switches, cfg.seed+int64(i),
 			fattree.Options{Workers: cfg.workers, Observer: obs})
 		if cfg.loss > 0 {

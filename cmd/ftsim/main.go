@@ -9,6 +9,7 @@
 //	ftsim -n 1024 -w 1024 -workload perm -policy online -switches partial
 //	ftsim -n 256 -w 32 -workload local -k 2048 -radius 4 -policy offlinebig
 //	ftsim -n 256 -counters -trace-out trace.json   # open in chrome://tracing
+//	ftsim -implicit -n 1048576 -workload random -k 16384 -policy online
 //
 // Exit status: 0 success, 1 runtime failure, 2 usage error.
 package main
@@ -28,6 +29,8 @@ import (
 func main() {
 	n := flag.Int("n", 256, "number of processors (power of two)")
 	w := flag.Int("w", 0, "root capacity (default n/4)")
+	implicit := flag.Bool("implicit", false,
+		"compute the topology on the fly (no per-node state) and route with the subtree-sharded streaming engine; lets -n reach 2^20 in bounded memory")
 	workloadName := flag.String("workload", "perm", "workload: perm|random|bitrev|transpose|shuffle|reversal|local|hotspot|nn|alltoall")
 	k := flag.Int("k", 0, "message count for random/local/hotspot (default 4n)")
 	radius := flag.Int("radius", 4, "radius for -workload local")
@@ -65,13 +68,31 @@ func main() {
 	var obs *fattree.Observer
 	var stopProfiles func() error
 
-	ft := fattree.NewUniversal(*n, *w)
+	// Under -implicit the topology is computed, not stored: dense stays nil,
+	// and the two visualizations that walk per-node state are skipped (they
+	// would materialize exactly the O(n) tables -implicit exists to avoid).
+	var ft fattree.Topology
+	var dense *fattree.FatTree
+	if *implicit {
+		ft = fattree.NewImplicitUniversal(*n, *w)
+	} else {
+		dense = fattree.NewUniversal(*n, *w)
+		ft = dense
+	}
 	ms := buildWorkload(*workloadName, *n, *k, *radius, *seed)
 	lam := fattree.LoadFactor(ft, ms)
-	fmt.Printf("fat-tree n=%d w=%d   workload %s: %d messages, λ = %.2f (lower bound on cycles)\n",
-		*n, ft.RootCapacity(), *workloadName, len(ms), lam)
+	kindNote := ""
+	if *implicit {
+		kindNote = " (implicit)"
+	}
+	fmt.Printf("fat-tree n=%d w=%d%s   workload %s: %d messages, λ = %.2f (lower bound on cycles)\n",
+		*n, ft.RootCapacity(), kindNote, *workloadName, len(ms), lam)
 	if *showViz {
-		viz.Utilization(os.Stdout, ft, ms)
+		if dense != nil {
+			viz.Utilization(os.Stdout, dense, ms)
+		} else {
+			fmt.Println("(-viz utilization bars need the materialized topology; skipped under -implicit)")
+		}
 	}
 
 	kind := fattree.SwitchIdeal
@@ -82,7 +103,13 @@ func main() {
 	}
 
 	if *counters || *hist || *histJSON != "" || *traceOut != "" || *traceJSONL != "" {
-		obs = fattree.NewObserver(ft)
+		// The compact observer folds per-node counters into per-level arrays
+		// — O(levels) instead of O(n), required at -implicit scales.
+		if *implicit {
+			obs = fattree.NewObserverCompact(ft)
+		} else {
+			obs = fattree.NewObserver(ft)
+		}
 		if *traceOut != "" || *traceJSONL != "" {
 			if *traceCap < 1 {
 				usage("-trace-cap must be >= 1 (got %d)", *traceCap)
@@ -155,7 +182,11 @@ func main() {
 		fmt.Printf("schedule: %d delivery cycles (bound %.1f, utilization %.2f)\n",
 			s.Length(), s.Bound, s.Utilization())
 		if *showViz {
-			viz.ScheduleGantt(os.Stdout, ft, s.Cycles)
+			if dense != nil {
+				viz.ScheduleGantt(os.Stdout, dense, s.Cycles)
+			} else {
+				fmt.Println("(-viz schedule Gantt needs the materialized topology; skipped under -implicit)")
+			}
 		}
 		stats = fattree.RunSchedule(engine, s)
 		cycles = s.Cycles

@@ -34,8 +34,18 @@ import (
 
 // Core topology types.
 type (
-	// FatTree is a fat-tree routing network on n = 2^L processors.
+	// Topology is the interface the scheduler, simulator, and observability
+	// layers program against: a materialized FatTree or a computed
+	// ImplicitFatTree, identical by construction.
+	Topology = core.Topology
+	// FatTree is a materialized fat-tree routing network on n = 2^L
+	// processors, with a flat per-node capacity table.
 	FatTree = core.FatTree
+	// ImplicitFatTree is the computed fat-tree: the same geometry in
+	// O(levels) memory, with no per-node storage. The simulation engine
+	// recognizes it and streams flight state through subtree shards, so
+	// 2^20-endpoint networks simulate in bounded memory.
+	ImplicitFatTree = core.ImplicitFatTree
 	// Message is a point-to-point message (source, destination).
 	Message = core.Message
 	// MessageSet is a multiset of messages.
@@ -82,15 +92,30 @@ func Universal2DCapacity(n, w, level int) int { return core.Universal2DCapacity(
 // universal fat-tree with n processors and root capacity w.
 func UniversalCapacity(n, w, level int) int { return core.UniversalCapacity(n, w, level) }
 
+// NewImplicit builds an implicit (computed, O(levels)-memory) fat-tree on n
+// processors with capacity capAt(level) at each level.
+func NewImplicit(n int, capAt func(level int) int) *ImplicitFatTree {
+	return core.NewImplicit(n, capAt)
+}
+
+// NewImplicitUniversal is NewUniversal's implicit counterpart.
+func NewImplicitUniversal(n, w int) *ImplicitFatTree { return core.NewImplicitUniversal(n, w) }
+
+// NewImplicitConstant is NewConstant's implicit counterpart.
+func NewImplicitConstant(n, c int) *ImplicitFatTree { return core.NewImplicitConstant(n, c) }
+
+// NewImplicitDoubling is NewDoubling's implicit counterpart.
+func NewImplicitDoubling(n int) *ImplicitFatTree { return core.NewImplicitDoubling(n) }
+
 // NewLoads computes per-channel loads of ms on t.
-func NewLoads(t *FatTree, ms MessageSet) *Loads { return core.NewLoads(t, ms) }
+func NewLoads(t Topology, ms MessageSet) *Loads { return core.NewLoads(t, ms) }
 
 // LoadFactor returns λ(M) — the paper's lower bound on delivery cycles.
-func LoadFactor(t *FatTree, ms MessageSet) float64 { return core.LoadFactor(t, ms) }
+func LoadFactor(t Topology, ms MessageSet) float64 { return core.LoadFactor(t, ms) }
 
 // IsOneCycle reports whether ms respects every channel capacity and can
 // therefore be delivered in a single delivery cycle.
-func IsOneCycle(t *FatTree, ms MessageSet) bool { return core.IsOneCycle(t, ms) }
+func IsOneCycle(t Topology, ms MessageSet) bool { return core.IsOneCycle(t, ms) }
 
 // Lg is the paper's lg: max(1, ceil(log2 x)).
 func Lg(x int) int { return core.Lg(x) }
@@ -118,25 +143,25 @@ type (
 // schedule many message sets on one tree should hold a Scheduler and call its
 // methods; the package-level ScheduleOffline* functions construct a fresh one
 // per call.
-func NewScheduler(t *FatTree) *Scheduler { return sched.NewScheduler(t) }
+func NewScheduler(t Topology) *Scheduler { return sched.NewScheduler(t) }
 
 // ScheduleOffline runs the Theorem 1 off-line scheduler:
 // d = O(λ(M)·lg n) delivery cycles on any fat-tree.
-func ScheduleOffline(t *FatTree, ms MessageSet) *Schedule { return sched.OffLine(t, ms) }
+func ScheduleOffline(t Topology, ms MessageSet) *Schedule { return sched.OffLine(t, ms) }
 
 // ScheduleOfflineBig runs the Corollary 2 scheduler: on fat-trees whose
 // channels all have capacity at least α·lg n it uses at most
 // 2(α/(α-1))·λ(M) delivery cycles; on other fat-trees it remains correct but
 // falls back to Theorem 1 for the overflow.
-func ScheduleOfflineBig(t *FatTree, ms MessageSet) *Schedule { return sched.OffLineBig(t, ms) }
+func ScheduleOfflineBig(t Topology, ms MessageSet) *Schedule { return sched.OffLineBig(t, ms) }
 
 // ScheduleGreedy is the first-fit baseline scheduler (no bound).
-func ScheduleGreedy(t *FatTree, ms MessageSet) *Schedule { return sched.Greedy(t, ms) }
+func ScheduleGreedy(t Topology, ms MessageSet) *Schedule { return sched.Greedy(t, ms) }
 
 // EvenBisect splits a set of messages crossing node v (all in the same
 // direction) into halves whose load differs by at most one on every channel —
 // the matching-and-tracing primitive from the proof of Theorem 1.
-func EvenBisect(t *FatTree, v int, q MessageSet) (a, b MessageSet) {
+func EvenBisect(t Topology, v int, q MessageSet) (a, b MessageSet) {
 	return sched.EvenBisect(t, v, q)
 }
 
@@ -164,12 +189,12 @@ const (
 
 // NewEngine builds a delivery-cycle simulator for t with the given switch
 // kind, using up to GOMAXPROCS workers per delivery cycle.
-func NewEngine(t *FatTree, kind SwitchKind, seed int64) *Engine { return sim.New(t, kind, seed) }
+func NewEngine(t Topology, kind SwitchKind, seed int64) *Engine { return sim.New(t, kind, seed) }
 
 // NewEngineWithOptions is NewEngine with an explicit worker bound. Use
 // Options{Workers: 1} to pin the serial reference path; any other value
 // produces bit-identical results concurrently.
-func NewEngineWithOptions(t *FatTree, kind SwitchKind, seed int64, opts Options) *Engine {
+func NewEngineWithOptions(t Topology, kind SwitchKind, seed int64, opts Options) *Engine {
 	return sim.NewWithOptions(t, kind, seed, opts)
 }
 
@@ -185,7 +210,7 @@ func RunOnlineRandom(e *Engine, ms MessageSet, seed int64) Stats {
 }
 
 // OnlineBound returns the randomized on-line envelope c·(λ + lg n·lg lg n).
-func OnlineBound(t *FatTree, lambda, c float64) float64 { return sim.OnlineBound(t, lambda, c) }
+func OnlineBound(t Topology, lambda, c float64) float64 { return sim.OnlineBound(t, lambda, c) }
 
 // BufferedStats summarizes a buffered (backpressure) delivery run.
 type BufferedStats = sim.BufferedStats
@@ -235,7 +260,12 @@ func ValidatePromExposition(text []byte) error { return obsv.ValidateExposition(
 
 // NewObserver builds an observer bound to t; every counter array is
 // preallocated so recording never allocates.
-func NewObserver(t *FatTree) *Observer { return obsv.New(t) }
+func NewObserver(t Topology) *Observer { return obsv.New(t) }
+
+// NewObserverCompact builds a per-level observer in O(levels) memory — the
+// observer for implicit-topology engines, whose per-level reports match a
+// dense observer's exactly.
+func NewObserverCompact(t Topology) *Observer { return obsv.NewCompact(t) }
 
 // ObserversEqual reports whether two observers hold identical counter totals
 // — the parallel == serial equivalence assertion.
@@ -250,7 +280,7 @@ func StartProfiles(spec, base string) (func() error, error) {
 
 // ScheduleOfflineObserved is ScheduleOffline with per-level scheduler
 // counters recorded into o; the schedule is identical.
-func ScheduleOfflineObserved(t *FatTree, ms MessageSet, o *Observer) *Schedule {
+func ScheduleOfflineObserved(t Topology, ms MessageSet, o *Observer) *Schedule {
 	return sched.OffLineObserved(t, ms, o)
 }
 
@@ -269,7 +299,7 @@ type (
 )
 
 // UniformArrivals offers perCycle uniformly random messages every cycle.
-func UniformArrivals(t *FatTree, perCycle int, seed int64) ArrivalFunc {
+func UniformArrivals(t Topology, perCycle int, seed int64) ArrivalFunc {
 	return sim.UniformArrivals(t, perCycle, seed)
 }
 
@@ -281,7 +311,7 @@ func RunOpenLoop(e *Engine, arrivals ArrivalFunc, cycles int, seed int64) OpenLo
 
 // ScheduleOfflineCompact runs the Theorem 1 scheduler and then packs cycles
 // across levels greedily: same worst-case bound, fewer cycles in practice.
-func ScheduleOfflineCompact(t *FatTree, ms MessageSet) *Schedule {
+func ScheduleOfflineCompact(t Topology, ms MessageSet) *Schedule {
 	return sched.OffLineCompact(t, ms)
 }
 
@@ -291,19 +321,19 @@ func CompactSchedule(s *Schedule) *Schedule { return sched.Compact(s) }
 
 // ReadSchedule deserializes a JSON schedule (written with Schedule.WriteTo)
 // and binds it to t, verifying the machine matches.
-func ReadSchedule(r io.Reader, t *FatTree) (*Schedule, error) { return sched.ReadSchedule(r, t) }
+func ReadSchedule(r io.Reader, t Topology) (*Schedule, error) { return sched.ReadSchedule(r, t) }
 
 // ScheduleOfflineParallel is OffLine with per-subtree partitioning spread
 // over the shared worker pool (GOMAXPROCS goroutines); the resulting
 // schedule is identical.
-func ScheduleOfflineParallel(t *FatTree, ms MessageSet) *Schedule {
+func ScheduleOfflineParallel(t Topology, ms MessageSet) *Schedule {
 	return sched.OffLineParallel(t, ms)
 }
 
 // ScheduleOfflineParallelWorkers is ScheduleOfflineParallel with an explicit
 // worker bound (<= 0 means GOMAXPROCS); the schedule is identical for every
 // bound.
-func ScheduleOfflineParallelWorkers(t *FatTree, ms MessageSet, workers int) *Schedule {
+func ScheduleOfflineParallelWorkers(t Topology, ms MessageSet, workers int) *Schedule {
 	return sched.OffLineParallelWorkers(t, ms, workers)
 }
 
@@ -312,32 +342,32 @@ func RunSchedule(e *Engine, s *Schedule) Stats { return sim.RunSchedule(e, s) }
 
 // DeliverOffline schedules ms with Theorem 1 and plays it on ideal switches:
 // zero drops, exactly len(schedule) cycles.
-func DeliverOffline(t *FatTree, ms MessageSet) (Stats, *Schedule) {
+func DeliverOffline(t Topology, ms MessageSet) (Stats, *Schedule) {
 	return sim.DeliverOffline(t, ms)
 }
 
 // MessageTicks, CycleTicks, ScheduleTicks and MaxCycleTicks model the
 // bit-serial clock (Fig. 2): O(lg n + payload) ticks per delivery cycle.
-func MessageTicks(t *FatTree, m Message, payloadBits int) int {
+func MessageTicks(t Topology, m Message, payloadBits int) int {
 	return sim.MessageTicks(t, m, payloadBits)
 }
 
 // CycleTicks returns the tick duration of one delivery cycle carrying ms.
-func CycleTicks(t *FatTree, ms MessageSet, payloadBits int) int {
+func CycleTicks(t Topology, ms MessageSet, payloadBits int) int {
 	return sim.CycleTicks(t, ms, payloadBits)
 }
 
 // ScheduleTicks totals the ticks of a sequence of delivery cycles.
-func ScheduleTicks(t *FatTree, cycles []MessageSet, payloadBits int) int {
+func ScheduleTicks(t Topology, cycles []MessageSet, payloadBits int) int {
 	return sim.ScheduleTicks(t, cycles, payloadBits)
 }
 
 // MaxCycleTicks returns the worst-case delivery-cycle duration.
-func MaxCycleTicks(t *FatTree, payloadBits int) int { return sim.MaxCycleTicks(t, payloadBits) }
+func MaxCycleTicks(t Topology, payloadBits int) int { return sim.MaxCycleTicks(t, payloadBits) }
 
 // PipelinedScheduleTicks models back-to-back delivery cycles with pipelined
 // frames: consecutive cycles separated by the frame length rather than the
 // full path traversal.
-func PipelinedScheduleTicks(t *FatTree, cycles []MessageSet, payloadBits int) int {
+func PipelinedScheduleTicks(t Topology, cycles []MessageSet, payloadBits int) int {
 	return sim.PipelinedScheduleTicks(t, cycles, payloadBits)
 }

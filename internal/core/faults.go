@@ -1,6 +1,9 @@
 package core
 
-import "math/rand"
+import (
+	"fmt"
+	"math/rand"
+)
 
 // This file models hardware faults, one of the engineering concerns Section
 // VII raises ("problems of maintenance, fault tolerance ... must be solved").
@@ -13,13 +16,13 @@ import "math/rand"
 // directions (capacity never drops below one — the last wire is assumed
 // repairable). It returns the number of degraded edges. The fat-tree is
 // modified in place via capacity overrides.
-func DegradeChannels(t *FatTree, probability, severity float64, seed int64) int {
+func DegradeChannels(t Topology, probability, severity float64, seed int64) int {
 	if probability < 0 || probability > 1 || severity < 0 || severity > 1 {
 		panic("core: DegradeChannels needs probability and severity in [0,1]")
 	}
 	rng := rand.New(rand.NewSource(seed))
 	degraded := 0
-	for v := 2; v < 2*t.n; v++ { // skip the external root channel
+	for v := 2; v < 2*t.Processors(); v++ { // skip the external root channel
 		if rng.Float64() >= probability {
 			continue
 		}
@@ -41,12 +44,19 @@ func DegradeChannels(t *FatTree, probability, severity float64, seed int64) int 
 // still-connected configuration; a totally dead switch would disconnect the
 // tree, which the complete-binary-tree topology cannot tolerate — the paper's
 // fat-tree has no path diversity between a fixed leaf pair).
-func FailNode(t *FatTree, v int) {
+func FailNode(t Topology, v int) {
+	// Validate v before mutating anything: a bad index must not leave the
+	// tree half-failed (the first SetChannelCapacity would otherwise apply
+	// and then panic on a child, or — for v = 0 — panic after no-op guards).
+	nodes := 2 * t.Processors()
+	if v < 1 || v >= nodes {
+		panic(fmt.Sprintf("core: FailNode: node %d out of range [1,%d)", v, nodes))
+	}
 	t.SetChannelCapacity(v, 1)
-	if 2*v < 2*t.n {
+	if 2*v < nodes {
 		t.SetChannelCapacity(2*v, 1)
 	}
-	if 2*v+1 < 2*t.n {
+	if 2*v+1 < nodes {
 		t.SetChannelCapacity(2*v+1, 1)
 	}
 }

@@ -10,7 +10,8 @@ package core
 // Loads records, for every edge of a fat-tree, how many messages of some
 // message set traverse its Up and Down channels. Index by node heap id.
 type Loads struct {
-	tree *FatTree
+	tree Topology
+	n    int   // processor count, cached so the scans below stay O(1) per probe
 	up   []int // up[v] = messages using channel (v, Up)
 	down []int // down[v] = messages using channel (v, Down)
 }
@@ -18,11 +19,13 @@ type Loads struct {
 // NewLoads computes the per-channel loads of ms on t in O(|ms|·lg n) time:
 // the up channel above node v carries the messages whose source lies in v's
 // subtree and whose destination does not; symmetrically for down.
-func NewLoads(t *FatTree, ms MessageSet) *Loads {
+func NewLoads(t Topology, ms MessageSet) *Loads {
+	n := t.Processors()
 	l := &Loads{
 		tree: t,
-		up:   make([]int, 2*t.n),
-		down: make([]int, 2*t.n),
+		n:    n,
+		up:   make([]int, 2*n),
+		down: make([]int, 2*n),
 	}
 	for _, m := range ms {
 		l.Add(m)
@@ -82,7 +85,7 @@ func (l *Loads) Load(c Channel) int {
 // MaxLoad returns the maximum load over all channels.
 func (l *Loads) MaxLoad() int {
 	max := 0
-	for v := 1; v < 2*l.tree.n; v++ {
+	for v := 1; v < 2*l.n; v++ {
 		if l.up[v] > max {
 			max = l.up[v]
 		}
@@ -105,7 +108,7 @@ func (l *Loads) Factor(c Channel) float64 {
 func (l *Loads) MaxFactor() (float64, Channel) {
 	best := 0.0
 	arg := Channel{Node: 1, Dir: Up}
-	for v := 1; v < 2*l.tree.n; v++ {
+	for v := 1; v < 2*l.n; v++ {
 		for _, c := range [2]Channel{{Node: v, Dir: Up}, {Node: v, Dir: Down}} {
 			f := l.Factor(c)
 			if f > best {
@@ -121,7 +124,7 @@ func (l *Loads) MaxFactor() (float64, Channel) {
 // with ideal concentrator switches routes such a set in a single delivery
 // cycle.
 func (l *Loads) Fits() bool {
-	for v := 1; v < 2*l.tree.n; v++ {
+	for v := 1; v < 2*l.n; v++ {
 		if l.up[v] > l.tree.Capacity(Channel{Node: v, Dir: Up}) {
 			return false
 		}
@@ -136,7 +139,7 @@ func (l *Loads) Fits() bool {
 // whose capacity exceeds slack, and load(c) <= cap(c) otherwise. It implements
 // the fictitious capacities cap'(c) = cap(c) - lg n of Corollary 2.
 func (l *Loads) FitsWithSlack(slack int) bool {
-	for v := 1; v < 2*l.tree.n; v++ {
+	for v := 1; v < 2*l.n; v++ {
 		capUp := l.tree.Capacity(Channel{Node: v, Dir: Up})
 		capDown := l.tree.Capacity(Channel{Node: v, Dir: Down})
 		if l.up[v] > fictitious(capUp, slack) {
@@ -160,23 +163,23 @@ func fictitious(cap, slack int) int {
 }
 
 // LoadFactor is a convenience wrapper: it computes λ(M) for ms on t.
-func LoadFactor(t *FatTree, ms MessageSet) float64 {
+func LoadFactor(t Topology, ms MessageSet) float64 {
 	f, _ := NewLoads(t, ms).MaxFactor()
 	return f
 }
 
 // IsOneCycle reports whether ms is a one-cycle message set on t
 // (load(M,c) <= cap(c) for every channel).
-func IsOneCycle(t *FatTree, ms MessageSet) bool {
+func IsOneCycle(t Topology, ms MessageSet) bool {
 	return NewLoads(t, ms).Fits()
 }
 
 // LoadFactorWithSlack computes the load factor λ'(M) under the fictitious
 // capacities cap'(c) = max(1, cap(c) - slack) used in Corollary 2.
-func LoadFactorWithSlack(t *FatTree, ms MessageSet, slack int) float64 {
+func LoadFactorWithSlack(t Topology, ms MessageSet, slack int) float64 {
 	l := NewLoads(t, ms)
 	best := 0.0
-	for v := 1; v < 2*t.n; v++ {
+	for v := 1; v < 2*t.Processors(); v++ {
 		for _, c := range [2]Channel{{Node: v, Dir: Up}, {Node: v, Dir: Down}} {
 			f := float64(l.Load(c)) / float64(fictitious(t.Capacity(c), slack))
 			if f > best {

@@ -1,0 +1,11 @@
+package lint
+
+import "testing"
+
+// The implicit fixture models the implicit-topology streaming engine's hot
+// shard loops: field-backed scatter reuse and capacity probes must stay
+// clean, while fresh-slice growth and unsanctioned lazy map materialization
+// reached from a hot root are diagnosed with reachability witnesses.
+func TestCallGraphHotAllocImplicitFixture(t *testing.T) {
+	RunFixture(t, CallGraphHotAlloc, ".", "implicit")
+}

@@ -136,7 +136,17 @@ type Observer struct {
 
 	nodes  int   // heap nodes + 1 (valid ids are 1..nodes-1)
 	levels int   // leaf level = lg n
-	caps   []int // capacity of the channel above node v, by heap id
+	caps   []int // capacity of the channel above node v, by heap id; nil when compact
+
+	// compact marks a per-level observer (NewCompact): channel and switch
+	// arrays are indexed by tree level instead of heap node id, so the
+	// footprint is O(levels) and independent of n. The streaming engine
+	// drives it through the same hooks (node ids are folded to levels on
+	// entry); the dense engine requires a dense observer.
+	compact   bool
+	levelCaps []int       // compact only: per-level capacity profile
+	ovCaps    map[int]int // compact only: per-channel override snapshot
+	mixed     []bool      // compact only: level has overrides with differing caps
 
 	// hist holds the fixed-size distribution instruments (see hist.go);
 	// cycleLevelUse accumulates the current cycle's per-level wire use so
@@ -157,13 +167,15 @@ type Observer struct {
 }
 
 // New returns an observer bound to t: every counter array is preallocated to
-// the tree's size so recording never allocates.
-func New(t *core.FatTree) *Observer {
+// the tree's size so recording never allocates. The per-node arrays make this
+// the *dense* observer — O(n) memory; use NewCompact for topologies too large
+// to materialize.
+func New(t core.Topology) *Observer {
 	n2 := 2 * t.Processors()
 	o := &Observer{
 		nodes:  n2,
 		levels: t.Levels(),
-		caps:   t.CapTable(),
+		caps:   core.CapTableOf(t),
 	}
 	o.C = Counters{
 		WireUse:       make([]int64, 2*n2),
@@ -191,15 +203,94 @@ func New(t *core.FatTree) *Observer {
 	return o
 }
 
+// NewCompact returns an observer bound to t whose channel and switch counters
+// are aggregated per tree level rather than per node, so its footprint is
+// O(levels) — independent of n — and a 2^20-endpoint run can still assert the
+// conservation laws and per-level utilization. Totals (Cycles, Offered,
+// Delivered, Dropped, Deferred, Retried), histograms, and PerLevel carry the
+// same information as a dense observer's aggregation; per-node attribution is
+// unavailable. Only the streaming engine (and the scheduler's SchedLevel
+// hook) can drive a compact observer; the dense engine rejects it.
+func NewCompact(t core.Topology) *Observer {
+	levels := t.Levels()
+	o := &Observer{
+		nodes:     2 * t.Processors(),
+		levels:    levels,
+		compact:   true,
+		levelCaps: t.LevelCapTable(),
+		mixed:     make([]bool, levels+1),
+	}
+	o.C = Counters{
+		WireUse:       make([]int64, 2*(levels+1)),
+		Requests:      make([]int64, levels+1),
+		Grants:        make([]int64, levels+1),
+		Drops:         make([]int64, levels+1),
+		MatchRounds:   make([]int64, levels+1),
+		Faults:        make([]int64, levels+1),
+		Stalls:        make([]int64, 2*(levels+1)),
+		QueuePeak:     make([]int64, 2*(levels+1)),
+		LevelCycles:   make([]int64, levels+2),
+		LevelMessages: make([]int64, levels+2),
+	}
+	o.hist = newHists(levels)
+	o.cycleLevelUse = make([]int64, levels+1)
+	o.levelWires = make([]int64, levels+1)
+	for level := 0; level <= levels; level++ {
+		o.levelWires[level] = int64(1<<uint(level)) * int64(o.levelCaps[level])
+	}
+	t.Overrides(func(node, cap int) {
+		level := levelOf(int32(node))
+		o.levelWires[level] += int64(cap - o.levelCaps[level])
+		if cap != o.levelCaps[level] {
+			o.mixed[level] = true
+		}
+		if o.ovCaps == nil {
+			o.ovCaps = make(map[int]int)
+		}
+		o.ovCaps[node] = cap
+	})
+	return o
+}
+
 // Levels returns the leaf level (lg n) of the bound tree.
 func (o *Observer) Levels() int { return o.levels }
 
 // Nodes returns one past the largest valid heap node id of the bound tree.
 func (o *Observer) Nodes() int { return o.nodes }
 
+// Compact reports whether the observer aggregates per level (NewCompact)
+// rather than per node.
+func (o *Observer) Compact() bool { return o.compact }
+
 // ChannelCapacity returns the capacity of the channel above heap node v
-// (both directions share one capacity), as snapshotted at New.
-func (o *Observer) ChannelCapacity(v int) int { return o.caps[v] }
+// (both directions share one capacity), as snapshotted at New/NewCompact.
+func (o *Observer) ChannelCapacity(v int) int {
+	if o.compact {
+		if c, ok := o.ovCaps[v]; ok {
+			return c
+		}
+		return o.levelCaps[levelOf(int32(v))]
+	}
+	return o.caps[v]
+}
+
+// chIdx folds a (node, dir) channel to its counter index: 2·node+dir on a
+// dense observer, 2·level+dir on a compact one.
+func (o *Observer) chIdx(node, dir int) int {
+	if o.compact {
+		return 2*levelOf(int32(node)) + dir
+	}
+	return 2*node + dir
+}
+
+// swIdx folds a switch node to its counter index: the node id on a dense
+// observer, its level on a compact one.
+func (o *Observer) swIdx(node int) int {
+	if o.compact {
+		return levelOf(int32(node))
+	}
+	return node
+}
 
 // EnableTrace attaches a fixed-capacity event ring buffer. The ring holds
 // the most recent `capacity` events; older events are overwritten (the
@@ -338,7 +429,7 @@ func (o *Observer) Latencies(lat []int64) {
 // wire of the channel above `node` (the source leaf, or the root for
 // external inputs).
 func (o *Observer) Inject(i int, m core.Message, node, wire int) {
-	o.C.WireUse[2*node+channelDirOf(node, m)]++
+	o.C.WireUse[o.chIdx(node, channelDirOf(node, m))]++
 	o.cycleLevelUse[levelOf(int32(node))]++
 	if o.ring != nil {
 		o.ring.push(Event{
@@ -372,15 +463,26 @@ func (o *Observer) Defer(i int, m core.Message, node int) {
 // hardware counters (Hopcroft–Karp BFS rounds, fault corruptions), which the
 // observer converts to per-sweep deltas against its PrimeSwitch baseline.
 func (o *Observer) Switch(node, reqs, drops int, roundsCum, faultsCum int64) {
-	o.C.Requests[node] += int64(reqs)
-	o.C.Grants[node] += int64(reqs - drops)
-	o.C.Drops[node] += int64(drops)
 	rounds := roundsCum - o.lastRounds[node]
-	o.C.MatchRounds[node] += rounds
-	o.hist.matchRounds.Observe(rounds)
 	o.lastRounds[node] = roundsCum
-	o.C.Faults[node] += faultsCum - o.lastFaults[node]
+	faults := faultsCum - o.lastFaults[node]
 	o.lastFaults[node] = faultsCum
+	o.SwitchDelta(node, reqs, drops, rounds, faults)
+}
+
+// SwitchDelta is Switch with the hardware counters already differenced: the
+// streaming engine tracks each special switch's cumulative counters itself
+// (its switches are lazily created, so the observer cannot hold a per-node
+// baseline) and reports per-sweep deltas directly. Works on dense and compact
+// observers alike.
+func (o *Observer) SwitchDelta(node, reqs, drops int, dRounds, dFaults int64) {
+	i := o.swIdx(node)
+	o.C.Requests[i] += int64(reqs)
+	o.C.Grants[i] += int64(reqs - drops)
+	o.C.Drops[i] += int64(drops)
+	o.C.MatchRounds[i] += dRounds
+	o.hist.matchRounds.Observe(dRounds)
+	o.C.Faults[i] += dFaults
 }
 
 // PrimeSwitch snapshots a switch's cumulative hardware counters without
@@ -388,6 +490,11 @@ func (o *Observer) Switch(node, reqs, drops int, roundsCum, faultsCum int64) {
 // rather than from the engine's construction. The engine primes every switch
 // when an observer is attached.
 func (o *Observer) PrimeSwitch(node int, roundsCum, faultsCum int64) {
+	if o.compact {
+		// Compact observers are driven via SwitchDelta and keep no per-node
+		// baseline to prime.
+		return
+	}
 	o.mu.Lock()
 	o.lastRounds[node] = roundsCum
 	o.lastFaults[node] = faultsCum
@@ -397,7 +504,7 @@ func (o *Observer) PrimeSwitch(node int, roundsCum, faultsCum int64) {
 // Advance records flight i winning a wire of the channel (chanNode, dir) at
 // switch `node` during a sweep.
 func (o *Observer) Advance(i int, m core.Message, node, chanNode, dir, wire int) {
-	o.C.WireUse[2*chanNode+dir]++
+	o.C.WireUse[o.chIdx(chanNode, dir)]++
 	o.cycleLevelUse[levelOf(int32(chanNode))]++
 	if o.ring != nil {
 		o.ring.push(Event{
@@ -433,7 +540,7 @@ func (o *Observer) Deliver(i int, m core.Message, node int) {
 // (2·node+dir index ch).
 func (o *Observer) Stall(ch int) {
 	o.mu.Lock()
-	o.C.Stalls[ch]++
+	o.C.Stalls[o.chIdx(ch>>1, ch&1)]++
 	o.mu.Unlock()
 }
 
@@ -441,6 +548,7 @@ func (o *Observer) Stall(ch int) {
 // bucketing every non-empty occupancy into the queue-depth histogram.
 func (o *Observer) Queue(ch, depth int) {
 	o.mu.Lock()
+	ch = o.chIdx(ch>>1, ch&1)
 	if int64(depth) > o.C.QueuePeak[ch] {
 		o.C.QueuePeak[ch] = int64(depth)
 	}
@@ -482,6 +590,27 @@ type LevelSummary struct {
 // leaf "switches" are processors, so their contention fields are zero).
 func (o *Observer) PerLevel() []LevelSummary {
 	out := make([]LevelSummary, o.levels+1)
+	if o.compact {
+		for level := 0; level <= o.levels; level++ {
+			s := &out[level]
+			s.Level = level
+			s.Nodes = 1 << uint(level)
+			s.Capacity = o.levelCaps[level]
+			if o.mixed[level] {
+				s.Capacity = -1
+			}
+			s.Wires = o.levelWires[level]
+			s.WireUse = o.C.WireUse[2*level] + o.C.WireUse[2*level+1]
+			s.Requests = o.C.Requests[level]
+			s.Grants = o.C.Grants[level]
+			s.Drops = o.C.Drops[level]
+			s.MatchRounds = o.C.MatchRounds[level]
+			if o.C.Cycles > 0 && s.Wires > 0 {
+				s.Utilization = float64(s.WireUse) / float64(o.C.Cycles*2*s.Wires)
+			}
+		}
+		return out
+	}
 	for level := 0; level <= o.levels; level++ {
 		first := 1 << uint(level)
 		s := &out[level]

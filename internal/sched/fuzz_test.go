@@ -78,6 +78,25 @@ func FuzzSchedule(f *testing.F) {
 			}
 			sameSchedule(t, "parallel", serial, parallel)
 		}
+		// Implicit-vs-materialized phase: the scheduler is pure topology
+		// arithmetic, so running it against the implicit twin of the same
+		// capacity profile must reproduce the materialized schedule bit for
+		// bit, serial and parallel.
+		imp := core.NewImplicit(ft.Processors(), ft.CapacityAtLevel)
+		implicit := OffLine(imp, ms)
+		if err := implicit.Verify(ms); err != nil {
+			t.Fatalf("OffLine on the implicit tree produced an invalid schedule: %v", err)
+		}
+		sameSchedule(t, "implicit", serial, implicit)
+		si := NewScheduler(imp)
+		for _, workers := range []int{1, 2, runtime.GOMAXPROCS(0)} {
+			parallel := si.OffLineParallel(ms, workers)
+			if err := parallel.Verify(ms); err != nil {
+				t.Fatalf("implicit OffLineParallel(%d) produced an invalid schedule: %v", workers, err)
+			}
+			sameSchedule(t, "implicit-parallel", serial, parallel)
+		}
+
 		// Scheduler-reuse phases: shrink the message set, then regrow it. The
 		// reused scheduler's arena has been stretched by the full set and
 		// dirtied by every intermediate call; each result must still be

@@ -9,13 +9,13 @@ import "fattree/internal/core"
 // level are fanned out over the shared bounded worker pool (internal/par,
 // GOMAXPROCS workers) and the per-node partitions are assembled serially in
 // node order, so the schedule is bit-identical to OffLine's.
-func OffLineParallel(t *core.FatTree, ms core.MessageSet) *Schedule {
+func OffLineParallel(t core.Topology, ms core.MessageSet) *Schedule {
 	return OffLineParallelWorkers(t, ms, 0)
 }
 
 // OffLineParallelWorkers is OffLineParallel with an explicit worker bound
 // (<= 0 means GOMAXPROCS). The schedule is identical for every bound.
-func OffLineParallelWorkers(t *core.FatTree, ms core.MessageSet, workers int) *Schedule {
+func OffLineParallelWorkers(t core.Topology, ms core.MessageSet, workers int) *Schedule {
 	//ftlint:ignore loanescape fresh Scheduler per call: its arena is unreachable elsewhere, so the result is independently owned
 	return NewScheduler(t).OffLineParallel(ms, workers)
 }

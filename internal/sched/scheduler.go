@@ -34,7 +34,7 @@ import (
 // Scheduler per call, so their results are independently owned — existing
 // one-shot callers keep value semantics.
 type Scheduler struct {
-	tree *core.FatTree
+	tree core.Topology
 	n    int         // processors
 	caps []int       // caps[v] = capacity of both channels above node v
 	lam  *core.Loads // persistent load table, cleared per call, for λ(M)
@@ -115,12 +115,12 @@ type nodeState struct {
 // NewScheduler returns a reusable Theorem 1 scheduler for t. The capacity
 // table is snapshotted here; SetChannelCapacity calls made after construction
 // are not observed.
-func NewScheduler(t *core.FatTree) *Scheduler {
+func NewScheduler(t core.Topology) *Scheduler {
 	n := t.Processors()
 	sc := &Scheduler{
 		tree:    t,
 		n:       n,
-		caps:    t.CapTable(),
+		caps:    core.CapTableOf(t),
 		lam:     core.NewLoads(t, nil),
 		lrCnt:   make([]int32, n),
 		rlCnt:   make([]int32, n),
@@ -133,7 +133,7 @@ func NewScheduler(t *core.FatTree) *Scheduler {
 }
 
 // Tree returns the fat-tree the scheduler is bound to.
-func (sc *Scheduler) Tree() *core.FatTree { return sc.tree }
+func (sc *Scheduler) Tree() core.Topology { return sc.tree }
 
 // OffLine schedules ms with the Theorem 1 algorithm. The returned schedule is
 // a loan from the scheduler's arena, valid until the next call.
@@ -566,7 +566,7 @@ func (sc *Scheduler) copyPart(bnd []int32, flip bool, i, cur int) int {
 // scratch; out must not alias q.
 //
 //ftlint:hotpath
-func bisectPart(t *core.FatTree, v int, q, out []core.Message, bi *bisector, external, outbound bool) int {
+func bisectPart(t core.Topology, v int, q, out []core.Message, bi *bisector, external, outbound bool) int {
 	k := len(q)
 	if k == 0 {
 		return 0
@@ -659,7 +659,7 @@ func bisectPart(t *core.FatTree, v int, q, out []core.Message, bi *bisector, ext
 // It returns the single unmatched end, or -1.
 //
 //ftlint:hotpath
-func matchSorted(t *core.FatTree, node int, keys []int64, lo, hi, endBit int, partner []int32) int32 {
+func matchSorted(t core.Topology, node int, keys []int64, lo, hi, endBit int, partner []int32) int32 {
 	if lo >= hi {
 		return -1
 	}

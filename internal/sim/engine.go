@@ -92,7 +92,7 @@ type Options struct {
 // intended mode and produces results identical to a fresh engine (the
 // engine-reuse equivalence tests pin this).
 type Engine struct {
-	tree     *core.FatTree
+	tree     core.Topology
 	switches []*concentrator.Switch // indexed by node 1..n-1 (internal nodes)
 	pool     *par.Pool              // bounds the parallel cycle path
 
@@ -114,6 +114,13 @@ type Engine struct {
 	// pool each sweep step; the step's parameters travel in scratch fields
 	// (curFirst, curUp) so steady-state cycles allocate no closures.
 	levelWorker func(k int)
+
+	// stream is non-nil when the engine simulates an ImplicitFatTree: the
+	// subtree-sharded streaming data plane of stream.go replaces the dense
+	// per-node state above (switches, caps, scr.node, scr.buckets, the
+	// injection counters), whose slices are then left nil. Memory becomes
+	// O(messages × path length + shards), independent of n.
+	stream *streamState
 }
 
 // scratch is the engine's reusable per-cycle arena. Every slice grows to the
@@ -170,17 +177,22 @@ type nodeScratch struct {
 // Section IV). seed feeds the partial constructions. The engine uses up to
 // GOMAXPROCS workers for its delivery cycles; see NewWithOptions to pin the
 // worker count.
-func New(t *core.FatTree, kind concentrator.Kind, seed int64) *Engine {
+func New(t core.Topology, kind concentrator.Kind, seed int64) *Engine {
 	return NewWithOptions(t, kind, seed, Options{})
 }
 
-// NewWithOptions is New with explicit Options.
-func NewWithOptions(t *core.FatTree, kind concentrator.Kind, seed int64, opts Options) *Engine {
+// NewWithOptions is New with explicit Options. An ImplicitFatTree selects the
+// streaming data plane (stream.go), whose memory is independent of the
+// processor count; any other Topology gets the dense per-node engine.
+func NewWithOptions(t core.Topology, kind concentrator.Kind, seed int64, opts Options) *Engine {
+	if imp, ok := t.(*core.ImplicitFatTree); ok {
+		return newStreamEngine(imp, kind, seed, opts)
+	}
 	e := &Engine{
 		tree:     t,
 		switches: make([]*concentrator.Switch, t.Processors()),
 		pool:     par.New(opts.Workers),
-		caps:     t.CapTable(),
+		caps:     core.CapTableOf(t),
 	}
 	n := t.Processors()
 	e.scr.node = make([]nodeScratch, n)
@@ -217,7 +229,7 @@ func NewWithOptions(t *core.FatTree, kind concentrator.Kind, seed int64, opts Op
 }
 
 // Tree returns the fat-tree the engine simulates.
-func (e *Engine) Tree() *core.FatTree { return e.tree }
+func (e *Engine) Tree() core.Topology { return e.tree }
 
 // Workers returns the engine's worker bound for parallel delivery cycles.
 func (e *Engine) Workers() int { return e.pool.Workers() }
@@ -229,6 +241,10 @@ func (e *Engine) Workers() int { return e.pool.Workers() }
 // by (seed, node), so fault patterns are reproducible on the parallel cycle
 // path for any worker count.
 func (e *Engine) InjectLoss(rate float64, seed int64) {
+	if e.stream != nil {
+		e.stream.injectLoss(rate, seed)
+		return
+	}
 	for v := 1; v < e.tree.Processors(); v++ {
 		e.switches[v].InjectLoss(rate, seed+int64(3*v))
 	}
@@ -412,6 +428,9 @@ func (e *Engine) collect(pending core.MessageSet, flights []flight, res *CycleRe
 //
 //ftlint:hotpath
 func (e *Engine) runCycle(pending core.MessageSet, pool *par.Pool) ([]bool, CycleResult) {
+	if e.stream != nil {
+		return e.runCycleStream(pending, pool)
+	}
 	t := e.tree
 	scr := &e.scr
 	leafLevel := t.Levels()

@@ -117,6 +117,33 @@ func FuzzEngineParallelEquivalence(f *testing.F) {
 			}
 		}
 
+		// Implicit-vs-materialized phase: the streaming engine on the
+		// implicit twin of the same capacity profile must reproduce the
+		// dense serial reference bit for bit — stats, per-cycle delivery
+		// profile, and observer counter totals with histograms — for
+		// workers {1, 2, GOMAXPROCS}.
+		imp := core.NewImplicit(ft.Processors(), ft.CapacityAtLevel)
+		mkStream := func(workers int) *Engine {
+			e := NewWithOptions(imp, kind, seed, Options{Workers: workers})
+			if loss > 0 {
+				e.InjectLoss(loss, seed+1)
+			}
+			return e
+		}
+		for _, workers := range []int{1, 2, runtime.GOMAXPROCS(0)} {
+			o := obsv.New(imp)
+			e := mkStream(workers)
+			e.SetObserver(o)
+			stats := e.RunParallel(ms)
+			if !reflect.DeepEqual(stats, serial) {
+				t.Fatalf("workers=%d: implicit stream stats diverge from dense\ndense  %+v\nstream %+v",
+					workers, serial, stats)
+			}
+			if !obsv.CountersEqual(obsRef, o) {
+				t.Fatalf("workers=%d: implicit stream counters diverge from dense", workers)
+			}
+		}
+
 		// The single-cycle API must agree as well, including the delivered
 		// flags vector (message-index order is part of the contract).
 		sd, sr := mkEngine(1).RunCycle(ms)

@@ -22,17 +22,26 @@ import (
 // cannot perturb routing (it only reads engine state).
 
 // SetObserver attaches an observer to the engine (nil detaches). The observer
-// must be bound (obsv.New) to a tree of the same size. Attaching snapshots
-// the cumulative hardware counters of every switch so per-sweep deltas start
-// at the attach point. The observer must not be shared with another engine
-// running concurrently.
+// must be bound to a tree of the same size: a dense observer (obsv.New) for
+// the dense engine, dense or compact (obsv.NewCompact) for the streaming
+// engine — only streaming keeps every counter answerable without per-node
+// arrays. Attaching snapshots the cumulative hardware counters of every switch
+// so per-sweep deltas start at the attach point. The observer must not be
+// shared with another engine running concurrently.
 func (e *Engine) SetObserver(o *obsv.Observer) {
 	if o != nil {
 		if o.Nodes() != 2*e.tree.Processors() {
 			panic("sim: observer is bound to a tree of a different size")
 		}
-		for v := 1; v < e.tree.Processors(); v++ {
-			o.PrimeSwitch(v, e.switches[v].MatchingRounds(), e.switches[v].FaultDrops())
+		if e.stream != nil {
+			e.stream.primeSpecials()
+		} else {
+			if o.Compact() {
+				panic("sim: the dense engine requires a dense observer (obsv.New); compact observers attach to implicit-topology engines")
+			}
+			for v := 1; v < e.tree.Processors(); v++ {
+				o.PrimeSwitch(v, e.switches[v].MatchingRounds(), e.switches[v].FaultDrops())
+			}
 		}
 	}
 	e.obs = o

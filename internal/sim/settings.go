@@ -28,7 +28,7 @@ type WirePath struct {
 // Settings is a compiled schedule: the complete switch program for a message
 // set.
 type Settings struct {
-	Tree   *core.FatTree
+	Tree   core.Topology
 	Cycles [][]WirePath
 }
 
@@ -49,7 +49,7 @@ func (st *Settings) Messages() int {
 // assignments. It panics if the schedule drops anything — a valid one-cycle
 // partition never does on ideal switches, so a panic means the schedule was
 // not verified.
-func CompileSettings(t *core.FatTree, s *sched.Schedule) *Settings {
+func CompileSettings(t core.Topology, s *sched.Schedule) *Settings {
 	e := New(t, concentrator.KindIdeal, 0)
 	st := &Settings{Tree: t, Cycles: make([][]WirePath, len(s.Cycles))}
 	for ci, cyc := range s.Cycles {
@@ -76,7 +76,7 @@ func CompileSettings(t *core.FatTree, s *sched.Schedule) *Settings {
 // array — rather than nested per-channel maps, so replaying a program does
 // O(total wires) setup once and O(1) work per wire thereafter.
 func (st *Settings) Replay() (delivered int, err error) {
-	caps := st.Tree.CapTable()
+	caps := core.CapTableOf(st.Tree)
 	// off[2*v+dir] is the arena offset of channel (v, dir); both directions
 	// of an edge have the same width but occupy distinct wire slots.
 	off := make([]int, 2*len(caps))

@@ -1,0 +1,269 @@
+package sim
+
+import (
+	"math/rand"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"fattree/internal/concentrator"
+	"fattree/internal/core"
+	"fattree/internal/obsv"
+)
+
+// streamScenario pairs a materialized tree with its implicit twin and a
+// message set; every equivalence test below demands bit-identical behavior
+// between the dense engine on the FatTree and the streaming engine on the
+// ImplicitFatTree.
+type streamScenario struct {
+	name string
+	ft   *core.FatTree
+	imp  *core.ImplicitFatTree
+	ms   core.MessageSet
+	kind concentrator.Kind
+	seed int64
+	loss float64
+}
+
+// mirrorTrees builds a FatTree and an ImplicitFatTree with the same capacity
+// profile and the same overrides.
+func mirrorTrees(n, w int, overrides map[int]int) (*core.FatTree, *core.ImplicitFatTree) {
+	ft := core.NewUniversal(n, w)
+	imp := core.NewImplicitUniversal(n, w)
+	for v, c := range overrides {
+		ft.SetChannelCapacity(v, c)
+		imp.SetChannelCapacity(v, c)
+	}
+	return ft, imp
+}
+
+func randomMessages(n, count int, seed int64, external bool) core.MessageSet {
+	rng := rand.New(rand.NewSource(seed))
+	ms := make(core.MessageSet, 0, count)
+	for len(ms) < count {
+		if external && rng.Intn(8) == 0 {
+			if rng.Intn(2) == 0 {
+				ms = append(ms, core.Message{Src: core.External, Dst: rng.Intn(n)})
+			} else {
+				ms = append(ms, core.Message{Src: rng.Intn(n), Dst: core.External})
+			}
+			continue
+		}
+		s, d := rng.Intn(n), rng.Intn(n)
+		if s != d {
+			ms = append(ms, core.Message{Src: s, Dst: d})
+		}
+	}
+	return ms
+}
+
+func streamScenarios() []streamScenario {
+	var out []streamScenario
+
+	ft, imp := mirrorTrees(16, 4, nil)
+	out = append(out, streamScenario{
+		name: "universal-ideal", ft: ft, imp: imp,
+		ms: randomMessages(16, 48, 1, true), kind: concentrator.KindIdeal, seed: 7,
+	})
+
+	ft, imp = mirrorTrees(32, 8, nil)
+	out = append(out, streamScenario{
+		name: "universal-partial", ft: ft, imp: imp,
+		ms: randomMessages(32, 80, 2, false), kind: concentrator.KindPartial, seed: 11,
+	})
+
+	ft, imp = mirrorTrees(16, 4, nil)
+	out = append(out, streamScenario{
+		name: "universal-lossy", ft: ft, imp: imp,
+		ms: randomMessages(16, 40, 3, true), kind: concentrator.KindIdeal, seed: 13, loss: 0.08,
+	})
+
+	// Narrowing overrides on both children of node 2 and on a leaf channel:
+	// the sparse overlay must agree with the dense capacity table everywhere.
+	ov := map[int]int{4: 1, 5: 1, 16: 1}
+	ft, imp = mirrorTrees(16, 8, ov)
+	out = append(out, streamScenario{
+		name: "overrides-ideal", ft: ft, imp: imp,
+		ms: randomMessages(16, 64, 4, true), kind: concentrator.KindIdeal, seed: 17,
+	})
+
+	// Overrides narrow both siblings: the dense switch constructor sizes a
+	// node's two down ports from its left child alone, so a lone-child
+	// override would make the dense engine itself reject wide wires.
+	ft, imp = mirrorTrees(8, 2, map[int]int{6: 1, 7: 1})
+	out = append(out, streamScenario{
+		name: "overrides-partial-lossy", ft: ft, imp: imp,
+		ms: randomMessages(8, 32, 5, false), kind: concentrator.KindPartial, seed: 19, loss: 0.05,
+	})
+
+	// Tiny tree: the shard level clamps to the tree depth.
+	ft2 := core.NewConstant(2, 3)
+	imp2 := core.NewImplicitConstant(2, 3)
+	out = append(out, streamScenario{
+		name: "two-leaves", ft: ft2, imp: imp2,
+		ms:   core.MessageSet{{Src: 0, Dst: 1}, {Src: 1, Dst: 0}, {Src: 0, Dst: 1}, {Src: core.External, Dst: 0}},
+		kind: concentrator.KindIdeal, seed: 23,
+	})
+
+	return out
+}
+
+func (sc *streamScenario) engine(t core.Topology, workers int) *Engine {
+	e := NewWithOptions(t, sc.kind, sc.seed, Options{Workers: workers})
+	if sc.loss > 0 {
+		e.InjectLoss(sc.loss, sc.seed+1)
+	}
+	return e
+}
+
+// TestStreamMatchesDense pins the headline equivalence: for every scenario
+// the streaming engine reproduces the dense engine bit for bit — Stats
+// including the per-cycle delivery profile — for workers 1, 2, and
+// GOMAXPROCS, with and without an attached observer, whose counter totals
+// and histograms must also agree across engines and worker counts.
+func TestStreamMatchesDense(t *testing.T) {
+	for _, sc := range streamScenarios() {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			dense := sc.engine(sc.ft, 1).Run(sc.ms)
+			for _, workers := range []int{1, 2, runtime.GOMAXPROCS(0)} {
+				stream := sc.engine(sc.imp, workers).RunParallel(sc.ms)
+				if !reflect.DeepEqual(dense, stream) {
+					t.Fatalf("workers=%d: stream diverges from dense\ndense  %+v\nstream %+v",
+						workers, dense, stream)
+				}
+			}
+
+			// Dense observers on both engines: identical counter totals and
+			// histograms regardless of engine and worker count.
+			oDense := obsv.New(sc.ft)
+			eD := sc.engine(sc.ft, 1)
+			eD.SetObserver(oDense)
+			obsDense := eD.Run(sc.ms)
+			if !reflect.DeepEqual(obsDense, dense) {
+				t.Fatalf("observer perturbed the dense run")
+			}
+			for _, workers := range []int{1, 2, runtime.GOMAXPROCS(0)} {
+				oStream := obsv.New(sc.imp)
+				eS := sc.engine(sc.imp, workers)
+				eS.SetObserver(oStream)
+				obsStream := eS.RunParallel(sc.ms)
+				if !reflect.DeepEqual(obsStream, dense) {
+					t.Fatalf("workers=%d: observed stream stats diverge", workers)
+				}
+				if !obsv.CountersEqual(oDense, oStream) {
+					t.Fatalf("workers=%d: stream observer counters diverge from dense", workers)
+				}
+			}
+
+			// A compact observer on the streaming engine must report the same
+			// per-level aggregation as the dense observer, in O(levels) memory.
+			oCompact := obsv.NewCompact(sc.imp)
+			eC := sc.engine(sc.imp, 2)
+			eC.SetObserver(oCompact)
+			if got := eC.RunParallel(sc.ms); !reflect.DeepEqual(got, dense) {
+				t.Fatalf("compact observer perturbed the stream run")
+			}
+			want, got := oDense.PerLevel(), oCompact.PerLevel()
+			if !reflect.DeepEqual(want, got) {
+				t.Fatalf("compact per-level summary diverges\ndense   %+v\ncompact %+v", want, got)
+			}
+			cD, cC := &oDense.C, &oCompact.C
+			if cD.Offered != cC.Offered || cD.Delivered != cC.Delivered ||
+				cD.Dropped != cC.Dropped || cD.Deferred != cC.Deferred {
+				t.Fatalf("compact outcome counters diverge: %+v vs %+v", cD, cC)
+			}
+		})
+	}
+}
+
+// TestStreamCompiledSettings pins wire-history equivalence: compiling the
+// same schedule on the dense and streaming engines must produce identical
+// per-message wire paths, cycle by cycle.
+func TestStreamCompiledSettings(t *testing.T) {
+	ft, imp := mirrorTrees(16, 4, nil)
+	ms := randomMessages(16, 40, 9, true)
+	sD, stD := compileFor(t, ft, ms)
+	sS, stS := compileFor(t, imp, ms)
+	if sD.Cycles != sS.Cycles {
+		t.Fatalf("schedule cycle counts diverge: %d vs %d", sD.Cycles, sS.Cycles)
+	}
+	if !reflect.DeepEqual(stD.Cycles, stS.Cycles) {
+		t.Fatalf("compiled wire paths diverge between dense and stream engines")
+	}
+	if d, err := stS.Replay(); err != nil || d != len(ms) {
+		t.Fatalf("stream-compiled settings replay: delivered %d err %v", d, err)
+	}
+}
+
+func compileFor(t *testing.T, tree core.Topology, ms core.MessageSet) (Stats, *Settings) {
+	t.Helper()
+	stats, sched := DeliverOffline(tree, ms)
+	if stats.Drops != 0 || stats.Deferrals != 0 {
+		t.Fatalf("offline delivery on %v dropped or deferred: %+v", tree, stats)
+	}
+	return stats, CompileSettings(tree, sched)
+}
+
+// TestStreamEngineReuse runs shrinking and growing message sets through one
+// streaming engine and checks each against a fresh engine: the shard scratch
+// (keys, stamps, runs) must not leak state between cycles or runs.
+func TestStreamEngineReuse(t *testing.T) {
+	_, imp := mirrorTrees(32, 4, nil)
+	ms := randomMessages(32, 96, 21, true)
+	reused := New(imp, concentrator.KindIdeal, 3)
+	for rep, sc := range []core.MessageSet{ms, ms[:12], ms, ms[:5], ms[:0], ms} {
+		got := reused.Run(sc)
+		want := New(imp, concentrator.KindIdeal, 3).Run(sc)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("rep %d: reused stream engine diverges\nreused %+v\nfresh  %+v", rep, got, want)
+		}
+	}
+}
+
+// TestStreamWorkerDeterminism runs a larger implicit-only scenario across
+// many worker counts; every run must be identical to the serial reference.
+func TestStreamWorkerDeterminism(t *testing.T) {
+	imp := core.NewImplicitUniversal(1<<12, 64)
+	ms := randomMessages(1<<12, 4096, 31, true)
+	ref := New(imp, concentrator.KindIdeal, 1).Run(ms)
+	if ref.Delivered != len(ms) {
+		t.Fatalf("reference run undelivered: %+v", ref)
+	}
+	for _, workers := range []int{2, 3, 5, 8, runtime.GOMAXPROCS(0)} {
+		got := NewWithOptions(imp, concentrator.KindIdeal, 1, Options{Workers: workers}).RunParallel(ms)
+		if !reflect.DeepEqual(ref, got) {
+			t.Fatalf("workers=%d diverges from serial reference", workers)
+		}
+	}
+}
+
+// TestStreamHugeTopology exercises the headline capability at a size the
+// dense engine could not materialize cheaply: 2^20 endpoints. The message
+// set is small — the point is that engine construction and routing cost are
+// functions of the message count, not the processor count.
+func TestStreamHugeTopology(t *testing.T) {
+	const n = 1 << 20
+	imp := core.NewImplicitUniversal(n, 1<<14)
+	ms := randomMessages(n, 2048, 41, true)
+	e := New(imp, concentrator.KindIdeal, 0)
+	stats := e.Run(ms)
+	if stats.Delivered != len(ms) {
+		t.Fatalf("huge run undelivered: %+v", stats)
+	}
+	if stats.Drops != 0 {
+		t.Fatalf("ideal switches dropped: %+v", stats)
+	}
+}
+
+// TestStreamRunCycleAllocs pins the scratch-arena contract on the streaming
+// path: after warm-up, a serial ideal-kind RunCycle allocates nothing.
+func TestStreamRunCycleAllocs(t *testing.T) {
+	imp := core.NewImplicitUniversal(1<<16, 256)
+	ms := randomMessages(1<<16, 512, 51, false)
+	e := NewWithOptions(imp, concentrator.KindIdeal, 0, Options{Workers: 1})
+	e.RunCycle(ms) // warm the arena to its high-water mark
+	if avg := testing.AllocsPerRun(10, func() { e.RunCycle(ms) }); avg != 0 {
+		t.Fatalf("steady-state stream RunCycle allocates: %v allocs/op", avg)
+	}
+}

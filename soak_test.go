@@ -1,6 +1,8 @@
 package fattree_test
 
 import (
+	"reflect"
+	"runtime"
 	"testing"
 
 	"fattree"
@@ -60,6 +62,66 @@ func TestSoakLargeUniversality(t *testing.T) {
 	}
 	t.Logf("n=%d: slowdown %.1f, envelope %.1f, normalized %.3f",
 		n, r.Slowdown, r.PolylogBound, r.Slowdown/r.PolylogBound)
+}
+
+// TestSoakImplicitHugeBoundedMemory is the bounded-memory soak of ISSUE 8 and
+// the CI memory-guard: a 2^20-endpoint implicit fat-tree simulated to
+// completion in bounded time, with three pinned properties. First, the
+// retained heap for the topology plus a warmed streaming engine stays under a
+// hard bytes/endpoint ceiling (the measured figure is ~62 B/endpoint, see
+// EXPERIMENTS.md §A6; the ceiling leaves room for allocator jitter, not for a
+// per-node table — any O(n) state blows through it immediately). Second, the
+// sharded-parallel run is bit-identical to the serial one. Third, the
+// conservation law exported at /metrics holds on the compact observer's
+// counters: every offered message is delivered, dropped, or deferred.
+func TestSoakImplicitHugeBoundedMemory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	const (
+		n       = 1 << 20
+		ceiling = 128.0 // bytes/endpoint, ~2x the measured steady state
+	)
+	ms := fattree.Random(n, n/64, 3)
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	ft := fattree.NewImplicitUniversal(n, n/4)
+	serial := fattree.NewEngineWithOptions(ft, fattree.SwitchIdeal, 0, fattree.Options{Workers: 1})
+	serial.RunCycle(ms) // warm the scratch arena to its high-water mark
+	runtime.GC()
+	runtime.ReadMemStats(&after)
+	perEndpoint := (float64(after.HeapAlloc) - float64(before.HeapAlloc)) / float64(n)
+	if perEndpoint > ceiling {
+		t.Fatalf("implicit engine retains %.1f bytes/endpoint at n=2^20, ceiling %.0f", perEndpoint, ceiling)
+	}
+	t.Logf("n=2^20: %.1f bytes/endpoint retained (ceiling %.0f)", perEndpoint, ceiling)
+
+	// Random sets contend (ideal switches resolve arbitration by dropping,
+	// and Run retries), so full delivery — not zero drops — is the invariant.
+	ref := serial.Run(ms)
+	if ref.Delivered != len(ms) {
+		t.Fatalf("serial huge run incomplete: %+v", ref)
+	}
+	for _, workers := range []int{2, 0} {
+		o := fattree.NewObserverCompact(ft)
+		e := fattree.NewEngineWithOptions(ft, fattree.SwitchIdeal, 0,
+			fattree.Options{Workers: workers, Observer: o})
+		stats := e.RunParallel(ms)
+		if !reflect.DeepEqual(stats, ref) {
+			t.Fatalf("workers=%d: sharded run diverges from serial\nserial   %+v\nparallel %+v",
+				workers, ref, stats)
+		}
+		c := &o.C
+		if c.Offered != c.Delivered+c.Dropped+c.Deferred {
+			t.Fatalf("workers=%d: conservation broken: offered %d != delivered %d + dropped %d + deferred %d",
+				workers, c.Offered, c.Delivered, c.Dropped, c.Deferred)
+		}
+		if int(c.Delivered) != len(ms) {
+			t.Fatalf("workers=%d: observer counted %d deliveries, want %d", workers, c.Delivered, len(ms))
+		}
+	}
 }
 
 func TestSoakBufferedBigTree(t *testing.T) {
