@@ -1,0 +1,227 @@
+// Command ftdesign automates the engineering exercise of Section VII: given a
+// number of endpoints, a physical switch radix, and a 3-D volume budget, it
+// enumerates the 2- and 3-tier k-ary fat-tree design space, prices every
+// candidate with the Section IV VLSI cost model (Lemma 3 node boxes for the
+// switching hardware plus unit volume per wire), and emits the cheapest
+// topology whose load factor respects the requested oversubscription — the
+// paper's λ-based one-cycle predicate applied as an acceptance test.
+//
+// Candidates put full bisection bandwidth above the edge tier (channel
+// capacity equals the aggregate width of the tier below) and apply the
+// oversubscription ratio at the edge uplinks only, the standard folded-Clos
+// shape. A logical upper-tier node wider than one physical switch is realized
+// by a stack of ceil(ports/radix) switches, each priced as its own node box.
+//
+// Usage:
+//
+//	ftdesign -n 1024 -radix 36 -budget 60000
+//	ftdesign -n 1024 -radix 36 -budget 42000 -oversub 2
+//
+// Exit status: 0 success (a design was found and passed the λ check),
+// 1 runtime failure, 2 usage error or no design within the budget.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+
+	"fattree"
+	"fattree/internal/vlsi"
+)
+
+// design is one priced candidate topology.
+type design struct {
+	desc      fattree.KaryDesc
+	tiers     int
+	switchVol float64 // summed Lemma 3 node boxes over physical switches
+	wireVol   float64 // unit volume per wire, both directions of every channel
+	physical  int     // physical switch count
+}
+
+func (d *design) cost() float64 { return d.switchVol + d.wireVol }
+
+func main() {
+	n := flag.Int("n", 0, "number of endpoints (>= 4)")
+	radix := flag.Int("radix", 0, "ports per physical switch (>= 4)")
+	budget := flag.Float64("budget", 0, "total volume budget in unit cells (> 0)")
+	oversub := flag.Float64("oversub", 1, "maximum edge oversubscription ratio (1 = non-blocking)")
+	all := flag.Bool("all", false, "list every design within budget, not just the cheapest")
+	flag.Parse()
+
+	if *n < 4 {
+		usage("-n must be >= 4 (got %d)", *n)
+	}
+	if *radix < 4 {
+		usage("-radix must be >= 4 (got %d)", *radix)
+	}
+	if *budget <= 0 {
+		usage("-budget must be > 0 (got %g)", *budget)
+	}
+	if *oversub < 1 {
+		usage("-oversub must be >= 1 (got %g)", *oversub)
+	}
+
+	fmt.Printf("ftdesign: n=%d radix=%d oversub=%.2f budget=%.0f\n", *n, *radix, *oversub, *budget)
+
+	candidates := enumerate(*n)
+	feasible := make([]design, 0, len(candidates))
+	radixOK := 0
+	for _, down := range candidates {
+		d, ok := price(down, *radix, *oversub)
+		if !ok {
+			continue
+		}
+		radixOK++
+		if d.cost() <= *budget {
+			feasible = append(feasible, d)
+		}
+	}
+	fmt.Printf("design space: %d factorizations, %d fit the radix, %d within budget\n",
+		len(candidates), radixOK, len(feasible))
+	if len(feasible) == 0 {
+		usage("no 2/3-tier design for n=%d fits radix %d within budget %.0f (try a larger budget or -oversub)",
+			*n, *radix, *budget)
+	}
+
+	sort.Slice(feasible, func(i, j int) bool {
+		if feasible[i].cost() != feasible[j].cost() {
+			return feasible[i].cost() < feasible[j].cost()
+		}
+		return feasible[i].tiers < feasible[j].tiers
+	})
+	if *all {
+		for _, d := range feasible {
+			fmt.Printf("  %d-tier down=%v caps=%s: %d switches, volume %.0f (switch %.0f + wire %.0f)\n",
+				d.tiers, d.desc.Down, capsOf(d.desc), d.physical, d.cost(), d.switchVol, d.wireVol)
+		}
+	}
+
+	best := feasible[0]
+	t := fattree.NewKary(best.desc) // core validates the emitted descriptor
+	fmt.Printf("best: %d-tier down=%v up=%v parallel=%v — %d physical switches, volume %.0f (switch %.0f + wire %.0f, budget %.0f)\n",
+		best.tiers, best.desc.Down, best.desc.Up, best.desc.Parallel,
+		best.physical, best.cost(), best.switchVol, best.wireVol, *budget)
+	fmt.Printf("topology: %v\n", t)
+
+	// The acceptance test is the paper's load-factor predicate on the worst
+	// admissible traffic: the reversal permutation sends every message across
+	// the root, so λ(reversal) meets the bisection exactly. A non-blocking
+	// design must come out one-cycle (λ <= 1); an oversubscribed design must
+	// stay within the requested ratio.
+	lam := fattree.LoadFactor(t, fattree.Reversal(*n))
+	if lam <= *oversub+1e-9 {
+		fmt.Printf("one-cycle λ check: PASS (λ(reversal) = %.3f <= %.2f)\n", lam, *oversub)
+	} else {
+		fail("one-cycle λ check: FAIL (λ(reversal) = %.3f > %.2f) — cost model bug", lam, *oversub)
+	}
+}
+
+// enumerate returns every 2- and 3-tier factorization of n (root tier first,
+// every factor >= 2), deduplicated and deterministic.
+func enumerate(n int) [][]int {
+	var out [][]int
+	for d1 := 2; d1 <= n/2; d1++ {
+		if n%d1 != 0 {
+			continue
+		}
+		d0 := n / d1
+		if d0 >= 2 {
+			out = append(out, []int{d0, d1})
+		}
+	}
+	for d2 := 2; d2 <= n/4; d2++ {
+		if n%d2 != 0 {
+			continue
+		}
+		rest := n / d2
+		for d1 := 2; d1 <= rest/2; d1++ {
+			if rest%d1 != 0 {
+				continue
+			}
+			d0 := rest / d1
+			if d0 >= 2 {
+				out = append(out, []int{d0, d1, d2})
+			}
+		}
+	}
+	return out
+}
+
+// price turns a factorization into a priced design, or reports that it cannot
+// be built from radix-port switches. The leaf tier is the last Down entry;
+// capacities above the edge follow full bisection, and the oversubscription
+// ratio thins the edge uplinks only.
+func price(down []int, radix int, oversub float64) (design, bool) {
+	tiers := len(down)
+	caps := make([]int, tiers+1) // caps[k] = channel width above a level-k node
+	caps[tiers] = 1              // endpoint links
+	caps[tiers-1] = int(math.Ceil(float64(down[tiers-1]) / oversub))
+	if caps[tiers-1] < 1 {
+		caps[tiers-1] = 1
+	}
+	for k := tiers - 2; k >= 1; k-- {
+		caps[k] = down[k] * caps[k+1]
+	}
+
+	// Edge switches must be single physical switches: down-ports for the
+	// endpoints plus up-ports for the uplinks.
+	if down[tiers-1]+caps[tiers-1] > radix {
+		return design{}, false
+	}
+	// Upper tiers may stack physical switches per logical node, but no node
+	// may fan out to more children than a switch has ports.
+	for k := 0; k < tiers-1; k++ {
+		if down[k] > radix {
+			return design{}, false
+		}
+	}
+
+	desc := fattree.KaryDesc{
+		Down:     append([]int(nil), down...),
+		Up:       make([]int, tiers),
+		Parallel: make([]int, tiers),
+	}
+	for k := 0; k < tiers; k++ {
+		desc.Up[k] = caps[k+1]
+		desc.Parallel[k] = 1
+	}
+
+	d := design{desc: desc, tiers: tiers}
+	count := 1 // logical nodes at the current level
+	for k := 0; k < tiers; k++ {
+		up := caps[k]
+		if k == 0 {
+			up = desc.Up[0] // external root channel defaults to the level-1 width
+		}
+		ports := up + down[k]*caps[k+1]
+		stack := (ports + radix - 1) / radix
+		perSwitch := (ports + stack - 1) / stack
+		d.switchVol += float64(count*stack) * vlsi.NodeBox(perSwitch, 1).Volume()
+		d.physical += count * stack
+		count *= down[k]
+	}
+	t := fattree.NewKary(desc)
+	d.wireVol = float64(t.TotalWires())
+	return d, true
+}
+
+// capsOf renders the per-level capacity table of a descriptor.
+func capsOf(desc fattree.KaryDesc) string {
+	return fmt.Sprintf("%v", fattree.NewKary(desc).LevelCapTable())
+}
+
+// usage reports a command-line mistake or an infeasible specification and
+// exits 2; fail reports a runtime failure and exits 1 — the exit convention
+// shared by every CLI in this repository.
+func usage(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "ftdesign: "+format+"\n", args...)
+	os.Exit(2)
+}
+
+func fail(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "ftdesign: "+format+"\n", args...)
+	os.Exit(1)
+}

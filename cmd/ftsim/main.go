@@ -10,6 +10,7 @@
 //	ftsim -n 256 -w 32 -workload local -k 2048 -radius 4 -policy offlinebig
 //	ftsim -n 256 -counters -trace-out trace.json   # open in chrome://tracing
 //	ftsim -implicit -n 1048576 -workload random -k 16384 -policy online
+//	ftsim -kary "8,4;2,1;1,2" -workload random -policy online
 //
 // Exit status: 0 success, 1 runtime failure, 2 usage error.
 package main
@@ -31,6 +32,8 @@ func main() {
 	w := flag.Int("w", 0, "root capacity (default n/4)")
 	implicit := flag.Bool("implicit", false,
 		"compute the topology on the fly (no per-node state) and route with the subtree-sharded streaming engine; lets -n reach 2^20 in bounded memory")
+	kary := flag.String("kary", "",
+		"simulate a k-ary fat-tree instead of the binary universal profile: \"down;up;parallel[;root]\" with one comma-separated entry per tier, e.g. \"8,4;2,1;1,2\" (overrides -n and -w; requires ideal switches and -policy greedy|online)")
 	workloadName := flag.String("workload", "perm", "workload: perm|random|bitrev|transpose|shuffle|reversal|local|hotspot|nn|alltoall")
 	k := flag.Int("k", 0, "message count for random/local/hotspot (default 4n)")
 	radius := flag.Int("radius", 4, "radius for -workload local")
@@ -52,8 +55,35 @@ func main() {
 	profileOut := flag.String("profile-out", "ftsim", "base path for -profile output files")
 	flag.Parse()
 
-	if *n < 2 || *n&(*n-1) != 0 {
+	var karyDesc fattree.KaryDesc
+	if *kary != "" {
+		if *implicit {
+			usage("-kary and -implicit are mutually exclusive")
+		}
+		var err error
+		karyDesc, err = parseKaryDesc(*kary)
+		if err != nil {
+			usage("bad -kary descriptor: %v", err)
+		}
+		*n = 1
+		for _, d := range karyDesc.Down {
+			*n *= d
+		}
+		switch *policy {
+		case "offline", "offlinebig":
+			usage("-policy %s needs the binary Theorem 1 scheduler; use -policy greedy or online with -kary", *policy)
+		}
+		if *switches == "partial" {
+			usage("-switches partial models the binary Section IV hardware; k-ary topologies route with ideal switches")
+		}
+	} else if *n < 2 || *n&(*n-1) != 0 {
 		usage("-n must be a power of two >= 2 (got %d)", *n)
+	}
+	if *kary != "" && *n&(*n-1) != 0 {
+		switch *workloadName {
+		case "bitrev", "transpose", "shuffle":
+			usage("-workload %s needs a power-of-two processor count; this -kary descriptor has n=%d", *workloadName, *n)
+		}
 	}
 	if *w == 0 {
 		*w = *n / 4
@@ -71,11 +101,15 @@ func main() {
 	// Under -implicit the topology is computed, not stored: dense stays nil,
 	// and the two visualizations that walk per-node state are skipped (they
 	// would materialize exactly the O(n) tables -implicit exists to avoid).
+	// Under -kary dense stays nil too (the viz walkers are binary).
 	var ft fattree.Topology
 	var dense *fattree.FatTree
-	if *implicit {
+	switch {
+	case *implicit:
 		ft = fattree.NewImplicitUniversal(*n, *w)
-	} else {
+	case *kary != "":
+		ft = fattree.NewKary(karyDesc)
+	default:
 		dense = fattree.NewUniversal(*n, *w)
 		ft = dense
 	}
@@ -84,6 +118,9 @@ func main() {
 	kindNote := ""
 	if *implicit {
 		kindNote = " (implicit)"
+	}
+	if *kary != "" {
+		kindNote = fmt.Sprintf(" (k-ary %s)", *kary)
 	}
 	fmt.Printf("fat-tree n=%d w=%d%s   workload %s: %d messages, λ = %.2f (lower bound on cycles)\n",
 		*n, ft.RootCapacity(), kindNote, *workloadName, len(ms), lam)
@@ -287,6 +324,60 @@ func buildWorkload(name string, n, k, radius int, seed int64) fattree.MessageSet
 	}
 	usage("unknown -workload %q", name)
 	return nil
+}
+
+// parseKaryDesc parses the -kary descriptor "down;up;parallel[;root]": three
+// (or four) semicolon-separated fields, the first three comma-separated lists
+// with one entry per tier, the optional fourth the root channel capacity.
+func parseKaryDesc(s string) (fattree.KaryDesc, error) {
+	var d fattree.KaryDesc
+	fields := strings.Split(s, ";")
+	if len(fields) != 3 && len(fields) != 4 {
+		return d, fmt.Errorf("want \"down;up;parallel[;root]\", got %d field(s)", len(fields))
+	}
+	parseList := func(name, field string) ([]int, error) {
+		parts := strings.Split(field, ",")
+		out := make([]int, 0, len(parts))
+		for _, p := range parts {
+			var v int
+			if _, err := fmt.Sscanf(strings.TrimSpace(p), "%d", &v); err != nil {
+				return nil, fmt.Errorf("%s entry %q is not an integer", name, p)
+			}
+			out = append(out, v)
+		}
+		return out, nil
+	}
+	var err error
+	if d.Down, err = parseList("down", fields[0]); err != nil {
+		return d, err
+	}
+	if d.Up, err = parseList("up", fields[1]); err != nil {
+		return d, err
+	}
+	if d.Parallel, err = parseList("parallel", fields[2]); err != nil {
+		return d, err
+	}
+	if len(d.Up) != len(d.Down) || len(d.Parallel) != len(d.Down) {
+		return d, fmt.Errorf("tier counts disagree: down=%d up=%d parallel=%d",
+			len(d.Down), len(d.Up), len(d.Parallel))
+	}
+	if len(fields) == 4 {
+		if _, err := fmt.Sscanf(strings.TrimSpace(fields[3]), "%d", &d.Root); err != nil {
+			return d, fmt.Errorf("root entry %q is not an integer", fields[3])
+		}
+	}
+	for i, v := range d.Down {
+		if v < 2 {
+			return d, fmt.Errorf("down[%d] = %d; every tier needs >= 2 children", i, v)
+		}
+		if d.Up[i] < 1 || d.Parallel[i] < 1 {
+			return d, fmt.Errorf("up[%d]/parallel[%d] must be >= 1", i, i)
+		}
+	}
+	if d.Root < 0 {
+		return d, fmt.Errorf("root capacity %d must be >= 0", d.Root)
+	}
+	return d, nil
 }
 
 // usage reports a command-line mistake (bad flag value) and exits 2; fail

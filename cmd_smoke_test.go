@@ -50,6 +50,12 @@ func TestSmokeCmds(t *testing.T) {
 			[]string{"E1", "E25", "A2"}},
 		{"./cmd/ftbench", []string{"-quick", "-parallel", "-run", "E1,E12"},
 			[]string{"E1", "E12", "suite complete"}},
+		{"./cmd/ftsim", []string{"-kary", "8,4;2,1;1,2", "-workload", "random", "-policy", "online"},
+			[]string{"k-ary 8,4;2,1;1,2", "delivered 128/128"}},
+		{"./cmd/ftdesign", []string{"-n", "1024", "-radix", "36", "-budget", "60000"},
+			[]string{"best: 3-tier", "one-cycle λ check: PASS"}},
+		{"./cmd/ftdesign", []string{"-n", "64", "-radix", "10", "-budget", "4000", "-oversub", "2", "-all"},
+			[]string{"within budget", "one-cycle λ check: PASS"}},
 		{"./cmd/fttrace", []string{"-trace", "fft", "-n", "64"},
 			[]string{"per-phase cost", "total:"}},
 		{"./cmd/fttrace", []string{"-trace", "multigrid", "-k", "8"},
@@ -142,6 +148,14 @@ func TestCLIExitCodes(t *testing.T) {
 		{"ftserve transpose odd lg", "ftserve", []string{"-n", "32", "-workloads", "transpose"}, 2},
 		{"ftserve positional args", "ftserve", []string{"extra"}, 2},
 		{"ftbench hist without bench", "ftbench", []string{"-hist"}, 2},
+		{"ftdesign bad n", "ftdesign", []string{"-n", "0", "-radix", "36", "-budget", "100"}, 2},
+		{"ftdesign bad oversub", "ftdesign", []string{"-n", "64", "-radix", "36", "-budget", "100", "-oversub", "0.5"}, 2},
+		{"ftdesign infeasible budget", "ftdesign", []string{"-n", "1024", "-radix", "36", "-budget", "1"}, 2},
+		{"ftdesign infeasible radix", "ftdesign", []string{"-n", "1022", "-radix", "6", "-budget", "99999"}, 2},
+		{"ftsim kary with implicit", "ftsim", []string{"-kary", "4,4;1,1;1,1", "-implicit"}, 2},
+		{"ftsim kary bad descriptor", "ftsim", []string{"-kary", "4;1;1;1;1"}, 2},
+		{"ftsim kary offline policy", "ftsim", []string{"-kary", "4,4;1,1;1,1", "-policy", "offline"}, 2},
+		{"ftsim kary partial switches", "ftsim", []string{"-kary", "4,4;1,1;1,1", "-switches", "partial"}, 2},
 		{"ftbenchdiff no args", "ftbenchdiff", nil, 2},
 		{"ftbenchdiff bad threshold", "ftbenchdiff", []string{"-threshold", "-1", "a.json", "b.json"}, 2},
 
@@ -152,6 +166,8 @@ func TestCLIExitCodes(t *testing.T) {
 
 		// Success exits 0.
 		{"ftsim counters run", "ftsim", []string{"-n", "16", "-policy", "online", "-counters"}, 0},
+		{"ftdesign good spec", "ftdesign", []string{"-n", "1024", "-radix", "36", "-budget", "60000"}, 0},
+		{"ftsim kary greedy", "ftsim", []string{"-kary", "3,4;1,1;2,1", "-workload", "reversal", "-policy", "greedy"}, 0},
 		{"ftserve bounded run", "ftserve", []string{"-addr", "127.0.0.1:0", "-n", "16", "-runs", "2"}, 0},
 	}
 	for _, c := range cases {

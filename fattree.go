@@ -46,6 +46,15 @@ type (
 	// recognizes it and streams flight state through subtree shards, so
 	// 2^20-endpoint networks simulate in bounded memory.
 	ImplicitFatTree = core.ImplicitFatTree
+	// KaryFatTree is the generalized k-ary fat-tree: per-tier down/up/
+	// parallel descriptors with arbitrary radix and oversubscription. The
+	// simulation engine routes it with inline ideal concentrators; the
+	// Theorem 1 scheduler requires a binary tree (use ScheduleGreedy).
+	KaryFatTree = core.KaryFatTree
+	// KaryDesc is a k-ary fat-tree descriptor: tier i (0 = the root tier)
+	// fans every level-i node out to Down[i] children, each reached by a
+	// channel of Up[i]×Parallel[i] wires.
+	KaryDesc = core.KaryDesc
 	// Message is a point-to-point message (source, destination).
 	Message = core.Message
 	// MessageSet is a multiset of messages.
@@ -106,6 +115,10 @@ func NewImplicitConstant(n, c int) *ImplicitFatTree { return core.NewImplicitCon
 
 // NewImplicitDoubling is NewDoubling's implicit counterpart.
 func NewImplicitDoubling(n int) *ImplicitFatTree { return core.NewImplicitDoubling(n) }
+
+// NewKary builds a generalized k-ary fat-tree from a per-tier descriptor; n
+// is the product of the Down fan-outs. Validation is up-front, as in New.
+func NewKary(d KaryDesc) *KaryFatTree { return core.NewKary(d) }
 
 // NewLoads computes per-channel loads of ms on t.
 func NewLoads(t Topology, ms MessageSet) *Loads { return core.NewLoads(t, ms) }

@@ -56,12 +56,12 @@ func externalValidate(t Topology, m Message) bool {
 func (l *Loads) addExternal(m Message, delta int) {
 	t := l.tree
 	if m.Dst == External {
-		for v := t.Leaf(m.Src); v >= 1; v >>= 1 {
+		for v := t.Leaf(m.Src); v >= 1; v = l.parent(v) {
 			l.up[v] += delta
 		}
 		return
 	}
-	for v := t.Leaf(m.Dst); v >= 1; v >>= 1 {
+	for v := t.Leaf(m.Dst); v >= 1; v = l.parent(v) {
 		l.down[v] += delta
 	}
 }

@@ -197,6 +197,31 @@ func (t *geom) Level(v int) int {
 	return bits.Len(uint(v)) - 1
 }
 
+// Parent returns the parent of node v, or 0 for the root. v is not
+// range-checked; it is the hot-path navigation primitive.
+//
+//ftlint:hotpath
+func (t *geom) Parent(v int) int { return v >> 1 }
+
+// Children returns the contiguous child range of node v: (2v, 2) for an
+// internal node, (0, 0) for a leaf.
+func (t *geom) Children(v int) (first, count int) {
+	t.Level(v) // range-check
+	if v >= t.n {
+		return 0, 0
+	}
+	return 2 * v, 2
+}
+
+// LevelRange returns the contiguous node range of level k: [2^k, 2^(k+1)).
+// It panics if k is out of range.
+func (t *geom) LevelRange(k int) (first, count int) {
+	if k < 0 || k > t.levels {
+		panic(fmt.Sprintf("core: level %d out of range [0,%d]", k, t.levels))
+	}
+	return 1 << uint(k), 1 << uint(k)
+}
+
 // CapacityAtLevel returns the (level-uniform) capacity of channels at level k.
 // Per-channel overrides are not reflected here; use Capacity for that.
 func (t *geom) CapacityAtLevel(k int) int {

@@ -22,7 +22,7 @@ func DegradeChannels(t Topology, probability, severity float64, seed int64) int 
 	}
 	rng := rand.New(rand.NewSource(seed))
 	degraded := 0
-	for v := 2; v < 2*t.Processors(); v++ { // skip the external root channel
+	for v := 2; v <= t.Nodes(); v++ { // skip the external root channel
 		if rng.Float64() >= probability {
 			continue
 		}
@@ -42,21 +42,19 @@ func DegradeChannels(t Topology, probability, severity float64, seed int64) int 
 // FailNode fails an entire switch: both channels of the edge above node v and
 // the edges above its children collapse to a single wire each (the minimal
 // still-connected configuration; a totally dead switch would disconnect the
-// tree, which the complete-binary-tree topology cannot tolerate — the paper's
-// fat-tree has no path diversity between a fixed leaf pair).
+// tree, which the tree topology cannot tolerate — the paper's fat-tree has no
+// path diversity between a fixed leaf pair).
 func FailNode(t Topology, v int) {
 	// Validate v before mutating anything: a bad index must not leave the
 	// tree half-failed (the first SetChannelCapacity would otherwise apply
 	// and then panic on a child, or — for v = 0 — panic after no-op guards).
-	nodes := 2 * t.Processors()
-	if v < 1 || v >= nodes {
-		panic(fmt.Sprintf("core: FailNode: node %d out of range [1,%d)", v, nodes))
+	nodes := t.Nodes()
+	if v < 1 || v > nodes {
+		panic(fmt.Sprintf("core: FailNode: node %d out of range [1,%d)", v, nodes+1))
 	}
 	t.SetChannelCapacity(v, 1)
-	if 2*v < nodes {
-		t.SetChannelCapacity(2*v, 1)
-	}
-	if 2*v+1 < nodes {
-		t.SetChannelCapacity(2*v+1, 1)
+	first, count := t.Children(v)
+	for c := first; c < first+count; c++ {
+		t.SetChannelCapacity(c, 1)
 	}
 }

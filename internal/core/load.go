@@ -8,29 +8,43 @@ package core
 // nearly achievable.
 
 // Loads records, for every edge of a fat-tree, how many messages of some
-// message set traverse its Up and Down channels. Index by node heap id.
+// message set traverse its Up and Down channels. Index by node id.
 type Loads struct {
-	tree Topology
-	n    int   // processor count, cached so the scans below stay O(1) per probe
-	up   []int // up[v] = messages using channel (v, Up)
-	down []int // down[v] = messages using channel (v, Down)
+	tree  Topology
+	nodes int  // highest node index, cached so the scans below stay O(1) per probe
+	heap  bool // heap-indexed tree: the path walks below use the inline v/2 parent
+	up    []int
+	down  []int
 }
 
-// NewLoads computes the per-channel loads of ms on t in O(|ms|·lg n) time:
+// NewLoads computes the per-channel loads of ms on t in O(|ms|·levels) time:
 // the up channel above node v carries the messages whose source lies in v's
 // subtree and whose destination does not; symmetrically for down.
 func NewLoads(t Topology, ms MessageSet) *Loads {
-	n := t.Processors()
+	nodes := t.Nodes()
 	l := &Loads{
-		tree: t,
-		n:    n,
-		up:   make([]int, 2*n),
-		down: make([]int, 2*n),
+		tree:  t,
+		nodes: nodes,
+		heap:  HeapIndexed(t),
+		up:    make([]int, nodes+1),
+		down:  make([]int, nodes+1),
 	}
 	for _, m := range ms {
 		l.Add(m)
 	}
 	return l
+}
+
+// parent steps one level toward the root: the inline heap shift on
+// heap-indexed trees (keeping the scheduler's λ recomputation free of
+// interface calls), the topology's Parent otherwise.
+//
+//ftlint:hotpath
+func (l *Loads) parent(v int) int {
+	if l.heap {
+		return v >> 1
+	}
+	return l.tree.Parent(v)
 }
 
 // Add accounts one message's path into the load table.
@@ -41,10 +55,10 @@ func (l *Loads) Add(m Message) {
 	}
 	t := l.tree
 	lca := t.LCA(m.Src, m.Dst)
-	for v := t.Leaf(m.Src); v != lca; v >>= 1 {
+	for v := t.Leaf(m.Src); v != lca; v = l.parent(v) {
 		l.up[v]++
 	}
-	for v := t.Leaf(m.Dst); v != lca; v >>= 1 {
+	for v := t.Leaf(m.Dst); v != lca; v = l.parent(v) {
 		l.down[v]++
 	}
 }
@@ -58,10 +72,10 @@ func (l *Loads) Remove(m Message) {
 	}
 	t := l.tree
 	lca := t.LCA(m.Src, m.Dst)
-	for v := t.Leaf(m.Src); v != lca; v >>= 1 {
+	for v := t.Leaf(m.Src); v != lca; v = l.parent(v) {
 		l.up[v]--
 	}
-	for v := t.Leaf(m.Dst); v != lca; v >>= 1 {
+	for v := t.Leaf(m.Dst); v != lca; v = l.parent(v) {
 		l.down[v]--
 	}
 }
@@ -85,7 +99,7 @@ func (l *Loads) Load(c Channel) int {
 // MaxLoad returns the maximum load over all channels.
 func (l *Loads) MaxLoad() int {
 	max := 0
-	for v := 1; v < 2*l.n; v++ {
+	for v := 1; v <= l.nodes; v++ {
 		if l.up[v] > max {
 			max = l.up[v]
 		}
@@ -108,7 +122,7 @@ func (l *Loads) Factor(c Channel) float64 {
 func (l *Loads) MaxFactor() (float64, Channel) {
 	best := 0.0
 	arg := Channel{Node: 1, Dir: Up}
-	for v := 1; v < 2*l.n; v++ {
+	for v := 1; v <= l.nodes; v++ {
 		for _, c := range [2]Channel{{Node: v, Dir: Up}, {Node: v, Dir: Down}} {
 			f := l.Factor(c)
 			if f > best {
@@ -124,7 +138,7 @@ func (l *Loads) MaxFactor() (float64, Channel) {
 // with ideal concentrator switches routes such a set in a single delivery
 // cycle.
 func (l *Loads) Fits() bool {
-	for v := 1; v < 2*l.n; v++ {
+	for v := 1; v <= l.nodes; v++ {
 		if l.up[v] > l.tree.Capacity(Channel{Node: v, Dir: Up}) {
 			return false
 		}
@@ -139,7 +153,7 @@ func (l *Loads) Fits() bool {
 // whose capacity exceeds slack, and load(c) <= cap(c) otherwise. It implements
 // the fictitious capacities cap'(c) = cap(c) - lg n of Corollary 2.
 func (l *Loads) FitsWithSlack(slack int) bool {
-	for v := 1; v < 2*l.n; v++ {
+	for v := 1; v <= l.nodes; v++ {
 		capUp := l.tree.Capacity(Channel{Node: v, Dir: Up})
 		capDown := l.tree.Capacity(Channel{Node: v, Dir: Down})
 		if l.up[v] > fictitious(capUp, slack) {
@@ -179,7 +193,7 @@ func IsOneCycle(t Topology, ms MessageSet) bool {
 func LoadFactorWithSlack(t Topology, ms MessageSet, slack int) float64 {
 	l := NewLoads(t, ms)
 	best := 0.0
-	for v := 1; v < 2*t.Processors(); v++ {
+	for v := 1; v <= t.Nodes(); v++ {
 		for _, c := range [2]Channel{{Node: v, Dir: Up}, {Node: v, Dir: Down}} {
 			f := float64(l.Load(c)) / float64(fictitious(t.Capacity(c), slack))
 			if f > best {

@@ -24,10 +24,17 @@ type Topology interface {
 	Nodes() int
 	InternalNodes() int
 
-	// Heap-index navigation.
+	// Navigation. The binary implementations answer these with heap-index
+	// arithmetic (Parent is v/2, level k spans [2^k, 2^(k+1))); KaryFatTree
+	// answers from its level-order numbering tables. Parent returns 0 for
+	// the root and does not range-check (it is the hot-path primitive);
+	// Children returns (0, 0) for a leaf.
 	Leaf(p int) int
 	ProcessorOf(v int) int
 	Level(v int) int
+	Parent(v int) int
+	Children(v int) (first, count int)
+	LevelRange(k int) (first, count int)
 	SubtreeLeaves(v int) (lo, hi int)
 	Contains(v, p int) bool
 	LCA(p, q int) int
@@ -56,7 +63,21 @@ type Topology interface {
 var (
 	_ Topology = (*FatTree)(nil)
 	_ Topology = (*ImplicitFatTree)(nil)
+	_ Topology = (*KaryFatTree)(nil)
 )
+
+// HeapIndexed reports whether t uses the complete-binary heap numbering —
+// 2n-1 nodes with processor p at leaf n+p, so Parent is v/2 and level k spans
+// [2^k, 2^(k+1)). FatTree and ImplicitFatTree always do; a KaryFatTree does
+// exactly when its descriptor is all-binary (its level-order numbering then
+// coincides with the heap numbering). Consumers whose algorithms are bound to
+// the binary shape — the Theorem 1 scheduler's bisection machinery, the
+// dense and streaming simulation planes — gate on this instead of on concrete
+// types, so a binary-shaped KaryFatTree qualifies wherever the arithmetic
+// does.
+func HeapIndexed(t Topology) bool {
+	return t.Nodes() == 2*t.Processors()-1 && t.Leaf(0) == t.Processors()
+}
 
 // ImplicitFatTree is the computed fat-tree: the same geometry as FatTree —
 // heap-indexed navigation, the per-level capacity profile, the sparse
@@ -110,12 +131,11 @@ func CapTableOf(t Topology) []int {
 	if ft, ok := t.(*FatTree); ok {
 		return ft.CapTable()
 	}
-	n := t.Processors()
-	table := make([]int, 2*n)
+	table := make([]int, t.Nodes()+1)
 	caps := t.LevelCapTable()
-	v := 1
 	for k := 0; k < len(caps); k++ {
-		for end := v * 2; v < end; v++ {
+		first, count := t.LevelRange(k)
+		for v := first; v < first+count; v++ {
 			table[v] = caps[k]
 		}
 	}

@@ -42,6 +42,7 @@ package obsv
 import (
 	"fmt"
 	"io"
+	"math/bits"
 	"sync"
 
 	"fattree/internal/core"
@@ -134,9 +135,16 @@ type Observer struct {
 	// Latencies, Stall, Queue, SchedLevel) lock around themselves.
 	mu sync.Mutex
 
-	nodes  int   // heap nodes + 1 (valid ids are 1..nodes-1)
-	levels int   // leaf level = lg n
-	caps   []int // capacity of the channel above node v, by heap id; nil when compact
+	nodes  int   // tree nodes + 1 (valid ids are 1..nodes-1)
+	levels int   // leaf level
+	caps   []int // capacity of the channel above node v, by node id; nil when compact
+
+	// heap marks a heap-indexed tree, whose node levels fold with one
+	// bits.Len; other shapes (k-ary fat-trees) fold through the lvlFirst
+	// table built from the topology's LevelRange.
+	heap     bool
+	lvlFirst []int
+	lvlCount []int
 
 	// compact marks a per-level observer (NewCompact): channel and switch
 	// arrays are indexed by tree level instead of heap node id, so the
@@ -171,36 +179,64 @@ type Observer struct {
 // the *dense* observer — O(n) memory; use NewCompact for topologies too large
 // to materialize.
 func New(t core.Topology) *Observer {
-	n2 := 2 * t.Processors()
+	nodes := t.Nodes() + 1
 	o := &Observer{
-		nodes:  n2,
+		nodes:  nodes,
 		levels: t.Levels(),
 		caps:   core.CapTableOf(t),
 	}
+	o.bindLevels(t)
 	o.C = Counters{
-		WireUse:       make([]int64, 2*n2),
-		Requests:      make([]int64, n2),
-		Grants:        make([]int64, n2),
-		Drops:         make([]int64, n2),
-		MatchRounds:   make([]int64, n2),
-		Faults:        make([]int64, n2),
-		Stalls:        make([]int64, 2*n2),
-		QueuePeak:     make([]int64, 2*n2),
+		WireUse:       make([]int64, 2*nodes),
+		Requests:      make([]int64, nodes),
+		Grants:        make([]int64, nodes),
+		Drops:         make([]int64, nodes),
+		MatchRounds:   make([]int64, nodes),
+		Faults:        make([]int64, nodes),
+		Stalls:        make([]int64, 2*nodes),
+		QueuePeak:     make([]int64, 2*nodes),
 		LevelCycles:   make([]int64, t.Levels()+2),
 		LevelMessages: make([]int64, t.Levels()+2),
 	}
-	o.lastRounds = make([]int64, n2)
-	o.lastFaults = make([]int64, n2)
+	o.lastRounds = make([]int64, nodes)
+	o.lastFaults = make([]int64, nodes)
 	o.hist = newHists(t.Levels())
 	o.cycleLevelUse = make([]int64, t.Levels()+1)
 	o.levelWires = make([]int64, t.Levels()+1)
 	for level := 0; level <= t.Levels(); level++ {
-		first := 1 << uint(level)
-		for v := first; v < 2*first && v < n2; v++ {
+		first, count := o.lvlFirst[level], o.lvlCount[level]
+		for v := first; v < first+count; v++ {
 			o.levelWires[level] += int64(o.caps[v])
 		}
 	}
 	return o
+}
+
+// bindLevels snapshots the topology's level geometry so the recording hooks
+// can fold node ids to levels without touching the tree again.
+func (o *Observer) bindLevels(t core.Topology) {
+	o.heap = core.HeapIndexed(t)
+	o.lvlFirst = make([]int, o.levels+1)
+	o.lvlCount = make([]int, o.levels+1)
+	for k := 0; k <= o.levels; k++ {
+		o.lvlFirst[k], o.lvlCount[k] = t.LevelRange(k)
+	}
+}
+
+// lvl folds a node id to its tree level: one bits.Len on heap-indexed trees,
+// a short scan of the level table (at most levels+1 probes) otherwise.
+//
+//ftlint:hotpath
+func (o *Observer) lvl(v int) int {
+	if o.heap {
+		return bits.Len(uint(v)) - 1
+	}
+	for k := o.levels; k > 0; k-- {
+		if v >= o.lvlFirst[k] {
+			return k
+		}
+	}
+	return 0
 }
 
 // NewCompact returns an observer bound to t whose channel and switch counters
@@ -214,12 +250,13 @@ func New(t core.Topology) *Observer {
 func NewCompact(t core.Topology) *Observer {
 	levels := t.Levels()
 	o := &Observer{
-		nodes:     2 * t.Processors(),
+		nodes:     t.Nodes() + 1,
 		levels:    levels,
 		compact:   true,
 		levelCaps: t.LevelCapTable(),
 		mixed:     make([]bool, levels+1),
 	}
+	o.bindLevels(t)
 	o.C = Counters{
 		WireUse:       make([]int64, 2*(levels+1)),
 		Requests:      make([]int64, levels+1),
@@ -236,10 +273,10 @@ func NewCompact(t core.Topology) *Observer {
 	o.cycleLevelUse = make([]int64, levels+1)
 	o.levelWires = make([]int64, levels+1)
 	for level := 0; level <= levels; level++ {
-		o.levelWires[level] = int64(1<<uint(level)) * int64(o.levelCaps[level])
+		o.levelWires[level] = int64(o.lvlCount[level]) * int64(o.levelCaps[level])
 	}
 	t.Overrides(func(node, cap int) {
-		level := levelOf(int32(node))
+		level := o.lvl(node)
 		o.levelWires[level] += int64(cap - o.levelCaps[level])
 		if cap != o.levelCaps[level] {
 			o.mixed[level] = true
@@ -255,21 +292,21 @@ func NewCompact(t core.Topology) *Observer {
 // Levels returns the leaf level (lg n) of the bound tree.
 func (o *Observer) Levels() int { return o.levels }
 
-// Nodes returns one past the largest valid heap node id of the bound tree.
+// Nodes returns one past the largest valid node id of the bound tree.
 func (o *Observer) Nodes() int { return o.nodes }
 
 // Compact reports whether the observer aggregates per level (NewCompact)
 // rather than per node.
 func (o *Observer) Compact() bool { return o.compact }
 
-// ChannelCapacity returns the capacity of the channel above heap node v
-// (both directions share one capacity), as snapshotted at New/NewCompact.
+// ChannelCapacity returns the capacity of the channel above node v (both
+// directions share one capacity), as snapshotted at New/NewCompact.
 func (o *Observer) ChannelCapacity(v int) int {
 	if o.compact {
 		if c, ok := o.ovCaps[v]; ok {
 			return c
 		}
-		return o.levelCaps[levelOf(int32(v))]
+		return o.levelCaps[o.lvl(v)]
 	}
 	return o.caps[v]
 }
@@ -278,7 +315,7 @@ func (o *Observer) ChannelCapacity(v int) int {
 // dense observer, 2·level+dir on a compact one.
 func (o *Observer) chIdx(node, dir int) int {
 	if o.compact {
-		return 2*levelOf(int32(node)) + dir
+		return 2*o.lvl(node) + dir
 	}
 	return 2*node + dir
 }
@@ -287,7 +324,7 @@ func (o *Observer) chIdx(node, dir int) int {
 // observer, its level on a compact one.
 func (o *Observer) swIdx(node int) int {
 	if o.compact {
-		return levelOf(int32(node))
+		return o.lvl(node)
 	}
 	return node
 }
@@ -430,7 +467,7 @@ func (o *Observer) Latencies(lat []int64) {
 // external inputs).
 func (o *Observer) Inject(i int, m core.Message, node, wire int) {
 	o.C.WireUse[o.chIdx(node, channelDirOf(node, m))]++
-	o.cycleLevelUse[levelOf(int32(node))]++
+	o.cycleLevelUse[o.lvl(node)]++
 	if o.ring != nil {
 		o.ring.push(Event{
 			Kind: EvInject, Cycle: o.C.Cycles, Node: int32(node), Flight: int32(i),
@@ -505,7 +542,7 @@ func (o *Observer) PrimeSwitch(node int, roundsCum, faultsCum int64) {
 // switch `node` during a sweep.
 func (o *Observer) Advance(i int, m core.Message, node, chanNode, dir, wire int) {
 	o.C.WireUse[o.chIdx(chanNode, dir)]++
-	o.cycleLevelUse[levelOf(int32(chanNode))]++
+	o.cycleLevelUse[o.lvl(chanNode)]++
 	if o.ring != nil {
 		o.ring.push(Event{
 			Kind: EvAdvance, Cycle: o.C.Cycles, Node: int32(node), Flight: int32(i),
@@ -594,7 +631,7 @@ func (o *Observer) PerLevel() []LevelSummary {
 		for level := 0; level <= o.levels; level++ {
 			s := &out[level]
 			s.Level = level
-			s.Nodes = 1 << uint(level)
+			s.Nodes = o.lvlCount[level]
 			s.Capacity = o.levelCaps[level]
 			if o.mixed[level] {
 				s.Capacity = -1
@@ -612,12 +649,12 @@ func (o *Observer) PerLevel() []LevelSummary {
 		return out
 	}
 	for level := 0; level <= o.levels; level++ {
-		first := 1 << uint(level)
+		first, count := o.lvlFirst[level], o.lvlCount[level]
 		s := &out[level]
 		s.Level = level
-		s.Nodes = first
+		s.Nodes = count
 		s.Capacity = o.caps[first]
-		for v := first; v < 2*first && v < o.nodes; v++ {
+		for v := first; v < first+count; v++ {
 			if o.caps[v] != s.Capacity {
 				s.Capacity = -1 // per-channel overrides make the level mixed
 			}

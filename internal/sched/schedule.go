@@ -172,6 +172,9 @@ func OffLineObserved(t core.Topology, ms core.MessageSet, o *obsv.Observer) *Sch
 // The schedule length is the smallest power of two >= λ'(M), hence
 // d <= 2·λ'(M) = 2(α/(α-1))·λ(M) when capacities are >= α·lg n.
 func OffLineBig(t core.Topology, ms core.MessageSet) *Schedule {
+	if !core.HeapIndexed(t) {
+		panic("sched: the Theorem 1 scheduler requires a heap-indexed binary fat-tree; use Greedy for k-ary topologies")
+	}
 	if err := ms.Validate(t); err != nil {
 		panic(err)
 	}

@@ -116,6 +116,9 @@ type nodeState struct {
 // table is snapshotted here; SetChannelCapacity calls made after construction
 // are not observed.
 func NewScheduler(t core.Topology) *Scheduler {
+	if !core.HeapIndexed(t) {
+		panic("sched: the Theorem 1 scheduler requires a heap-indexed binary fat-tree; use Greedy for k-ary topologies")
+	}
 	n := t.Processors()
 	sc := &Scheduler{
 		tree:    t,

@@ -121,6 +121,12 @@ type Engine struct {
 	// injection counters), whose slices are then left nil. Memory becomes
 	// O(messages × path length + shards), independent of n.
 	stream *streamState
+
+	// kary is non-nil when the engine simulates a KaryFatTree: the level-
+	// table data plane of kary.go replaces the switch objects and per-node
+	// scratch (switches and scr.node stay nil) while reusing the bucketed
+	// sweep machinery.
+	kary *karyState
 }
 
 // scratch is the engine's reusable per-cycle arena. Every slice grows to the
@@ -183,10 +189,15 @@ func New(t core.Topology, kind concentrator.Kind, seed int64) *Engine {
 
 // NewWithOptions is New with explicit Options. An ImplicitFatTree selects the
 // streaming data plane (stream.go), whose memory is independent of the
-// processor count; any other Topology gets the dense per-node engine.
+// processor count; a KaryFatTree selects the level-table plane (kary.go),
+// which routes with inline ideal concentrators; any other Topology gets the
+// dense per-node engine.
 func NewWithOptions(t core.Topology, kind concentrator.Kind, seed int64, opts Options) *Engine {
 	if imp, ok := t.(*core.ImplicitFatTree); ok {
 		return newStreamEngine(imp, kind, seed, opts)
+	}
+	if kt, ok := t.(*core.KaryFatTree); ok {
+		return newKaryEngine(kt, kind, seed, opts)
 	}
 	e := &Engine{
 		tree:     t,
@@ -244,6 +255,9 @@ func (e *Engine) InjectLoss(rate float64, seed int64) {
 	if e.stream != nil {
 		e.stream.injectLoss(rate, seed)
 		return
+	}
+	if e.kary != nil {
+		panic("sim: loss injection is not supported on k-ary topologies (ideal concentrators only)")
 	}
 	for v := 1; v < e.tree.Processors(); v++ {
 		e.switches[v].InjectLoss(rate, seed+int64(3*v))
@@ -380,7 +394,11 @@ func (e *Engine) inject(pending core.MessageSet) ([]flight, CycleResult) {
 		if m.Dst != core.External {
 			lca = t.LCA(m.Src, m.Dst)
 			dstLeaf = t.Leaf(m.Dst)
-			pathLen = 2 * (levels - (bits.Len(uint(lca)) - 1))
+			lcaLevel := bits.Len(uint(lca)) - 1
+			if e.kary != nil {
+				lcaLevel = e.kary.t.Level(lca)
+			}
+			pathLen = 2 * (levels - lcaLevel)
 		}
 		off := arenaLen
 		arenaLen += pathLen
@@ -430,6 +448,9 @@ func (e *Engine) collect(pending core.MessageSet, flights []flight, res *CycleRe
 func (e *Engine) runCycle(pending core.MessageSet, pool *par.Pool) ([]bool, CycleResult) {
 	if e.stream != nil {
 		return e.runCycleStream(pending, pool)
+	}
+	if e.kary != nil {
+		return e.runCycleKary(pending, pool)
 	}
 	t := e.tree
 	scr := &e.scr

@@ -183,5 +183,74 @@ func FuzzEngineParallelEquivalence(f *testing.F) {
 		if rr != qr || !reflect.DeepEqual(rd, qd) {
 			t.Fatalf("reused RunCycle diverges: serial %+v %v, parallel %+v %v", rr, rd, qr, qd)
 		}
+
+		// K-ary phase, part 1: a binary-shaped KaryFatTree routes through the
+		// k-ary engine, and on ideal lossless switches that engine must
+		// reproduce the dense serial reference bit for bit — the concentrator
+		// rules collapse to the same wire assignment when every tier is
+		// binary.
+		if kind == concentrator.KindIdeal && loss == 0 {
+			caps := ft.LevelCapTable()
+			bdesc := core.KaryDesc{
+				Down:     make([]int, ft.Levels()),
+				Up:       make([]int, ft.Levels()),
+				Parallel: make([]int, ft.Levels()),
+				Root:     caps[0],
+			}
+			for i := 0; i < ft.Levels(); i++ {
+				bdesc.Down[i], bdesc.Up[i], bdesc.Parallel[i] = 2, caps[i+1], 1
+			}
+			bkt := core.NewKary(bdesc)
+			for _, workers := range []int{1, 2} {
+				o := obsv.New(bkt)
+				e := NewWithOptions(bkt, concentrator.KindIdeal, seed, Options{Workers: workers})
+				e.SetObserver(o)
+				stats := e.RunParallel(ms)
+				if !reflect.DeepEqual(stats, serial) {
+					t.Fatalf("workers=%d: binary-shaped k-ary engine diverges from dense\ndense %+v\nkary  %+v",
+						workers, serial, stats)
+				}
+			}
+		}
+
+		// K-ary phase, part 2: on genuinely non-binary topologies the same
+		// determinism contract must hold — parallel delivery-cycle routing
+		// reproduces the serial reference exactly, including observer counter
+		// totals. The profile is picked by the fuzz seed; the message set is
+		// folded into the smaller address space.
+		kdesc := []core.KaryDesc{
+			{Down: []int{3, 4}, Up: []int{2, 1}, Parallel: []int{1, 1}},
+			{Down: []int{4, 2, 3}, Up: []int{3, 2, 1}, Parallel: []int{1, 1, 1}},
+			{Down: []int{5, 5}, Up: []int{2, 1}, Parallel: []int{3, 2}, Root: 7},
+		}[int(seed)%3]
+		kt := core.NewKary(kdesc)
+		kn := kt.Processors()
+		var kms core.MessageSet
+		for _, m := range ms {
+			if s, d := m.Src%kn, m.Dst%kn; s != d {
+				kms = append(kms, core.Message{Src: s, Dst: d})
+			}
+		}
+		runKary := func(workers int) (*obsv.Observer, Stats) {
+			o := obsv.New(kt)
+			e := NewWithOptions(kt, concentrator.KindIdeal, seed, Options{Workers: workers})
+			e.SetObserver(o)
+			return o, e.RunParallel(kms)
+		}
+		karyRef, karySerial := runKary(1)
+		if c := &karyRef.C; c.Offered != c.Delivered+c.Dropped+c.Deferred {
+			t.Fatalf("k-ary conservation broken: offered %d != delivered %d + dropped %d + deferred %d",
+				c.Offered, c.Delivered, c.Dropped, c.Deferred)
+		}
+		for _, workers := range []int{0, 2, 3} {
+			o, stats := runKary(workers)
+			if !reflect.DeepEqual(stats, karySerial) {
+				t.Fatalf("workers=%d: k-ary parallel diverges\nserial   %+v\nparallel %+v",
+					workers, karySerial, stats)
+			}
+			if !obsv.CountersEqual(karyRef, o) {
+				t.Fatalf("workers=%d: k-ary observed counter totals diverge from workers=1", workers)
+			}
+		}
 	})
 }

@@ -34,6 +34,9 @@ type Header struct {
 // the next channel (ceil(lg cap) bits, the concentrator cascade's decision
 // bits). payloadBits zero bits stand in for the data.
 func EncodeHeader(t core.Topology, wp WirePath, payloadBits int) Header {
+	if !core.HeapIndexed(t) {
+		panic("sim: the Fig. 2 frame format is binary (one routing bit per hop); k-ary topologies have no header encoding")
+	}
 	path := t.Path(wp.Msg, nil)
 	if len(path) != len(wp.Wires) {
 		panic(fmt.Sprintf("sim: wire path mismatch for %v", wp.Msg))
@@ -69,6 +72,9 @@ func EncodeHeader(t core.Topology, wp WirePath, payloadBits int) Header {
 // channels and wires traversed. It is the software model of the switches
 // consuming the frame; the result must equal the original wire path.
 func DecodeHeader(t core.Topology, msg core.Message, firstWire int, h Header) ([]core.Channel, []int, error) {
+	if !core.HeapIndexed(t) {
+		panic("sim: the Fig. 2 frame format is binary (one routing bit per hop); k-ary topologies have no header encoding")
+	}
 	path := t.Path(msg, nil)
 	channels := []core.Channel{path[0]}
 	wires := []int{firstWire}

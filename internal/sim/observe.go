@@ -30,12 +30,19 @@ import (
 // shared with another engine running concurrently.
 func (e *Engine) SetObserver(o *obsv.Observer) {
 	if o != nil {
-		if o.Nodes() != 2*e.tree.Processors() {
+		if o.Nodes() != e.tree.Nodes()+1 {
 			panic("sim: observer is bound to a tree of a different size")
 		}
-		if e.stream != nil {
+		switch {
+		case e.stream != nil:
 			e.stream.primeSpecials()
-		} else {
+		case e.kary != nil:
+			// The k-ary plane routes with inline ideal concentrators — there
+			// are no switch objects to prime, and its counters stay per node.
+			if o.Compact() {
+				panic("sim: the k-ary engine requires a dense observer (obsv.New); compact observers attach to implicit-topology engines")
+			}
+		default:
 			if o.Compact() {
 				panic("sim: the dense engine requires a dense observer (obsv.New); compact observers attach to implicit-topology engines")
 			}
@@ -86,8 +93,13 @@ func (e *Engine) observeLevel(first int, upSweep bool) {
 	scr := &e.scr
 	for _, v := range scr.nodes {
 		bucket := scr.buckets[v-first]
-		sw := e.switches[v]
-		o.Switch(v, len(bucket), scr.dropped[v-first], sw.MatchingRounds(), sw.FaultDrops())
+		if e.kary != nil {
+			// Inline ideal routing has no hardware counters to difference.
+			o.SwitchDelta(v, len(bucket), scr.dropped[v-first], 0, 0)
+		} else {
+			sw := e.switches[v]
+			o.Switch(v, len(bucket), scr.dropped[v-first], sw.MatchingRounds(), sw.FaultDrops())
+		}
 		for _, i := range bucket {
 			f := &scr.flights[i]
 			switch f.state {

@@ -24,6 +24,7 @@ func LevelStress(n, level, k int, seed int64) core.MessageSet {
 	if level < 0 || level >= lgn {
 		panic(fmt.Sprintf("workload: LevelStress level %d outside [0,%d)", level, lgn))
 	}
+	requireMessages("LevelStress", k)
 	rng := rand.New(rand.NewSource(seed))
 	subtreeLeaves := n >> uint(level+1) // leaves under each child of a level node
 	ms := make(core.MessageSet, 0, k)
@@ -43,7 +44,14 @@ func LevelStress(n, level, k int, seed int64) core.MessageSet {
 // Funnel returns k messages from uniformly random sources into a contiguous
 // destination window [lo, lo+width) — a multi-processor hot region whose
 // shared subtree becomes the bottleneck.
+//
+// Validation is up front, like every other generator here: Funnel used to
+// accept n = 1 (window [0,1)) and then spin forever because every draw gave
+// src == dst. requirePow2 forces n >= 2, so a src outside any window — and
+// hence termination of the rejection loop — is always reachable.
 func Funnel(n, lo, width, k int, seed int64) core.MessageSet {
+	requirePow2("Funnel", n)
+	requireMessages("Funnel", k)
 	if lo < 0 || width < 1 || lo+width > n {
 		panic(fmt.Sprintf("workload: Funnel window [%d,%d) outside [0,%d)", lo, lo+width, n))
 	}

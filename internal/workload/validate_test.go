@@ -1,0 +1,81 @@
+package workload
+
+import "testing"
+
+// TestGeneratorValidation pins the uniform up-front validation contract of
+// every generator: malformed arguments panic immediately with a message that
+// names the generator and the offending value, instead of hanging (the
+// historical Funnel n=1 loop) or silently returning an empty set (negative
+// message counts).
+func TestGeneratorValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		call func()
+		want string
+	}{
+		{"RandomPermutation n=1", func() { RandomPermutation(1, 1) },
+			"workload: RandomPermutation needs n >= 2 processors, got 1"},
+		{"Random n=1", func() { Random(1, 4, 1) },
+			"workload: Random needs n >= 2 processors, got 1"},
+		{"Random k<0", func() { Random(8, -1, 1) },
+			"workload: Random needs a non-negative message count, got -1"},
+		{"BitReversal non-pow2", func() { BitReversal(12) },
+			"workload: BitReversal needs a power-of-two n >= 2, got 12"},
+		{"Transpose non-pow2", func() { Transpose(6) },
+			"workload: Transpose needs a power-of-two n >= 2, got 6"},
+		{"Shuffle non-pow2", func() { Shuffle(10) },
+			"workload: Shuffle needs a power-of-two n >= 2, got 10"},
+		{"KLocal n=1", func() { KLocal(1, 4, 2, 1) },
+			"workload: KLocal needs n >= 2 processors, got 1"},
+		{"KLocal k<0", func() { KLocal(8, -2, 2, 1) },
+			"workload: KLocal needs a non-negative message count, got -2"},
+		{"HotSpot n=1", func() { HotSpot(1, 4, 1) },
+			"workload: HotSpot needs n >= 2 processors, got 1"},
+		{"HotSpot k<0", func() { HotSpot(8, -3, 1) },
+			"workload: HotSpot needs a non-negative message count, got -3"},
+		{"ExternalIO n=0", func() { ExternalIO(0, 1, 1, 1) },
+			"workload: ExternalIO needs n >= 1 processors, got 0"},
+		{"ExternalIO reads<0", func() { ExternalIO(8, -1, 0, 1) },
+			"workload: ExternalIO needs a non-negative message count, got -1"},
+		{"LevelStress k<0", func() { LevelStress(8, 1, -1, 1) },
+			"workload: LevelStress needs a non-negative message count, got -1"},
+		{"Funnel n=1", func() { Funnel(1, 0, 1, 4, 1) },
+			"workload: Funnel needs a power-of-two n >= 2, got 1"},
+		{"Funnel non-pow2", func() { Funnel(12, 0, 4, 4, 1) },
+			"workload: Funnel needs a power-of-two n >= 2, got 12"},
+		{"Funnel k<0", func() { Funnel(8, 0, 4, -1, 1) },
+			"workload: Funnel needs a non-negative message count, got -1"},
+		{"Funnel bad window", func() { Funnel(8, 6, 4, 4, 1) },
+			"workload: Funnel window [6,10) outside [0,8)"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("%s: no panic", tc.name)
+				}
+				if msg, ok := r.(string); !ok || msg != tc.want {
+					t.Fatalf("%s: panic %q, want %q", tc.name, r, tc.want)
+				}
+			}()
+			tc.call()
+		})
+	}
+}
+
+// TestFunnelDegenerateWindowTerminates is the regression test for the Funnel
+// hang: the smallest valid configuration whose window covers a single
+// processor must terminate (pre-fix, n=1 spun forever; post-fix n=1 panics,
+// and every valid n >= 2 draw loop can always escape the window).
+func TestFunnelDegenerateWindowTerminates(t *testing.T) {
+	ms := Funnel(2, 0, 1, 64, 7)
+	if len(ms) != 64 {
+		t.Fatalf("Funnel(2, 0, 1, 64): %d messages, want 64", len(ms))
+	}
+	for _, m := range ms {
+		if m.Src != 1 || m.Dst != 0 {
+			t.Fatalf("Funnel(2, 0, 1, ...) produced %+v; only 1->0 is valid", m)
+		}
+	}
+}

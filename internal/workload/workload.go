@@ -23,6 +23,7 @@ import (
 // Fixed points (p -> p) are dropped since self-messages never enter the
 // network, so the result may have slightly fewer than n messages.
 func RandomPermutation(n int, seed int64) core.MessageSet {
+	requireProcs("RandomPermutation", n)
 	rng := rand.New(rand.NewSource(seed))
 	perm := rng.Perm(n)
 	ms := make(core.MessageSet, 0, n)
@@ -37,6 +38,8 @@ func RandomPermutation(n int, seed int64) core.MessageSet {
 // Random returns k messages with independently uniform sources and
 // destinations (excluding self-loops).
 func Random(n, k int, seed int64) core.MessageSet {
+	requireProcs("Random", n)
+	requireMessages("Random", k)
 	rng := rand.New(rand.NewSource(seed))
 	ms := make(core.MessageSet, 0, k)
 	for len(ms) < k {
@@ -135,6 +138,8 @@ func AllToAll(n int) core.MessageSet {
 // the regime where fat-trees route "locally without soaking up the precious
 // bandwidth higher up in the tree".
 func KLocal(n, k, radius int, seed int64) core.MessageSet {
+	requireProcs("KLocal", n)
+	requireMessages("KLocal", k)
 	if radius < 1 {
 		panic("workload: KLocal radius must be >= 1")
 	}
@@ -177,6 +182,8 @@ func NearestNeighbor(n int) core.MessageSet {
 // sources — the adversarial concentration workload. The load factor is driven
 // by the destination's leaf channel.
 func HotSpot(n, k int, seed int64) core.MessageSet {
+	requireProcs("HotSpot", n)
+	requireMessages("HotSpot", k)
 	rng := rand.New(rand.NewSource(seed))
 	ms := make(core.MessageSet, 0, k)
 	for len(ms) < k {
@@ -193,6 +200,11 @@ func HotSpot(n, k int, seed int64) core.MessageSet {
 // uniformly random processors and `writes` output messages from uniformly
 // random processors to the external world.
 func ExternalIO(n, reads, writes int, seed int64) core.MessageSet {
+	if n < 1 {
+		panic(fmt.Sprintf("workload: ExternalIO needs n >= 1 processors, got %d", n))
+	}
+	requireMessages("ExternalIO", reads)
+	requireMessages("ExternalIO", writes)
 	rng := rand.New(rand.NewSource(seed))
 	ms := make(core.MessageSet, 0, reads+writes)
 	for i := 0; i < reads; i++ {
@@ -208,5 +220,22 @@ func ExternalIO(n, reads, writes int, seed int64) core.MessageSet {
 func requirePow2(who string, n int) {
 	if n < 2 || n&(n-1) != 0 {
 		panic(fmt.Sprintf("workload: %s needs a power-of-two n >= 2, got %d", who, n))
+	}
+}
+
+// requireProcs panics unless n >= 2. Every generator that redraws until
+// src != dst needs at least two distinct processors, or its rejection loop
+// can never terminate (the historical Funnel hang).
+func requireProcs(who string, n int) {
+	if n < 2 {
+		panic(fmt.Sprintf("workload: %s needs n >= 2 processors, got %d", who, n))
+	}
+}
+
+// requireMessages panics unless k >= 0. A negative count used to fall through
+// the `len(ms) < k` loops and silently return an empty set.
+func requireMessages(who string, k int) {
+	if k < 0 {
+		panic(fmt.Sprintf("workload: %s needs a non-negative message count, got %d", who, k))
 	}
 }
