@@ -1,22 +1,35 @@
-// Command ftserve is the live-telemetry daemon: it runs fat-tree delivery
-// simulations continuously — rotating through a configurable set of tree
-// sizes and workloads — and exposes the observability layer over HTTP while
-// the simulations are in flight:
+// Command ftserve is the live-telemetry daemon. In its default rotation mode
+// it runs fat-tree delivery simulations continuously — rotating through a
+// configurable set of tree sizes and workloads — and exposes the
+// observability layer over HTTP while the simulations are in flight. With
+// -tenants it instead becomes a multi-tenant request server: every tenant
+// gets a persistent engine on a shared tree, and clients submit message sets
+// or named workloads through /v1/route, scheduled on a shared worker pool
+// behind per-tenant bounded queues with explicit backpressure.
 //
-//	/metrics        Prometheus text exposition (fattree_* families, per-tree labels)
-//	/healthz        liveness (200 once the process is up)
-//	/readyz         readiness (200 after the first completed run, 503 before)
-//	/runs           recent run history as JSON
-//	/debug/pprof/   the standard pprof handlers
+//	/metrics            Prometheus text exposition (fattree_* families;
+//	                    per-tree labels, or per-tenant RED + engine counters)
+//	/healthz            liveness (200 once the process is up)
+//	/readyz             readiness (rotation: 200 after the first completed
+//	                    run; tenants: 200 while accepting, 503 while draining)
+//	/runs               recent run history (tenant mode: served-request total)
+//	/v1/route           POST one JSON request, or an NDJSON batch when the
+//	                    Content-Type says ndjson (tenant mode only)
+//	/debug/spans.jsonl  request span ring as JSONL, oldest first (tenant mode)
+//	/debug/spans.json   request span ring as Chrome trace_event JSON
+//	/debug/pprof/       the standard pprof handlers
 //
 // Usage examples:
 //
 //	ftserve                                    # 127.0.0.1:8080, n=256, default rotation
 //	ftserve -addr :9090 -n 256,1024 -workloads perm,transpose -loss 0.01
 //	ftserve -runs 10 -addr 127.0.0.1:0        # bounded: exit 0 after 10 runs
+//	ftserve -tenants alpha,beta -n 256 -queue 512   # multi-tenant /v1/route
 //
-// The daemon shuts down gracefully on SIGINT/SIGTERM. With -runs N > 0 it
-// serves until N runs complete, then exits 0 (the smoke-test mode).
+// The daemon shuts down gracefully on SIGINT/SIGTERM: tenant mode flips
+// /readyz to 503, refuses new /v1/route work, drains the queued requests,
+// and only then closes the listener. With -runs N > 0 it serves until N runs
+// (tenant mode: N requests) complete, then exits 0 (the smoke-test mode).
 //
 // Exit status: 0 success, 1 runtime failure, 2 usage error.
 package main
@@ -61,8 +74,14 @@ func run(cfg config) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("ftserve: serving /metrics on http://%s (trees %v, workloads %v)\n",
-		ln.Addr(), cfg.sizes, cfg.workloads)
+	if srv.tenantMode() {
+		fmt.Printf("ftserve: serving /v1/route on http://%s (tree %d, tenants %v, queue %d)\n",
+			ln.Addr(), cfg.sizes[0], cfg.tenants, cfg.queue)
+		srv.ready.Store(true) // accepting requests the moment the listener is up
+	} else {
+		fmt.Printf("ftserve: serving /metrics on http://%s (trees %v, workloads %v)\n",
+			ln.Addr(), cfg.sizes, cfg.workloads)
+	}
 
 	httpSrv := &http.Server{Handler: srv.mux()}
 	serveErr := make(chan error, 1)
@@ -71,15 +90,26 @@ func run(cfg config) error {
 	simDone := make(chan struct{})
 	go func() {
 		defer close(simDone)
-		srv.simLoop(ctx)
+		if srv.tenantMode() {
+			srv.tenantLoop(ctx)
+		} else {
+			srv.simLoop(ctx)
+		}
 	}()
 
 	select {
 	case <-ctx.Done():
 		fmt.Println("ftserve: signal received, shutting down")
+		if srv.tenantMode() {
+			srv.beginDrain() // refuse new work while the dispatcher drains
+		}
 	case <-simDone:
 		// Bounded mode finished its budget (or the loop stopped on ctx).
-		fmt.Printf("ftserve: completed %d runs, shutting down\n", srv.totalRuns())
+		if srv.tenantMode() {
+			fmt.Printf("ftserve: served %d requests, shutting down\n", srv.totalRuns())
+		} else {
+			fmt.Printf("ftserve: completed %d runs, shutting down\n", srv.totalRuns())
+		}
 	case err := <-serveErr:
 		stop()
 		<-simDone

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"fattree"
+	"fattree/internal/par"
 )
 
 // config is the parsed ftserve command line.
@@ -34,6 +35,9 @@ type config struct {
 	interval  time.Duration
 	history   int
 	implicit  bool
+	tenants   []string
+	queue     int
+	spanCap   int
 }
 
 // serveWorkloads are the workload generators the rotation may use.
@@ -64,6 +68,10 @@ func parseConfig(args []string) (config, error) {
 	fs.DurationVar(&cfg.interval, "interval", 0, "pause between runs (0 = back to back)")
 	fs.IntVar(&cfg.history, "history", 64, "completed runs retained for /runs")
 	fs.BoolVar(&cfg.implicit, "implicit", false, "compute topologies on the fly and route with the streaming engine (per-level /metrics counters; lets -n reach 2^20)")
+	var tenants string
+	fs.StringVar(&tenants, "tenants", "", "comma-separated tenant names; enables the /v1/route serving mode instead of the rotation (-runs then bounds served requests)")
+	fs.IntVar(&cfg.queue, "queue", 256, "per-tenant bounded queue capacity (tenant mode); a full queue answers 429 + Retry-After")
+	fs.IntVar(&cfg.spanCap, "span-cap", 4096, "request span ring capacity (/debug/spans.jsonl flight recorder)")
 	if err := fs.Parse(args); err != nil {
 		return cfg, fmt.Errorf("%w\n%s", err, usage.String())
 	}
@@ -113,7 +121,46 @@ func parseConfig(args []string) (config, error) {
 	if cfg.history < 1 {
 		return cfg, fmt.Errorf("-history must be >= 1 (got %d)", cfg.history)
 	}
+	if cfg.queue < 1 {
+		return cfg, fmt.Errorf("-queue must be >= 1 (got %d)", cfg.queue)
+	}
+	if cfg.spanCap < 1 {
+		return cfg, fmt.Errorf("-span-cap must be >= 1 (got %d)", cfg.spanCap)
+	}
+	if tenants != "" {
+		seen := map[string]bool{}
+		for _, name := range strings.Split(tenants, ",") {
+			name = strings.TrimSpace(name)
+			if !validTenantName(name) {
+				return cfg, fmt.Errorf("tenant name %q must match [a-zA-Z0-9_-]+", name)
+			}
+			if seen[name] {
+				return cfg, fmt.Errorf("duplicate tenant name %q", name)
+			}
+			seen[name] = true
+			cfg.tenants = append(cfg.tenants, name)
+		}
+		if len(cfg.sizes) != 1 {
+			return cfg, fmt.Errorf("tenant mode serves one tree geometry: -n must name exactly one size (got %v)", cfg.sizes)
+		}
+	}
 	return cfg, nil
+}
+
+// validTenantName reports whether name is usable as a Prometheus label
+// value and a JSON key without escaping: [a-zA-Z0-9_-]+.
+func validTenantName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for _, r := range name {
+		ok := r == '_' || r == '-' || (r >= 'a' && r <= 'z') ||
+			(r >= 'A' && r <= 'Z') || (r >= '0' && r <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
 }
 
 // instance is one simulated tree of the rotation: the engine and observer
@@ -141,23 +188,76 @@ type runRecord struct {
 	Start      time.Time `json:"start"`
 }
 
+// runRing is a fixed-capacity ring of completed runs: pushing past capacity
+// overwrites the oldest record in place. The previous retention scheme —
+// append then re-slice the tail — grew a fresh backing array on every wrap
+// and kept the evicted head reachable through it; the ring's storage is
+// allocated once and never moves.
+type runRing struct {
+	buf   []runRecord
+	start int // index of the oldest record
+	size  int
+}
+
+func newRunRing(capacity int) *runRing {
+	return &runRing{buf: make([]runRecord, capacity)}
+}
+
+func (r *runRing) push(rec runRecord) {
+	if r.size < len(r.buf) {
+		r.buf[(r.start+r.size)%len(r.buf)] = rec
+		r.size++
+		return
+	}
+	r.buf[r.start] = rec
+	r.start = (r.start + 1) % len(r.buf)
+}
+
+func (r *runRing) len() int { return r.size }
+func (r *runRing) cap() int { return len(r.buf) }
+
+// newestFirst appends the retained records to dst, newest first.
+func (r *runRing) newestFirst(dst []runRecord) []runRecord {
+	for i := r.size - 1; i >= 0; i-- {
+		dst = append(dst, r.buf[(r.start+i)%len(r.buf)])
+	}
+	return dst
+}
+
 // server owns the simulation instances and the HTTP handlers.
 type server struct {
 	cfg       config
 	instances []*instance
 	start     time.Time
 
-	ready atomic.Bool // first run completed
+	ready atomic.Bool // first run completed (tenant mode: accepting requests)
 
 	mu        sync.Mutex
-	history   []runRecord // newest last, capped at cfg.history
+	history   *runRing // completed rotation runs, capped at cfg.history
 	total     int
 	runCounts [][]int64 // [size index][workload index] completed runs
+
+	// Tenant-serving mode (-tenants); see tenant.go.
+	tenants      []*tenant
+	tenantIdx    map[string]*tenant
+	workloadMenu map[string]bool
+	spans        *fattree.SpanRing
+	pool         *par.Pool
+	wake         chan struct{}
+	reqPool      sync.Pool
+	traceSeq     atomic.Uint64
+	served       atomic.Int64
+	drainMu      sync.RWMutex
+	draining     bool
 }
 
-// newServer builds the per-size engines and observers.
+// newServer builds the per-size engines and observers (rotation mode) or the
+// per-tenant engines, queues, and instrumentation (tenant mode).
 func newServer(cfg config) (*server, error) {
-	s := &server{cfg: cfg, start: time.Now()}
+	s := &server{cfg: cfg, start: time.Now(), history: newRunRing(cfg.history)}
+	if len(cfg.tenants) > 0 {
+		return s, s.initTenants()
+	}
 	for i, n := range cfg.sizes {
 		w := cfg.rootCap
 		if w == 0 {
@@ -188,6 +288,45 @@ func newServer(cfg config) (*server, error) {
 	return s, nil
 }
 
+// initTenants builds the tenant-serving state: every tenant gets a persistent
+// serial engine on the shared topology (the request path must stay
+// allocation-free, which the parallel fan-out is not; -workers instead sizes
+// the dispatcher pool that processes distinct tenants concurrently), an
+// observer, a RED instrument block, and a bounded queue.
+func (s *server) initTenants() error {
+	n := s.cfg.sizes[0]
+	w := s.cfg.rootCap
+	if w == 0 {
+		w = n / 4
+	}
+	ft := fattree.NewUniversal(n, w)
+	s.tenantIdx = make(map[string]*tenant, len(s.cfg.tenants))
+	s.workloadMenu = make(map[string]bool, len(s.cfg.workloads))
+	for _, wl := range s.cfg.workloads {
+		s.workloadMenu[wl] = true
+	}
+	for i, name := range s.cfg.tenants {
+		obs := fattree.NewObserver(ft)
+		eng := fattree.NewEngineWithOptions(ft, s.cfg.switches, s.cfg.seed+int64(i),
+			fattree.Options{Workers: 1, Observer: obs})
+		if s.cfg.loss > 0 {
+			eng.InjectLoss(s.cfg.loss, s.cfg.seed+int64(7*i+3))
+		}
+		tn := &tenant{
+			name: name, idx: int32(i), eng: eng, obs: obs,
+			red:   fattree.NewRED(),
+			queue: make(chan *routeReq, s.cfg.queue),
+		}
+		s.tenants = append(s.tenants, tn)
+		s.tenantIdx[name] = tn
+	}
+	s.pool = par.New(s.cfg.workers)
+	s.spans = fattree.NewSpanRing(s.cfg.spanCap)
+	s.wake = make(chan struct{}, 1)
+	s.reqPool = newReqPool()
+	return nil
+}
+
 // simLoop runs simulations until the context is cancelled or (with -runs
 // N > 0) the budget is spent, rotating through size × workload combinations.
 func (s *server) simLoop(ctx context.Context) {
@@ -209,15 +348,12 @@ func (s *server) simLoop(ctx context.Context) {
 		s.mu.Lock()
 		s.total++
 		s.runCounts[combo/len(s.cfg.workloads)][wlIdx]++
-		s.history = append(s.history, runRecord{
+		s.history.push(runRecord{
 			Seq: s.total, Tree: inst.size, Workload: wl, Policy: s.cfg.policy,
 			Messages: len(ms), Delivered: stats.Delivered, Cycles: stats.Cycles,
 			Drops: stats.Drops, Deferrals: stats.Deferrals,
 			DurationUS: time.Since(begin).Microseconds(), Start: begin.UTC(),
 		})
-		if len(s.history) > s.cfg.history {
-			s.history = s.history[len(s.history)-s.cfg.history:]
-		}
 		s.mu.Unlock()
 		s.ready.Store(true)
 
@@ -234,8 +370,12 @@ func (s *server) simLoop(ctx context.Context) {
 	}
 }
 
-// totalRuns returns the number of completed runs.
+// totalRuns returns the number of completed runs (tenant mode: served
+// requests).
 func (s *server) totalRuns() int {
+	if s.tenantMode() {
+		return s.servedTotal()
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.total
@@ -279,6 +419,11 @@ func (s *server) mux() *http.ServeMux {
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/runs", s.handleRuns)
+	mux.HandleFunc("/v1/route", s.handleRoute)
+	if s.tenantMode() {
+		mux.HandleFunc("/debug/spans.jsonl", s.handleSpansJSONL)
+		mux.HandleFunc("/debug/spans.json", s.handleSpansChrome)
+	}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -292,12 +437,26 @@ func (s *server) mux() *http.ServeMux {
 func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	var buf bytes.Buffer
 	s.writeServerMetrics(&buf)
-	snaps := make([]fattree.LabeledSnapshot, 0, len(s.instances))
-	for _, inst := range s.instances {
-		snaps = append(snaps, fattree.LabeledSnapshot{
-			Labels: []fattree.PromLabel{{Name: "tree", Value: strconv.Itoa(inst.size)}},
-			Snap:   inst.obs.Snapshot(),
-		})
+	var snaps []fattree.LabeledSnapshot
+	if s.tenantMode() {
+		reds := make([]fattree.LabeledRED, 0, len(s.tenants))
+		for _, tn := range s.tenants {
+			labels := []fattree.PromLabel{{Name: "tenant", Value: tn.name}}
+			reds = append(reds, fattree.LabeledRED{Labels: labels, Snap: tn.red.Snapshot()})
+			snaps = append(snaps, fattree.LabeledSnapshot{Labels: labels, Snap: tn.obs.Snapshot()})
+		}
+		if err := fattree.WriteREDPrometheus(&buf, reds...); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+	} else {
+		snaps = make([]fattree.LabeledSnapshot, 0, len(s.instances))
+		for _, inst := range s.instances {
+			snaps = append(snaps, fattree.LabeledSnapshot{
+				Labels: []fattree.PromLabel{{Name: "tree", Value: strconv.Itoa(inst.size)}},
+				Snap:   inst.obs.Snapshot(),
+			})
+		}
 	}
 	if err := fattree.WritePrometheus(&buf, snaps...); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
@@ -353,7 +512,11 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	if !s.ready.Load() {
-		http.Error(w, "no run completed yet", http.StatusServiceUnavailable)
+		msg := "no run completed yet"
+		if s.tenantMode() {
+			msg = "not accepting requests (starting or draining)"
+		}
+		http.Error(w, msg, http.StatusServiceUnavailable)
 		return
 	}
 	if _, err := fmt.Fprintln(w, "ready"); err != nil {
@@ -364,12 +527,12 @@ func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 // handleRuns serves the recent run history as JSON, newest first.
 func (s *server) handleRuns(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
-	recent := make([]runRecord, len(s.history))
-	for i, rec := range s.history {
-		recent[len(s.history)-1-i] = rec
-	}
+	recent := s.history.newestFirst(make([]runRecord, 0, s.history.len()))
 	total := s.total
 	s.mu.Unlock()
+	if s.tenantMode() {
+		total = s.servedTotal() // requests, not rotation runs
+	}
 	doc := struct {
 		Total         int         `json:"total"`
 		Ready         bool        `json:"ready"`

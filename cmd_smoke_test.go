@@ -1,13 +1,17 @@
 package fattree_test
 
 import (
+	"bufio"
 	"encoding/json"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
 	"sync"
+	"syscall"
 	"testing"
+	"time"
 )
 
 // Smoke tests for the command-line tools and example programs: each is run
@@ -147,6 +151,16 @@ func TestCLIExitCodes(t *testing.T) {
 		{"ftserve unknown policy", "ftserve", []string{"-policy", "offline"}, 2},
 		{"ftserve transpose odd lg", "ftserve", []string{"-n", "32", "-workloads", "transpose"}, 2},
 		{"ftserve positional args", "ftserve", []string{"extra"}, 2},
+		{"ftserve bad tenant name", "ftserve", []string{"-n", "16", "-tenants", "alpha,bad name"}, 2},
+		{"ftserve duplicate tenants", "ftserve", []string{"-n", "16", "-tenants", "alpha,alpha"}, 2},
+		{"ftserve tenants need one size", "ftserve", []string{"-n", "16,64", "-tenants", "alpha"}, 2},
+		{"ftserve bad queue", "ftserve", []string{"-n", "16", "-tenants", "alpha", "-queue", "0"}, 2},
+		{"ftserve bad span cap", "ftserve", []string{"-n", "16", "-tenants", "alpha", "-span-cap", "0"}, 2},
+		{"ftload no tenants", "ftload", []string{"-requests", "10"}, 2},
+		{"ftload no stop condition", "ftload", []string{"-tenants", "alpha"}, 2},
+		{"ftload bad concurrency", "ftload", []string{"-tenants", "alpha", "-requests", "1", "-concurrency", "0"}, 2},
+		{"ftload bad batch", "ftload", []string{"-tenants", "alpha", "-requests", "1", "-batch", "0"}, 2},
+		{"ftload positional args", "ftload", []string{"-tenants", "alpha", "-requests", "1", "extra"}, 2},
 		{"ftbench hist without bench", "ftbench", []string{"-hist"}, 2},
 		{"ftdesign bad n", "ftdesign", []string{"-n", "0", "-radix", "36", "-budget", "100"}, 2},
 		{"ftdesign bad oversub", "ftdesign", []string{"-n", "64", "-radix", "36", "-budget", "100", "-oversub", "0.5"}, 2},
@@ -161,6 +175,8 @@ func TestCLIExitCodes(t *testing.T) {
 
 		// Runtime failures exit 1.
 		{"ftsim missing schedule", "ftsim", []string{"-n", "16", "-load-schedule", "/nonexistent/s.json"}, 1},
+		{"ftload unreachable server", "ftload", []string{"-addr", "127.0.0.1:9", "-tenants", "alpha",
+			"-requests", "2", "-scrape", "0", "-timeout", "2s"}, 1},
 		{"ftserve unlistenable addr", "ftserve", []string{"-addr", "256.256.256.256:0", "-runs", "1"}, 1},
 		{"ftbenchdiff missing file", "ftbenchdiff", []string{"/nonexistent/a.json", "/nonexistent/b.json"}, 1},
 
@@ -238,6 +254,97 @@ func TestSmokeTraceOut(t *testing.T) {
 		if ev.Kind == "" {
 			t.Fatalf("jsonl line %d has no kind", i+1)
 		}
+	}
+}
+
+// TestSmokeTenantDrain drives the multi-tenant daemon end-to-end with the
+// built binaries: ftserve starts in tenant mode on an ephemeral port, ftload
+// pushes a bounded run of batched requests through /v1/route with every gate
+// armed (conservation scrapes, exposition validation, the p99 SLO), and
+// SIGTERM then drains the daemon to a clean exit 0.
+func TestSmokeTenantDrain(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smoke test")
+	}
+	serve := exec.Command(builtCLI(t, "ftserve"),
+		"-addr", "127.0.0.1:0", "-n", "16", "-tenants", "alpha,beta", "-queue", "64")
+	stdout, err := serve.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := serve.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer serve.Process.Kill() // backstop for early t.Fatal paths; no-op after Wait
+
+	// The first stdout line announces the listen address:
+	//   ftserve: serving /v1/route on http://127.0.0.1:PORT (tree 16, ...)
+	sc := bufio.NewScanner(stdout)
+	if !sc.Scan() {
+		t.Fatalf("ftserve produced no output: %v", sc.Err())
+	}
+	first := sc.Text()
+	i, j := strings.Index(first, "http://"), strings.Index(first, " (")
+	if i < 0 || j < i {
+		t.Fatalf("cannot parse listen address from %q", first)
+	}
+	addr := first[i:j]
+
+	// Drain the rest of stdout concurrently; the shutdown message lands here.
+	var outMu sync.Mutex
+	var output strings.Builder
+	output.WriteString(first + "\n")
+	scanDone := make(chan struct{})
+	go func() {
+		defer close(scanDone)
+		for sc.Scan() {
+			outMu.Lock()
+			output.WriteString(sc.Text() + "\n")
+			outMu.Unlock()
+		}
+	}()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(addr + "/readyz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("ftserve never became ready at %s", addr)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	code, out := runCLIExit(t, "ftload",
+		"-addr", addr, "-tenants", "alpha,beta", "-requests", "400",
+		"-batch", "25", "-concurrency", "4", "-scrape", "200ms", "-slo-p99", "10s")
+	if code != 0 {
+		t.Fatalf("ftload exit %d, want 0:\n%s", code, out)
+	}
+	if !strings.Contains(out, "all gates passed") {
+		t.Errorf("ftload output missing gate verdict:\n%s", out)
+	}
+
+	if err := serve.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-scanDone:
+	case <-time.After(10 * time.Second):
+		t.Fatal("ftserve did not exit within 10s of SIGTERM")
+	}
+	if err := serve.Wait(); err != nil {
+		t.Fatalf("ftserve exited non-zero after SIGTERM: %v", err)
+	}
+	outMu.Lock()
+	got := output.String()
+	outMu.Unlock()
+	if !strings.Contains(got, "signal received, shutting down") {
+		t.Errorf("missing graceful-drain message in ftserve output:\n%s", got)
 	}
 }
 

@@ -284,6 +284,65 @@ func NewObserverCompact(t Topology) *Observer { return obsv.NewCompact(t) }
 // — the parallel == serial equivalence assertion.
 func ObserversEqual(a, b *Observer) bool { return obsv.CountersEqual(a, b) }
 
+// Request-path observability (the serving daemon's half of the telemetry
+// layer: spans around each request, RED instruments per tenant).
+type (
+	// Span is one recorded stage of one served request (handler, queue
+	// wait, engine delivery, response), stamped with the request's trace ID.
+	Span = obsv.Span
+	// SpanKind enumerates the stages of a served request.
+	SpanKind = obsv.SpanKind
+	// SpanRing is the fixed-capacity, concurrency-safe span flight recorder;
+	// pushes never allocate, oldest spans are overwritten when full.
+	SpanRing = obsv.SpanRing
+	// RED is one tenant's rate/errors/duration instrument block; its
+	// deterministic members are bit-identical across worker counts.
+	RED = obsv.RED
+	// REDSnap is a point-in-time copy of one RED block.
+	REDSnap = obsv.REDSnap
+	// LabeledRED pairs a RED snapshot with its tenant's label set.
+	LabeledRED = obsv.LabeledRED
+	// PromSample is one parsed sample of a Prometheus exposition.
+	PromSample = obsv.Sample
+)
+
+// The span stages, in request order.
+const (
+	SpanHandler = obsv.SpanHandler
+	SpanQueue   = obsv.SpanQueue
+	SpanEngine  = obsv.SpanEngine
+	SpanRespond = obsv.SpanRespond
+)
+
+// NewSpanRing returns a span ring holding at most capacity spans.
+func NewSpanRing(capacity int) *SpanRing { return obsv.NewSpanRing(capacity) }
+
+// NewRED returns a fresh per-tenant RED instrument block.
+func NewRED() *RED { return obsv.NewRED() }
+
+// REDEqual reports whether two RED blocks agree on their deterministic
+// members (request/error counts, duration-in-cycles histogram).
+func REDEqual(a, b *RED) bool { return obsv.REDEqual(a, b) }
+
+// TraceID formats a trace ID as it appears in responses, exemplars, and span
+// exports: 16 lowercase hex digits.
+func TraceID(trace uint64) string { return obsv.TraceID(trace) }
+
+// WriteREDPrometheus writes the per-tenant request families (RED counters,
+// duration histograms with exemplar trace IDs, queue depth/wait) as
+// Prometheus text exposition.
+func WriteREDPrometheus(w io.Writer, tenants ...LabeledRED) error {
+	return obsv.WriteREDPrometheus(w, tenants...)
+}
+
+// ParsePromExposition parses and validates a Prometheus exposition with
+// ValidatePromExposition's strictness and returns every sample — the
+// scrape-consuming half of the telemetry loop (cmd/ftload asserts the
+// conservation law from a live scrape with it).
+func ParsePromExposition(text []byte) ([]PromSample, error) {
+	return obsv.ParseExposition(text)
+}
+
 // StartProfiles starts the comma-separated profile kinds ("cpu", "mem",
 // "trace") writing to files derived from base, returning the stop function —
 // the CLIs' -profile flag family.

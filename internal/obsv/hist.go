@@ -58,16 +58,24 @@ func NewLog2Hist(maxExp int) Hist {
 
 // Observe records one observation. Boundary values land in the bucket whose
 // bound they equal (bounds are inclusive, the Prometheus "le" convention).
-func (h *Hist) Observe(v int64) {
+func (h *Hist) Observe(v int64) { h.ObserveIdx(v) }
+
+// ObserveIdx records one observation and returns the index of the bucket it
+// landed in (NumBuckets()-1 for the overflow bucket) — the hook the RED
+// instruments use to pin an exemplar trace ID to the bucket.
+//
+//ftlint:hotpath
+func (h *Hist) ObserveIdx(v int64) int {
 	h.total++
 	h.sum += v
 	for i, b := range h.bounds {
 		if v <= b {
 			h.counts[i]++
-			return
+			return i
 		}
 	}
 	h.counts[len(h.bounds)]++
+	return len(h.bounds)
 }
 
 // Count returns the number of observations recorded.

